@@ -1,0 +1,483 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation, plus the ablations listed in DESIGN.md.
+
+     dune exec bench/main.exe                 -- everything (default)
+     dune exec bench/main.exe -- table1       -- Table 1 only
+     dune exec bench/main.exe -- table2       -- Table 2 only
+     dune exec bench/main.exe -- fig7         -- Figure 7 constraint graph
+     dune exec bench/main.exe -- compactness  -- the §5 LoC comparison
+     dune exec bench/main.exe -- ablation-compose | ablation-replace
+                                | ablation-order | ablation-memory
+     dune exec bench/main.exe -- bechamel     -- Bechamel micro-benchmarks *)
+
+module Workload = Jedd_minijava.Workload
+module Program = Jedd_minijava.Program
+module Suite = Jedd_analyses.Suite
+module Baseline = Jedd_analyses.Pointsto_baseline
+module Driver = Jedd_lang.Driver
+module Interp = Jedd_lang.Interp
+module C = Jedd_lang.Constraints
+module E = Jedd_lang.Encode
+
+let line () = print_endline (String.make 100 '-')
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* ----------------------------------------------------------------- *)
+(* Table 1: size of the physical domain assignment problem            *)
+(* ----------------------------------------------------------------- *)
+
+let table1 () =
+  line ();
+  print_endline "Table 1: Size of the physical domain assignment problem";
+  print_endline
+    "(paper anchors: the combined analyses have 613 exprs / 1586 attributes;\n\
+     zChaff solved the largest instance in 4.6 s on a 1833 MHz Athlon)";
+  line ();
+  Printf.printf "%-24s %6s %6s %5s | %8s %8s %10s | %9s %8s %9s | %8s\n"
+    "Analysis" "Exprs" "Attrs" "Doms" "Conflict" "Equality" "Assignment"
+    "Variables" "Clauses" "Literals" "Time (s)";
+  line ();
+  let p = Workload.generate (Workload.profile_named "javac") in
+  let row name sources =
+    match Driver.compile sources with
+    | Error e ->
+      Printf.printf "%-24s FAILED: %s\n" name (Driver.error_to_string e)
+    | Ok c ->
+      let st = c.Driver.constraint_stats in
+      let sat = c.Driver.assignment.E.stats in
+      Printf.printf "%-24s %6d %6d %5d | %8d %8d %10d | %9d %8d %9d | %8.4f\n"
+        name st.C.n_rel_exprs st.C.n_attrs st.C.n_physdoms st.C.n_conflict
+        st.C.n_equality st.C.n_assignment sat.E.sat_vars sat.E.sat_clauses
+        sat.E.sat_literals sat.E.solve_seconds
+  in
+  List.iter
+    (fun (name, _) -> row name [ (name, Suite.source_for p name) ])
+    Suite.analyses;
+  row "All 5 combined" [ ("combined.jedd", Suite.combined_source p) ];
+  line ();
+  print_endline
+    "Shape check: the combined program dominates every single analysis in\n\
+     every column, and solving time stays negligible next to building the\n\
+     system — the paper's 'very acceptable' conclusion.\n"
+
+(* ----------------------------------------------------------------- *)
+(* Table 2: hand-coded vs Jedd points-to analysis                     *)
+(* ----------------------------------------------------------------- *)
+
+let table2 () =
+  line ();
+  print_endline "Table 2: Running time, hand-coded BDD vs Jedd points-to";
+  print_endline
+    "(paper: javac 3.4/3.5 s, compress 22.2/22.4 s, javac-1.3.1 26.2/26.3 s,\n\
+     sablecc 25.8/26.1 s, jedit 39.7/41.3 s — overhead 0.5%..4%)";
+  line ();
+  Printf.printf "%-12s %14s %14s %10s %12s\n" "Benchmark" "Hand-coded (s)"
+    "Jedd (s)" "Overhead" "pt tuples";
+  line ();
+  List.iter
+    (fun (prof : Workload.profile) ->
+      let p = Workload.generate prof in
+      (* sub-second workloads are noise-prone: take the best of a few
+         repetitions (setup excluded from the timed region) *)
+      let best run_once =
+        let t1 = run_once () in
+        if t1 > 2.0 then t1
+        else List.fold_left min t1 (List.init 2 (fun _ -> run_once ()))
+      in
+      let hand_tuples = ref 0 in
+      let hand_t =
+        best (fun () ->
+            let b = Baseline.create p in
+            let (), t = wall (fun () -> Baseline.solve b) in
+            hand_tuples := List.length (Baseline.pt_tuples b);
+            Baseline.destroy b;
+            t)
+      in
+      (* jeddc runs at build time; the timed region is execution only *)
+      let compiled = Suite.compile_one p "Points-to Analysis" in
+      let jedd_tuples = ref 0 in
+      let jedd_t =
+        best (fun () ->
+            let inst = Driver.instantiate ~node_capacity:(1 lsl 18) compiled in
+            Jedd_analyses.Pointsto.load_facts inst p;
+            let (), t = wall (fun () -> Jedd_analyses.Pointsto.run inst) in
+            jedd_tuples := List.length (Jedd_analyses.Pointsto.results inst);
+            t)
+      in
+      let overhead = (jedd_t -. hand_t) /. hand_t *. 100.0 in
+      Printf.printf "%-12s %14.3f %14.3f %9.1f%% %12d%s\n" prof.Workload.name
+        hand_t jedd_t overhead !jedd_tuples
+        (if !hand_tuples <> !jedd_tuples then "  (MISMATCH!)" else ""))
+    Workload.profiles;
+  line ();
+  print_endline
+    "Shape check: both versions compute identical relations; Jedd pays a\n\
+     small constant factor for the conveniences the paper lists.\n"
+
+(* ----------------------------------------------------------------- *)
+(* Figure 7: the constraint graph of the Figure 4 join                *)
+(* ----------------------------------------------------------------- *)
+
+let fig7_source =
+  "domain Type 4;\n\
+   domain Signature 4;\n\
+   domain Method 4;\n\
+   attribute type : Type;\n\
+   attribute rectype : Type;\n\
+   attribute tgttype : Type;\n\
+   attribute signature : Signature;\n\
+   attribute method : Method;\n\
+   physdom T1;\nphysdom T2;\nphysdom S1;\nphysdom M1;\n\
+   class Fig7 {\n\
+   \  <type, signature, method> declaresMethod;\n\
+   \  <rectype, signature, tgttype> toResolve;\n\
+   \  public void go() {\n\
+   \    <rectype:T1, signature:S1, tgttype:T2, method:M1> resolved =\n\
+   \      toResolve{tgttype, signature} >< declaresMethod{type, signature};\n\
+   \  }\n\
+   }\n"
+
+let fig7 () =
+  line ();
+  print_endline
+    "Figure 7: physical-domain-assignment constraints for Fig. 4 lines 6-7";
+  line ();
+  match Driver.compile [ ("Fig7.jedd", fig7_source) ] with
+  | Error e -> print_endline (Driver.error_to_string e)
+  | Ok c ->
+    let st = c.Driver.constraint_stats in
+    Printf.printf
+      "constraint graph: %d conflict edges, %d equality edges, %d assignment edges\n\n"
+      st.C.n_conflict st.C.n_equality st.C.n_assignment;
+    print_endline
+      "resulting components (each attribute shares its component's domain,\n\
+       so every dummy replace disappears):";
+    let phys site attr =
+      (c.Driver.assignment.E.phys_of site attr).Jedd_lang.Tast.p_name
+    in
+    let show_var v attrs =
+      List.iter
+        (fun a ->
+          Printf.printf "  %-24s %-10s -> %s\n" v a (phys (C.S_var v) a))
+        attrs
+    in
+    show_var "Fig7.toResolve" [ "rectype"; "signature"; "tgttype" ];
+    show_var "Fig7.declaresMethod" [ "type"; "signature"; "method" ];
+    show_var "Fig7.go.resolved" [ "rectype"; "signature"; "tgttype"; "method" ];
+    print_endline
+      "\nExpected partition (paper): {rectype}->T1, {signatures}->S1,\n\
+       {tgttype,type}->T2, {method}->M1 — no replace operations remain.\n"
+
+(* ----------------------------------------------------------------- *)
+(* §5 compactness: lines of Jedd vs lines of conventional code        *)
+(* ----------------------------------------------------------------- *)
+
+let ncloc text =
+  List.length
+    (List.filter
+       (fun l ->
+         let l = String.trim l in
+         String.length l > 0
+         && not (String.length l >= 2 && String.sub l 0 2 = "//")
+         && not (String.length l >= 2 && String.sub l 0 2 = "(*"))
+       (String.split_on_char '\n' text))
+
+let read_file path =
+  let ic = open_in path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let compactness () =
+  line ();
+  print_endline
+    "§5 compactness: the side-effect analysis in Jedd vs conventional code";
+  print_endline "(paper: 803 non-comment lines of Java vs 124 lines of Jedd)";
+  line ();
+  let jedd_lines = ncloc Jedd_analyses.Sideeffect.source in
+  let conventional =
+    List.fold_left
+      (fun acc path -> match read_file path with
+        | s -> acc + ncloc s
+        | exception _ -> acc)
+      0
+      [ "lib/minijava/reference.ml"; "../lib/minijava/reference.ml" ]
+  in
+  Printf.printf "  Jedd side-effect analysis      : %d lines\n" jedd_lines;
+  Printf.printf
+    "  conventional (sets + worklists): %d lines for all five analyses\n"
+    conventional;
+  if conventional > 0 then
+    Printf.printf
+      "  per-analysis conventional ~ %d lines -> Jedd is ~%.1fx more compact\n\n"
+      (conventional / 5)
+      (float_of_int (conventional / 5) /. float_of_int (max 1 jedd_lines))
+
+(* ----------------------------------------------------------------- *)
+(* Ablations                                                          *)
+(* ----------------------------------------------------------------- *)
+
+module M = Jedd_bdd.Manager
+module Ops = Jedd_bdd.Ops
+module Quant = Jedd_bdd.Quant
+module Fdd = Jedd_bdd.Fdd
+
+let ablation_compose () =
+  line ();
+  print_endline
+    "Ablation (§2.2.3): compose (one-pass relational product) vs\n\
+     join-then-project, measured as two complete points-to solves";
+  line ();
+  Printf.printf "%-12s %14s %20s %10s %14s\n" "Benchmark" "relprod (s)"
+    "join+project (s)" "speedup" "peak nodes";
+  List.iter
+    (fun name ->
+      let p = Workload.generate (Workload.profile_named name) in
+      let b1 = Baseline.create p in
+      let (), t_rel = wall (fun () -> Baseline.solve ~use_relprod:true b1) in
+      let b2 = Baseline.create p in
+      let (), t_jp = wall (fun () -> Baseline.solve ~use_relprod:false b2) in
+      let peak1 = M.peak_nodes (Baseline.manager b1) in
+      let peak2 = M.peak_nodes (Baseline.manager b2) in
+      Printf.printf "%-12s %14.3f %20.3f %9.2fx %7d/%7d\n" name t_rel t_jp
+        (t_jp /. t_rel) peak1 peak2;
+      Baseline.destroy b1;
+      Baseline.destroy b2)
+    [ "javac"; "sablecc" ];
+  (* The effect §2.2.3 describes appears when the materialised
+     conjunction is much larger than the projected result: compose two
+     dense random binary relations R(x,y) ; S(y,z). *)
+  let m = M.create ~node_capacity:(1 lsl 18) () in
+  let bits = 9 in
+  let bx = Fdd.extdomain_bits m bits in
+  let by = Fdd.extdomain_bits m bits in
+  let bz = Fdd.extdomain_bits m bits in
+  let st = Random.State.make [| 424242 |] in
+  let random_rel b1 b2 n =
+    let acc = ref M.zero in
+    for _ = 1 to n do
+      let tup =
+        Ops.band m
+          (Fdd.ithvar m b1 (Random.State.int st (1 lsl bits)))
+          (Fdd.ithvar m b2 (Random.State.int st (1 lsl bits)))
+      in
+      acc := Ops.bor m !acc tup
+    done;
+    M.addref m !acc
+  in
+  let r = random_rel bx by 4000 in
+  let s = random_rel by bz 4000 in
+  let y_cube = M.addref m (Fdd.domain_cube m by) in
+  let result_rel, t_rel =
+    wall (fun () ->
+        M.clear_caches m;
+        Quant.relprod m r s y_cube)
+  in
+  let result_jp, t_jp =
+    wall (fun () ->
+        M.clear_caches m;
+        let conj = Ops.band m r s in
+        Quant.exist m conj y_cube)
+  in
+  assert (result_rel = result_jp);
+  Printf.printf
+    "\n  dense composition R;S (4000-tuple random relations, 9-bit domains):\n";
+  Printf.printf "    relprod        : %.4f s\n" t_rel;
+  Printf.printf "    join + project : %.4f s  -> relprod %.2fx faster\n" t_jp
+    (t_jp /. t_rel);
+  print_endline
+    "  (join-then-project materialises the full conjunction before\n\
+     quantifying; the relational product never builds it — the reason\n\
+     §2.2.3 gives for having both >< and <> in the language.  On the\n\
+     points-to fixpoints above the intermediate stays small, so the two\n\
+     strategies tie; dense compositions show the gap.)\n"
+
+let ablation_replace () =
+  line ();
+  print_endline
+    "Ablation (§3.3.2): replaces kept by the assignment vs the naive\n\
+     wrap-everything translation";
+  line ();
+  let p = Workload.generate (Workload.profile_named "compress") in
+  let compiled = Suite.compile_one p "Points-to Analysis" in
+  let inst = Driver.instantiate compiled in
+  let recorder = Jedd_profiler.Recorder.create () in
+  Jedd_profiler.Recorder.attach recorder (Interp.universe inst)
+    ~level:Jedd_relation.Universe.Counts;
+  Jedd_analyses.Pointsto.load_facts inst p;
+  Jedd_analyses.Pointsto.run inst;
+  Jedd_profiler.Recorder.detach (Interp.universe inst);
+  let rows = Jedd_profiler.Recorder.rows recorder in
+  let total = List.length rows in
+  let replaces =
+    List.length
+      (List.filter
+         (fun (r : Jedd_profiler.Recorder.row) ->
+           r.event.Jedd_relation.Universe.op = "replace")
+         rows)
+  in
+  let st = compiled.Driver.constraint_stats in
+  Printf.printf "  dummy replaces in the wrap-everything translation : %d sites\n"
+    st.C.n_assignment;
+  Printf.printf
+    "  replace operations actually executed (whole run)  : %d of %d ops\n"
+    replaces total;
+  print_endline
+    "  (the naive translation replaces at every consumption point on every\n\
+     iteration; the SAT assignment keeps only the layout changes the\n\
+     dataflow genuinely needs)\n"
+
+let ablation_order () =
+  line ();
+  print_endline
+    "Ablation (§3.3.1): bit ordering — interleaved vs consecutive blocks";
+  line ();
+  let n = 10 in
+  let run interleaved =
+    let m = M.create ~node_capacity:(1 lsl 16) () in
+    let b1, b2 =
+      if interleaved then
+        match Fdd.extdomains_interleaved m [ 1 lsl n; 1 lsl n ] with
+        | [ a; b ] -> (a, b)
+        | _ -> assert false
+      else (Fdd.extdomain_bits m n, Fdd.extdomain_bits m n)
+    in
+    let eq = Fdd.equality m b1 b2 in
+    Jedd_bdd.Count.nodecount m eq
+  in
+  let inter = run true and consec = run false in
+  Printf.printf "  equality relation over two %d-bit domains:\n" n;
+  Printf.printf "    interleaved bits : %6d BDD nodes (linear)\n" inter;
+  Printf.printf "    consecutive bits : %6d BDD nodes (exponential)\n" consec;
+  Printf.printf "    ratio            : %.0fx\n\n"
+    (float_of_int consec /. float_of_int inter)
+
+let ablation_memory () =
+  line ();
+  print_endline "Ablation (§4.2): eager releases vs leaking handles";
+  line ();
+  let chain release_temps =
+    let u = Jedd_relation.Universe.create () in
+    let d = Jedd_relation.Domain.declare ~name:"D" ~size:4096 () in
+    let ph = Jedd_relation.Physdom.declare u ~name:"P" ~bits:12 in
+    let a = Jedd_relation.Attribute.declare ~name:"a" ~domain:d in
+    let sch =
+      Jedd_relation.Schema.make [ { Jedd_relation.Schema.attr = a; phys = ph } ]
+    in
+    let acc = ref (Jedd_relation.Relation.empty u sch) in
+    let keep_alive = ref [] in
+    for i = 0 to 400 do
+      let t = Jedd_relation.Relation.tuple u sch [ i * 7 mod 4096 ] in
+      let next = Jedd_relation.Relation.union !acc t in
+      Jedd_relation.Relation.release t;
+      if release_temps then Jedd_relation.Relation.release !acc
+      else keep_alive := !acc :: !keep_alive;
+      acc := next
+    done;
+    let m = Jedd_relation.Universe.manager u in
+    M.gc m;
+    (M.live_nodes m, M.peak_nodes m)
+  in
+  let live_e, peak_e = chain true in
+  let live_l, peak_l = chain false in
+  Printf.printf
+    "  union chain (401 steps), eager release : %6d live / %6d peak nodes\n"
+    live_e peak_e;
+  Printf.printf
+    "  union chain (401 steps), leak handles  : %6d live / %6d peak nodes\n"
+    live_l peak_l;
+  print_endline
+    "  (eager reference-count drops let the BDD GC reclaim dead\n\
+     intermediate relations; holding handles pins every intermediate,\n\
+     exactly the §4.2 failure mode Jedd's containers avoid)\n"
+
+(* §4.1: "several researchers have suggested using ZDDs for our
+   points-to analysis algorithms" — compare representation sizes of the
+   converged points-to relation. *)
+let ablation_zdd () =
+  line ();
+  print_endline
+    "Ablation (§4.1): BDD vs ZDD node counts for the points-to relation";
+  line ();
+  Printf.printf "%-12s %10s %10s %10s %8s\n" "Benchmark" "pt tuples"
+    "BDD nodes" "ZDD nodes" "ratio";
+  List.iter
+    (fun name ->
+      let p = Workload.generate (Workload.profile_named name) in
+      let b = Baseline.create p in
+      Baseline.solve b;
+      let m = Baseline.manager b in
+      let pt = Baseline.pt_rel b in
+      let bdd_nodes = Jedd_bdd.Count.nodecount m pt in
+      let z = Jedd_bdd.Zdd.create () in
+      let support = Jedd_bdd.Count.support_levels m pt in
+      let znode = Jedd_bdd.Zdd.of_bdd ~over:support m pt z in
+      let zdd_nodes = Jedd_bdd.Zdd.nodecount z znode in
+      let tuples = List.length (Baseline.pt_tuples b) in
+      Printf.printf "%-12s %10d %10d %10d %8.2f\n" name tuples bdd_nodes
+        zdd_nodes
+        (float_of_int bdd_nodes /. float_of_int zdd_nodes);
+      Baseline.destroy b)
+    [ "compress"; "javac"; "sablecc" ];
+  print_endline
+    "  (sparse relations favour zero-suppression; the ratio quantifies\n\
+     what the paper's planned ZDD backend stood to gain)\n"
+
+(* ----------------------------------------------------------------- *)
+(* Bechamel micro-benchmarks (one per table)                          *)
+(* ----------------------------------------------------------------- *)
+
+let bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  let p = Workload.generate Workload.tiny in
+  let test_table1 =
+    Test.make ~name:"table1-compile-assign-pointsto"
+      (Staged.stage (fun () ->
+           ignore (Suite.compile_one p "Points-to Analysis")))
+  in
+  let test_table2 =
+    Test.make ~name:"table2-handcoded-pointsto-tiny"
+      (Staged.stage (fun () ->
+           let b = Baseline.create p in
+           Baseline.solve b;
+           Baseline.destroy b))
+  in
+  let tests = Test.make_grouped ~name:"jedd" [ test_table1; test_table2 ] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false
+         ~predictors:[| Measure.run |])
+      Instance.monotonic_clock raw
+  in
+  print_endline "Bechamel micro-benchmarks (monotonic clock):";
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "  %-40s %14.1f ns/run\n" name est
+      | _ -> Printf.printf "  %-40s (no estimate)\n" name)
+    results;
+  print_newline ()
+
+(* ----------------------------------------------------------------- *)
+
+let () =
+  let cmds = Array.to_list Sys.argv |> List.tl in
+  let run name f = if cmds = [] || List.mem name cmds then f () in
+  run "table1" table1;
+  run "table2" table2;
+  run "fig7" fig7;
+  run "compactness" compactness;
+  run "ablation-compose" ablation_compose;
+  run "ablation-replace" ablation_replace;
+  run "ablation-order" ablation_order;
+  run "ablation-memory" ablation_memory;
+  run "ablation-zdd" ablation_zdd;
+  if List.mem "bechamel" cmds then bechamel ()

@@ -1,0 +1,1 @@
+bin/analyze_main.ml: Arg Cmd Cmdliner Format Jedd_analyses Jedd_minijava List Printf Sys Term

@@ -1,0 +1,1 @@
+bin/analyze_main.mli:

@@ -1,0 +1,1 @@
+bin/jeddc_main.ml: Arg Cmd Cmdliner Format Hashtbl Jedd_lang List Printf Term

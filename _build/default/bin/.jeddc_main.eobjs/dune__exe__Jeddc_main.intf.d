@@ -1,0 +1,1 @@
+bin/jeddc_main.mli:

@@ -1,0 +1,72 @@
+(* jedd-analyze: run the five interrelated whole-program analyses (§5,
+   Figure 2) over a generated workload and report result sizes. *)
+
+open Cmdliner
+module Workload = Jedd_minijava.Workload
+module Program = Jedd_minijava.Program
+module Reference = Jedd_minijava.Reference
+module Suite = Jedd_analyses.Suite
+
+let run benchmark file verify =
+  let name, p =
+    if file <> "" then (file, Jedd_minijava.Frontend.load_file file)
+    else
+      let profile =
+        if benchmark = "tiny" then Workload.tiny
+        else Workload.profile_named benchmark
+      in
+      (profile.Workload.name, Workload.generate profile)
+  in
+  Format.printf "workload %s: %a@." name Program.pp_stats p;
+  let t0 = Sys.time () in
+  let r = Suite.run_all p in
+  Printf.printf "pipeline completed in %.2f s\n" (Sys.time () -. t0);
+  Printf.printf "  Hierarchy            : %d subtype pairs\n"
+    (List.length r.Suite.subtypes);
+  Printf.printf "  Points-to Analysis   : %d (var, heap) pairs\n"
+    (List.length r.Suite.pt);
+  Printf.printf "  Virtual Call Resol.  : %d resolved targets\n"
+    (List.length r.Suite.resolved);
+  Printf.printf "  Call Graph           : %d reachable methods\n"
+    (List.length r.Suite.reachable);
+  Printf.printf "  Side-effect Analysis : %d (method, heap, field) triples\n"
+    (List.length r.Suite.side_effects);
+  if verify then begin
+    let ref_pt, _ = Reference.points_to p in
+    let ref_targets = Reference.call_targets p ref_pt in
+    let ref_reach = Reference.reachable p ref_targets in
+    let ref_se = Reference.side_effects p ref_pt ref_targets in
+    let ok =
+      List.length r.Suite.pt = Reference.IPS.cardinal ref_pt
+      && List.length r.Suite.call_edges = Reference.IPS.cardinal ref_targets
+      && List.length r.Suite.reachable = Reference.IS.cardinal ref_reach
+      && List.length r.Suite.side_effects = Reference.ITS.cardinal ref_se
+    in
+    Printf.printf "verification against reference implementations: %s\n"
+      (if ok then "PASS" else "FAIL");
+    if not ok then exit 1
+  end
+
+let benchmark_arg =
+  Arg.(
+    value
+    & opt string "compress"
+    & info [ "b"; "benchmark" ] ~docv:"NAME"
+        ~doc:"Workload: tiny, javac, compress, javac-13, sablecc, jedit")
+
+let file_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "f"; "file" ] ~docv:"FILE"
+        ~doc:"Analyse a hand-written .mjava program instead of a workload")
+
+let verify_arg =
+  Arg.(value & flag & info [ "verify" ] ~doc:"Check against reference analyses")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "jedd-analyze"
+       ~doc:"Run the five BDD-based whole-program analyses of Figure 2")
+    Term.(const run $ benchmark_arg $ file_arg $ verify_arg)
+
+let () = exit (Cmd.eval cmd)

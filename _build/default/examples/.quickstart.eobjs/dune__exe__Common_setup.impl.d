@@ -1,0 +1,1 @@
+examples/common_setup.ml: Jedd_lang Jedd_relation

@@ -1,0 +1,1 @@
+examples/error_messages.ml: Jedd_lang Printf

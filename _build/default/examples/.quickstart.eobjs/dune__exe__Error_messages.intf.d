@@ -1,0 +1,1 @@
+examples/error_messages.mli:

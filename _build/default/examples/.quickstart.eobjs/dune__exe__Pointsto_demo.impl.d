@@ -1,0 +1,1 @@
+examples/pointsto_demo.ml: Array Format Jedd_analyses Jedd_minijava List Printf Sys

@@ -1,0 +1,1 @@
+examples/pointsto_demo.mli:

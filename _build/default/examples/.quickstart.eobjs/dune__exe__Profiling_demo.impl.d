@@ -1,0 +1,1 @@
+examples/profiling_demo.ml: Jedd_analyses Jedd_lang Jedd_minijava Jedd_profiler Jedd_relation List Printf Unix

@@ -1,0 +1,1 @@
+examples/profiling_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Jedd_relation Printf

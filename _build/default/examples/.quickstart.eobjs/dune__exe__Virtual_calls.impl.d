@@ -1,0 +1,1 @@
+examples/virtual_calls.ml: Common_setup Jedd_lang Jedd_relation Printf

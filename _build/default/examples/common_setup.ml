@@ -1,0 +1,9 @@
+(* Small shared helper for the examples: install a fact relation into a
+   compiled Jedd program's field, at the field's assigned layout. *)
+
+let set inst field tuples =
+  let u = Jedd_lang.Interp.universe inst in
+  let schema = Jedd_lang.Interp.schema_of_var inst field in
+  let r = Jedd_relation.Relation.of_tuples u schema tuples in
+  Jedd_lang.Interp.set_field inst field r;
+  Jedd_relation.Relation.release r

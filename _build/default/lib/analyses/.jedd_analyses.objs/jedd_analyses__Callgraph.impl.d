@@ -1,0 +1,1 @@
+lib/analyses/callgraph.ml: Common Jedd_lang Jedd_minijava List

@@ -1,0 +1,1 @@
+lib/analyses/common.ml: Jedd_lang Jedd_minijava Jedd_relation List Printf String

@@ -1,0 +1,1 @@
+lib/analyses/pointsto_baseline.ml: Array Jedd_bdd Jedd_minijava List

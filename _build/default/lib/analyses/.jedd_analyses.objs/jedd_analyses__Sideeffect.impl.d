@@ -1,0 +1,1 @@
+lib/analyses/sideeffect.ml: Array Common Jedd_lang Jedd_minijava List

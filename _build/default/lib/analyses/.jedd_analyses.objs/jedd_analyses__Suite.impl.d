@@ -1,0 +1,1 @@
+lib/analyses/suite.ml: Array Callgraph Common Hashtbl Hierarchy Jedd_lang Jedd_minijava List Pointsto Printf Sideeffect String Vcall

@@ -1,0 +1,1 @@
+lib/analyses/suite.mli: Jedd_lang Jedd_minijava

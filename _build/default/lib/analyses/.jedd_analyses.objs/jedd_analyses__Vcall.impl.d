@@ -1,0 +1,1 @@
+lib/analyses/vcall.ml: Common Jedd_lang Jedd_minijava Jedd_relation List

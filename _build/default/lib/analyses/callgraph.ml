@@ -1,0 +1,37 @@
+(* Call-graph construction: reachable methods from the entry points over
+   the resolved call edges (the Call Graph module of Figure 2). *)
+
+module P = Jedd_minijava.Program
+module Interp = Jedd_lang.Interp
+
+let source =
+  "class CallGraph {\n\
+  \  <callsite:C1, method:M1> callEdge;\n\
+  \  <callsite:C1, srcmethod:M2> siteIn;\n\
+  \  <method:M1> entry;\n\
+  \  <method:M1> reachable = 0B;\n\
+  \  <callsite:C1> reachableSites = 0B;\n\
+  \  public void run() {\n\
+  \    reachable = entry;\n\
+  \    <method:M1> delta = entry;\n\
+  \    do {\n\
+  \      <callsite:C1> sites = siteIn{srcmethod} <> ((method=>srcmethod) delta){srcmethod};\n\
+  \      reachableSites |= sites;\n\
+  \      <method:M1> tgts = callEdge{callsite} <> reachableSites{callsite};\n\
+  \      delta = tgts - reachable;\n\
+  \      reachable |= delta;\n\
+  \    } while (delta != 0B);\n\
+  \  }\n\
+  }\n"
+
+let load_facts inst (p : P.t) ~call_edges =
+  Common.set_fact inst "CallGraph.callEdge" call_edges;
+  Common.set_fact inst "CallGraph.siteIn"
+    (List.map
+       (fun (cs : P.call_site) -> [ cs.P.cs_id; cs.P.cs_in_method ])
+       p.P.calls);
+  Common.set_fact inst "CallGraph.entry"
+    (List.map (fun m -> [ m ]) p.P.entry_methods)
+
+let run inst = ignore (Interp.call inst "CallGraph.run" [])
+let results inst = Common.get_tuples inst "CallGraph.reachable"

@@ -1,0 +1,65 @@
+(* Shared declarations for the five whole-program analyses (§5).
+
+   Each analysis is a Jedd class; they share one set of domains,
+   attributes and physical domains, so they can be compiled separately
+   (rows 1–5 of Table 1) or concatenated into one program ("All 5
+   combined").  Domain sizes depend on the analysed program, so the
+   preamble is generated per program. *)
+
+module P = Jedd_minijava.Program
+
+let preamble (p : P.t) =
+  let d name size = Printf.sprintf "domain %s %d;\n" name (max 2 size) in
+  let a name dom = Printf.sprintf "attribute %s : %s;\n" name dom in
+  String.concat ""
+    [
+      d "Type" p.P.n_classes;
+      d "Sig" p.P.n_sigs;
+      d "Method" p.P.n_methods;
+      d "Var" p.P.n_vars;
+      d "Heap" p.P.n_heap;
+      d "Field" p.P.n_fields;
+      d "CallSite" (List.length p.P.calls);
+      (* type-domain attributes *)
+      a "type" "Type";
+      a "tgttype" "Type";
+      a "subtype" "Type";
+      a "supertype" "Type";
+      (* others *)
+      a "signature" "Sig";
+      a "method" "Method";
+      a "srcmethod" "Method";
+      a "var" "Var";
+      a "src" "Var";
+      a "dst" "Var";
+      a "base" "Var";
+      a "heap" "Heap";
+      a "baseheap" "Heap";
+      a "field" "Field";
+      a "callsite" "CallSite";
+      (* physical domains; relative bit order is declaration order *)
+      "physdom T1;\n";
+      "physdom T2;\n";
+      "physdom T3;\n";
+      "physdom S1;\n";
+      "physdom M1;\n";
+      "physdom M2;\n";
+      "physdom V1;\n";
+      "physdom V2;\n";
+      "physdom H1;\n";
+      "physdom H2;\n";
+      "physdom F1;\n";
+      "physdom C1;\n";
+    ]
+
+(* Build a relation for an instantiated program from fact tuples, at the
+   layout of the given field, and install it. *)
+let set_fact inst field tuples =
+  let u = Jedd_lang.Interp.universe inst in
+  let schema = Jedd_lang.Interp.schema_of_var inst field in
+  let r = Jedd_relation.Relation.of_tuples u schema tuples in
+  Jedd_lang.Interp.set_field inst field r;
+  Jedd_relation.Relation.release r
+
+let get_tuples inst field =
+  Jedd_relation.Relation.tuples (Jedd_lang.Interp.get_field inst field)

@@ -1,0 +1,30 @@
+(* Class-hierarchy analysis: the transitive closure of the direct
+   superclass relation (the Hierarchy module of Figure 2). *)
+
+module P = Jedd_minijava.Program
+module Interp = Jedd_lang.Interp
+
+let source =
+  "class Hierarchy {\n\
+  \  <subtype:T1, supertype:T3> extendH;\n\
+  \  <subtype:T1, supertype:T2> subtypes = 0B;\n\
+  \  public void run() {\n\
+  \    subtypes = extendH;\n\
+  \    <subtype:T1, supertype:T2> delta = subtypes;\n\
+  \    do {\n\
+  \      delta = subtypes{supertype} <> extendH{subtype};\n\
+  \      delta -= subtypes;\n\
+  \      subtypes |= delta;\n\
+  \    } while (delta != 0B);\n\
+  \  }\n\
+  }\n"
+
+let load_facts inst (p : P.t) =
+  Common.set_fact inst "Hierarchy.extendH"
+    (List.map (fun (sub, sup) -> [ sub; sup ]) p.P.extend)
+
+let run inst =
+  ignore (Interp.call inst "Hierarchy.run" [])
+
+(* strict transitive closure as (sub, super) pairs, sub <> super *)
+let results inst = Common.get_tuples inst "Hierarchy.subtypes"

@@ -1,0 +1,96 @@
+(* Wiring of the five interrelated analyses, following Figure 2:
+
+     Hierarchy ──> Virtual Call Resolution <── Points-to
+                          │                        │
+                          v                        v
+                      Call Graph ──────────> Side Effects
+
+   Each analysis is its own Jedd class; they exchange relations through
+   the host (as the paper's modules exchange them through Soot). *)
+
+module P = Jedd_minijava.Program
+module Driver = Jedd_lang.Driver
+module Interp = Jedd_lang.Interp
+
+let analyses =
+  [
+    ("Hierarchy", Hierarchy.source);
+    ("Points-to Analysis", Pointsto.source);
+    ("Virtual Call Resolution", Vcall.source);
+    ("Call Graph", Callgraph.source);
+    ("Side-effect Analysis", Sideeffect.source);
+  ]
+
+let combined_source (p : P.t) =
+  Common.preamble p ^ String.concat "\n" (List.map snd analyses)
+
+let source_for (p : P.t) name =
+  Common.preamble p ^ List.assoc name analyses
+
+type results = {
+  subtypes : int list list;  (* (sub, super), strict *)
+  pt : int list list;  (* (var, heap) *)
+  resolved : int list list;  (* (callsite, sig, type, method) *)
+  call_edges : int list list;  (* (callsite, method) *)
+  reachable : int list list;  (* (method) *)
+  side_effects : int list list;  (* (method, heap, field) *)
+}
+
+let compile_one (p : P.t) name =
+  match Driver.compile [ (name ^ ".jedd", source_for p name) ] with
+  | Ok c -> c
+  | Error e ->
+    failwith (Printf.sprintf "%s: %s" name (Driver.error_to_string e))
+
+(* receiver types at each call site, from points-to results *)
+let receiver_types (p : P.t) pt_tuples =
+  let recv_pt = Hashtbl.create 256 in
+  List.iter
+    (fun t ->
+      match t with
+      | [ v; h ] -> Hashtbl.add recv_pt v h
+      | _ -> assert false)
+    pt_tuples;
+  List.concat_map
+    (fun (cs : P.call_site) ->
+      List.map
+        (fun h -> [ cs.P.cs_id; p.P.heap_type.(h); cs.P.cs_sig ])
+        (Hashtbl.find_all recv_pt cs.P.cs_recv))
+    p.P.calls
+  |> List.sort_uniq compare
+
+let run_all ?(node_capacity = 1 lsl 16) (p : P.t) : results =
+  (* 1. hierarchy *)
+  let hier = Driver.instantiate ~node_capacity (compile_one p "Hierarchy") in
+  Hierarchy.load_facts hier p;
+  Hierarchy.run hier;
+  let subtypes = Hierarchy.results hier in
+  (* 2. points-to *)
+  let pta =
+    Driver.instantiate ~node_capacity (compile_one p "Points-to Analysis")
+  in
+  Pointsto.load_facts pta p;
+  Pointsto.run pta;
+  let pt = Pointsto.results pta in
+  (* 3. virtual call resolution *)
+  let vcr =
+    Driver.instantiate ~node_capacity
+      (compile_one p "Virtual Call Resolution")
+  in
+  Vcall.load_facts vcr p;
+  Vcall.run vcr (receiver_types p pt);
+  let resolved = Vcall.results vcr in
+  let call_edges = Vcall.call_edges vcr in
+  (* 4. call graph *)
+  let cg = Driver.instantiate ~node_capacity (compile_one p "Call Graph") in
+  Callgraph.load_facts cg p ~call_edges;
+  Callgraph.run cg;
+  let reachable = Callgraph.results cg in
+  (* 5. side effects *)
+  let se =
+    Driver.instantiate ~node_capacity (compile_one p "Side-effect Analysis")
+  in
+  Sideeffect.load_facts se p ~pt ~call_edges;
+  Sideeffect.run se;
+  let side_effects = Sideeffect.results se in
+  { subtypes; pt; resolved; call_edges; reachable; side_effects }

@@ -1,0 +1,43 @@
+(** Wiring of the five interrelated whole-program analyses, following
+    the paper's Figure 2:
+
+    {v
+    Hierarchy ──> Virtual Call Resolution <── Points-to
+                         │                        │
+                         v                        v
+                     Call Graph ──────────> Side Effects
+    v}
+
+    Each analysis is its own Jedd class (its source lives in the
+    corresponding module); they exchange relations through the host,
+    as the paper's modules exchange them through Soot. *)
+
+val analyses : (string * string) list
+(** The five (display name, Jedd class source) pairs, in Figure 2
+    order. *)
+
+val combined_source : Jedd_minijava.Program.t -> string
+(** All five classes in one compilation unit ("All 5 combined" in
+    Table 1), with the shared preamble sized to the program. *)
+
+val source_for : Jedd_minijava.Program.t -> string -> string
+(** One analysis with its preamble, by display name. *)
+
+val compile_one : Jedd_minijava.Program.t -> string -> Jedd_lang.Driver.compiled
+(** Compile one analysis; fails loudly on any jeddc error. *)
+
+type results = {
+  subtypes : int list list;  (** (sub, super), strict transitive closure *)
+  pt : int list list;  (** (variable, heap) *)
+  resolved : int list list;  (** (call site, signature, type, method) *)
+  call_edges : int list list;  (** (call site, method) *)
+  reachable : int list list;  (** (method) *)
+  side_effects : int list list;  (** (method, heap, field) *)
+}
+
+val receiver_types : Jedd_minijava.Program.t -> int list list -> int list list
+(** Inter-analysis plumbing: (call site, receiver type, signature)
+    triples derived from points-to results. *)
+
+val run_all : ?node_capacity:int -> Jedd_minijava.Program.t -> results
+(** Compile and run the full pipeline. *)

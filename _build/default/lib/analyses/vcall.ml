@@ -1,0 +1,51 @@
+(* Virtual call resolution: the Figure 4 algorithm lifted to call sites.
+   Given the possible receiver types at each call site (from points-to)
+   and the declares-method relation, walk up the class hierarchy to find
+   each call's target method. *)
+
+module P = Jedd_minijava.Program
+module Interp = Jedd_lang.Interp
+
+let source =
+  "class VirtualCalls {\n\
+  \  <type, signature, method> declaresMethod;\n\
+  \  <subtype, supertype:T3> extendV;\n\
+  \  <callsite:C1, signature:S1, tgttype:T2, method:M1> resolved = 0B;\n\
+  \  public void resolve( <callsite, tgttype, signature> receiverTypes ) {\n\
+  \    <callsite:C1, tgttype:T2, signature:S1> toResolve = receiverTypes;\n\
+  \    do {\n\
+  \      <callsite:C1, signature:S1, tgttype:T2, method:M1> found =\n\
+  \        toResolve{tgttype, signature} >< declaresMethod{type, signature};\n\
+  \      resolved |= found;\n\
+  \      toResolve -= (method=>) found;\n\
+  \      toResolve = (supertype=>tgttype) (toResolve{tgttype} <> extendV{subtype});\n\
+  \    } while (toResolve != 0B);\n\
+  \  }\n\
+  }\n"
+
+let load_facts inst (p : P.t) =
+  Common.set_fact inst "VirtualCalls.declaresMethod"
+    (List.map (fun (c, s, m) -> [ c; s; m ]) p.P.declares);
+  Common.set_fact inst "VirtualCalls.extendV"
+    (List.map (fun (sub, sup) -> [ sub; sup ]) p.P.extend)
+
+(* receiver types: (callsite, type, signature) triples *)
+let run inst receiver_types =
+  let u = Interp.universe inst in
+  let schema =
+    Interp.schema_of_var inst "VirtualCalls.resolve.receiverTypes"
+  in
+  let r = Jedd_relation.Relation.of_tuples u schema receiver_types in
+  ignore (Interp.call inst "VirtualCalls.resolve" [ Interp.VRel r ]);
+  Jedd_relation.Relation.release r
+
+(* (callsite, signature, declaring type, method) *)
+let results inst = Common.get_tuples inst "VirtualCalls.resolved"
+
+(* (callsite, method) projection for the call-graph stage *)
+let call_edges inst =
+  List.sort_uniq compare
+    (List.map (function
+       | [ cs; _sig; _t; m ] -> [ cs; m ]
+       | _ -> assert false)
+       (results inst))

@@ -1,0 +1,1 @@
+lib/bdd/count.ml: Array Hashtbl List Manager

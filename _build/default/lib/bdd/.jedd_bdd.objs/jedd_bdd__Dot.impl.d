@@ -1,0 +1,1 @@
+lib/bdd/dot.ml: Array Buffer Count Format Hashtbl Manager Printf String

@@ -1,0 +1,1 @@
+lib/bdd/dot.mli: Format Manager

@@ -1,0 +1,1 @@
+lib/bdd/enum.ml: Array Manager

@@ -1,0 +1,1 @@
+lib/bdd/enum.mli: Manager

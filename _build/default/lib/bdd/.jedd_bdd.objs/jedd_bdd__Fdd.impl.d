@@ -1,0 +1,1 @@
+lib/bdd/fdd.ml: Array Hashtbl List Manager Ops Quant

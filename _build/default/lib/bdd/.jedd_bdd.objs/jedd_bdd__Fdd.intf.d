@@ -1,0 +1,1 @@
+lib/bdd/fdd.mli: Manager

@@ -1,0 +1,1 @@
+lib/bdd/manager.mli:

@@ -1,0 +1,1 @@
+lib/bdd/ops.mli: Manager

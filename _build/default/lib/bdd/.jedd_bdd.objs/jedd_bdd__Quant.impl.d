@@ -1,0 +1,1 @@
+lib/bdd/quant.ml: Hashtbl List Manager Ops

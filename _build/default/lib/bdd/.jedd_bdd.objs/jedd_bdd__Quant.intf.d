@@ -1,0 +1,1 @@
+lib/bdd/quant.mli: Manager

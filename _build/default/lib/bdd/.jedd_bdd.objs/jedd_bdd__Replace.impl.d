@@ -1,0 +1,1 @@
+lib/bdd/replace.ml: Hashtbl List Manager Ops

@@ -1,0 +1,1 @@
+lib/bdd/zdd.ml: Array Hashtbl List Manager

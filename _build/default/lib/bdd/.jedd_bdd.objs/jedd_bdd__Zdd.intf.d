@@ -1,0 +1,1 @@
+lib/bdd/zdd.mli: Manager

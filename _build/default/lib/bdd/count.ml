@@ -1,0 +1,85 @@
+type man = Manager.t
+type node = Manager.node
+
+let support_levels m f =
+  let seen = Hashtbl.create 256 in
+  let levels = Hashtbl.create 64 in
+  let rec go f =
+    if (not (Manager.is_terminal f)) && not (Hashtbl.mem seen f) then begin
+      Hashtbl.add seen f ();
+      Hashtbl.replace levels (Manager.level m f) ();
+      go (Manager.low m f);
+      go (Manager.high m f)
+    end
+  in
+  go f;
+  List.sort compare (Hashtbl.fold (fun l () acc -> l :: acc) levels [])
+
+let satcount m f ~over =
+  let over = List.sort_uniq compare over in
+  let support = support_levels m f in
+  let in_over = Hashtbl.create 64 in
+  List.iter (fun l -> Hashtbl.replace in_over l ()) over;
+  List.iter
+    (fun l ->
+      if not (Hashtbl.mem in_over l) then
+        invalid_arg "Count.satcount: BDD depends on a variable outside ~over")
+    support;
+  (* rank.(i) = position of a level within [over]; count below a node is
+     relative to its rank so that skipped variables double the count. *)
+  let n = List.length over in
+  let rank = Hashtbl.create 64 in
+  List.iteri (fun i l -> Hashtbl.add rank l i) over;
+  let rank_of f =
+    if Manager.is_terminal f then n else Hashtbl.find rank (Manager.level m f)
+  in
+  let memo = Hashtbl.create 1024 in
+  (* c f = number of assignments of the variables of [over] with rank >=
+     rank_of f that satisfy f. *)
+  let rec c f =
+    if f = Manager.zero then 0
+    else if f = Manager.one then 1
+    else
+      match Hashtbl.find_opt memo f with
+      | Some r -> r
+      | None ->
+        let rf = rank_of f in
+        let lo = Manager.low m f and hi = Manager.high m f in
+        let part g = c g lsl (rank_of g - rf - 1) in
+        let r = part lo + part hi in
+        Hashtbl.add memo f r;
+        r
+  in
+  c f lsl rank_of f
+
+let satcount_all m f =
+  let all = List.init (Manager.num_vars m) (fun i -> i) in
+  satcount m f ~over:all
+
+let nodecount_many m roots =
+  let seen = Hashtbl.create 1024 in
+  let rec go f =
+    if (not (Manager.is_terminal f)) && not (Hashtbl.mem seen f) then begin
+      Hashtbl.add seen f ();
+      go (Manager.low m f);
+      go (Manager.high m f)
+    end
+  in
+  List.iter go roots;
+  Hashtbl.length seen
+
+let nodecount m f = nodecount_many m [ f ]
+
+let shape m f =
+  let counts = Array.make (Manager.num_vars m) 0 in
+  let seen = Hashtbl.create 1024 in
+  let rec go f =
+    if (not (Manager.is_terminal f)) && not (Hashtbl.mem seen f) then begin
+      Hashtbl.add seen f ();
+      counts.(Manager.level m f) <- counts.(Manager.level m f) + 1;
+      go (Manager.low m f);
+      go (Manager.high m f)
+    end
+  in
+  go f;
+  counts

@@ -1,0 +1,35 @@
+let to_dot ?(var_name = fun lvl -> Printf.sprintf "x%d" lvl) m root =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph bdd {\n";
+  Buffer.add_string buf "  node [shape=circle];\n";
+  Buffer.add_string buf "  n0 [shape=box,label=\"0\"];\n";
+  Buffer.add_string buf "  n1 [shape=box,label=\"1\"];\n";
+  let seen = Hashtbl.create 256 in
+  let rec go f =
+    if (not (Manager.is_terminal f)) && not (Hashtbl.mem seen f) then begin
+      Hashtbl.add seen f ();
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\"];\n" f
+           (var_name (Manager.level m f)));
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d [style=dashed];\n" f (Manager.low m f));
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d;\n" f (Manager.high m f));
+      go (Manager.low m f);
+      go (Manager.high m f)
+    end
+  in
+  go root;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let print_ascii_shape ?(width = 50) ppf m root =
+  let counts = Count.shape m root in
+  let maxc = Array.fold_left max 1 counts in
+  Array.iteri
+    (fun lvl c ->
+      if c > 0 then
+        Format.fprintf ppf "%4d |%s %d@." lvl
+          (String.make (c * width / maxc) '#')
+          c)
+    counts

@@ -1,0 +1,12 @@
+(** Graphviz export of BDDs, used by the profiler's drill-down views and
+    handy when debugging variable orderings. *)
+
+val to_dot :
+  ?var_name:(int -> string) -> Manager.t -> Manager.node -> string
+(** Render the graph rooted at the node as a [dot] digraph.  Low edges
+    are dashed, high edges solid, as is conventional. *)
+
+val print_ascii_shape :
+  ?width:int -> Format.formatter -> Manager.t -> Manager.node -> unit
+(** A terminal-friendly bar chart of nodes-per-level (the profiler's
+    "shape" view, §4.3). *)

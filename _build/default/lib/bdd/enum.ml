@@ -1,0 +1,47 @@
+type man = Manager.t
+type node = Manager.node
+
+let iter_assignments m f ~levels k =
+  let n = Array.length levels in
+  let values = Array.make n false in
+  let rec go i f =
+    if f <> Manager.zero then
+      if i = n then begin
+        if not (Manager.is_terminal f) then
+          invalid_arg
+            "Enum.iter_assignments: BDD depends on a variable outside ~levels";
+        k values
+      end
+      else begin
+        let want = levels.(i) in
+        let lf = Manager.level m f in
+        if lf < want then
+          invalid_arg
+            "Enum.iter_assignments: BDD depends on a variable outside ~levels"
+        else if lf > want then begin
+          (* variable absent: both values satisfy *)
+          values.(i) <- false;
+          go (i + 1) f;
+          values.(i) <- true;
+          go (i + 1) f
+        end
+        else begin
+          values.(i) <- false;
+          go (i + 1) (Manager.low m f);
+          values.(i) <- true;
+          go (i + 1) (Manager.high m f)
+        end
+      end
+  in
+  go 0 f
+
+exception Found
+
+let first_assignment m f ~levels =
+  let result = ref None in
+  (try
+     iter_assignments m f ~levels (fun values ->
+         result := Some (Array.copy values);
+         raise Found)
+   with Found -> ());
+  !result

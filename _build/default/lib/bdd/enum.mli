@@ -1,0 +1,17 @@
+(** Enumeration of satisfying assignments over a chosen set of bits —
+    the primitive behind Jedd's relation iterators (§2.3). *)
+
+type man = Manager.t
+type node = Manager.node
+
+val iter_assignments : man -> node -> levels:int array -> (bool array -> unit) -> unit
+(** [iter_assignments m f ~levels k] calls [k] once for every assignment
+    of the bits [levels] (which must be sorted ascending) satisfying [f].
+    The callback receives values aligned with [levels]; the array is
+    reused across calls, so copy it if you keep it.  Don't-care bits are
+    expanded, so each concrete assignment is produced exactly once.
+    [f] must not depend on variables outside [levels]
+    ([Invalid_argument] otherwise). *)
+
+val first_assignment : man -> node -> levels:int array -> bool array option
+(** The lexicographically first satisfying assignment, if any. *)

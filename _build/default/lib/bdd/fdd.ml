@@ -1,0 +1,104 @@
+type man = Manager.t
+type node = Manager.node
+
+type block = { bits : int array (* levels, MSB first *) }
+
+let bits_for size =
+  if size <= 0 then invalid_arg "Fdd.extdomain: size must be positive";
+  let rec go n acc = if n >= size then acc else go (n * 2) (acc + 1) in
+  max 1 (go 1 0)
+
+let extdomain_bits m nbits =
+  if nbits <= 0 then invalid_arg "Fdd.extdomain_bits: width must be positive";
+  { bits = Array.init nbits (fun _ -> Manager.new_var m) }
+
+let extdomain m size = extdomain_bits m (bits_for size)
+
+let extdomains_interleaved m sizes =
+  match sizes with
+  | [] -> []
+  | _ ->
+    let widths = List.map bits_for sizes in
+    let w = List.fold_left max 1 widths in
+    let blocks = List.map (fun _ -> Array.make w 0) sizes in
+    for bit = 0 to w - 1 do
+      List.iter (fun bits -> bits.(bit) <- Manager.new_var m) blocks
+    done;
+    List.map (fun bits -> { bits }) blocks
+
+let width b = Array.length b.bits
+let size b = 1 lsl width b
+let levels b = Array.copy b.bits
+
+let ithvar m b v =
+  if v < 0 || v >= size b then invalid_arg "Fdd.ithvar: value out of range";
+  let w = width b in
+  let assignment =
+    List.init w (fun i ->
+        (* bit i of the array is the (w-1-i)-th binary digit *)
+        (b.bits.(i), (v lsr (w - 1 - i)) land 1 = 1))
+  in
+  Ops.cube m assignment
+
+let domain_cube m b = Quant.varset m (Array.to_list b.bits)
+
+let less_than_const m b k =
+  if k <= 0 then Manager.zero
+  else if k >= size b then Manager.one
+  else begin
+    (* Walk bits from least significant upwards, building "value < k"
+       bottom-up: at each bit, if k's bit is 1 then choosing 0 wins
+       outright on the suffix, else choosing 1 loses outright. *)
+    let w = width b in
+    (* Base case: the empty suffix is not strictly below the empty
+       suffix of k. *)
+    let acc = ref Manager.zero in
+    (* Process from LSB (array index w-1) to MSB (index 0); but mk needs
+       children at deeper levels.  The blocks allocated by this module
+       have their MSB at the topmost level and bits in order, so build
+       from the deepest level upwards. *)
+    let order =
+      Array.to_list (Array.mapi (fun i lvl -> (lvl, w - 1 - i)) b.bits)
+      |> List.sort (fun (l1, _) (l2, _) -> compare l2 l1)
+    in
+    List.iter
+      (fun (lvl, bit_index) ->
+        let kbit = (k lsr bit_index) land 1 in
+        acc :=
+          if kbit = 1 then Manager.mk m lvl Manager.one !acc
+          else Manager.mk m lvl !acc Manager.zero)
+      order;
+    !acc
+  end
+
+let equality m b1 b2 =
+  if width b1 <> width b2 then
+    invalid_arg "Fdd.equality: blocks differ in width";
+  let acc = ref Manager.one in
+  for i = width b1 - 1 downto 0 do
+    let bit_eq =
+      Ops.bbiimp m (Manager.var m b1.bits.(i)) (Manager.var m b2.bits.(i))
+    in
+    acc := Ops.band m !acc bit_eq
+  done;
+  !acc
+
+let perm_pairs b1 b2 =
+  if width b1 <> width b2 then
+    invalid_arg "Fdd.perm_pairs: blocks differ in width";
+  Array.to_list (Array.mapi (fun i src -> (src, b2.bits.(i))) b1.bits)
+
+let decode b ~levels:lv values =
+  let pos = Hashtbl.create 16 in
+  Array.iteri (fun i l -> Hashtbl.replace pos l i) lv;
+  let w = width b in
+  let v = ref 0 in
+  for i = 0 to w - 1 do
+    let idx =
+      match Hashtbl.find_opt pos b.bits.(i) with
+      | Some idx -> idx
+      | None -> invalid_arg "Fdd.decode: block level missing from ~levels"
+    in
+    if values.(idx) then v := !v lor (1 lsl (w - 1 - i))
+  done;
+  !v

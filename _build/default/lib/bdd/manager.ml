@@ -1,0 +1,245 @@
+type node = int
+
+let zero = 0
+let one = 1
+let terminal_level = max_int lsr 1
+
+(* A free node has [lvl] = -1 and its [hnext] field threads the free
+   list.  Allocated nodes thread [hnext] through their unique-table
+   bucket. *)
+type t = {
+  mutable nvars : int;
+  mutable capacity : int;
+  mutable lvl : int array;
+  mutable lo : int array;
+  mutable hi : int array;
+  mutable refc : int array;
+  mutable hnext : int array;
+  mutable buckets : int array;
+  mutable bucket_mask : int;
+  mutable free_head : int;
+  mutable free_count : int;
+  mutable allocated : int; (* nodes ever handed out and not swept *)
+  mutable peak : int;
+  mutable gcs : int;
+  cache : int array; (* direct-mapped: 5 ints per entry *)
+  cache_mask : int;
+  mutable marked : Bytes.t;
+  mutable visited : Bytes.t;
+}
+
+let free_mark = -1
+
+let hash3 a b c mask =
+  let h = (a * 12582917) lxor (b * 4256249) lxor (c * 0x9e3779b9) in
+  (h lxor (h lsr 16)) land mask
+
+let create ?(node_capacity = 1 lsl 15) ?(cache_bits = 14) () =
+  let capacity = max 1024 node_capacity in
+  let m =
+    {
+      nvars = 0;
+      capacity;
+      lvl = Array.make capacity free_mark;
+      lo = Array.make capacity 0;
+      hi = Array.make capacity 0;
+      refc = Array.make capacity 0;
+      hnext = Array.make capacity (-1);
+      buckets = Array.make capacity (-1);
+      bucket_mask = capacity - 1;
+      free_head = -1;
+      free_count = 0;
+      allocated = 2;
+      peak = 2;
+      gcs = 0;
+      cache = Array.make ((1 lsl cache_bits) * 5) (-1);
+      cache_mask = (1 lsl cache_bits) - 1;
+      marked = Bytes.make capacity '\000';
+      visited = Bytes.make capacity '\000';
+    }
+  in
+  (* Terminals: permanently allocated, never hashed, never swept. *)
+  m.lvl.(0) <- terminal_level;
+  m.lvl.(1) <- terminal_level;
+  m.refc.(0) <- 1;
+  m.refc.(1) <- 1;
+  (* Thread the rest into the free list. *)
+  for i = capacity - 1 downto 2 do
+    m.hnext.(i) <- m.free_head;
+    m.lvl.(i) <- free_mark;
+    m.free_head <- i;
+    m.free_count <- m.free_count + 1
+  done;
+  m
+
+let new_var m =
+  let v = m.nvars in
+  m.nvars <- v + 1;
+  v
+
+let num_vars m = m.nvars
+let level m n = m.lvl.(n)
+let low m n = m.lo.(n)
+let high m n = m.hi.(n)
+let is_terminal n = n < 2
+let live_nodes m = m.allocated
+let peak_nodes m = m.peak
+let gc_count m = m.gcs
+let refcount m n = m.refc.(n)
+
+let clear_caches m = Array.fill m.cache 0 (Array.length m.cache) (-1)
+
+let cache_lookup m tag a b c =
+  let idx = hash3 (a lxor (tag * 0x85ebca6b)) b c m.cache_mask * 5 in
+  let t = m.cache in
+  if t.(idx) = tag && t.(idx + 1) = a && t.(idx + 2) = b && t.(idx + 3) = c
+  then t.(idx + 4)
+  else -1
+
+let cache_store m tag a b c result =
+  let idx = hash3 (a lxor (tag * 0x85ebca6b)) b c m.cache_mask * 5 in
+  let t = m.cache in
+  t.(idx) <- tag;
+  t.(idx + 1) <- a;
+  t.(idx + 2) <- b;
+  t.(idx + 3) <- c;
+  t.(idx + 4) <- result
+
+(* -- Growth ------------------------------------------------------------ *)
+
+let grow_array a capacity fill =
+  let a' = Array.make capacity fill in
+  Array.blit a 0 a' 0 (Array.length a);
+  a'
+
+let rebuild_buckets m =
+  Array.fill m.buckets 0 (Array.length m.buckets) (-1);
+  (* Free-list entries are re-threaded too, so rebuild it as we go. *)
+  m.free_head <- -1;
+  m.free_count <- 0;
+  for n = m.capacity - 1 downto 2 do
+    if m.lvl.(n) = free_mark then begin
+      m.hnext.(n) <- m.free_head;
+      m.free_head <- n;
+      m.free_count <- m.free_count + 1
+    end
+    else begin
+      let b = hash3 m.lvl.(n) m.lo.(n) m.hi.(n) m.bucket_mask in
+      m.hnext.(n) <- m.buckets.(b);
+      m.buckets.(b) <- n
+    end
+  done
+
+let grow m =
+  let capacity = m.capacity * 2 in
+  m.lvl <- grow_array m.lvl capacity free_mark;
+  m.lo <- grow_array m.lo capacity 0;
+  m.hi <- grow_array m.hi capacity 0;
+  m.refc <- grow_array m.refc capacity 0;
+  m.hnext <- grow_array m.hnext capacity (-1);
+  m.buckets <- Array.make capacity (-1);
+  m.bucket_mask <- capacity - 1;
+  let marked = Bytes.make capacity '\000' in
+  Bytes.blit m.marked 0 marked 0 (Bytes.length m.marked);
+  m.marked <- marked;
+  let visited = Bytes.make capacity '\000' in
+  Bytes.blit m.visited 0 visited 0 (Bytes.length m.visited);
+  m.visited <- visited;
+  m.capacity <- capacity;
+  rebuild_buckets m
+
+(* -- Garbage collection ------------------------------------------------ *)
+
+let mark_from m root =
+  if root >= 2 && Bytes.get m.marked root = '\000' then begin
+    let stack = ref [ root ] in
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | n :: rest ->
+        stack := rest;
+        if n >= 2 && Bytes.get m.marked n = '\000' then begin
+          Bytes.set m.marked n '\001';
+          stack := m.lo.(n) :: m.hi.(n) :: !stack
+        end
+    done
+  end
+
+let gc m =
+  m.gcs <- m.gcs + 1;
+  clear_caches m;
+  Bytes.fill m.marked 0 (Bytes.length m.marked) '\000';
+  for n = 2 to m.capacity - 1 do
+    if m.lvl.(n) <> free_mark && m.refc.(n) > 0 then mark_from m n
+  done;
+  (* Sweep: unmarked allocated nodes become free. *)
+  m.allocated <- 2;
+  for n = 2 to m.capacity - 1 do
+    if m.lvl.(n) <> free_mark then
+      if Bytes.get m.marked n = '\000' then m.lvl.(n) <- free_mark
+      else m.allocated <- m.allocated + 1
+  done;
+  rebuild_buckets m
+
+let checkpoint m =
+  if m.free_count * 4 < m.capacity then begin
+    gc m;
+    (* If collection freed too little, enlarge so the mutator does not
+       immediately bump into the wall again. *)
+    if m.free_count * 4 < m.capacity then grow m
+  end
+
+(* -- Node creation ------------------------------------------------------ *)
+
+let alloc m =
+  if m.free_head < 0 then grow m;
+  let n = m.free_head in
+  m.free_head <- m.hnext.(n);
+  m.free_count <- m.free_count - 1;
+  m.allocated <- m.allocated + 1;
+  if m.allocated > m.peak then m.peak <- m.allocated;
+  n
+
+let mk m lvl lo hi =
+  if lo = hi then lo
+  else begin
+    assert (lvl >= 0 && lvl < m.lvl.(lo) && lvl < m.lvl.(hi));
+    let b = hash3 lvl lo hi m.bucket_mask in
+    let rec find n =
+      if n < 0 then begin
+        let n = alloc m in
+        m.lvl.(n) <- lvl;
+        m.lo.(n) <- lo;
+        m.hi.(n) <- hi;
+        m.refc.(n) <- 0;
+        (* Recompute the bucket: [alloc] may have grown the table. *)
+        let b = hash3 lvl lo hi m.bucket_mask in
+        m.hnext.(n) <- m.buckets.(b);
+        m.buckets.(b) <- n;
+        n
+      end
+      else if m.lvl.(n) = lvl && m.lo.(n) = lo && m.hi.(n) = hi then n
+      else find m.hnext.(n)
+    in
+    find m.buckets.(b)
+  end
+
+let var m lvl = mk m lvl zero one
+let nvar m lvl = mk m lvl one zero
+
+let addref m n =
+  m.refc.(n) <- m.refc.(n) + 1;
+  n
+
+let delref m n =
+  assert (m.refc.(n) > 0);
+  m.refc.(n) <- m.refc.(n) - 1
+
+let iter_live m f =
+  for n = 2 to m.capacity - 1 do
+    if m.lvl.(n) <> free_mark then f n
+  done
+
+let visited_clear m = Bytes.fill m.visited 0 (Bytes.length m.visited) '\000'
+let visited_mem m n = Bytes.get m.visited n <> '\000'
+let visited_add m n = Bytes.set m.visited n '\001'

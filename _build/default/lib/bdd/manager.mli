@@ -1,0 +1,115 @@
+(** Hash-consed ROBDD node store with reference counting and mark/sweep GC.
+
+    This module is the bottom layer of the BDD package: it owns the node
+    arrays, the unique table, and the garbage collector.  Nodes are dense
+    integer handles into flat arrays, exactly as in BuDDy and CUDD.  The
+    two terminals are the constants {!zero} (node 0) and {!one} (node 1).
+
+    Garbage collection runs only at safe points (between top-level
+    operations, see {!Ops}); in the middle of a recursive operation the
+    store grows instead, so intermediate nodes can never be collected out
+    from under a computation. *)
+
+type t
+(** A BDD manager.  All nodes live inside one manager; handles from
+    different managers must never be mixed (checked only by invariants,
+    not by the type system, as in the C packages). *)
+
+type node = int
+(** A node handle.  [0] is the false terminal, [1] the true terminal. *)
+
+val zero : node
+val one : node
+
+val terminal_level : int
+(** Pseudo-level of the two terminals; strictly greater than any variable
+    level. *)
+
+val create : ?node_capacity:int -> ?cache_bits:int -> unit -> t
+(** [create ()] makes an empty manager with no variables.
+    [node_capacity] is the initial node-array capacity (default 1 lsl 15)
+    and [cache_bits] the log2 size of each operation cache (default 14). *)
+
+val new_var : t -> int
+(** Allocate a fresh variable at the bottom of the current order and
+    return its level.  Levels are allocation order: level 0 is the
+    topmost variable. *)
+
+val num_vars : t -> int
+(** Number of variables allocated so far. *)
+
+val level : t -> node -> int
+(** Level of a node ({!terminal_level} for terminals). *)
+
+val low : t -> node -> node
+val high : t -> node -> node
+
+val is_terminal : node -> bool
+
+val mk : t -> int -> node -> node -> node
+(** [mk m lvl lo hi] returns the unique node [(lvl, lo, hi)], applying the
+    redundancy rule ([lo == hi] returns [lo]).  [lvl] must be strictly
+    smaller than the levels of [lo] and [hi]. *)
+
+val var : t -> int -> node
+(** [var m lvl] is the BDD of the single variable at [lvl]. *)
+
+val nvar : t -> int -> node
+(** [nvar m lvl] is the negation of the single variable at [lvl]. *)
+
+val addref : t -> node -> node
+(** Increment the external reference count; returns the node for
+    convenience. *)
+
+val delref : t -> node -> unit
+(** Decrement the external reference count.  The node is reclaimed at the
+    next garbage collection once the count reaches zero. *)
+
+val refcount : t -> node -> int
+
+val gc : t -> unit
+(** Force a mark/sweep collection from externally referenced nodes.
+    Clears all operation caches. *)
+
+val checkpoint : t -> unit
+(** Safe-point hook called by top-level operations: runs a GC when the
+    store is nearly full.  Never call this from inside a recursive
+    operation. *)
+
+val live_nodes : t -> int
+(** Number of allocated (live or garbage, not yet swept) nodes, terminals
+    included. *)
+
+val peak_nodes : t -> int
+(** High-water mark of {!live_nodes} over the manager's lifetime. *)
+
+val gc_count : t -> int
+(** Number of collections performed so far. *)
+
+(** {2 Operation caches}
+
+    Shared fixed-size direct-mapped caches used by the algorithm modules.
+    Keys are small tuples of node handles plus an operation tag; a miss
+    returns [-1]. *)
+
+val cache_lookup : t -> int -> node -> node -> node -> node
+(** [cache_lookup m tag a b c] *)
+
+val cache_store : t -> int -> node -> node -> node -> node -> unit
+(** [cache_store m tag a b c result] *)
+
+val clear_caches : t -> unit
+
+val iter_live : t -> (node -> unit) -> unit
+(** Iterate over all currently allocated non-terminal nodes (marks from
+    external references first, so only externally reachable nodes are
+    visited). *)
+
+(** {2 Scratch marking}
+
+    A per-manager visited set for traversals (node counting, shapes,
+    export).  Only one traversal may be in flight at a time. *)
+
+val visited_clear : t -> unit
+val visited_mem : t -> node -> bool
+val visited_add : t -> node -> unit

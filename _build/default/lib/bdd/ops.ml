@@ -1,0 +1,188 @@
+type man = Manager.t
+type node = Manager.node
+
+(* Cache tags.  Tags 0..15 are reserved for this module; other algorithm
+   modules pick from the ranges documented in their implementation. *)
+let tag_not = 1
+let tag_and = 2
+let tag_or = 3
+let tag_xor = 4
+let tag_diff = 5
+let tag_ite = 6
+
+let zero = Manager.zero
+let one = Manager.one
+
+let rec bnot m f =
+  if f = zero then one
+  else if f = one then zero
+  else
+    let r = Manager.cache_lookup m tag_not f 0 0 in
+    if r >= 0 then r
+    else
+      let lvl = Manager.level m f in
+      let r =
+        Manager.mk m lvl (bnot m (Manager.low m f)) (bnot m (Manager.high m f))
+      in
+      Manager.cache_store m tag_not f 0 0 r;
+      r
+
+(* The four fundamental binary connectives share one recursion shape;
+   specialising by hand keeps the terminal cases branch-light, which
+   matters since this is the hottest code in the whole system. *)
+
+let rec band m f g =
+  if f = g then f
+  else if f = zero || g = zero then zero
+  else if f = one then g
+  else if g = one then f
+  else begin
+    let f, g = if f < g then (f, g) else (g, f) in
+    let r = Manager.cache_lookup m tag_and f g 0 in
+    if r >= 0 then r
+    else
+      let lf = Manager.level m f and lg = Manager.level m g in
+      let lvl = min lf lg in
+      let f0, f1 =
+        if lf = lvl then (Manager.low m f, Manager.high m f) else (f, f)
+      in
+      let g0, g1 =
+        if lg = lvl then (Manager.low m g, Manager.high m g) else (g, g)
+      in
+      let r = Manager.mk m lvl (band m f0 g0) (band m f1 g1) in
+      Manager.cache_store m tag_and f g 0 r;
+      r
+  end
+
+let rec bor m f g =
+  if f = g then f
+  else if f = one || g = one then one
+  else if f = zero then g
+  else if g = zero then f
+  else begin
+    let f, g = if f < g then (f, g) else (g, f) in
+    let r = Manager.cache_lookup m tag_or f g 0 in
+    if r >= 0 then r
+    else
+      let lf = Manager.level m f and lg = Manager.level m g in
+      let lvl = min lf lg in
+      let f0, f1 =
+        if lf = lvl then (Manager.low m f, Manager.high m f) else (f, f)
+      in
+      let g0, g1 =
+        if lg = lvl then (Manager.low m g, Manager.high m g) else (g, g)
+      in
+      let r = Manager.mk m lvl (bor m f0 g0) (bor m f1 g1) in
+      Manager.cache_store m tag_or f g 0 r;
+      r
+  end
+
+let rec bxor m f g =
+  if f = g then zero
+  else if f = zero then g
+  else if g = zero then f
+  else if f = one then bnot m g
+  else if g = one then bnot m f
+  else begin
+    let f, g = if f < g then (f, g) else (g, f) in
+    let r = Manager.cache_lookup m tag_xor f g 0 in
+    if r >= 0 then r
+    else
+      let lf = Manager.level m f and lg = Manager.level m g in
+      let lvl = min lf lg in
+      let f0, f1 =
+        if lf = lvl then (Manager.low m f, Manager.high m f) else (f, f)
+      in
+      let g0, g1 =
+        if lg = lvl then (Manager.low m g, Manager.high m g) else (g, g)
+      in
+      let r = Manager.mk m lvl (bxor m f0 g0) (bxor m f1 g1) in
+      Manager.cache_store m tag_xor f g 0 r;
+      r
+  end
+
+let rec bdiff m f g =
+  if f = g || f = zero || g = one then zero
+  else if g = zero then f
+  else if f = one then bnot m g
+  else begin
+    let r = Manager.cache_lookup m tag_diff f g 0 in
+    if r >= 0 then r
+    else
+      let lf = Manager.level m f and lg = Manager.level m g in
+      let lvl = min lf lg in
+      let f0, f1 =
+        if lf = lvl then (Manager.low m f, Manager.high m f) else (f, f)
+      in
+      let g0, g1 =
+        if lg = lvl then (Manager.low m g, Manager.high m g) else (g, g)
+      in
+      let r = Manager.mk m lvl (bdiff m f0 g0) (bdiff m f1 g1) in
+      Manager.cache_store m tag_diff f g 0 r;
+      r
+  end
+
+let bnand m f g = bnot m (band m f g)
+let bnor m f g = bnot m (bor m f g)
+let bimp m f g = bor m (bnot m f) g
+let bbiimp m f g = bnot m (bxor m f g)
+
+let rec ite m f g h =
+  if f = one then g
+  else if f = zero then h
+  else if g = h then g
+  else if g = one && h = zero then f
+  else if g = zero && h = one then bnot m f
+  else begin
+    let r = Manager.cache_lookup m tag_ite f g h in
+    if r >= 0 then r
+    else
+      let lf = Manager.level m f
+      and lg = Manager.level m g
+      and lh = Manager.level m h in
+      let lvl = min lf (min lg lh) in
+      let split x lx = if lx = lvl then (Manager.low m x, Manager.high m x) else (x, x) in
+      let f0, f1 = split f lf in
+      let g0, g1 = split g lg in
+      let h0, h1 = split h lh in
+      let r = Manager.mk m lvl (ite m f0 g0 h0) (ite m f1 g1 h1) in
+      Manager.cache_store m tag_ite f g h r;
+      r
+  end
+
+let cube m assignment =
+  let sorted =
+    List.sort (fun (a, _) (b, _) -> compare b a) assignment
+    (* deepest level first, so we build bottom-up *)
+  in
+  List.fold_left
+    (fun acc (lvl, polarity) ->
+      if polarity then Manager.mk m lvl zero acc else Manager.mk m lvl acc zero)
+    one sorted
+
+let restrict m f assignment =
+  (* Small assignments only; a sorted-list walk is clearer than a cache. *)
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) assignment in
+  let tbl = Hashtbl.create 64 in
+  let rec go f assigns =
+    match assigns with
+    | [] -> f
+    | (lvl, polarity) :: rest ->
+      if Manager.is_terminal f then f
+      else
+        let lf = Manager.level m f in
+        if lf > lvl then go f rest
+        else
+          match Hashtbl.find_opt tbl (f, lvl) with
+          | Some r -> r
+          | None ->
+            let r =
+              if lf = lvl then go (if polarity then Manager.high m f else Manager.low m f) rest
+              else
+                Manager.mk m lf (go (Manager.low m f) assigns)
+                  (go (Manager.high m f) assigns)
+            in
+            Hashtbl.add tbl (f, lvl) r;
+            r
+  in
+  go f sorted

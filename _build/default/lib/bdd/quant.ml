@@ -1,0 +1,92 @@
+type man = Manager.t
+type node = Manager.node
+
+let tag_exist = 16
+let tag_relprod = 17
+
+let zero = Manager.zero
+let one = Manager.one
+
+let varset m levels =
+  let sorted = List.sort_uniq compare levels in
+  List.fold_left
+    (fun acc lvl -> Manager.mk m lvl zero acc)
+    one (List.rev sorted)
+
+let varset_levels m cube =
+  let rec go acc c =
+    if Manager.is_terminal c then List.rev acc
+    else go (Manager.level m c :: acc) (Manager.high m c)
+  in
+  go [] cube
+
+(* Advance the cube past variables above [lvl]: those cannot occur in the
+   sub-BDD we are recursing into.  (Quantifying a variable that does not
+   occur is the identity.) *)
+let rec cube_from m cube lvl =
+  if Manager.is_terminal cube || Manager.level m cube >= lvl then cube
+  else cube_from m (Manager.high m cube) lvl
+
+let rec exist m f cube =
+  if Manager.is_terminal f then f
+  else
+    let lvl = Manager.level m f in
+    let cube = cube_from m cube lvl in
+    if Manager.is_terminal cube then f
+    else
+      let r = Manager.cache_lookup m tag_exist f cube 0 in
+      if r >= 0 then r
+      else
+        let r0 = exist m (Manager.low m f) cube in
+        let r1 = exist m (Manager.high m f) cube in
+        let r =
+          if Manager.level m cube = lvl then Ops.bor m r0 r1
+          else Manager.mk m lvl r0 r1
+        in
+        Manager.cache_store m tag_exist f cube 0 r;
+        r
+
+let forall m f cube = Ops.bnot m (exist m (Ops.bnot m f) cube)
+
+let rec relprod m f g cube =
+  if f = zero || g = zero then zero
+  else if Manager.is_terminal f && Manager.is_terminal g then one
+  else begin
+    let f, g = if f < g then (f, g) else (g, f) in
+    let lf = Manager.level m f and lg = Manager.level m g in
+    let lvl = min lf lg in
+    let cube = cube_from m cube lvl in
+    if Manager.is_terminal cube then Ops.band m f g
+    else
+      let r = Manager.cache_lookup m tag_relprod f g cube in
+      if r >= 0 then r
+      else
+        let f0, f1 =
+          if lf = lvl then (Manager.low m f, Manager.high m f) else (f, f)
+        in
+        let g0, g1 =
+          if lg = lvl then (Manager.low m g, Manager.high m g) else (g, g)
+        in
+        let r0 = relprod m f0 g0 cube in
+        let r1 = relprod m f1 g1 cube in
+        let r =
+          if Manager.level m cube = lvl then Ops.bor m r0 r1
+          else Manager.mk m lvl r0 r1
+        in
+        Manager.cache_store m tag_relprod f g cube r;
+        r
+  end
+
+let support m f =
+  let tbl = Hashtbl.create 256 in
+  let levels = Hashtbl.create 64 in
+  let rec go f =
+    if (not (Manager.is_terminal f)) && not (Hashtbl.mem tbl f) then begin
+      Hashtbl.add tbl f ();
+      Hashtbl.replace levels (Manager.level m f) ();
+      go (Manager.low m f);
+      go (Manager.high m f)
+    end
+  in
+  go f;
+  varset m (Hashtbl.fold (fun l () acc -> l :: acc) levels [])

@@ -1,0 +1,47 @@
+type man = Manager.t
+type node = Manager.node
+
+type perm = { map : (int, int) Hashtbl.t; ident : bool }
+
+let make_perm _m pairs =
+  let pairs = List.filter (fun (s, d) -> s <> d) pairs in
+  let map = Hashtbl.create 16 in
+  let targets = Hashtbl.create 16 in
+  List.iter
+    (fun (src, dst) ->
+      if Hashtbl.mem map src then
+        invalid_arg "Replace.make_perm: duplicate source level";
+      if Hashtbl.mem targets dst then
+        invalid_arg "Replace.make_perm: non-injective permutation";
+      Hashtbl.add map src dst;
+      Hashtbl.add targets dst ())
+    pairs;
+  { map; ident = pairs = [] }
+
+let identity _m = { map = Hashtbl.create 1; ident = true }
+let is_identity p = p.ident || Hashtbl.length p.map = 0
+
+let apply_level p lvl =
+  match Hashtbl.find_opt p.map lvl with Some l -> l | None -> lvl
+
+let replace m f p =
+  if is_identity p then f
+  else begin
+    let memo = Hashtbl.create 1024 in
+    let rec go f =
+      if Manager.is_terminal f then f
+      else
+        match Hashtbl.find_opt memo f with
+        | Some r -> r
+        | None ->
+          let r0 = go (Manager.low m f) in
+          let r1 = go (Manager.high m f) in
+          let lvl = apply_level p (Manager.level m f) in
+          (* [ite] reinserts the variable at its new position even when
+             the permutation is not order-preserving. *)
+          let r = Ops.ite m (Manager.var m lvl) r1 r0 in
+          Hashtbl.add memo f r;
+          r
+    in
+    go f
+  end

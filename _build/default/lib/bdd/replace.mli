@@ -1,0 +1,31 @@
+(** Variable replacement: rebuild a BDD with its variables permuted.
+
+    This is BuDDy's [bdd_replace] / CUDD's [SwapVariables] — the
+    operation the Jedd runtime uses to move an attribute from one
+    physical domain to another (§3.2.2 of the paper). *)
+
+type man = Manager.t
+type node = Manager.node
+
+type perm
+(** A (partial) permutation of variable levels.  Levels not mentioned map
+    to themselves. *)
+
+val make_perm : man -> (int * int) list -> perm
+(** [make_perm m pairs] builds the mapping sending each [(src, dst)].
+    Sources must be distinct and no two sources may share a target;
+    [Invalid_argument] otherwise.  A swap is expressed by listing both
+    directions.  For a plain move (target not itself remapped), the
+    caller must guarantee that the target variables do not occur in the
+    BDD being replaced — exactly the discipline the Jedd runtime's
+    physical-domain bookkeeping enforces. *)
+
+val identity : man -> perm
+val is_identity : perm -> bool
+
+val apply_level : perm -> int -> int
+
+val replace : man -> node -> perm -> node
+(** [replace m f p] is the BDD containing, for every string of [f], the
+    string with bits permuted by [p].  Correct for arbitrary injective
+    maps (it reinserts variables at their new position with [ite]). *)

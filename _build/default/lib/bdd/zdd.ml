@@ -1,0 +1,266 @@
+(* Zero-suppressed decision diagrams.  Node layout mirrors the BDD
+   manager but the reduction rule differs: a node whose high child is
+   the empty family is redundant (zero-suppression).  This module is
+   used for representation-size studies, not in the hot path, so a
+   Hashtbl-based hash-cons keeps it simple. *)
+
+type node = int
+
+let zero = 0
+let one = 1
+let terminal_var = max_int lsr 1
+
+type t = {
+  mutable nvars : int;
+  unique : (int * int * int, int) Hashtbl.t;
+  mutable var_ : int array;
+  mutable lo_ : int array;
+  mutable hi_ : int array;
+  mutable next : int;
+  memo_bin : (int * int * int, int) Hashtbl.t;  (* op, f, g *)
+  memo_un : (int * int * int, int) Hashtbl.t;  (* op, f, v *)
+}
+
+let op_union = 0
+let op_inter = 1
+let op_diff = 2
+let op_change = 3
+let op_sub0 = 4
+let op_sub1 = 5
+
+let create ?(node_capacity = 4096) () =
+  let t =
+    {
+      nvars = 0;
+      unique = Hashtbl.create node_capacity;
+      var_ = Array.make node_capacity terminal_var;
+      lo_ = Array.make node_capacity 0;
+      hi_ = Array.make node_capacity 0;
+      next = 2;
+      memo_bin = Hashtbl.create node_capacity;
+      memo_un = Hashtbl.create node_capacity;
+    }
+  in
+  t
+
+let new_var t =
+  let v = t.nvars in
+  t.nvars <- v + 1;
+  v
+
+let num_vars t = t.nvars
+let var t n = t.var_.(n)
+let lo t n = t.lo_.(n)
+let hi t n = t.hi_.(n)
+
+let mk t v l h =
+  if h = zero then l
+  else
+    match Hashtbl.find_opt t.unique (v, l, h) with
+    | Some n -> n
+    | None ->
+      if t.next >= Array.length t.var_ then begin
+        let cap = Array.length t.var_ * 2 in
+        let grow a fill =
+          let a' = Array.make cap fill in
+          Array.blit a 0 a' 0 (Array.length a);
+          a'
+        in
+        t.var_ <- grow t.var_ terminal_var;
+        t.lo_ <- grow t.lo_ 0;
+        t.hi_ <- grow t.hi_ 0
+      end;
+      let n = t.next in
+      t.next <- n + 1;
+      t.var_.(n) <- v;
+      t.lo_.(n) <- l;
+      t.hi_.(n) <- h;
+      Hashtbl.add t.unique (v, l, h) n;
+      n
+
+let singleton_var t v = mk t v zero one
+
+let rec union t f g =
+  if f = g || g = zero then f
+  else if f = zero then g
+  else begin
+    let f, g = if f < g then (f, g) else (g, f) in
+    match Hashtbl.find_opt t.memo_bin (op_union, f, g) with
+    | Some r -> r
+    | None ->
+      let vf = var t f and vg = var t g in
+      let r =
+        if vf = vg then mk t vf (union t (lo t f) (lo t g)) (union t (hi t f) (hi t g))
+        else if vf < vg then mk t vf (union t (lo t f) g) (hi t f)
+        else mk t vg (union t f (lo t g)) (hi t g)
+      in
+      Hashtbl.add t.memo_bin (op_union, f, g) r;
+      r
+  end
+
+let rec inter t f g =
+  if f = zero || g = zero then zero
+  else if f = g then f
+  else begin
+    let f, g = if f < g then (f, g) else (g, f) in
+    match Hashtbl.find_opt t.memo_bin (op_inter, f, g) with
+    | Some r -> r
+    | None ->
+      let vf = var t f and vg = var t g in
+      let r =
+        if vf = vg then mk t vf (inter t (lo t f) (lo t g)) (inter t (hi t f) (hi t g))
+        else if vf < vg then inter t (lo t f) g
+        else inter t f (lo t g)
+      in
+      Hashtbl.add t.memo_bin (op_inter, f, g) r;
+      r
+  end
+
+let rec diff t f g =
+  if f = zero || f = g then zero
+  else if g = zero then f
+  else
+    match Hashtbl.find_opt t.memo_bin (op_diff, f, g) with
+    | Some r -> r
+    | None ->
+      let vf = var t f and vg = var t g in
+      let r =
+        if vf = vg then mk t vf (diff t (lo t f) (lo t g)) (diff t (hi t f) (hi t g))
+        else if vf < vg then mk t vf (diff t (lo t f) g) (hi t f)
+        else diff t f (lo t g)
+      in
+      Hashtbl.add t.memo_bin (op_diff, f, g) r;
+      r
+
+let rec change t f v =
+  if f = zero then zero
+  else
+    match Hashtbl.find_opt t.memo_un (op_change, f, v) with
+    | Some r -> r
+    | None ->
+      let vf = var t f in
+      let r =
+        if vf > v then mk t v zero f
+        else if vf = v then mk t v (hi t f) (lo t f)
+        else mk t vf (change t (lo t f) v) (change t (hi t f) v)
+      in
+      Hashtbl.add t.memo_un (op_change, f, v) r;
+      r
+
+let rec subset1 t f v =
+  if f = zero || f = one then zero
+  else
+    match Hashtbl.find_opt t.memo_un (op_sub1, f, v) with
+    | Some r -> r
+    | None ->
+      let vf = var t f in
+      let r =
+        if vf > v then zero
+        else if vf = v then hi t f
+        else mk t vf (subset1 t (lo t f) v) (subset1 t (hi t f) v)
+      in
+      Hashtbl.add t.memo_un (op_sub1, f, v) r;
+      r
+
+let rec subset0 t f v =
+  if f = zero || f = one then f
+  else
+    match Hashtbl.find_opt t.memo_un (op_sub0, f, v) with
+    | Some r -> r
+    | None ->
+      let vf = var t f in
+      let r =
+        if vf > v then f
+        else if vf = v then lo t f
+        else mk t vf (subset0 t (lo t f) v) (subset0 t (hi t f) v)
+      in
+      Hashtbl.add t.memo_un (op_sub0, f, v) r;
+      r
+
+let count t f =
+  let memo = Hashtbl.create 256 in
+  let rec go f =
+    if f = zero then 0
+    else if f = one then 1
+    else
+      match Hashtbl.find_opt memo f with
+      | Some c -> c
+      | None ->
+        let c = go (lo t f) + go (hi t f) in
+        Hashtbl.add memo f c;
+        c
+  in
+  go f
+
+let nodecount t f =
+  let seen = Hashtbl.create 256 in
+  let rec go f =
+    if f > one && not (Hashtbl.mem seen f) then begin
+      Hashtbl.add seen f ();
+      go (lo t f);
+      go (hi t f)
+    end
+  in
+  go f;
+  Hashtbl.length seen
+
+let of_assignments t ~nvars assignments =
+  while num_vars t < nvars do
+    ignore (new_var t)
+  done;
+  List.fold_left
+    (fun acc bits ->
+      let set = ref one in
+      for v = nvars - 1 downto 0 do
+        if bits.(v) then set := mk t v zero !set
+      done;
+      union t acc !set)
+    zero assignments
+
+let iter_sets t f k =
+  let rec go f acc =
+    if f = one then k (List.rev acc)
+    else if f <> zero then begin
+      go (lo t f) acc;
+      go (hi t f) (var t f :: acc)
+    end
+  in
+  go f []
+
+let of_bdd ?over bman broot t =
+  let universe =
+    match over with
+    | Some levels -> Array.of_list (List.sort_uniq compare levels)
+    | None -> Array.init (Manager.num_vars bman) (fun i -> i)
+  in
+  let n = Array.length universe in
+  while num_vars t < n do
+    ignore (new_var t)
+  done;
+  let memo = Hashtbl.create 1024 in
+  (* z(f, i): family of assignments of universe ranks i..n-1 satisfying
+     the BDD f (whose top level is >= universe.(i)). *)
+  let rec z f i =
+    if i = n then
+      if Manager.is_terminal f then if f = Manager.one then one else zero
+      else invalid_arg "Zdd.of_bdd: BDD depends on a level outside ~over"
+    else
+      match Hashtbl.find_opt memo (f, i) with
+      | Some r -> r
+      | None ->
+        let lf = Manager.level bman f in
+        let r =
+          if lf > universe.(i) then begin
+            (* variable absent from the BDD: both values satisfy *)
+            let sub = z f (i + 1) in
+            mk t i sub sub
+          end
+          else if lf = universe.(i) then
+            mk t i (z (Manager.low bman f) (i + 1))
+              (z (Manager.high bman f) (i + 1))
+          else invalid_arg "Zdd.of_bdd: BDD depends on a level outside ~over"
+        in
+        Hashtbl.add memo (f, i) r;
+        r
+  in
+  z broot 0

@@ -1,0 +1,61 @@
+(** Zero-suppressed decision diagrams (Minato [18]).
+
+    §4.1 of the paper reports work on a ZDD backend for Jedd, motivated
+    by points-to sets being sparse.  This module implements the ZDD
+    kernel — hash-consed nodes with the zero-suppression rule, the set
+    operations, counting — plus conversions to and from BDDs over a
+    fixed variable universe, so the [ablation-zdd] benchmark can compare
+    representation sizes on real points-to relations.
+
+    A ZDD represents a family of sets of variables; under the fixed
+    universe [0 .. n-1], a set corresponds to the bit string with ones
+    at its members, so the same relation encodings apply. *)
+
+type t
+(** A ZDD manager (separate node space from the BDD manager). *)
+
+type node = int
+
+val create : ?node_capacity:int -> unit -> t
+val zero : node
+(** The empty family. *)
+
+val one : node
+(** The family containing only the empty set. *)
+
+val new_var : t -> int
+val num_vars : t -> int
+
+val singleton_var : t -> int -> node
+(** The family [{ {v} }]. *)
+
+val union : t -> node -> node -> node
+val inter : t -> node -> node -> node
+val diff : t -> node -> node -> node
+
+val change : t -> node -> int -> node
+(** Toggle variable [v] in every member set. *)
+
+val subset1 : t -> node -> int -> node
+(** Members containing [v], with [v] removed. *)
+
+val subset0 : t -> node -> int -> node
+(** Members not containing [v]. *)
+
+val count : t -> node -> int
+(** Number of member sets. *)
+
+val nodecount : t -> node -> int
+
+val of_assignments : t -> nvars:int -> bool array list -> node
+(** Build the family of the given bit strings (over the fixed universe
+    [0 .. nvars-1]). *)
+
+val iter_sets : t -> node -> (int list -> unit) -> unit
+(** Iterate member sets as sorted variable lists. *)
+
+val of_bdd : ?over:int list -> Manager.t -> Manager.node -> t -> node
+(** Convert a BDD into the equivalent ZDD family of satisfying
+    assignments.  [over] fixes the universe (sorted BDD levels; ZDD
+    variable [i] is [List.nth over i]); it defaults to all the
+    manager's variables and must cover the BDD's support. *)

@@ -1,0 +1,1 @@
+lib/jedd/ast.ml: Format

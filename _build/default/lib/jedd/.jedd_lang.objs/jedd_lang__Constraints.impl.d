@@ -1,0 +1,1 @@
+lib/jedd/constraints.ml: Array Ast Format Hashtbl List Option Printf Tast

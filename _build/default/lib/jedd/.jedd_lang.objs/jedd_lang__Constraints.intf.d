@@ -1,0 +1,1 @@
+lib/jedd/constraints.mli: Ast Hashtbl Tast

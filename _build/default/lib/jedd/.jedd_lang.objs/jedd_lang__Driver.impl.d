@@ -1,0 +1,1 @@
+lib/jedd/driver.ml: Ast Constraints Encode Format Interp Lexer List Parser Printf String Tast Typecheck

@@ -1,0 +1,1 @@
+lib/jedd/driver.mli: Ast Constraints Encode Interp Tast

@@ -1,0 +1,1 @@
+lib/jedd/emit_java.ml: Ast Buffer Constraints Driver Encode Hashtbl List Printf String Tast

@@ -1,0 +1,1 @@
+lib/jedd/emit_java.mli: Driver

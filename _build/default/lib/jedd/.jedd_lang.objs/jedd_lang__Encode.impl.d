@@ -1,0 +1,1 @@
+lib/jedd/encode.ml: Array Constraints Flowpath Hashtbl Jedd_sat List Option Printf String Sys Tast

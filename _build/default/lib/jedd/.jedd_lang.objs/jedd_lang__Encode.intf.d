@@ -1,0 +1,1 @@
+lib/jedd/encode.mli: Constraints Jedd_sat Tast

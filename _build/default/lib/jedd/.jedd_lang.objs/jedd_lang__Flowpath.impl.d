@@ -1,0 +1,1 @@
+lib/jedd/flowpath.ml: Array Constraints Hashtbl List Queue Tast

@@ -1,0 +1,1 @@
+lib/jedd/flowpath.mli: Constraints Tast

@@ -1,0 +1,1 @@
+lib/jedd/interp.ml: Ast Constraints Encode Format Hashtbl Jedd_relation List Liveness Option String Tast

@@ -1,0 +1,1 @@
+lib/jedd/interp.mli: Encode Jedd_relation Tast

@@ -1,0 +1,1 @@
+lib/jedd/ir.ml: Format List String Tast

@@ -1,0 +1,1 @@
+lib/jedd/ir_interp.ml: Array Format Hashtbl Interp Ir Jedd_relation List Lower Tast

@@ -1,0 +1,1 @@
+lib/jedd/lexer.ml: Ast List Printf String

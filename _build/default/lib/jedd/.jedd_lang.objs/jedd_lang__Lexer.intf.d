@@ -1,0 +1,1 @@
+lib/jedd/lexer.mli: Ast

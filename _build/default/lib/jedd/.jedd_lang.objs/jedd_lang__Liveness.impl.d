@@ -1,0 +1,1 @@
+lib/jedd/liveness.ml: List Set String Tast

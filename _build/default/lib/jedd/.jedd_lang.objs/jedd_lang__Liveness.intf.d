@@ -1,0 +1,1 @@
+lib/jedd/liveness.mli: Tast

@@ -1,0 +1,1 @@
+lib/jedd/lower.ml: Ast Constraints Driver Encode Hashtbl Ir Lazy List Liveness Tast

@@ -1,0 +1,1 @@
+lib/jedd/parser.ml: Array Ast Lexer List Printf

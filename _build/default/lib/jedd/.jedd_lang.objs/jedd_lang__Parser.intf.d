@@ -1,0 +1,1 @@
+lib/jedd/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/jedd/tast.ml: Ast Hashtbl List String

@@ -1,0 +1,1 @@
+lib/jedd/typecheck.ml: Ast Format Hashtbl List Option String Tast

@@ -1,0 +1,1 @@
+lib/jedd/typecheck.mli: Ast Tast

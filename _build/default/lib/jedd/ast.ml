@@ -1,0 +1,85 @@
+type pos = { file : string; line : int; col : int }
+
+let pp_pos ppf { file; line; col } = Format.fprintf ppf "%s:%d,%d" file line col
+
+type attr_phys = { attr_name : string; phys_name : string option }
+type rel_type = { elems : attr_phys list; type_pos : pos }
+
+type replacement =
+  | Project_away of string
+  | Rename_to of string * string
+  | Copy_to of string * string * string
+
+type join_kind = Join | Compose
+type set_op = Union | Inter | Diff
+
+type expr = { desc : expr_desc; pos : pos }
+
+and expr_desc =
+  | Var of string
+  | Empty
+  | Full
+  | Literal of (obj_expr * attr_phys) list
+  | Binop of set_op * expr * expr
+  | Replace of replacement list * expr
+  | JoinExpr of join_kind * expr * string list * expr * string list
+  | Call of string * arg list
+
+and obj_expr = Obj_var of string | Obj_int of int
+and arg = Arg_rel of expr | Arg_obj of obj_expr
+
+type cond = { cdesc : cond_desc; cpos : pos }
+
+and cond_desc =
+  | Cmp_eq of expr * expr
+  | Cmp_ne of expr * expr
+  | Not of cond
+  | And of cond * cond
+  | Or of cond * cond
+  | Bool_lit of bool
+
+type stmt = { sdesc : stmt_desc; spos : pos }
+
+and stmt_desc =
+  | Decl of rel_type * string * expr option
+  | Assign of string * expr
+  | Op_assign of set_op * string * expr
+  | If of cond * stmt * stmt option
+  | While of cond * stmt
+  | Do_while of stmt * cond
+  | Block of stmt list
+  | Return of expr option
+  | Expr_stmt of expr
+  | Print of expr
+
+type param = Param_rel of rel_type * string | Param_obj of string * string
+
+type meth = {
+  meth_name : string;
+  meth_params : param list;
+  meth_return : rel_type option;
+  meth_body : stmt list;
+  meth_pos : pos;
+}
+
+type field = {
+  field_type : rel_type;
+  field_name : string;
+  field_init : expr option;
+  field_pos : pos;
+}
+
+type cls = {
+  cls_name : string;
+  fields : field list;
+  methods : meth list;
+  cls_pos : pos;
+}
+
+type decl =
+  | Domain_decl of string * int * pos
+  | Attribute_decl of string * string * pos
+  | Physdom_decl of string * int option * pos
+  | Class_decl of cls
+
+type program = decl list

@@ -1,0 +1,111 @@
+(** Abstract syntax of Jedd programs: the Java-lite host subset plus the
+    relational extensions of the paper's Figure 5.
+
+    Attribute, domain, and physical-domain names are unresolved strings
+    here; {!Typecheck} resolves them against the declarations and
+    produces the typed form. *)
+
+type pos = { file : string; line : int; col : int }
+
+val pp_pos : Format.formatter -> pos -> unit
+(** Prints [file:line,col] — the position format of the paper's error
+    messages (§3.3.3). *)
+
+(** [<attr>] or [<attr:PHYS>] in declarations and literals. *)
+type attr_phys = { attr_name : string; phys_name : string option }
+
+(** A relation type written in source: [<a, b:P1, c>]. *)
+type rel_type = { elems : attr_phys list; type_pos : pos }
+
+(** Replacement inside a cast-like prefix (Figure 5, [Replacement]):
+    [(a=>)] projection, [(a=>b)] rename, [(a=>b c)] copy. *)
+type replacement =
+  | Project_away of string
+  | Rename_to of string * string
+  | Copy_to of string * string * string
+
+type join_kind = Join  (** [><] *) | Compose  (** [<>] *)
+
+type set_op = Union  (** [|] *) | Inter  (** [&] *) | Diff  (** [-] *)
+
+type expr = { desc : expr_desc; pos : pos }
+
+and expr_desc =
+  | Var of string  (** local, parameter or field of relation type *)
+  | Empty  (** 0B *)
+  | Full  (** 1B *)
+  | Literal of (obj_expr * attr_phys) list
+      (** [new { o=>attr, ... }]; each piece may carry a physdom. *)
+  | Binop of set_op * expr * expr
+  | Replace of replacement list * expr
+  | JoinExpr of join_kind * expr * string list * expr * string list
+      (** [x{as} >< y{bs}] / [x{as} <> y{bs}] *)
+  | Call of string * arg list  (** intra-program method call *)
+
+and obj_expr =
+  | Obj_var of string  (** an object-typed parameter *)
+  | Obj_int of int  (** an integer denoting the object directly *)
+
+and arg = Arg_rel of expr | Arg_obj of obj_expr
+
+type cond = { cdesc : cond_desc; cpos : pos }
+
+and cond_desc =
+  | Cmp_eq of expr * expr  (** [==] *)
+  | Cmp_ne of expr * expr  (** [!=] *)
+  | Not of cond
+  | And of cond * cond
+  | Or of cond * cond
+  | Bool_lit of bool
+
+type stmt = { sdesc : stmt_desc; spos : pos }
+
+and stmt_desc =
+  | Decl of rel_type * string * expr option
+      (** [<a,b> x = e;] — local declaration *)
+  | Assign of string * expr  (** [x = e;] *)
+  | Op_assign of set_op * string * expr  (** [x |= e;] etc. *)
+  | If of cond * stmt * stmt option
+  | While of cond * stmt
+  | Do_while of stmt * cond
+  | Block of stmt list
+  | Return of expr option
+  | Expr_stmt of expr  (** bare call *)
+  | Print of expr  (** [print e;] — host-facing debug aid (tostring()) *)
+
+(** A formal parameter: a relation with a declared schema, or an object
+    drawn from a domain. *)
+type param =
+  | Param_rel of rel_type * string
+  | Param_obj of string * string  (** domain name, parameter name *)
+
+type meth = {
+  meth_name : string;
+  meth_params : param list;
+  meth_return : rel_type option;  (** [None] = void *)
+  meth_body : stmt list;
+  meth_pos : pos;
+}
+
+type field = {
+  field_type : rel_type;
+  field_name : string;
+  field_init : expr option;
+  field_pos : pos;
+}
+
+type cls = {
+  cls_name : string;
+  fields : field list;
+  methods : meth list;
+  cls_pos : pos;
+}
+
+type decl =
+  | Domain_decl of string * int * pos  (** [domain Type 1024;] *)
+  | Attribute_decl of string * string * pos  (** [attribute type : Type;] *)
+  | Physdom_decl of string * int option * pos
+      (** [physdom T1;] or [physdom T1 10;] (bits = lower bound) *)
+  | Class_decl of cls
+
+type program = decl list

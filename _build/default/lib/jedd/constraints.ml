@@ -1,0 +1,322 @@
+open Tast
+
+type site =
+  | S_expr of int
+  | S_wrap of int
+  | S_var of var_key
+  | S_return of string
+
+type node = { site : site; attr : attr_info }
+
+type t = {
+  nodes : node array;
+  node_index : (site * string, int) Hashtbl.t;
+  equality : (int * int) list;
+  assignment : (int * int) list;
+  conflict : (int * int) list;
+  specified : (int * phys_info) list;
+  site_kind : site -> string;
+  site_pos : site -> Ast.pos;
+}
+
+type builder = {
+  mutable b_nodes : node list;  (* reversed *)
+  mutable b_count : int;
+  b_index : (site * string, int) Hashtbl.t;
+  mutable b_equality : (int * int) list;
+  mutable b_assignment : (int * int) list;
+  mutable b_conflict : (int * int) list;
+  mutable b_specified : (int * phys_info) list;
+  expr_info : (int, texpr) Hashtbl.t;
+  prog : tprogram;
+}
+
+let add_site b site (schema : attr_info list) =
+  let ids =
+    List.map
+      (fun attr ->
+        let id = b.b_count in
+        b.b_count <- id + 1;
+        b.b_nodes <- { site; attr } :: b.b_nodes;
+        Hashtbl.add b.b_index (site, attr.a_name) id;
+        id)
+      schema
+  in
+  (* conflict edges: all pairs within the site *)
+  let rec pairs = function
+    | [] -> ()
+    | x :: rest ->
+      List.iter (fun y -> b.b_conflict <- (x, y) :: b.b_conflict) rest;
+      pairs rest
+  in
+  pairs ids;
+  ids
+
+let node_of b site attr_name =
+  match Hashtbl.find_opt b.b_index (site, attr_name) with
+  | Some id -> id
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Constraints: no node for attribute %s" attr_name)
+
+let equality b site1 a1 site2 a2 =
+  b.b_equality <- (node_of b site1 a1, node_of b site2 a2) :: b.b_equality
+
+let assignment_edge b site1 a1 site2 a2 =
+  b.b_assignment <- (node_of b site1 a1, node_of b site2 a2) :: b.b_assignment
+
+let specify b site attr_name phys =
+  b.b_specified <- (node_of b site attr_name, phys) :: b.b_specified
+
+(* Wrap a consumed subexpression in its dummy replace: a new site with
+   the same attribute set, linked by assignment edges.  Polymorphic
+   constants produce no wrapper. *)
+let wrap b (child : texpr) : site option =
+  if child.is_poly then None
+  else begin
+    let w = S_wrap child.eid in
+    ignore (add_site b w child.eschema);
+    List.iter
+      (fun a -> assignment_edge b (S_expr child.eid) a.a_name w a.a_name)
+      child.eschema;
+    Some w
+  end
+
+(* equality between a wrapper (if any) and a target site, attribute by
+   attribute, with an optional name translation *)
+let connect b wrapper target (pairs : (string * string) list) =
+  match wrapper with
+  | None -> ()
+  | Some w -> List.iter (fun (wa, ta) -> equality b w wa target ta) pairs
+
+let id_pairs schema = List.map (fun a -> (a.a_name, a.a_name)) schema
+
+(* -- expression traversal -------------------------------------------------- *)
+
+let rec visit_expr b (e : texpr) =
+  Hashtbl.replace b.expr_info e.eid e;
+  if not e.is_poly then ignore (add_site b (S_expr e.eid) e.eschema);
+  List.iter (fun (a_name, p) -> specify b (S_expr e.eid) a_name p) e.espec;
+  match e.edesc with
+  | TEmpty | TFull -> ()
+  | TVar (_, key) ->
+    (* a use shares the variable's layout *)
+    List.iter
+      (fun a -> equality b (S_expr e.eid) a.a_name (S_var key) a.a_name)
+      e.eschema
+  | TLiteral _ -> ()
+  | TBinop (_, l, r) ->
+    visit_expr b l;
+    visit_expr b r;
+    let wl = wrap b l and wr = wrap b r in
+    connect b wl (S_expr e.eid) (id_pairs e.eschema);
+    connect b wr (S_expr e.eid) (id_pairs e.eschema)
+  | TReplace (reps, c) ->
+    visit_expr b c;
+    let wc = wrap b c in
+    (* Track, through the replacement sequence, which surviving result
+       attribute carries which original attribute of [c].  Fresh copy
+       targets carry nothing (they get their physical domain from the
+       downstream constraints, with only conflict edges here). *)
+    let mapping = List.map (fun a -> (Some a.a_name, a.a_name)) c.eschema in
+    let apply mapping = function
+      | TProj a -> List.filter (fun (_, cur) -> cur <> a.a_name) mapping
+      | TRen (a, bt) ->
+        List.map
+          (fun (src, cur) -> if cur = a.a_name then (src, bt.a_name) else (src, cur))
+          mapping
+      | TCopy (a, bt, ct) ->
+        List.concat_map
+          (fun (src, cur) ->
+            if cur = a.a_name then [ (src, bt.a_name); (None, ct.a_name) ]
+            else [ (src, cur) ])
+          mapping
+    in
+    let final = List.fold_left apply mapping reps in
+    connect b wc (S_expr e.eid)
+      (List.filter_map
+         (fun (src, cur) -> Option.map (fun s -> (s, cur)) src)
+         final)
+  | TJoin (kind, l, la, r, ra) ->
+    visit_expr b l;
+    visit_expr b r;
+    let wl = wrap b l and wr = wrap b r in
+    (* compared attributes share a physical domain across the operands *)
+    (match (wl, wr) with
+    | Some wl, Some wr ->
+      List.iter2 (fun a bt -> equality b wl a.a_name wr bt.a_name) la ra
+    | _ -> ());
+    let mem_l a = List.exists (fun x -> x.a_name = a.a_name) la in
+    let mem_r a = List.exists (fun x -> x.a_name = a.a_name) ra in
+    (match kind with
+    | Ast.Join ->
+      connect b wl (S_expr e.eid) (id_pairs l.eschema);
+      connect b wr (S_expr e.eid)
+        (List.filter_map
+           (fun a -> if mem_r a then None else Some (a.a_name, a.a_name))
+           r.eschema)
+    | Ast.Compose ->
+      connect b wl (S_expr e.eid)
+        (List.filter_map
+           (fun a -> if mem_l a then None else Some (a.a_name, a.a_name))
+           l.eschema);
+      connect b wr (S_expr e.eid)
+        (List.filter_map
+           (fun a -> if mem_r a then None else Some (a.a_name, a.a_name))
+           r.eschema))
+  | TCall (q, args) ->
+    let m = Hashtbl.find b.prog.methods q in
+    List.iter2
+      (fun (arg : targ) (p : tparam) ->
+        match (arg, p) with
+        | Targ_rel t, Tparam_rel key ->
+          visit_expr b t;
+          let w = wrap b t in
+          connect b w (S_var key) (id_pairs t.eschema)
+        | Targ_obj _, _ -> ()
+        | Targ_rel _, Tparam_obj _ -> assert false)
+      args m.tm_params;
+    match m.tm_return with
+    | Some schema ->
+      List.iter
+        (fun a -> equality b (S_expr e.eid) a.a_name (S_return q) a.a_name)
+        schema
+    | None -> ()
+
+let visit_consumed_by_var b (t : texpr) key =
+  visit_expr b t;
+  let w = wrap b t in
+  connect b w (S_var key) (id_pairs t.eschema)
+
+let rec visit_stmt b meth_q (s : tstmt) =
+  match s with
+  | TDecl (key, init, _) -> (
+    match init with
+    | Some t -> visit_consumed_by_var b t key
+    | None -> ())
+  | TAssign (key, _, t, _) | TOp_assign (_, key, _, t, _) ->
+    visit_consumed_by_var b t key
+  | TIf (c, th, el) ->
+    visit_cond b c;
+    visit_stmt b meth_q th;
+    Option.iter (visit_stmt b meth_q) el
+  | TWhile (c, body) ->
+    visit_cond b c;
+    visit_stmt b meth_q body
+  | TDo_while (body, c) ->
+    visit_stmt b meth_q body;
+    visit_cond b c
+  | TBlock stmts -> List.iter (visit_stmt b meth_q) stmts
+  | TReturn (Some t, _) ->
+    visit_expr b t;
+    let w = wrap b t in
+    if not t.is_poly then
+      connect b w (S_return meth_q) (id_pairs t.eschema)
+  | TReturn (None, _) -> ()
+  | TExpr t -> visit_expr b t
+  | TPrint t -> visit_expr b t
+
+and visit_cond b (c : tcond) =
+  match c with
+  | TBool _ -> ()
+  | TNot c -> visit_cond b c
+  | TAnd (a, b') | TOr (a, b') ->
+    visit_cond b a;
+    visit_cond b b'
+  | TCmp_eq (l, r) | TCmp_ne (l, r) ->
+    visit_expr b l;
+    visit_expr b r;
+    let wl = wrap b l and wr = wrap b r in
+    (* both operands must agree on layout to be compared *)
+    (match (wl, wr) with
+    | Some wl, Some wr ->
+      List.iter (fun a -> equality b wl a.a_name wr a.a_name) l.eschema
+    | _ -> ())
+
+let build (prog : tprogram) : t =
+  let b =
+    {
+      b_nodes = [];
+      b_count = 0;
+      b_index = Hashtbl.create 256;
+      b_equality = [];
+      b_assignment = [];
+      b_conflict = [];
+      b_specified = [];
+      expr_info = Hashtbl.create 256;
+      prog;
+    }
+  in
+  (* variable sites first, with their declared specs *)
+  Hashtbl.iter
+    (fun key (v : var_info) ->
+      ignore (add_site b (S_var key) v.v_schema);
+      List.iter (fun (a_name, p) -> specify b (S_var key) a_name p) v.v_spec)
+    prog.vars;
+  (* return sites *)
+  Hashtbl.iter
+    (fun q (m : tmeth) ->
+      match m.tm_return with
+      | Some schema ->
+        ignore (add_site b (S_return q) schema);
+        List.iter
+          (fun (a_name, p) -> specify b (S_return q) a_name p)
+          m.tm_return_spec
+      | None -> ())
+    prog.methods;
+  (* method bodies *)
+  List.iter
+    (fun q ->
+      let m = Hashtbl.find prog.methods q in
+      List.iter (visit_stmt b q) m.tm_body)
+    prog.method_order;
+  let nodes = Array.of_list (List.rev b.b_nodes) in
+  let site_kind = function
+    | S_expr eid -> (Hashtbl.find b.expr_info eid).ekind
+    | S_wrap eid -> "Replace_of_" ^ (Hashtbl.find b.expr_info eid).ekind
+    | S_var key -> "Variable_" ^ key
+    | S_return q -> "Return_of_" ^ q
+  in
+  let site_pos = function
+    | S_expr eid | S_wrap eid -> (Hashtbl.find b.expr_info eid).epos
+    | S_var key -> (Hashtbl.find prog.vars key).v_pos
+    | S_return q -> (Hashtbl.find prog.methods q).tm_pos
+  in
+  {
+    nodes;
+    node_index = b.b_index;
+    equality = b.b_equality;
+    assignment = b.b_assignment;
+    conflict = b.b_conflict;
+    specified = b.b_specified;
+    site_kind;
+    site_pos;
+  }
+
+let node_count g = Array.length g.nodes
+
+let describe_node g i =
+  let n = g.nodes.(i) in
+  Format.asprintf "%s:%s at %a" (g.site_kind n.site) n.attr.a_name Ast.pp_pos
+    (g.site_pos n.site)
+
+type stats = {
+  n_rel_exprs : int;
+  n_attrs : int;
+  n_physdoms : int;
+  n_conflict : int;
+  n_equality : int;
+  n_assignment : int;
+}
+
+let stats (prog : tprogram) g =
+  let rel_exprs = List.filter (fun e -> not e.is_poly) prog.all_exprs in
+  {
+    n_rel_exprs = List.length rel_exprs;
+    n_attrs =
+      List.fold_left (fun acc e -> acc + List.length e.eschema) 0 rel_exprs;
+    n_physdoms = List.length prog.physdoms;
+    n_conflict = List.length g.conflict;
+    n_equality = List.length g.equality;
+    n_assignment = List.length g.assignment;
+  }

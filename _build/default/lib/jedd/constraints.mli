@@ -1,0 +1,54 @@
+(** Construction of the physical-domain-assignment constraint graph
+    (§3.3.2, Figure 7).
+
+    Every relational expression, variable, method-return slot, and dummy
+    replace wrapper is a {e site} owning one graph node per attribute.
+    Edges:
+    - {b conflict} (implicit, within a site): all attributes of one
+      expression must get distinct physical domains;
+    - {b equality}: attributes an operation forces into the same
+      physical domain;
+    - {b assignment}: the input/output pairs of the dummy replace
+      wrapped around every consumed subexpression — the edges the
+      partitioning is allowed to break (each break = one real replace).
+
+    The paper wraps every subexpression in a dummy replace; we key that
+    wrapper by the (unique) consumed expression's id. *)
+
+type site =
+  | S_expr of int  (** a typed expression node (eid) *)
+  | S_wrap of int  (** the dummy replace around the expression [eid] *)
+  | S_var of Tast.var_key
+  | S_return of string  (** method's return slot *)
+
+type node = { site : site; attr : Tast.attr_info }
+
+type t = {
+  nodes : node array;
+  node_index : (site * string, int) Hashtbl.t;
+  equality : (int * int) list;  (** node index pairs *)
+  assignment : (int * int) list;
+  conflict : (int * int) list;  (** expanded pairwise within sites *)
+  specified : (int * Tast.phys_info) list;
+  site_kind : site -> string;  (** "Join_expression", "Variable", ... *)
+  site_pos : site -> Ast.pos;
+}
+
+val build : Tast.tprogram -> t
+
+val node_count : t -> int
+
+val describe_node : t -> int -> string
+(** ["Join_expression:rectype at F.jedd:4,25"] — the §3.3.3 format. *)
+
+(** Statistics for the paper's Table 1. *)
+type stats = {
+  n_rel_exprs : int;
+  n_attrs : int;  (** attribute instances over all expressions *)
+  n_physdoms : int;
+  n_conflict : int;
+  n_equality : int;
+  n_assignment : int;
+}
+
+val stats : Tast.tprogram -> t -> stats

@@ -1,0 +1,274 @@
+open Tast
+
+type ctx = {
+  compiled : Driver.compiled;
+  buf : Buffer.t;
+  mutable indent : int;
+  mutable tmp : int;
+}
+
+let phys ctx site attr_name =
+  (ctx.compiled.Driver.assignment.Encode.phys_of site attr_name).p_name
+
+let layout ctx site (schema : attr_info list) =
+  "<"
+  ^ String.concat ", "
+      (List.map (fun a -> a.a_name ^ ":" ^ phys ctx site a.a_name) schema)
+  ^ ">"
+
+let line ctx fmt =
+  Printf.ksprintf
+    (fun s ->
+      Buffer.add_string ctx.buf (String.make (ctx.indent * 4) ' ');
+      Buffer.add_string ctx.buf s;
+      Buffer.add_char ctx.buf '\n')
+    fmt
+
+let fresh ctx =
+  ctx.tmp <- ctx.tmp + 1;
+  Printf.sprintf "tmp%d" ctx.tmp
+
+let var_java key = String.map (fun c -> if c = '.' then '_' else c) key
+
+let attr_list attrs =
+  "new Attribute[] { "
+  ^ String.concat ", " (List.map (fun a -> a.a_name ^ ".v()") attrs)
+  ^ " }"
+
+(* Emit the expression bottom-up into statements, returning the Java
+   expression holding the result.  A replace is emitted at every
+   consumption point where the wrapper's assigned layout differs from
+   the subexpression's own — exactly the replaces §3.3.2 decided on. *)
+let rec emit_expr ctx (e : texpr) : string =
+  let site = Constraints.S_expr e.eid in
+  match e.edesc with
+  | TEmpty -> "Jedd.v().falseBDD()"
+  | TFull -> "Jedd.v().trueBDD()"
+  | TVar (_, key) -> var_java key ^ ".get()"
+  | TLiteral pieces ->
+    let objs =
+      String.concat ", "
+        (List.map
+           (fun (o, a) ->
+             (match o with
+             | Tobj_var (n, _) -> n
+             | Tobj_int k -> string_of_int k)
+             ^ " => " ^ a.a_name ^ ":" ^ phys ctx site a.a_name)
+           pieces)
+    in
+    Printf.sprintf "Jedd.v().literal(new Object[] { %s })" objs
+  | TBinop (op, l, r) ->
+    let jl = emit_consumed ctx l in
+    let jr = emit_consumed ctx r in
+    let name =
+      match op with
+      | Ast.Union -> "union"
+      | Ast.Inter -> "intersect"
+      | Ast.Diff -> "minus"
+    in
+    Printf.sprintf "Jedd.v().%s(%s, %s)" name jl jr
+  | TReplace (reps, c) ->
+    let jc = emit_consumed ctx c in
+    List.fold_left
+      (fun acc rep ->
+        match rep with
+        | TProj a ->
+          Printf.sprintf "Jedd.v().project(%s, %s.v())" acc a.a_name
+        | TRen (a, b) ->
+          Printf.sprintf "Jedd.v().rename(%s, %s.v(), %s.v())" acc a.a_name
+            b.a_name
+        | TCopy (a, b, c') ->
+          Printf.sprintf "Jedd.v().copy(%s, %s.v(), %s.v(), %s.v(), %s)" acc
+            a.a_name b.a_name c'.a_name
+            (phys ctx site c'.a_name))
+      jc reps
+  | TJoin (kind, l, la, r, ra) ->
+    let jl = emit_consumed ctx l in
+    let jr = emit_consumed ctx r in
+    let name = match kind with Ast.Join -> "join" | Ast.Compose -> "compose" in
+    Printf.sprintf "Jedd.v().%s(%s, %s, %s, %s)" name jl (attr_list la) jr
+      (attr_list ra)
+  | TCall (q, args) ->
+    let jargs =
+      List.map
+        (fun (a : targ) ->
+          match a with
+          | Targ_rel t -> emit_consumed ctx t
+          | Targ_obj (Tobj_var (n, _)) -> n
+          | Targ_obj (Tobj_int k) -> string_of_int k)
+        args
+    in
+    Printf.sprintf "%s(%s)"
+      (var_java q)
+      (String.concat ", " jargs)
+
+and emit_consumed ctx (child : texpr) : string =
+  let inner = emit_expr ctx child in
+  if child.is_poly then inner
+  else begin
+    let own =
+      List.map
+        (fun a -> phys ctx (Constraints.S_expr child.eid) a.a_name)
+        child.eschema
+    in
+    let want =
+      List.map
+        (fun a -> phys ctx (Constraints.S_wrap child.eid) a.a_name)
+        child.eschema
+    in
+    if own = want then inner
+    else begin
+      (* materialise the replace the assignment stage kept *)
+      let tmp = fresh ctx in
+      line ctx "final Object %s = Jedd.v().replace(%s, /* -> %s */);" tmp inner
+        (layout ctx (Constraints.S_wrap child.eid) child.eschema);
+      tmp
+    end
+  end
+
+let rec emit_stmt ctx (s : tstmt) =
+  match s with
+  | TDecl (key, init, _) ->
+    let v = Hashtbl.find ctx.compiled.Driver.tprog.vars key in
+    let j =
+      match init with
+      | Some t -> emit_consumed ctx t
+      | None -> "Jedd.v().falseBDD()"
+    in
+    line ctx "final RelationContainer %s = new RelationContainer(\"%s\");"
+      (var_java key)
+      (layout ctx (Constraints.S_var key) v.v_schema);
+    line ctx "%s.eq(%s);" (var_java key) j
+  | TAssign (key, _, t, _) ->
+    let j = emit_consumed ctx t in
+    line ctx "%s.eq(%s);" (var_java key) j
+  | TOp_assign (op, key, _, t, _) ->
+    let j = emit_consumed ctx t in
+    let name =
+      match op with
+      | Ast.Union -> "eqUnion"
+      | Ast.Inter -> "eqIntersect"
+      | Ast.Diff -> "eqMinus"
+    in
+    line ctx "%s.%s(%s);" (var_java key) name j
+  | TIf (c, th, el) ->
+    line ctx "if (%s) {" (emit_cond ctx c);
+    ctx.indent <- ctx.indent + 1;
+    emit_stmt ctx th;
+    ctx.indent <- ctx.indent - 1;
+    (match el with
+    | Some el ->
+      line ctx "} else {";
+      ctx.indent <- ctx.indent + 1;
+      emit_stmt ctx el;
+      ctx.indent <- ctx.indent - 1
+    | None -> ());
+    line ctx "}"
+  | TWhile (c, body) ->
+    line ctx "while (%s) {" (emit_cond ctx c);
+    ctx.indent <- ctx.indent + 1;
+    emit_stmt ctx body;
+    ctx.indent <- ctx.indent - 1;
+    line ctx "}"
+  | TDo_while (body, c) ->
+    line ctx "do {";
+    ctx.indent <- ctx.indent + 1;
+    emit_stmt ctx body;
+    ctx.indent <- ctx.indent - 1;
+    line ctx "} while (%s);" (emit_cond ctx c)
+  | TBlock stmts ->
+    line ctx "{";
+    ctx.indent <- ctx.indent + 1;
+    List.iter (emit_stmt ctx) stmts;
+    ctx.indent <- ctx.indent - 1;
+    line ctx "}"
+  | TReturn (None, _) -> line ctx "return;"
+  | TReturn (Some t, _) -> line ctx "return %s;" (emit_consumed ctx t)
+  | TExpr t -> line ctx "%s;" (emit_expr ctx t)
+  | TPrint t -> line ctx "System.out.println(%s.toString());" (emit_expr ctx t)
+
+and emit_cond ctx (c : tcond) : string =
+  match c with
+  | TBool b -> string_of_bool b
+  | TNot c -> "!(" ^ emit_cond ctx c ^ ")"
+  | TAnd (a, b) -> emit_cond ctx a ^ " && " ^ emit_cond ctx b
+  | TOr (a, b) -> emit_cond ctx a ^ " || " ^ emit_cond ctx b
+  | TCmp_eq (l, r) ->
+    Printf.sprintf "Jedd.v().equals(%s, %s)" (emit_expr ctx l)
+      (emit_expr ctx r)
+  | TCmp_ne (l, r) ->
+    Printf.sprintf "!Jedd.v().equals(%s, %s)" (emit_expr ctx l)
+      (emit_expr ctx r)
+
+let emit_method_into ctx q =
+  let m = Hashtbl.find ctx.compiled.Driver.tprog.methods q in
+  let params =
+    String.concat ", "
+      (List.map
+         (fun (p : tparam) ->
+           match p with
+           | Tparam_rel key -> "final RelationContainer " ^ var_java key
+           | Tparam_obj (name, d) -> "final " ^ d.d_name ^ " " ^ name)
+         m.tm_params)
+  in
+  let ret =
+    match m.tm_return with None -> "void" | Some _ -> "RelationContainer"
+  in
+  line ctx "public %s %s(%s) {" ret
+    (var_java
+       (match String.rindex_opt q '.' with
+       | Some i -> String.sub q (i + 1) (String.length q - i - 1)
+       | None -> q))
+    params;
+  ctx.indent <- ctx.indent + 1;
+  List.iter (emit_stmt ctx) m.tm_body;
+  ctx.indent <- ctx.indent - 1;
+  line ctx "}"
+
+let emit_method compiled q =
+  let ctx = { compiled; buf = Buffer.create 2048; indent = 0; tmp = 0 } in
+  emit_method_into ctx q;
+  Buffer.contents ctx.buf
+
+let emit_program compiled =
+  let ctx = { compiled; buf = Buffer.create 8192; indent = 0; tmp = 0 } in
+  line ctx "// Generated by jeddc (OCaml reproduction). Do not edit.";
+  line ctx "import jedd.internal.Jedd;";
+  line ctx "import jedd.internal.RelationContainer;";
+  line ctx "import jedd.Attribute;";
+  line ctx "";
+  List.iter
+    (fun cls ->
+      line ctx "public class %s {" cls;
+      ctx.indent <- ctx.indent + 1;
+      (* fields *)
+      Hashtbl.iter
+        (fun key (v : var_info) ->
+          if
+            v.v_kind = Vfield
+            && String.length key > String.length cls
+            && String.sub key 0 (String.length cls + 1) = cls ^ "."
+          then
+            line ctx
+              "private final RelationContainer %s = new RelationContainer(\"%s\");"
+              (var_java key)
+              (layout ctx (Constraints.S_var key) v.v_schema))
+        compiled.Driver.tprog.vars;
+      line ctx "";
+      (* methods *)
+      List.iter
+        (fun q ->
+          if
+            String.length q > String.length cls
+            && String.sub q 0 (String.length cls + 1) = cls ^ "."
+            && not (String.contains q '<')
+          then begin
+            emit_method_into ctx q;
+            line ctx ""
+          end)
+        compiled.Driver.tprog.method_order;
+      ctx.indent <- ctx.indent - 1;
+      line ctx "}";
+      line ctx "")
+    compiled.Driver.tprog.classes;
+  Buffer.contents ctx.buf

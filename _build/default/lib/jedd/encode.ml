@@ -1,0 +1,303 @@
+module Solver = Jedd_sat.Solver
+
+exception Unreachable_attribute of string list
+exception Assignment_conflict of string
+
+type sat_stats = {
+  sat_vars : int;
+  sat_clauses : int;
+  sat_literals : int;
+  solve_seconds : float;
+  paths_truncated : bool;
+}
+
+type assignment = {
+  phys_of : Constraints.site -> string -> Tast.phys_info;
+  widths : (string * int) list;
+  stats : sat_stats;
+}
+
+(* What each original clause meant, for core-based diagnosis. *)
+type clause_kind =
+  | K_some of int  (* node *)
+  | K_unique of int * int * int  (* node, p, p' *)
+  | K_spec of int * int  (* node, p *)
+  | K_conflict of int * int * int  (* node, node', p *)
+  | K_equal of int * int * int  (* node, node', p *)
+  | K_flow of int  (* node *)
+  | K_path of int * int  (* class, p0 *)
+
+type instance = {
+  solver : Solver.t;
+  physdoms : Tast.phys_info array;
+  g : Constraints.t;
+  fp : Flowpath.t;
+  clause_kinds : clause_kind array;
+  clause_lits : int list array;  (* for rebuilds during core minimisation *)
+  truncated : bool;
+}
+
+let build ?(max_paths_per_class = 8) (prog : Tast.tprogram) (g : Constraints.t)
+    : instance =
+  let physdoms =
+    Array.of_list
+      (List.sort
+         (fun (a : Tast.phys_info) b -> compare a.p_name b.p_name)
+         prog.physdoms)
+  in
+  let np = Array.length physdoms in
+  let n = Constraints.node_count g in
+  if np = 0 && n > 0 then
+    raise
+      (Unreachable_attribute
+         [ "the program declares no physical domains at all" ]);
+  let phys_index = Hashtbl.create 16 in
+  Array.iteri
+    (fun i (p : Tast.phys_info) -> Hashtbl.add phys_index p.p_name i)
+    physdoms;
+  let var node p = (node * np) + p + 1 in
+  let fp = Flowpath.analyze g in
+  let paths, truncated = Flowpath.enumerate fp ~max_per_class:max_paths_per_class in
+  (* unreachable attributes: the first §3.3.3 failure mode *)
+  let missing = Flowpath.unreachable fp paths in
+  if missing <> [] then begin
+    let msgs =
+      List.concat_map
+        (fun c ->
+          List.map
+            (fun i ->
+              Printf.sprintf
+                "no specified physical domain reaches %s; assign one explicitly"
+                (Constraints.describe_node g i))
+            fp.Flowpath.members.(c))
+        missing
+    in
+    raise (Unreachable_attribute msgs)
+  end;
+  let solver = Solver.create () in
+  for _ = 1 to n * np do
+    ignore (Solver.new_var solver)
+  done;
+  (* path variables, numbered per class in enumeration order *)
+  let path_vars =
+    Array.map (List.map (fun (p : Flowpath.path) -> (Solver.new_var solver, p))) paths
+  in
+  let kinds = ref [] in
+  let lits_acc = ref [] in
+  let add_clause kind lits =
+    let id = Solver.add_clause solver lits in
+    ignore id;
+    kinds := kind :: !kinds;
+    lits_acc := lits :: !lits_acc
+  in
+  (* 1: each attribute gets some physical domain *)
+  for i = 0 to n - 1 do
+    add_clause (K_some i) (List.init np (fun p -> var i p))
+  done;
+  (* 2: ... and not two *)
+  for i = 0 to n - 1 do
+    for p = 0 to np - 1 do
+      for p' = p + 1 to np - 1 do
+        add_clause (K_unique (i, p, p')) [ -var i p; -var i p' ]
+      done
+    done
+  done;
+  (* 3: specified attributes *)
+  List.iter
+    (fun (i, (phys : Tast.phys_info)) ->
+      let p = Hashtbl.find phys_index phys.p_name in
+      add_clause (K_spec (i, p)) [ var i p ])
+    g.Constraints.specified;
+  (* 4: conflict edges *)
+  List.iter
+    (fun (i, j) ->
+      for p = 0 to np - 1 do
+        add_clause (K_conflict (i, j, p)) [ -var i p; -var j p ]
+      done)
+    g.Constraints.conflict;
+  (* 5: equality edges *)
+  List.iter
+    (fun (i, j) ->
+      for p = 0 to np - 1 do
+        add_clause (K_equal (i, j, p)) [ -var i p; var j p ];
+        add_clause (K_equal (j, i, p)) [ -var j p; var i p ]
+      done)
+    g.Constraints.equality;
+  (* 6: at least one flow path per attribute instance *)
+  for i = 0 to n - 1 do
+    let c = fp.Flowpath.class_of.(i) in
+    add_clause (K_flow i)
+      (List.map (fun (pv, _) -> pv) path_vars.(c))
+  done;
+  (* 7: an active path assigns its domain along its length *)
+  Array.iteri
+    (fun _c pvs ->
+      List.iter
+        (fun (pv, (path : Flowpath.path)) ->
+          let p0 = Hashtbl.find phys_index path.start_phys.p_name in
+          List.iter
+            (fun cls ->
+              List.iter
+                (fun node ->
+                  add_clause (K_path (cls, p0)) [ -pv; var node p0 ])
+                fp.Flowpath.members.(cls))
+            path.through)
+        pvs)
+    path_vars;
+  {
+    solver;
+    physdoms;
+    g;
+    fp;
+    clause_kinds = Array.of_list (List.rev !kinds);
+    clause_lits = Array.of_list (List.rev !lits_acc);
+    truncated;
+  }
+
+let build_cnf ?max_paths_per_class prog g =
+  let inst = build ?max_paths_per_class prog g in
+  ( inst.solver,
+    {
+      sat_vars = Solver.num_vars inst.solver;
+      sat_clauses = Solver.num_clauses inst.solver;
+      sat_literals = Solver.num_literals inst.solver;
+      solve_seconds = 0.0;
+      paths_truncated = inst.truncated;
+    } )
+
+(* -- diagnosis (§3.3.3) ---------------------------------------------------- *)
+
+let diagnose inst core =
+  (* Shrink the core so the reported conflict is crisp, exactly as
+     unsat-core extraction + manual inspection would give the paper's
+     users.  Rebuilding is cheap: instances are a few hundred thousand
+     binary clauses at worst and cores are small. *)
+  let rebuild ids =
+    let s = Solver.create () in
+    for _ = 1 to Solver.num_vars inst.solver do
+      ignore (Solver.new_var s)
+    done;
+    let arr = Array.of_list ids in
+    List.iter (fun id -> ignore (Solver.add_clause s inst.clause_lits.(id))) ids;
+    (s, fun local -> arr.(local))
+  in
+  let original_core = core in
+  let core =
+    if List.length core <= 60 then Solver.minimize_core ~rebuild core else core
+  in
+  let conflicts_in c =
+    List.filter
+      (fun id ->
+        match inst.clause_kinds.(id) with K_conflict _ -> true | _ -> false)
+      c
+  in
+  let conflict_clauses = conflicts_in core @ conflicts_in original_core in
+  (* Prefer reporting the conflict on an expression (the paper's
+     messages name e.g. the Compose_expression) over its variable or
+     wrapper echoes. *)
+  let on_expr id =
+    match inst.clause_kinds.(id) with
+    | K_conflict (i, j, _) ->
+      let is_expr n =
+        match inst.g.Constraints.nodes.(n).Constraints.site with
+        | Constraints.S_expr _ -> true
+        | _ -> false
+      in
+      is_expr i && is_expr j
+    | _ -> false
+  in
+  let conflict_clause =
+    match List.find_opt on_expr conflict_clauses with
+    | Some id -> Some id
+    | None -> (
+      match conflict_clauses with id :: _ -> Some id | [] -> None)
+  in
+  match conflict_clause with
+  | Some id -> (
+    match inst.clause_kinds.(id) with
+    | K_conflict (i, j, p) ->
+      Printf.sprintf "Conflict between %s and %s over physical domain %s"
+        (Constraints.describe_node inst.g i)
+        (Constraints.describe_node inst.g j)
+        inst.physdoms.(p).p_name
+    | _ -> assert false)
+  | None ->
+    (* The §3.3.2 proposition says every core contains a conflict clause
+       when the instance came from a well-formed graph; the remaining
+       possibility is contradictory explicit specifications. *)
+    let specs =
+      List.filter_map
+        (fun id ->
+          match inst.clause_kinds.(id) with
+          | K_spec (i, p) ->
+            Some
+              (Printf.sprintf "%s is pinned to %s"
+                 (Constraints.describe_node inst.g i)
+                 inst.physdoms.(p).p_name)
+          | _ -> None)
+        core
+    in
+    "Contradictory physical domain specifications: "
+    ^ String.concat "; " specs
+
+let solve ?max_paths_per_class (prog : Tast.tprogram) (g : Constraints.t) :
+    assignment =
+  let inst = build ?max_paths_per_class prog g in
+  let t0 = Sys.time () in
+  let result = Solver.solve inst.solver in
+  let solve_seconds = Sys.time () -. t0 in
+  match result with
+  | Solver.Unsat ->
+    raise (Assignment_conflict (diagnose inst (Solver.unsat_core inst.solver)))
+  | Solver.Sat ->
+    let np = Array.length inst.physdoms in
+    let n = Constraints.node_count inst.g in
+    let node_phys = Array.make n inst.physdoms.(0) in
+    for i = 0 to n - 1 do
+      let rec pick p =
+        if p >= np then
+          invalid_arg "Encode.solve: model assigns no physical domain"
+        else if Solver.value inst.solver ((i * np) + p + 1) then
+          inst.physdoms.(p)
+        else pick (p + 1)
+      in
+      node_phys.(i) <- pick 0
+    done;
+    let phys_of site attr_name =
+      match Hashtbl.find_opt inst.g.Constraints.node_index (site, attr_name) with
+      | Some i -> node_phys.(i)
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Encode.phys_of: unknown attribute %s" attr_name)
+    in
+    (* computed widths: every physical domain must hold the widest
+       domain of any attribute assigned to it (§3.2.1) *)
+    let widths = Hashtbl.create 16 in
+    Array.iter
+      (fun (p : Tast.phys_info) ->
+        Hashtbl.replace widths p.p_name
+          (max 1 (Option.value p.p_min_bits ~default:1)))
+      inst.physdoms;
+    let domain_bits (d : Tast.domain_info) =
+      let rec go n acc = if n >= d.d_size then acc else go (n * 2) (acc + 1) in
+      max 1 (go 1 0)
+    in
+    Array.iteri
+      (fun i (node : Constraints.node) ->
+        let p = node_phys.(i) in
+        let need = domain_bits node.attr.a_domain in
+        if need > Hashtbl.find widths p.p_name then
+          Hashtbl.replace widths p.p_name need)
+      inst.g.Constraints.nodes;
+    {
+      phys_of;
+      widths = Hashtbl.fold (fun name w acc -> (name, w) :: acc) widths [];
+      stats =
+        {
+          sat_vars = Solver.num_vars inst.solver;
+          sat_clauses = Solver.num_clauses inst.solver;
+          sat_literals = Solver.num_literals inst.solver;
+          solve_seconds;
+          paths_truncated = inst.truncated;
+        };
+    }

@@ -1,0 +1,48 @@
+(** SAT encoding of the physical-domain-assignment problem — clause
+    types 1–7 of §3.3.2 — solving, decoding, and the unsat-core-based
+    error reporting of §3.3.3.
+
+    Clause types, in the paper's numbering:
+    + every attribute instance gets some physical domain;
+    + no attribute instance gets two;
+    + programmer-specified attributes get their specified domain;
+    + conflict edges: distinct domains;
+    + equality edges: equal domains;
+    + every attribute has at least one active flow path;
+    + an active flow path assigns its domain to everything on it. *)
+
+exception Unreachable_attribute of string list
+(** No flow path reaches these attributes (detected while building
+    clause 6); the messages are ready to print. *)
+
+exception Assignment_conflict of string
+(** The SAT instance is unsatisfiable; the payload is the paper-style
+    error message extracted from the unsatisfiable core. *)
+
+type sat_stats = {
+  sat_vars : int;
+  sat_clauses : int;
+  sat_literals : int;
+  solve_seconds : float;
+  paths_truncated : bool;
+}
+
+type assignment = {
+  phys_of : Constraints.site -> string -> Tast.phys_info;
+      (** physical domain of an attribute instance *)
+  widths : (string * int) list;  (** computed physical-domain widths *)
+  stats : sat_stats;
+}
+
+val solve :
+  ?max_paths_per_class:int -> Tast.tprogram -> Constraints.t -> assignment
+(** Runs the whole §3.3.2 pipeline.  Raises {!Unreachable_attribute} or
+    {!Assignment_conflict} on the two failure modes of §3.3.3. *)
+
+val build_cnf :
+  ?max_paths_per_class:int ->
+  Tast.tprogram ->
+  Constraints.t ->
+  Jedd_sat.Solver.t * sat_stats
+(** Encoding only (used by the Table 1 benchmark to report instance
+    sizes without decoding). *)

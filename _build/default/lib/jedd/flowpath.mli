@@ -1,0 +1,37 @@
+(** Flow paths (§3.3.2): sequences of attributes from a
+    programmer-specified physical domain along equality and assignment
+    edges, used to rule out computation paths where an attribute is
+    replaced multiple times without reason.
+
+    Attributes linked by {e equality} edges must end up in the same
+    physical domain no matter what (clause type 5), so we quotient the
+    graph by equality first and enumerate paths over the equivalence
+    classes along assignment edges.  This is semantically identical to
+    the paper's attribute-level paths (clause 5 propagates the domain
+    within a class) and keeps enumeration tractable.  Enumeration is
+    breadth-first (shortest paths are exactly the subset-minimal ones the
+    paper keeps) and capped per class; the cap is reported so callers can
+    log it. *)
+
+type t = {
+  class_of : int array;  (** constraint node -> class id *)
+  members : int list array;  (** class id -> constraint nodes *)
+  n_classes : int;
+  class_edges : (int * int) list;  (** assignment edges, both directions *)
+  sources : (int * Tast.phys_info) list;
+      (** classes containing a specified attribute, with the spec *)
+}
+
+(** A flow path: the specified physical domain it starts from and the
+    classes it traverses (source first). *)
+type path = { start_phys : Tast.phys_info; through : int list }
+
+val analyze : Constraints.t -> t
+
+val enumerate : t -> max_per_class:int -> path list array * bool
+(** Paths ending at each class, shortest first; the boolean reports
+    whether the cap truncated anything. *)
+
+val unreachable : t -> path list array -> int list
+(** Classes with at least one member but no flow path — the error the
+    paper detects while building clause 6. *)

@@ -1,0 +1,506 @@
+open Tast
+module U = Jedd_relation.Universe
+module Dom = Jedd_relation.Domain
+module Phys = Jedd_relation.Physdom
+module Attr = Jedd_relation.Attribute
+module Schema = Jedd_relation.Schema
+module R = Jedd_relation.Relation
+
+exception Runtime_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+type t = {
+  prog : tprogram;
+  asg : Encode.assignment;
+  u : U.t;
+  domains : (string, Dom.t) Hashtbl.t;
+  attrs : (string, Attr.t) Hashtbl.t;
+  physdoms : (string, Phys.t) Hashtbl.t;
+  fields : (var_key, R.t ref) Hashtbl.t;
+  liveness : (string, Liveness.t) Hashtbl.t;  (* per qualified method *)
+  mutable print_hook : string -> unit;
+}
+
+type value = VRel of R.t | VObj of int
+
+let universe t = t.u
+
+let domain t name =
+  match Hashtbl.find_opt t.domains name with
+  | Some d -> d
+  | None -> fail "unknown domain %s" name
+
+let attribute t name =
+  match Hashtbl.find_opt t.attrs name with
+  | Some a -> a
+  | None -> fail "unknown attribute %s" name
+
+let physdom t name =
+  match Hashtbl.find_opt t.physdoms name with
+  | Some p -> p
+  | None -> fail "unknown physical domain %s" name
+
+(* The runtime layout of an attribute list at a given constraint site. *)
+let schema_at t site (schema : attr_info list) =
+  Schema.make
+    (List.map
+       (fun (a : attr_info) ->
+         {
+           Schema.attr = attribute t a.a_name;
+           phys = physdom t (t.asg.Encode.phys_of site a.a_name).p_name;
+         })
+       schema)
+
+let schema_of_var t key =
+  match Hashtbl.find_opt t.prog.vars key with
+  | Some v -> schema_at t (Constraints.S_var key) v.v_schema
+  | None -> fail "unknown variable %s" key
+
+let set_print_hook t hook = t.print_hook <- hook
+
+let instantiate_base ?(node_capacity = 1 lsl 16) (prog : tprogram)
+    (asg : Encode.assignment) : t =
+  let u = U.create ~node_capacity () in
+  let physdoms = Hashtbl.create 16 in
+  List.iter
+    (fun (p : phys_info) ->
+      let bits =
+        match List.assoc_opt p.p_name asg.Encode.widths with
+        | Some w -> w
+        | None -> max 1 (Option.value p.p_min_bits ~default:1)
+      in
+      Hashtbl.add physdoms p.p_name (Phys.declare u ~name:p.p_name ~bits))
+    prog.physdoms;
+  let domains = Hashtbl.create 16 in
+  List.iter
+    (fun (d : domain_info) ->
+      Hashtbl.add domains d.d_name (Dom.declare ~name:d.d_name ~size:d.d_size ()))
+    prog.domains;
+  let attrs = Hashtbl.create 16 in
+  List.iter
+    (fun (a : attr_info) ->
+      Hashtbl.add attrs a.a_name
+        (Attr.declare ~name:a.a_name ~domain:(Hashtbl.find domains a.a_domain.d_name)))
+    prog.attrs;
+  let t =
+    {
+      prog;
+      asg;
+      u;
+      domains;
+      attrs;
+      physdoms;
+      fields = Hashtbl.create 32;
+      liveness = Hashtbl.create 16;
+      print_hook = print_string;
+    }
+  in
+  (* every field starts as 0B at its assigned layout (§4.2: one
+     container per field) *)
+  Hashtbl.iter
+    (fun key (v : var_info) ->
+      if v.v_kind = Vfield then
+        Hashtbl.add t.fields key
+          (ref (R.empty u (schema_at t (Constraints.S_var key) v.v_schema))))
+    prog.vars;
+  t
+
+(* -- evaluation -------------------------------------------------------------- *)
+
+type frame = {
+  meth : string;  (* qualified name, for return-site layouts *)
+  locals : (var_key, R.t ref) Hashtbl.t;
+  objs : (string, int) Hashtbl.t;
+}
+
+exception Return_value of R.t option
+
+(* evaluation yields a relation plus ownership: temporaries are released
+   by their consumer; variable reads are owned by the variable *)
+type owned = { rel : R.t; owned : bool }
+
+let read_var t frame key =
+  match Hashtbl.find_opt frame.locals key with
+  | Some r -> !r
+  | None -> (
+    match Hashtbl.find_opt t.fields key with
+    | Some r -> !r
+    | None -> fail "variable %s has no storage" key)
+
+let write_var t frame key rel =
+  let slot =
+    match Hashtbl.find_opt frame.locals key with
+    | Some r -> r
+    | None -> (
+      match Hashtbl.find_opt t.fields key with
+      | Some r -> r
+      | None -> fail "variable %s has no storage" key)
+  in
+  let old = !slot in
+  slot := rel;
+  (* §4.2 case 2: the overwritten BDD's count drops immediately *)
+  R.release old
+
+let release_if_owned o = if o.owned then R.release o.rel
+
+(* Take ownership of a value coerced to a storage layout (declared
+   attribute order included). *)
+let own_at target (o : owned) =
+  let c = R.coerce o.rel target in
+  if c == o.rel then (if o.owned then o.rel else R.dup o.rel)
+  else begin
+    release_if_owned o;
+    c
+  end
+
+(* Coerce an evaluated operand to the dummy-replace wrapper's layout.
+   When the assignment gave the wrapper the same layout, this is the
+   no-op replace the translator removes (§3.3.2). *)
+let consume t frame eval_fn (child : texpr) ~(fallback : Schema.t option) =
+  if child.is_poly then begin
+    let sch =
+      match fallback with
+      | Some s -> s
+      | None -> fail "0B/1B in a context with no expected schema"
+    in
+    match child.edesc with
+    | TEmpty -> { rel = R.empty t.u sch; owned = true }
+    | TFull -> { rel = R.full t.u sch; owned = true }
+    | _ -> assert false
+  end
+  else begin
+    let o = eval_fn frame child in
+    let target = schema_at t (Constraints.S_wrap child.eid) child.eschema in
+    let coerced =
+      R.coerce ~label:(Format.asprintf "%a" Ast.pp_pos child.epos) o.rel target
+    in
+    if coerced == o.rel then o
+    else begin
+      release_if_owned o;
+      { rel = coerced; owned = true }
+    end
+  end
+
+let rec eval t frame (e : texpr) : owned =
+  let site = Constraints.S_expr e.eid in
+  match e.edesc with
+  | TEmpty | TFull -> fail "0B/1B evaluated without context at %s"
+                        (Format.asprintf "%a" Ast.pp_pos e.epos)
+  | TVar (_, key) -> { rel = read_var t frame key; owned = false }
+  | TLiteral pieces ->
+    let sch = schema_at t site e.eschema in
+    let objs =
+      List.map
+        (fun (o, _) ->
+          match o with
+          | Tobj_int n -> n
+          | Tobj_var (name, _) -> (
+            match Hashtbl.find_opt frame.objs name with
+            | Some v -> v
+            | None -> fail "object parameter %s unbound" name))
+        pieces
+    in
+    { rel = R.tuple t.u sch objs; owned = true }
+  | TBinop (op, l, r) ->
+    let lo = consume t frame (eval t) l ~fallback:None in
+    let target_fallback = Some (R.schema lo.rel) in
+    let ro = consume t frame (eval t) r ~fallback:target_fallback in
+    let f =
+      match op with
+      | Ast.Union -> R.union
+      | Ast.Inter -> R.inter
+      | Ast.Diff -> R.diff
+    in
+    let result = f ~label:(pos_label e) lo.rel ro.rel in
+    release_if_owned lo;
+    release_if_owned ro;
+    { rel = result; owned = true }
+  | TReplace (reps, c) ->
+    let co = consume t frame (eval t) c ~fallback:None in
+    let result =
+      List.fold_left
+        (fun (acc : owned) rep ->
+          let next =
+            match rep with
+            | TProj a ->
+              R.project_away ~label:(pos_label e) acc.rel [ attribute t a.a_name ]
+            | TRen (a, b) ->
+              R.rename ~label:(pos_label e) acc.rel
+                [ (attribute t a.a_name, attribute t b.a_name) ]
+            | TCopy (a, b, c') ->
+              let copied =
+                R.copy ~label:(pos_label e)
+                  ~phys:(physdom t (t.asg.Encode.phys_of site c'.a_name).p_name)
+                  acc.rel (attribute t a.a_name) ~as_:(attribute t c'.a_name)
+              in
+              if a.a_name = b.a_name then copied
+              else begin
+                let renamed =
+                  R.rename copied [ (attribute t a.a_name, attribute t b.a_name) ]
+                in
+                R.release copied;
+                renamed
+              end
+          in
+          release_if_owned acc;
+          { rel = next; owned = true })
+        co reps
+    in
+    result
+  | TJoin (kind, l, la, r, ra) ->
+    let lo = consume t frame (eval t) l ~fallback:None in
+    let ro = consume t frame (eval t) r ~fallback:None in
+    let lattrs = List.map (fun a -> attribute t a.a_name) la in
+    let rattrs = List.map (fun a -> attribute t a.a_name) ra in
+    let result =
+      match kind with
+      | Ast.Join -> R.join ~label:(pos_label e) lo.rel lattrs ro.rel rattrs
+      | Ast.Compose -> R.compose ~label:(pos_label e) lo.rel lattrs ro.rel rattrs
+    in
+    release_if_owned lo;
+    release_if_owned ro;
+    { rel = result; owned = true }
+  | TCall (q, args) -> (
+    match call_method t q (eval_args t frame q args) with
+    | Some rel -> { rel; owned = true }
+    | None -> fail "void method %s used as an expression" q)
+
+and pos_label (e : texpr) = Format.asprintf "%a" Ast.pp_pos e.epos
+
+and eval_args t frame q (args : targ list) : value list =
+  let m = Hashtbl.find t.prog.methods q in
+  List.map2
+    (fun (arg : targ) (p : tparam) ->
+      match (arg, p) with
+      | Targ_obj (Tobj_int n), _ -> VObj n
+      | Targ_obj (Tobj_var (name, _)), _ -> (
+        match Hashtbl.find_opt frame.objs name with
+        | Some v -> VObj v
+        | None -> fail "object parameter %s unbound" name)
+      | Targ_rel te, Tparam_rel key ->
+        let target =
+          schema_at t (Constraints.S_var key)
+            (Hashtbl.find t.prog.vars key).v_schema
+        in
+        let o = consume t frame (eval t) te ~fallback:(Some target) in
+        (* hand ownership to the callee *)
+        if o.owned then VRel o.rel else VRel (R.dup o.rel)
+      | Targ_rel _, Tparam_obj _ -> assert false)
+    args m.tm_params
+
+and eval_cond t frame (c : tcond) : bool =
+  match c with
+  | TBool b -> b
+  | TNot c -> not (eval_cond t frame c)
+  | TAnd (a, b) -> eval_cond t frame a && eval_cond t frame b
+  | TOr (a, b) -> eval_cond t frame a || eval_cond t frame b
+  | TCmp_eq (l, r) | TCmp_ne (l, r) ->
+    let eq = compare_rels t frame l r in
+    (match c with TCmp_eq _ -> eq | _ -> not eq)
+
+and compare_rels t frame (l : texpr) (r : texpr) : bool =
+  (* [Compare] allows 0B/1B on either side; normalise the constant to
+     the right (comparison is symmetric) *)
+  let l, r = if l.is_poly then (r, l) else (l, r) in
+  let lo = consume t frame (eval t) l ~fallback:None in
+  let result =
+    if r.is_poly then
+      match r.edesc with
+      | TEmpty -> R.is_empty lo.rel
+      | TFull ->
+        let full = R.full t.u (R.schema lo.rel) in
+        let e = R.equal lo.rel full in
+        R.release full;
+        e
+      | _ -> assert false
+    else begin
+      let ro = consume t frame (eval t) r ~fallback:(Some (R.schema lo.rel)) in
+      let e = R.equal lo.rel ro.rel in
+      release_if_owned ro;
+      e
+    end
+  in
+  release_if_owned lo;
+  result
+
+and exec t frame (s : tstmt) : unit =
+  exec_stmt t frame s;
+  (* §4.2: release variables whose last use was this statement (the
+     static liveness analysis ran at instantiation) *)
+  match Hashtbl.find_opt t.liveness frame.meth with
+  | Some lv ->
+    List.iter
+      (fun key ->
+        match Hashtbl.find_opt frame.locals key with
+        | Some slot -> R.release !slot
+        | None -> ())
+      (Liveness.kills_after lv s)
+  | None -> ()
+
+and exec_stmt t frame (s : tstmt) : unit =
+  match s with
+  | TDecl (key, init, _) ->
+    let v = Hashtbl.find t.prog.vars key in
+    let target = schema_at t (Constraints.S_var key) v.v_schema in
+    let value =
+      match init with
+      | None -> R.empty t.u target
+      | Some te ->
+        let o = consume t frame (eval t) te ~fallback:(Some target) in
+        own_at target o
+    in
+    (* redeclaration in a later loop iteration releases the old handle *)
+    (match Hashtbl.find_opt frame.locals key with
+    | Some old -> R.release !old
+    | None -> ());
+    Hashtbl.replace frame.locals key (ref value)
+  | TAssign (key, _, te, _) ->
+    let v = Hashtbl.find t.prog.vars key in
+    let target = schema_at t (Constraints.S_var key) v.v_schema in
+    let o = consume t frame (eval t) te ~fallback:(Some target) in
+    write_var t frame key (own_at target o)
+  | TOp_assign (op, key, _, te, _) ->
+    let v = Hashtbl.find t.prog.vars key in
+    let target = schema_at t (Constraints.S_var key) v.v_schema in
+    let o = consume t frame (eval t) te ~fallback:(Some target) in
+    let current = read_var t frame key in
+    let f =
+      match op with
+      | Ast.Union -> R.union
+      | Ast.Inter -> R.inter
+      | Ast.Diff -> R.diff
+    in
+    let updated = f current o.rel in
+    release_if_owned o;
+    write_var t frame key updated
+  | TIf (c, th, el) ->
+    if eval_cond t frame c then exec t frame th
+    else Option.iter (exec t frame) el
+  | TWhile (c, body) ->
+    while eval_cond t frame c do
+      exec t frame body
+    done
+  | TDo_while (body, c) ->
+    let continue_loop = ref true in
+    while !continue_loop do
+      exec t frame body;
+      continue_loop := eval_cond t frame c
+    done
+  | TBlock stmts -> List.iter (exec t frame) stmts
+  | TReturn (None, _) -> raise (Return_value None)
+  | TReturn (Some te, _) ->
+    let fallback =
+      match (Hashtbl.find t.prog.methods frame.meth).tm_return with
+      | Some schema ->
+        Some (schema_at t (Constraints.S_return frame.meth) schema)
+      | None -> None
+    in
+    let o = consume t frame (eval t) te ~fallback in
+    (* the wrapper layout for a return equals the return-site layout *)
+    raise (Return_value (Some (if o.owned then o.rel else R.dup o.rel)))
+  | TExpr te -> (
+    match te.edesc with
+    | TCall (q, args) -> (
+      (* a statement-level call may be void *)
+      match call_method t q (eval_args t frame q args) with
+      | Some r -> R.release r
+      | None -> ())
+    | _ ->
+      if not te.is_poly then begin
+        let o = eval t frame te in
+        release_if_owned o
+      end)
+  | TPrint te ->
+    if te.is_poly then t.print_hook "0B/1B\n"
+    else begin
+      (* printing is layout-independent: no wrapper, no coercion *)
+      let o = eval t frame te in
+      t.print_hook (R.to_string o.rel);
+      release_if_owned o
+    end
+
+and call_method t q (args : value list) : R.t option =
+  let m =
+    match Hashtbl.find_opt t.prog.methods q with
+    | Some m -> m
+    | None -> fail "unknown method %s" q
+  in
+  if not (Hashtbl.mem t.liveness q) then
+    Hashtbl.replace t.liveness q (Liveness.analyze m);
+  let frame = { meth = q; locals = Hashtbl.create 8; objs = Hashtbl.create 4 } in
+  if List.length args <> List.length m.tm_params then
+    fail "method %s expects %d arguments" q (List.length m.tm_params);
+  List.iter2
+    (fun (p : tparam) (v : value) ->
+      match (p, v) with
+      | Tparam_rel key, VRel r ->
+        let target =
+          schema_at t (Constraints.S_var key)
+            (Hashtbl.find t.prog.vars key).v_schema
+        in
+        let r' =
+          let c = R.coerce r target in
+          if c == r then r
+          else begin
+            R.release r;
+            c
+          end
+        in
+        Hashtbl.replace frame.locals key (ref r')
+      | Tparam_obj (name, _), VObj n -> Hashtbl.replace frame.objs name n
+      | Tparam_rel _, VObj _ -> fail "method %s: relation argument expected" q
+      | Tparam_obj _, VRel _ -> fail "method %s: object argument expected" q)
+    m.tm_params args;
+  let result =
+    try
+      List.iter (exec t frame) m.tm_body;
+      None
+    with Return_value r -> r
+  in
+  (* §4.2 cases 3/4: locals and parameters die with the frame *)
+  Hashtbl.iter (fun _ slot -> R.release !slot) frame.locals;
+  result
+
+(* -- host API ------------------------------------------------------------------ *)
+
+let run_field_initialisers t =
+  List.iter
+    (fun q ->
+      if
+        String.length q >= 7
+        &&
+        let parts = String.split_on_char '.' q in
+        match parts with
+        | [ _; meth ] -> String.length meth > 6 && String.sub meth 0 6 = "<init:"
+        | _ -> false
+      then ignore (call_method t q []))
+    t.prog.method_order
+
+let is_field t key = Hashtbl.mem t.fields key
+
+let get_field t key =
+  match Hashtbl.find_opt t.fields key with
+  | Some r -> !r
+  | None -> fail "unknown field %s" key
+
+let set_field t key rel =
+  match Hashtbl.find_opt t.fields key with
+  | Some slot ->
+    let v = Hashtbl.find t.prog.vars key in
+    let target = schema_at t (Constraints.S_var key) v.v_schema in
+    let rel' =
+      let c = R.coerce rel target in
+      if c == rel then R.dup rel else c
+    in
+    let old = !slot in
+    slot := rel';
+    R.release old
+  | None -> fail "unknown field %s" key
+
+let call t q args = call_method t q args
+
+let instantiate ?node_capacity prog asg =
+  let t = instantiate_base ?node_capacity prog asg in
+  run_field_initialisers t;
+  t

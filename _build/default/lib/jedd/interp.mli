@@ -1,0 +1,55 @@
+(** The Jedd execution engine: instantiates a compiled program against
+    the relation runtime and runs its methods.
+
+    In the paper's toolchain this stage is "javac + JVM + Jedd runtime":
+    jeddc's generated Java executes relational operations through the
+    runtime library.  Here the lowered operations are interpreted
+    directly; the operations performed, their physical domains, and the
+    replaces inserted are exactly the ones the assignment dictates, so
+    profiles and benchmarks measure the same work the generated Java
+    would do.
+
+    Memory management follows §4.2: each variable is a container holding
+    its own reference-counted handle; assignments release the overwritten
+    handle immediately; method exit releases locals and parameters;
+    temporary results are released as soon as they are consumed. *)
+
+type t
+
+val instantiate :
+  ?node_capacity:int -> Tast.tprogram -> Encode.assignment -> t
+(** Create the universe, declare the physical domains at their computed
+    widths in declaration order, declare domains and attributes, and
+    initialise every field to 0B (then run field initialisers). *)
+
+val universe : t -> Jedd_relation.Universe.t
+
+(** {2 Registry access for host code} *)
+
+val domain : t -> string -> Jedd_relation.Domain.t
+val attribute : t -> string -> Jedd_relation.Attribute.t
+val physdom : t -> string -> Jedd_relation.Physdom.t
+
+val schema_of_var : t -> string -> Jedd_relation.Schema.t
+(** The assigned layout of a field or parameter, by qualified name
+    ("Cls.field" or "Cls.meth.param"). *)
+
+val is_field : t -> string -> bool
+
+val get_field : t -> string -> Jedd_relation.Relation.t
+val set_field : t -> string -> Jedd_relation.Relation.t -> unit
+(** The relation is coerced to the field's layout. *)
+
+(** {2 Execution} *)
+
+type value = VRel of Jedd_relation.Relation.t | VObj of int
+
+exception Runtime_error of string
+
+val call : t -> string -> value list -> Jedd_relation.Relation.t option
+(** [call t "Cls.meth" args] runs a method.  Relation arguments are
+    coerced to the parameter layouts.  Returns the return value for
+    relation-returning methods. *)
+
+val set_print_hook : t -> (string -> unit) -> unit
+(** Where [print e;] statements go (default: stdout). *)

@@ -1,0 +1,289 @@
+(* IR execution engine: runs the lowered code of [Lower] against the
+   relation runtime.  This is the closest analogue of the paper's
+   generated Java running on the JVM: every operation, layout, replace,
+   free and kill is already explicit in the instruction stream, so this
+   interpreter is a thin register machine.
+
+   The tree-walking [Interp] and this engine must agree observationally;
+   the test suite runs both on the same programs and compares results. *)
+
+open Ir
+module R = Jedd_relation.Relation
+module Schema = Jedd_relation.Schema
+
+exception Ir_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Ir_error s)) fmt
+
+type t = {
+  inst : Interp.t;
+  methods : (string, cmethod) Hashtbl.t;
+  mutable print_hook : string -> unit;
+}
+
+let create compiled inst =
+  {
+    inst;
+    methods = Lower.lower_program compiled;
+    print_hook = print_string;
+  }
+
+let set_print_hook t hook = t.print_hook <- hook
+let instance t = t.inst
+let methods t = t.methods
+
+type frame = {
+  regs : R.t option array;
+  owned : bool array;
+  locals : (Tast.var_key, R.t ref) Hashtbl.t;
+  objs : (string, int) Hashtbl.t;
+}
+
+exception Return_value of R.t option
+
+let schema_of_layout t (layout : layout) =
+  Schema.make
+    (List.map
+       (fun (attr_name, phys_name) ->
+         {
+           Schema.attr = Interp.attribute t.inst attr_name;
+           phys = Interp.physdom t.inst phys_name;
+         })
+       layout)
+
+let reg_value frame r =
+  match frame.regs.(r) with
+  | Some v -> v
+  | None -> fail "register r%d read before being written" r
+
+(* consume a register: the caller takes the value; ownership moves out
+   (a borrowed register yields a dup so the consumer can free safely) *)
+let consume_reg frame r =
+  let v = reg_value frame r in
+  let owned = frame.owned.(r) in
+  frame.regs.(r) <- None;
+  frame.owned.(r) <- false;
+  if owned then v else R.dup v
+
+let set_reg frame r v ~owned =
+  frame.regs.(r) <- Some v;
+  frame.owned.(r) <- owned
+
+let resolve_operand frame = function
+  | Op_int n -> n
+  | Op_objparam name -> (
+    match Hashtbl.find_opt frame.objs name with
+    | Some v -> v
+    | None -> fail "object parameter %s unbound" name)
+
+let read_var t frame key =
+  match Hashtbl.find_opt frame.locals key with
+  | Some slot -> !slot
+  | None -> Interp.get_field t.inst key
+
+let store_var t frame key value =
+  (* [value] is owned by this function and is handed to the storage *)
+  let coerce_to_var v =
+    let target = Interp.schema_of_var t.inst key in
+    let coerced = R.coerce v target in
+    if coerced == v then v else (R.release v; coerced)
+  in
+  match Hashtbl.find_opt frame.locals key with
+  | Some slot ->
+    let final = coerce_to_var value in
+    let old = !slot in
+    slot := final;
+    R.release old
+  | None ->
+    if Interp.is_field t.inst key then begin
+      Interp.set_field t.inst key value;
+      R.release value
+    end
+    else
+      (* first store to a local: this is its declaration *)
+      Hashtbl.replace frame.locals key (ref (coerce_to_var value))
+
+let rec exec_instr t frame (i : instr) : unit =
+  match i with
+  | ILoad (r, key) -> set_reg frame r (read_var t frame key) ~owned:false
+  | IStore (key, r) -> store_var t frame key (consume_reg frame r)
+  | IStoreUnion (key, r) | IStoreInter (key, r) | IStoreDiff (key, r) ->
+    let rhs = consume_reg frame r in
+    let cur = read_var t frame key in
+    let op =
+      match i with
+      | IStoreUnion _ -> R.union
+      | IStoreInter _ -> R.inter
+      | _ -> R.diff
+    in
+    let result = op cur rhs in
+    R.release rhs;
+    store_var t frame key result
+  | IConst (r, full, layout) ->
+    let sch = schema_of_layout t layout in
+    let u = Interp.universe t.inst in
+    set_reg frame r (if full then R.full u sch else R.empty u sch) ~owned:true
+  | ILiteral (r, layout, operands) ->
+    let sch = schema_of_layout t layout in
+    let objs = List.map (resolve_operand frame) operands in
+    set_reg frame r (R.tuple (Interp.universe t.inst) sch objs) ~owned:true
+  | IUnion (d, a, b) | IInter (d, a, b) | IDiff (d, a, b) ->
+    let va = reg_value frame a and vb = reg_value frame b in
+    let op =
+      match i with
+      | IUnion _ -> R.union
+      | IInter _ -> R.inter
+      | _ -> R.diff
+    in
+    set_reg frame d (op va vb) ~owned:true
+  | IProject (d, s, attrs) ->
+    set_reg frame d
+      (R.project_away (reg_value frame s)
+         (List.map (Interp.attribute t.inst) attrs))
+      ~owned:true
+  | IRename (d, s, pairs) ->
+    set_reg frame d
+      (R.rename (reg_value frame s)
+         (List.map
+            (fun (a, b) -> (Interp.attribute t.inst a, Interp.attribute t.inst b))
+            pairs))
+      ~owned:true
+  | ICopy (d, s, a, c, phys) ->
+    set_reg frame d
+      (R.copy
+         ~phys:(Interp.physdom t.inst phys)
+         (reg_value frame s) (Interp.attribute t.inst a)
+         ~as_:(Interp.attribute t.inst c))
+      ~owned:true
+  | IJoin (d, a, la, b, lb) ->
+    set_reg frame d
+      (R.join (reg_value frame a)
+         (List.map (Interp.attribute t.inst) la)
+         (reg_value frame b)
+         (List.map (Interp.attribute t.inst) lb))
+      ~owned:true
+  | ICompose (d, a, la, b, lb) ->
+    set_reg frame d
+      (R.compose (reg_value frame a)
+         (List.map (Interp.attribute t.inst) la)
+         (reg_value frame b)
+         (List.map (Interp.attribute t.inst) lb))
+      ~owned:true
+  | IReplace (d, s, layout) ->
+    let target = schema_of_layout t layout in
+    let v = reg_value frame s in
+    let coerced = R.coerce v target in
+    set_reg frame d (if coerced == v then R.dup v else coerced) ~owned:true
+  | ICall (dest, q, args) -> (
+    let values =
+      List.map
+        (fun (a : call_arg) ->
+          match a with
+          | Carg_reg r -> Interp.VRel (consume_reg frame r)
+          | Carg_obj o -> Interp.VObj (resolve_operand frame o))
+        args
+    in
+    match (call t q values, dest) with
+    | Some r, Some d -> set_reg frame d r ~owned:true
+    | Some r, None -> R.release r
+    | None, Some _ -> fail "void method %s used for its value" q
+    | None, None -> ())
+  | IFree r ->
+    (match frame.regs.(r) with
+    | Some v when frame.owned.(r) -> R.release v
+    | _ -> ());
+    frame.regs.(r) <- None;
+    frame.owned.(r) <- false
+  | IKill key -> (
+    match Hashtbl.find_opt frame.locals key with
+    | Some slot -> R.release !slot
+    | None -> ())
+  | IPrint r -> t.print_hook (R.to_string (reg_value frame r))
+
+and eval_cond t frame (c : ccond) : bool =
+  match c with
+  | Cbool b -> b
+  | Cnot c -> not (eval_cond t frame c)
+  | Cand (a, b) -> eval_cond t frame a && eval_cond t frame b
+  | Cor (a, b) -> eval_cond t frame a || eval_cond t frame b
+  | Ceq (code, r, rhs) | Cne (code, r, rhs) ->
+    List.iter (exec_instr t frame) code;
+    let result =
+      match rhs with
+      | Rhs_empty -> R.is_empty (reg_value frame r)
+      | Rhs_full ->
+        let v = reg_value frame r in
+        let full = R.full (Interp.universe t.inst) (R.schema v) in
+        let e = R.equal v full in
+        R.release full;
+        e
+      | Rhs_reg (code2, r2) ->
+        List.iter (exec_instr t frame) code2;
+        let e = R.equal (reg_value frame r) (reg_value frame r2) in
+        exec_instr t frame (IFree r2);
+        e
+    in
+    exec_instr t frame (IFree r);
+    (match c with Ceq _ -> result | _ -> not result)
+
+and exec_stmt t frame (s : cstmt) : unit =
+  match s with
+  | CExec instrs -> List.iter (exec_instr t frame) instrs
+  | CBlock stmts -> List.iter (exec_stmt t frame) stmts
+  | CIf (c, th, el) ->
+    if eval_cond t frame c then List.iter (exec_stmt t frame) th
+    else List.iter (exec_stmt t frame) el
+  | CWhile (c, body) ->
+    while eval_cond t frame c do
+      List.iter (exec_stmt t frame) body
+    done
+  | CDoWhile (body, c) ->
+    let continue_loop = ref true in
+    while !continue_loop do
+      List.iter (exec_stmt t frame) body;
+      continue_loop := eval_cond t frame c
+    done
+  | CReturn (code, r) ->
+    List.iter (exec_instr t frame) code;
+    raise
+      (Return_value (match r with Some r -> Some (consume_reg frame r) | None -> None))
+
+and call t q (args : Interp.value list) : R.t option =
+  let m =
+    match Hashtbl.find_opt t.methods q with
+    | Some m -> m
+    | None -> fail "unknown method %s" q
+  in
+  let frame =
+    {
+      regs = Array.make (max 1 m.c_nregs) None;
+      owned = Array.make (max 1 m.c_nregs) false;
+      locals = Hashtbl.create 8;
+      objs = Hashtbl.create 4;
+    }
+  in
+  List.iter2
+    (fun (p : Tast.tparam) (v : Interp.value) ->
+      match (p, v) with
+      | Tast.Tparam_rel key, Interp.VRel r ->
+        let target = Interp.schema_of_var t.inst key in
+        let coerced = R.coerce r target in
+        let final = if coerced == r then r else (R.release r; coerced) in
+        Hashtbl.replace frame.locals key (ref final)
+      | Tast.Tparam_obj (name, _), Interp.VObj n ->
+        Hashtbl.replace frame.objs name n
+      | _ -> fail "argument kind mismatch calling %s" q)
+    m.c_params args;
+  let result =
+    try
+      List.iter (exec_stmt t frame) m.c_body;
+      None
+    with Return_value r -> r
+  in
+  (* frame teardown: locals die; stray owned registers are swept *)
+  Hashtbl.iter (fun _ slot -> R.release !slot) frame.locals;
+  Array.iteri
+    (fun i v ->
+      match v with Some v when frame.owned.(i) -> R.release v | _ -> ())
+    frame.regs;
+  result

@@ -1,0 +1,188 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | ZERO_B
+  | ONE_B
+  | KW of string
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | LANGLE
+  | RANGLE
+  | COMMA
+  | SEMI
+  | COLON
+  | ARROW
+  | JOIN_SYM
+  | COMPOSE_SYM
+  | PIPE
+  | AMP
+  | MINUS
+  | BANG
+  | EQ
+  | EQEQ
+  | NEQ
+  | PIPE_EQ
+  | AMP_EQ
+  | MINUS_EQ
+  | AND_AND
+  | OR_OR
+  | EOF
+
+exception Lex_error of string * Ast.pos
+
+let keywords =
+  [
+    "domain"; "attribute"; "physdom"; "class"; "public"; "private"; "void";
+    "if"; "else"; "while"; "do"; "return"; "new"; "true"; "false"; "print";
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize ~file src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let i = ref 0 in
+  let pos () = { Ast.file; line = !line; col = !col } in
+  let advance () =
+    (if !i < n then
+       if src.[!i] = '\n' then begin
+         incr line;
+         col := 1
+       end
+       else incr col);
+    incr i
+  in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  let emit tok p = tokens := (tok, p) :: !tokens in
+  while !i < n do
+    let c = src.[!i] in
+    let p = pos () in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '/' && peek 1 = Some '/' then
+      while !i < n && src.[!i] <> '\n' do
+        advance ()
+      done
+    else if c = '/' && peek 1 = Some '*' then begin
+      advance ();
+      advance ();
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '*' && peek 1 = Some '/' then begin
+          advance ();
+          advance ();
+          closed := true
+        end
+        else advance ()
+      done;
+      if not !closed then raise (Lex_error ("unterminated comment", p))
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        advance ()
+      done;
+      (* 0B / 1B constants *)
+      if !i < n && src.[!i] = 'B' && !i - start = 1 then begin
+        let tok = if src.[start] = '0' then ZERO_B else ONE_B in
+        if src.[start] <> '0' && src.[start] <> '1' then
+          raise (Lex_error ("only 0B and 1B are relation constants", p));
+        advance ();
+        emit tok p
+      end
+      else
+        emit (INT (int_of_string (String.sub src start (!i - start)))) p
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        advance ()
+      done;
+      let word = String.sub src start (!i - start) in
+      if List.mem word keywords then emit (KW word) p else emit (IDENT word) p
+    end
+    else begin
+      let two =
+        match peek 1 with
+        | Some c2 -> Some (String.init 2 (fun k -> if k = 0 then c else c2))
+        | None -> None
+      in
+      let emit2 tok =
+        advance ();
+        advance ();
+        emit tok p
+      in
+      match two with
+      | Some "=>" -> emit2 ARROW
+      | Some "><" -> emit2 JOIN_SYM
+      | Some "<>" -> emit2 COMPOSE_SYM
+      | Some "==" -> emit2 EQEQ
+      | Some "!=" -> emit2 NEQ
+      | Some "|=" -> emit2 PIPE_EQ
+      | Some "&=" -> emit2 AMP_EQ
+      | Some "-=" -> emit2 MINUS_EQ
+      | Some "&&" -> emit2 AND_AND
+      | Some "||" -> emit2 OR_OR
+      | _ -> (
+        let emit1 tok =
+          advance ();
+          emit tok p
+        in
+        match c with
+        | '{' -> emit1 LBRACE
+        | '}' -> emit1 RBRACE
+        | '(' -> emit1 LPAREN
+        | ')' -> emit1 RPAREN
+        | '<' -> emit1 LANGLE
+        | '>' -> emit1 RANGLE
+        | ',' -> emit1 COMMA
+        | ';' -> emit1 SEMI
+        | ':' -> emit1 COLON
+        | '|' -> emit1 PIPE
+        | '&' -> emit1 AMP
+        | '-' -> emit1 MINUS
+        | '!' -> emit1 BANG
+        | '=' -> emit1 EQ
+        | c ->
+          raise
+            (Lex_error (Printf.sprintf "unexpected character %C" c, p)))
+    end
+  done;
+  emit EOF (pos ());
+  List.rev !tokens
+
+let describe = function
+  | IDENT s -> Printf.sprintf "identifier %s" s
+  | INT k -> Printf.sprintf "integer %d" k
+  | ZERO_B -> "0B"
+  | ONE_B -> "1B"
+  | KW k -> Printf.sprintf "keyword %s" k
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LANGLE -> "<"
+  | RANGLE -> ">"
+  | COMMA -> ","
+  | SEMI -> ";"
+  | COLON -> ":"
+  | ARROW -> "=>"
+  | JOIN_SYM -> "><"
+  | COMPOSE_SYM -> "<>"
+  | PIPE -> "|"
+  | AMP -> "&"
+  | MINUS -> "-"
+  | BANG -> "!"
+  | EQ -> "="
+  | EQEQ -> "=="
+  | NEQ -> "!="
+  | PIPE_EQ -> "|="
+  | AMP_EQ -> "&="
+  | MINUS_EQ -> "-="
+  | AND_AND -> "&&"
+  | OR_OR -> "||"
+  | EOF -> "end of input"

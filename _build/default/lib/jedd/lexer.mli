@@ -1,0 +1,47 @@
+(** Hand-written lexer for Jedd source.
+
+    The grammar of Figure 5 adds only a handful of symbols to Java; the
+    interesting multi-character tokens are [><] (join), [<>] (compose),
+    [=>] (replacement arrow), and the [0B]/[1B] constants. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | ZERO_B
+  | ONE_B
+  | KW of string  (** reserved word *)
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | LANGLE
+  | RANGLE
+  | COMMA
+  | SEMI
+  | COLON
+  | ARROW  (** => *)
+  | JOIN_SYM  (** >< *)
+  | COMPOSE_SYM  (** <> *)
+  | PIPE
+  | AMP
+  | MINUS
+  | BANG
+  | EQ  (** = *)
+  | EQEQ
+  | NEQ
+  | PIPE_EQ
+  | AMP_EQ
+  | MINUS_EQ
+  | AND_AND
+  | OR_OR
+  | EOF
+
+exception Lex_error of string * Ast.pos
+
+val keywords : string list
+
+val tokenize : file:string -> string -> (token * Ast.pos) list
+(** Whole-input tokenisation.  Comments are Java's [//] and [/* */]. *)
+
+val describe : token -> string
+(** For parse-error messages. *)

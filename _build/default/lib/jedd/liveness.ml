@@ -1,0 +1,130 @@
+open Tast
+
+module S = Set.Make (String)
+
+(* Statements carry no ids; methods are small, so kills are recorded in
+   a physical-identity association list. *)
+type t = { mutable kills : (tstmt * var_key list) list }
+
+let record t s keys =
+  if keys <> [] then t.kills <- (s, keys) :: t.kills
+
+let kills_after t s =
+  let rec find = function
+    | [] -> []
+    | (s', ks) :: rest -> if s' == s then ks else find rest
+  in
+  find t.kills
+
+let total_kill_sites t = List.length t.kills
+
+(* variables (locals and parameters, by key) an expression reads *)
+let rec expr_uses (e : texpr) acc =
+  match e.edesc with
+  | TVar ((Vlocal | Vparam), key) -> S.add key acc
+  | TVar (Vfield, _) | TEmpty | TFull | TLiteral _ -> acc
+  | TBinop (_, l, r) -> expr_uses l (expr_uses r acc)
+  | TReplace (_, c) -> expr_uses c acc
+  | TJoin (_, l, _, r, _) -> expr_uses l (expr_uses r acc)
+  | TCall (_, args) ->
+    List.fold_left
+      (fun acc (a : targ) ->
+        match a with Targ_rel te -> expr_uses te acc | Targ_obj _ -> acc)
+      acc args
+
+let rec cond_uses (c : tcond) acc =
+  match c with
+  | TBool _ -> acc
+  | TNot c -> cond_uses c acc
+  | TAnd (a, b) | TOr (a, b) -> cond_uses a (cond_uses b acc)
+  | TCmp_eq (l, r) | TCmp_ne (l, r) -> expr_uses l (expr_uses r acc)
+
+(* Backward transfer.  [record_pass] controls whether kill sets are
+   written (only on the final fixpoint pass, so loop bodies do not keep
+   stale kill sets from early iterations). *)
+let rec transfer t ~record_pass (s : tstmt) (live_out : S.t) : S.t =
+  let kill_set used defined =
+    S.elements (S.diff (S.union used defined) live_out)
+  in
+  match s with
+  | TBlock stmts ->
+    List.fold_right
+      (fun s live -> transfer t ~record_pass s live)
+      stmts live_out
+  | TDecl (key, init, _) ->
+    let used =
+      match init with Some e -> expr_uses e S.empty | None -> S.empty
+    in
+    if record_pass then record t s (kill_set used (S.singleton key));
+    S.union used (S.remove key live_out)
+  | TAssign (key, kind, e, _) ->
+    let used = expr_uses e S.empty in
+    let defined =
+      if kind = Vlocal || kind = Vparam then S.singleton key else S.empty
+    in
+    if record_pass then record t s (kill_set used defined);
+    S.union used (S.diff live_out defined)
+  | TOp_assign (_, key, kind, e, _) ->
+    (* reads and writes the variable *)
+    let used =
+      let u = expr_uses e S.empty in
+      if kind = Vlocal || kind = Vparam then S.add key u else u
+    in
+    if record_pass then record t s (kill_set used S.empty);
+    S.union used live_out
+  | TIf (c, th, el) ->
+    let live_th = transfer t ~record_pass th live_out in
+    let live_el =
+      match el with
+      | Some el -> transfer t ~record_pass el live_out
+      | None -> live_out
+    in
+    let branches = S.union live_th live_el in
+    let used_c = cond_uses c S.empty in
+    (* condition-only variables die after the whole statement *)
+    if record_pass then
+      record t s (S.elements (S.diff used_c (S.union live_out branches)));
+    S.union used_c branches
+  | TWhile (c, body) ->
+    let used_c = cond_uses c S.empty in
+    let rec fixpoint live =
+      let live' =
+        S.union live (transfer t ~record_pass:false body (S.union live used_c))
+      in
+      if S.equal live' live then live else fixpoint live'
+    in
+    let live_in = fixpoint (S.union live_out used_c) in
+    if record_pass then
+      ignore (transfer t ~record_pass:true body (S.union live_in used_c));
+    live_in
+  | TDo_while (body, c) ->
+    let used_c = cond_uses c S.empty in
+    let rec fixpoint live =
+      let live' =
+        S.union live (transfer t ~record_pass:false body (S.union live used_c))
+      in
+      if S.equal live' live then live else fixpoint live'
+    in
+    let live_in = fixpoint (S.union live_out used_c) in
+    if record_pass then
+      ignore (transfer t ~record_pass:true body (S.union live_in used_c));
+    live_in
+  | TReturn (e, _) ->
+    (* frame teardown releases everything anyway *)
+    (match e with Some e -> expr_uses e S.empty | None -> S.empty)
+  | TExpr e ->
+    let used = expr_uses e S.empty in
+    if record_pass then record t s (kill_set used S.empty);
+    S.union used live_out
+  | TPrint e ->
+    let used = expr_uses e S.empty in
+    if record_pass then record t s (kill_set used S.empty);
+    S.union used live_out
+
+let analyze (m : tmeth) : t =
+  let t = { kills = [] } in
+  ignore
+    (List.fold_right
+       (fun s live -> transfer t ~record_pass:true s live)
+       m.tm_body S.empty);
+  t

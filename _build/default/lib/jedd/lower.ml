@@ -1,0 +1,293 @@
+(* Lowering: typed AST + physical-domain assignment -> IR (§3.2).
+
+   All the decisions the paper's code generator makes become explicit
+   here: which layout each constant/literal is materialised at, where a
+   replace is inserted (exactly the assignment-edge breaks the SAT
+   solution kept), when intermediates are freed (immediately after
+   consumption), and where variables die (the §4.2 liveness analysis'
+   kill sites). *)
+
+open Tast
+open Ir
+
+type st = {
+  compiled : Driver.compiled;
+  meth_q : string;  (* qualified name of the method being lowered *)
+  mutable next_reg : int;
+  mutable code : instr list;  (* reversed *)
+}
+
+let emit st i = st.code <- i :: st.code
+
+let fresh st =
+  let r = st.next_reg in
+  st.next_reg <- r + 1;
+  r
+
+let take_code st =
+  let c = List.rev st.code in
+  st.code <- [];
+  c
+
+let layout_at st site (schema : attr_info list) : layout =
+  List.map
+    (fun (a : attr_info) ->
+      (a.a_name, (st.compiled.Driver.assignment.Encode.phys_of site a.a_name).p_name))
+    schema
+
+let var_layout st key =
+  let v = Hashtbl.find st.compiled.Driver.tprog.vars key in
+  layout_at st (Constraints.S_var key) v.v_schema
+
+(* result: register plus whether the lowering owns it *)
+let rec lower_expr st (e : texpr) : reg * bool =
+  let site = Constraints.S_expr e.eid in
+  match e.edesc with
+  | TEmpty | TFull ->
+    invalid_arg "Lower: 0B/1B lowered without an expected layout"
+  | TVar (_, key) ->
+    let r = fresh st in
+    emit st (ILoad (r, key));
+    (r, false)
+  | TLiteral pieces ->
+    let r = fresh st in
+    let objs =
+      List.map
+        (fun (o, _) ->
+          match o with
+          | Tobj_int n -> Op_int n
+          | Tobj_var (name, _) -> Op_objparam name)
+        pieces
+    in
+    emit st (ILiteral (r, layout_at st site e.eschema, objs));
+    (r, true)
+  | TBinop (op, l, r_) ->
+    let la = lower_consumed st l ~fallback:(lazy (layout_at st site e.eschema)) in
+    let rb =
+      lower_consumed st r_ ~fallback:(lazy (layout_at st site e.eschema))
+    in
+    let d = fresh st in
+    emit st
+      (match op with
+      | Ast.Union -> IUnion (d, fst la, fst rb)
+      | Ast.Inter -> IInter (d, fst la, fst rb)
+      | Ast.Diff -> IDiff (d, fst la, fst rb));
+    free_if st la;
+    free_if st rb;
+    (d, true)
+  | TReplace (reps, c) ->
+    let src = lower_consumed st c ~fallback:(lazy (assert false)) in
+    let current = ref src in
+    List.iter
+      (fun rep ->
+        let d = fresh st in
+        (match rep with
+        | TProj a -> emit st (IProject (d, fst !current, [ a.a_name ]))
+        | TRen (a, b) -> emit st (IRename (d, fst !current, [ (a.a_name, b.a_name) ]))
+        | TCopy (a, b, c') ->
+          let phys_c =
+            (st.compiled.Driver.assignment.Encode.phys_of site c'.a_name).p_name
+          in
+          if a.a_name = b.a_name then
+            emit st (ICopy (d, fst !current, a.a_name, c'.a_name, phys_c))
+          else begin
+            let mid = fresh st in
+            emit st (ICopy (mid, fst !current, a.a_name, c'.a_name, phys_c));
+            emit st (IRename (d, mid, [ (a.a_name, b.a_name) ]));
+            emit st (IFree mid)
+          end);
+        free_if st !current;
+        current := (d, true))
+      reps;
+    !current
+  | TJoin (kind, l, la, r_, ra) ->
+    let a = lower_consumed st l ~fallback:(lazy (assert false)) in
+    let b = lower_consumed st r_ ~fallback:(lazy (assert false)) in
+    let d = fresh st in
+    let lnames = List.map (fun x -> x.a_name) la in
+    let rnames = List.map (fun x -> x.a_name) ra in
+    emit st
+      (match kind with
+      | Ast.Join -> IJoin (d, fst a, lnames, fst b, rnames)
+      | Ast.Compose -> ICompose (d, fst a, lnames, fst b, rnames));
+    free_if st a;
+    free_if st b;
+    (d, true)
+  | TCall (q, args) ->
+    let m = Hashtbl.find st.compiled.Driver.tprog.methods q in
+    let cargs =
+      List.map2
+        (fun (a : targ) (p : tparam) ->
+          match (a, p) with
+          | Targ_obj (Tobj_int n), _ -> Carg_obj (Op_int n)
+          | Targ_obj (Tobj_var (name, _)), _ -> Carg_obj (Op_objparam name)
+          | Targ_rel t, Tparam_rel key ->
+            let r =
+              lower_consumed st t ~fallback:(lazy (var_layout st key))
+            in
+            (* ownership transfers to the callee; the interpreter dups
+               borrowed registers at the call *)
+            Carg_reg (fst r)
+          | Targ_rel _, Tparam_obj _ -> assert false)
+        args m.tm_params
+    in
+    let d = fresh st in
+    emit st (ICall (Some d, q, cargs));
+    (d, true)
+
+and free_if st (r, owned) = if owned then emit st (IFree r)
+
+(* consume a subexpression through its dummy-replace wrapper *)
+and lower_consumed st (child : texpr) ~fallback : reg * bool =
+  if child.is_poly then begin
+    let r = fresh st in
+    emit st (IConst (r, child.edesc = TFull, Lazy.force fallback));
+    (r, true)
+  end
+  else begin
+    let (r, owned) = lower_expr st child in
+    let own_layout = layout_at st (Constraints.S_expr child.eid) child.eschema in
+    let want = layout_at st (Constraints.S_wrap child.eid) child.eschema in
+    if List.sort compare own_layout = List.sort compare want then (r, owned)
+    else begin
+      let d = fresh st in
+      emit st (IReplace (d, r, want));
+      if owned then emit st (IFree r);
+      (d, true)
+    end
+  end
+
+let lower_cond st (c : tcond) : ccond =
+  let rec go (c : tcond) =
+    match c with
+    | TBool b -> Cbool b
+    | TNot c -> Cnot (go c)
+    | TAnd (a, b) -> Cand (go a, go b)
+    | TOr (a, b) -> Cor (go a, go b)
+    | TCmp_eq (l, r) | TCmp_ne (l, r) ->
+      (* comparison operands are freed by the interpreter after
+         comparing (it tracks register ownership) *)
+      let l, r = if l.is_poly then (r, l) else (l, r) in
+      let lr = lower_consumed st l ~fallback:(lazy (assert false)) in
+      let lcode = take_code st in
+      let rhs =
+        if r.is_poly then
+          match r.edesc with
+          | TEmpty -> Rhs_empty
+          | TFull -> Rhs_full
+          | _ -> assert false
+        else begin
+          let rr = lower_consumed st r ~fallback:(lazy (assert false)) in
+          Rhs_reg (take_code st, fst rr)
+        end
+      in
+      (match c with
+      | TCmp_eq _ -> Ceq (lcode, fst lr, rhs)
+      | _ -> Cne (lcode, fst lr, rhs))
+  in
+  go c
+
+let rec lower_stmt st liveness (s : tstmt) : cstmt =
+  let kills () = List.map (fun k -> IKill k) (Liveness.kills_after liveness s) in
+  match s with
+  | TDecl (key, init, _) ->
+    (match init with
+    | None ->
+      let r = fresh st in
+      emit st (IConst (r, false, var_layout st key));
+      emit st (IStore (key, r))
+    | Some te ->
+      let r = lower_consumed st te ~fallback:(lazy (var_layout st key)) in
+      emit st (IStore (key, fst r)));
+    CExec (take_code st @ kills ())
+  | TAssign (key, _, te, _) ->
+    let r = lower_consumed st te ~fallback:(lazy (var_layout st key)) in
+    emit st (IStore (key, fst r));
+    CExec (take_code st @ kills ())
+  | TOp_assign (op, key, _, te, _) ->
+    let r = lower_consumed st te ~fallback:(lazy (var_layout st key)) in
+    emit st
+      (match op with
+      | Ast.Union -> IStoreUnion (key, fst r)
+      | Ast.Inter -> IStoreInter (key, fst r)
+      | Ast.Diff -> IStoreDiff (key, fst r));
+    CExec (take_code st @ kills ())
+  | TIf (c, th, el) ->
+    let cc = lower_cond st c in
+    let th' = [ lower_stmt st liveness th ] in
+    let el' =
+      match el with Some el -> [ lower_stmt st liveness el ] | None -> []
+    in
+    let k = kills () in
+    if k = [] then CIf (cc, th', el')
+    else CIf (cc, th' @ [ CExec k ], el' @ [ CExec k ])
+  | TWhile (c, body) ->
+    let cc = lower_cond st c in
+    CWhile (cc, [ lower_stmt st liveness body ])
+  | TDo_while (body, c) ->
+    let body' = lower_stmt st liveness body in
+    let cc = lower_cond st c in
+    CDoWhile ([ body' ], cc)
+  | TBlock stmts -> (
+    let lowered = List.map (lower_stmt st liveness) stmts in
+    match kills () with
+    | [] -> CBlock lowered
+    | k -> CBlock (lowered @ [ CExec k ]))
+  | TReturn (None, _) -> CReturn ([], None)
+  | TReturn (Some te, _) ->
+    let meth = Hashtbl.find st.compiled.Driver.tprog.methods st.meth_q in
+    let fallback =
+      lazy
+        (match meth.tm_return with
+        | Some schema -> layout_at st (Constraints.S_return st.meth_q) schema
+        | None -> invalid_arg "Lower: return value in a void method")
+    in
+    let r = lower_consumed st te ~fallback in
+    CReturn (take_code st, Some (fst r))
+  | TExpr te ->
+    (match te.edesc with
+    | TCall (q, args) ->
+      let m = Hashtbl.find st.compiled.Driver.tprog.methods q in
+      let cargs =
+        List.map2
+          (fun (a : targ) (p : tparam) ->
+            match (a, p) with
+            | Targ_obj (Tobj_int n), _ -> Carg_obj (Op_int n)
+            | Targ_obj (Tobj_var (name, _)), _ -> Carg_obj (Op_objparam name)
+            | Targ_rel t, Tparam_rel key ->
+              let r =
+                lower_consumed st t ~fallback:(lazy (var_layout st key))
+              in
+              Carg_reg (fst r)
+            | Targ_rel _, Tparam_obj _ -> assert false)
+          args m.tm_params
+      in
+      emit st (ICall (None, q, cargs))
+    | _ ->
+      if not te.is_poly then begin
+        let r = lower_expr st te in
+        free_if st r
+      end);
+    CExec (take_code st @ kills ())
+  | TPrint te ->
+    if not te.is_poly then begin
+      let r = lower_expr st te in
+      emit st (IPrint (fst r));
+      free_if st r
+    end;
+    CExec (take_code st @ kills ())
+
+let lower_method (compiled : Driver.compiled) q : cmethod =
+  let m = Hashtbl.find compiled.Driver.tprog.methods q in
+  let st = { compiled; meth_q = q; next_reg = 0; code = [] } in
+  let liveness = Liveness.analyze m in
+  let body = List.map (lower_stmt st liveness) m.tm_body in
+  assert (st.code = []);
+  { c_qualified = q; c_params = m.tm_params; c_body = body; c_nregs = st.next_reg }
+
+let lower_program (compiled : Driver.compiled) : (string, cmethod) Hashtbl.t =
+  let out = Hashtbl.create 16 in
+  List.iter
+    (fun q -> Hashtbl.replace out q (lower_method compiled q))
+    compiled.Driver.tprog.method_order;
+  out

@@ -1,0 +1,598 @@
+open Ast
+
+exception Parse_error of string * Ast.pos
+
+type state = { toks : (Lexer.token * pos) array; mutable k : int }
+
+let peek st = fst st.toks.(st.k)
+let peek_pos st = snd st.toks.(st.k)
+let peek_at st n = fst st.toks.(min (st.k + n) (Array.length st.toks - 1))
+
+let advance st = if st.k < Array.length st.toks - 1 then st.k <- st.k + 1
+
+let next st =
+  let t = st.toks.(st.k) in
+  advance st;
+  t
+
+let error st msg =
+  raise (Parse_error (msg, peek_pos st))
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    error st
+      (Printf.sprintf "expected %s but found %s" (Lexer.describe tok)
+         (Lexer.describe (peek st)))
+
+let expect_ident st =
+  match next st with
+  | Lexer.IDENT s, _ -> s
+  | t, p ->
+    raise
+      (Parse_error
+         (Printf.sprintf "expected identifier but found %s" (Lexer.describe t), p))
+
+let expect_int st =
+  match next st with
+  | Lexer.INT n, _ -> n
+  | t, p ->
+    raise
+      (Parse_error
+         (Printf.sprintf "expected integer but found %s" (Lexer.describe t), p))
+
+(* -- types ---------------------------------------------------------------- *)
+
+let parse_attr_phys st =
+  let attr_name = expect_ident st in
+  let phys_name =
+    if peek st = Lexer.COLON then begin
+      advance st;
+      Some (expect_ident st)
+    end
+    else None
+  in
+  { attr_name; phys_name }
+
+let parse_rel_type st =
+  let type_pos = peek_pos st in
+  expect st Lexer.LANGLE;
+  let rec elems acc =
+    let e = parse_attr_phys st in
+    if peek st = Lexer.COMMA then begin
+      advance st;
+      elems (e :: acc)
+    end
+    else List.rev (e :: acc)
+  in
+  let elems = elems [] in
+  expect st Lexer.RANGLE;
+  { elems; type_pos }
+
+(* -- expressions ----------------------------------------------------------- *)
+
+(* Is the parenthesis at the cursor a replacement prefix "(a=>...)"? *)
+let starts_replacement st =
+  peek st = Lexer.LPAREN
+  && (match peek_at st 1 with Lexer.IDENT _ -> true | _ -> false)
+  && peek_at st 2 = Lexer.ARROW
+
+let parse_replacement st =
+  let a = expect_ident st in
+  expect st Lexer.ARROW;
+  match peek st with
+  | Lexer.IDENT b -> (
+    advance st;
+    match peek st with
+    | Lexer.IDENT c ->
+      advance st;
+      Copy_to (a, b, c)
+    | _ -> Rename_to (a, b))
+  | _ -> Project_away a
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let rec loop left =
+    if peek st = Lexer.PIPE then begin
+      let pos = peek_pos st in
+      advance st;
+      let right = parse_and st in
+      loop { desc = Binop (Union, left, right); pos }
+    end
+    else left
+  in
+  loop (parse_and st)
+
+and parse_and st =
+  let rec loop left =
+    if peek st = Lexer.AMP then begin
+      let pos = peek_pos st in
+      advance st;
+      let right = parse_add st in
+      loop { desc = Binop (Inter, left, right); pos }
+    end
+    else left
+  in
+  loop (parse_add st)
+
+and parse_add st =
+  let rec loop left =
+    if peek st = Lexer.MINUS then begin
+      let pos = peek_pos st in
+      advance st;
+      let right = parse_join st in
+      loop { desc = Binop (Diff, left, right); pos }
+    end
+    else left
+  in
+  loop (parse_join st)
+
+and parse_attr_list st =
+  expect st Lexer.LBRACE;
+  let rec go acc =
+    let a = expect_ident st in
+    if peek st = Lexer.COMMA then begin
+      advance st;
+      go (a :: acc)
+    end
+    else List.rev (a :: acc)
+  in
+  let attrs = go [] in
+  expect st Lexer.RBRACE;
+  attrs
+
+and parse_join st =
+  let rec loop left =
+    if peek st = Lexer.LBRACE then begin
+      let pos = peek_pos st in
+      let left_attrs = parse_attr_list st in
+      let kind =
+        match next st with
+        | Lexer.JOIN_SYM, _ -> Join
+        | Lexer.COMPOSE_SYM, _ -> Compose
+        | t, p ->
+          raise
+            (Parse_error
+               ( Printf.sprintf "expected >< or <> but found %s"
+                   (Lexer.describe t),
+                 p ))
+      in
+      let right = parse_unary st in
+      let right_attrs = parse_attr_list st in
+      loop
+        { desc = JoinExpr (kind, left, left_attrs, right, right_attrs); pos }
+    end
+    else left
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  if starts_replacement st then begin
+    let pos = peek_pos st in
+    expect st Lexer.LPAREN;
+    let rec go acc =
+      let r = parse_replacement st in
+      if peek st = Lexer.COMMA then begin
+        advance st;
+        go (r :: acc)
+      end
+      else List.rev (r :: acc)
+    in
+    let replacements = go [] in
+    expect st Lexer.RPAREN;
+    let operand = parse_unary st in
+    { desc = Replace (replacements, operand); pos }
+  end
+  else parse_primary st
+
+and parse_primary st =
+  let pos = peek_pos st in
+  match peek st with
+  | Lexer.ZERO_B ->
+    advance st;
+    { desc = Empty; pos }
+  | Lexer.ONE_B ->
+    advance st;
+    { desc = Full; pos }
+  | Lexer.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st Lexer.RPAREN;
+    e
+  | Lexer.KW "new" ->
+    advance st;
+    expect st Lexer.LBRACE;
+    let parse_piece () =
+      let obj =
+        match next st with
+        | Lexer.IDENT s, _ -> Obj_var s
+        | Lexer.INT n, _ -> Obj_int n
+        | t, p ->
+          raise
+            (Parse_error
+               ( Printf.sprintf
+                   "expected object expression but found %s"
+                   (Lexer.describe t),
+                 p ))
+      in
+      expect st Lexer.ARROW;
+      let ap = parse_attr_phys st in
+      (obj, ap)
+    in
+    let rec pieces acc =
+      let p = parse_piece () in
+      if peek st = Lexer.COMMA then begin
+        advance st;
+        pieces (p :: acc)
+      end
+      else List.rev (p :: acc)
+    in
+    let ps = pieces [] in
+    expect st Lexer.RBRACE;
+    { desc = Literal ps; pos }
+  | Lexer.IDENT name ->
+    advance st;
+    if peek st = Lexer.LPAREN then begin
+      advance st;
+      let args =
+        if peek st = Lexer.RPAREN then []
+        else begin
+          let rec go acc =
+            let a =
+              match peek st with
+              | Lexer.INT n ->
+                advance st;
+                Arg_obj (Obj_int n)
+              | _ -> Arg_rel (parse_expr st)
+            in
+            if peek st = Lexer.COMMA then begin
+              advance st;
+              go (a :: acc)
+            end
+            else List.rev (a :: acc)
+          in
+          go []
+        end
+      in
+      expect st Lexer.RPAREN;
+      { desc = Call (name, args); pos }
+    end
+    else { desc = Var name; pos }
+  | t -> error st (Printf.sprintf "unexpected %s in expression" (Lexer.describe t))
+
+(* -- conditions ------------------------------------------------------------- *)
+
+exception Backtrack
+
+let rec parse_cond st = parse_cond_or st
+
+and parse_cond_or st =
+  let rec loop left =
+    if peek st = Lexer.OR_OR then begin
+      let cpos = peek_pos st in
+      advance st;
+      let right = parse_cond_and st in
+      loop { cdesc = Or (left, right); cpos }
+    end
+    else left
+  in
+  loop (parse_cond_and st)
+
+and parse_cond_and st =
+  let rec loop left =
+    if peek st = Lexer.AND_AND then begin
+      let cpos = peek_pos st in
+      advance st;
+      let right = parse_cond_not st in
+      loop { cdesc = And (left, right); cpos }
+    end
+    else left
+  in
+  loop (parse_cond_not st)
+
+and parse_cond_not st =
+  let cpos = peek_pos st in
+  match peek st with
+  | Lexer.BANG ->
+    advance st;
+    let c = parse_cond_not st in
+    { cdesc = Not c; cpos }
+  | Lexer.KW "true" ->
+    advance st;
+    { cdesc = Bool_lit true; cpos }
+  | Lexer.KW "false" ->
+    advance st;
+    { cdesc = Bool_lit false; cpos }
+  | Lexer.LPAREN -> (
+    (* Could be a parenthesised condition or a relational expression
+       comparison starting with '('.  Try the condition reading first,
+       fall back to the comparison. *)
+    let save = st.k in
+    try
+      advance st;
+      let c = parse_cond st in
+      if peek st <> Lexer.RPAREN then raise Backtrack;
+      advance st;
+      c
+    with Backtrack | Parse_error _ ->
+      st.k <- save;
+      parse_comparison st)
+  | _ -> parse_comparison st
+
+and parse_comparison st =
+  let cpos = peek_pos st in
+  let left = parse_expr st in
+  match next st with
+  | Lexer.EQEQ, _ ->
+    let right = parse_expr st in
+    { cdesc = Cmp_eq (left, right); cpos }
+  | Lexer.NEQ, _ ->
+    let right = parse_expr st in
+    { cdesc = Cmp_ne (left, right); cpos }
+  | t, p ->
+    raise
+      (Parse_error
+         ( Printf.sprintf "expected == or != but found %s" (Lexer.describe t),
+           p ))
+
+(* -- statements --------------------------------------------------------------- *)
+
+let rec parse_stmt st =
+  let spos = peek_pos st in
+  match peek st with
+  | Lexer.LANGLE ->
+    (* local relation declaration *)
+    let ty = parse_rel_type st in
+    let name = expect_ident st in
+    let init =
+      if peek st = Lexer.EQ then begin
+        advance st;
+        Some (parse_expr st)
+      end
+      else None
+    in
+    expect st Lexer.SEMI;
+    { sdesc = Decl (ty, name, init); spos }
+  | Lexer.LBRACE ->
+    advance st;
+    let rec stmts acc =
+      if peek st = Lexer.RBRACE then begin
+        advance st;
+        List.rev acc
+      end
+      else stmts (parse_stmt st :: acc)
+    in
+    { sdesc = Block (stmts []); spos }
+  | Lexer.KW "if" ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let c = parse_cond st in
+    expect st Lexer.RPAREN;
+    let then_branch = parse_stmt st in
+    let else_branch =
+      if peek st = Lexer.KW "else" then begin
+        advance st;
+        Some (parse_stmt st)
+      end
+      else None
+    in
+    { sdesc = If (c, then_branch, else_branch); spos }
+  | Lexer.KW "while" ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let c = parse_cond st in
+    expect st Lexer.RPAREN;
+    let body = parse_stmt st in
+    { sdesc = While (c, body); spos }
+  | Lexer.KW "do" ->
+    advance st;
+    let body = parse_stmt st in
+    (match next st with
+    | Lexer.KW "while", _ -> ()
+    | t, p ->
+      raise
+        (Parse_error
+           (Printf.sprintf "expected while but found %s" (Lexer.describe t), p)));
+    expect st Lexer.LPAREN;
+    let c = parse_cond st in
+    expect st Lexer.RPAREN;
+    expect st Lexer.SEMI;
+    { sdesc = Do_while (body, c); spos }
+  | Lexer.KW "return" ->
+    advance st;
+    let e = if peek st = Lexer.SEMI then None else Some (parse_expr st) in
+    expect st Lexer.SEMI;
+    { sdesc = Return e; spos }
+  | Lexer.KW "print" ->
+    advance st;
+    let e = parse_expr st in
+    expect st Lexer.SEMI;
+    { sdesc = Print e; spos }
+  | Lexer.IDENT name -> (
+    match peek_at st 1 with
+    | Lexer.EQ ->
+      advance st;
+      advance st;
+      let e = parse_expr st in
+      expect st Lexer.SEMI;
+      { sdesc = Assign (name, e); spos }
+    | Lexer.PIPE_EQ | Lexer.AMP_EQ | Lexer.MINUS_EQ ->
+      advance st;
+      let op =
+        match next st with
+        | Lexer.PIPE_EQ, _ -> Union
+        | Lexer.AMP_EQ, _ -> Inter
+        | Lexer.MINUS_EQ, _ -> Diff
+        | _ -> assert false
+      in
+      let e = parse_expr st in
+      expect st Lexer.SEMI;
+      { sdesc = Op_assign (op, name, e); spos }
+    | _ ->
+      let e = parse_expr st in
+      expect st Lexer.SEMI;
+      { sdesc = Expr_stmt e; spos })
+  | t -> error st (Printf.sprintf "unexpected %s in statement" (Lexer.describe t))
+
+(* -- declarations ---------------------------------------------------------------- *)
+
+let skip_visibility st =
+  match peek st with
+  | Lexer.KW "public" | Lexer.KW "private" -> advance st
+  | _ -> ()
+
+let parse_params st =
+  expect st Lexer.LPAREN;
+  if peek st = Lexer.RPAREN then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec go acc =
+      let p =
+        match peek st with
+        | Lexer.LANGLE ->
+          let ty = parse_rel_type st in
+          let name = expect_ident st in
+          Param_rel (ty, name)
+        | Lexer.IDENT domain_name ->
+          advance st;
+          let name = expect_ident st in
+          Param_obj (domain_name, name)
+        | t ->
+          error st
+            (Printf.sprintf "unexpected %s in parameter list"
+               (Lexer.describe t))
+      in
+      if peek st = Lexer.COMMA then begin
+        advance st;
+        go (p :: acc)
+      end
+      else List.rev (p :: acc)
+    in
+    let params = go [] in
+    expect st Lexer.RPAREN;
+    params
+  end
+
+let parse_member st =
+  let pos = peek_pos st in
+  skip_visibility st;
+  match peek st with
+  | Lexer.KW "void" ->
+    advance st;
+    let name = expect_ident st in
+    let params = parse_params st in
+    expect st Lexer.LBRACE;
+    let rec stmts acc =
+      if peek st = Lexer.RBRACE then begin
+        advance st;
+        List.rev acc
+      end
+      else stmts (parse_stmt st :: acc)
+    in
+    `Method
+      {
+        meth_name = name;
+        meth_params = params;
+        meth_return = None;
+        meth_body = stmts [];
+        meth_pos = pos;
+      }
+  | Lexer.LANGLE -> (
+    let ty = parse_rel_type st in
+    let name = expect_ident st in
+    match peek st with
+    | Lexer.LPAREN ->
+      let params = parse_params st in
+      expect st Lexer.LBRACE;
+      let rec stmts acc =
+        if peek st = Lexer.RBRACE then begin
+          advance st;
+          List.rev acc
+        end
+        else stmts (parse_stmt st :: acc)
+      in
+      `Method
+        {
+          meth_name = name;
+          meth_params = params;
+          meth_return = Some ty;
+          meth_body = stmts [];
+          meth_pos = pos;
+        }
+    | _ ->
+      let init =
+        if peek st = Lexer.EQ then begin
+          advance st;
+          Some (parse_expr st)
+        end
+        else None
+      in
+      expect st Lexer.SEMI;
+      `Field
+        { field_type = ty; field_name = name; field_init = init; field_pos = pos })
+  | t -> error st (Printf.sprintf "unexpected %s in class body" (Lexer.describe t))
+
+let parse_decl st =
+  let pos = peek_pos st in
+  match peek st with
+  | Lexer.KW "domain" ->
+    advance st;
+    let name = expect_ident st in
+    let size = expect_int st in
+    expect st Lexer.SEMI;
+    Domain_decl (name, size, pos)
+  | Lexer.KW "attribute" ->
+    advance st;
+    let name = expect_ident st in
+    expect st Lexer.COLON;
+    let domain_name = expect_ident st in
+    expect st Lexer.SEMI;
+    Attribute_decl (name, domain_name, pos)
+  | Lexer.KW "physdom" ->
+    advance st;
+    let name = expect_ident st in
+    let bits =
+      match peek st with
+      | Lexer.INT n ->
+        advance st;
+        Some n
+      | _ -> None
+    in
+    expect st Lexer.SEMI;
+    Physdom_decl (name, bits, pos)
+  | Lexer.KW "class" ->
+    advance st;
+    let name = expect_ident st in
+    expect st Lexer.LBRACE;
+    let rec members fields methods =
+      if peek st = Lexer.RBRACE then begin
+        advance st;
+        (List.rev fields, List.rev methods)
+      end
+      else
+        match parse_member st with
+        | `Field f -> members (f :: fields) methods
+        | `Method m -> members fields (m :: methods)
+    in
+    let fields, methods = members [] [] in
+    Class_decl { cls_name = name; fields; methods; cls_pos = pos }
+  | t ->
+    error st (Printf.sprintf "unexpected %s at top level" (Lexer.describe t))
+
+let parse_program ~file src =
+  let toks = Array.of_list (Lexer.tokenize ~file src) in
+  let st = { toks; k = 0 } in
+  let rec go acc =
+    if peek st = Lexer.EOF then List.rev acc else go (parse_decl st :: acc)
+  in
+  go []
+
+let parse_expr_string src =
+  let toks = Array.of_list (Lexer.tokenize ~file:"<expr>" src) in
+  let st = { toks; k = 0 } in
+  let e = parse_expr st in
+  if peek st <> Lexer.EOF then error st "trailing input after expression";
+  e

@@ -1,0 +1,21 @@
+(** Recursive-descent parser for Jedd.
+
+    Implements the paper's Figure 5 grammar (joins with attribute lists,
+    cast-like replacement prefixes, relation literals, the 0B/1B
+    constants) on top of a Java-lite host subset: top-level domain /
+    attribute / physdom declarations and classes containing relation
+    fields and methods with structured statements.
+
+    Menhir is not available in this environment, so the parser is
+    hand-written; the grammar is small and needs at most three tokens of
+    lookahead (to tell a replacement prefix [(a=>...)e] from a
+    parenthesised expression). *)
+
+exception Parse_error of string * Ast.pos
+
+val parse_program : file:string -> string -> Ast.program
+(** Parse a whole compilation unit.  Raises {!Parse_error} or
+    {!Lexer.Lex_error}. *)
+
+val parse_expr_string : string -> Ast.expr
+(** Parse a single expression (used by tests and the REPL-ish tools). *)

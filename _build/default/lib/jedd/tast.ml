@@ -1,0 +1,107 @@
+(* Typed abstract syntax: the output of the Figure 6 type checker and
+   the input of the physical-domain-assignment stage.
+
+   Attributes, domains and physical domains are resolved to interned
+   records; every relational expression node carries a unique id so the
+   constraint stage (Figure 7) can talk about (expression, attribute)
+   pairs, and a [kind] string used verbatim in error messages
+   ("Compose_expression", "Join_expression", ... — §3.3.3). *)
+
+type domain_info = { d_name : string; d_size : int }
+
+type attr_info = { a_name : string; a_domain : domain_info }
+
+type phys_info = { p_name : string; p_min_bits : int option }
+
+(* A variable as a constraint-graph node: fields are per class, locals
+   and parameters per method. *)
+type var_key = string (* "Cls.field" or "Cls.meth.local" *)
+
+type vkind = Vlocal | Vparam | Vfield
+
+type set_op = Ast.set_op
+type join_kind = Ast.join_kind
+
+type obj_ref = Tobj_var of string * domain_info | Tobj_int of int
+
+type texpr = {
+  eid : int;
+  ekind : string;
+  epos : Ast.pos;
+  eschema : attr_info list;  (** empty for the polymorphic 0B/1B *)
+  is_poly : bool;
+  espec : (string * phys_info) list;  (** attr name -> specified physdom *)
+  edesc : tdesc;
+}
+
+and tdesc =
+  | TVar of vkind * var_key
+  | TEmpty
+  | TFull
+  | TLiteral of (obj_ref * attr_info) list
+  | TBinop of set_op * texpr * texpr
+  | TReplace of treplacement list * texpr
+  | TJoin of join_kind * texpr * attr_info list * texpr * attr_info list
+  | TCall of string * targ list  (** fully qualified "Cls.meth" *)
+
+and treplacement =
+  | TProj of attr_info
+  | TRen of attr_info * attr_info
+  | TCopy of attr_info * attr_info * attr_info  (** a => b c *)
+
+and targ = Targ_rel of texpr | Targ_obj of obj_ref
+
+type tcond =
+  | TCmp_eq of texpr * texpr
+  | TCmp_ne of texpr * texpr
+  | TNot of tcond
+  | TAnd of tcond * tcond
+  | TOr of tcond * tcond
+  | TBool of bool
+
+type tstmt =
+  | TDecl of var_key * texpr option * Ast.pos
+  | TAssign of var_key * vkind * texpr * Ast.pos
+  | TOp_assign of set_op * var_key * vkind * texpr * Ast.pos
+  | TIf of tcond * tstmt * tstmt option
+  | TWhile of tcond * tstmt
+  | TDo_while of tstmt * tcond
+  | TBlock of tstmt list
+  | TReturn of texpr option * Ast.pos
+  | TExpr of texpr
+  | TPrint of texpr
+
+type var_info = {
+  v_key : var_key;
+  v_kind : vkind;
+  v_schema : attr_info list;
+  v_spec : (string * phys_info) list;
+  v_pos : Ast.pos;
+}
+
+type tparam = Tparam_rel of var_key | Tparam_obj of string * domain_info
+
+type tmeth = {
+  tm_qualified : string;  (** "Cls.meth" *)
+  tm_params : tparam list;
+  tm_return : attr_info list option;
+  tm_return_spec : (string * phys_info) list;
+  tm_body : tstmt list;
+  tm_pos : Ast.pos;
+}
+
+type tprogram = {
+  domains : domain_info list;
+  attrs : attr_info list;
+  physdoms : phys_info list;
+  vars : (var_key, var_info) Hashtbl.t;
+  methods : (string, tmeth) Hashtbl.t;
+  method_order : string list;
+  classes : string list;
+  (* every relational expression node, for the constraint stage *)
+  all_exprs : texpr list;
+  n_exprs : int;
+}
+
+let schema_to_string schema =
+  "<" ^ String.concat ", " (List.map (fun a -> a.a_name) schema) ^ ">"

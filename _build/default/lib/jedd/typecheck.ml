@@ -1,0 +1,716 @@
+open Tast
+
+exception Error of string * Ast.pos
+
+let err pos fmt = Format.kasprintf (fun s -> raise (Error (s, pos))) fmt
+
+type env = {
+  domains : (string, domain_info) Hashtbl.t;
+  attrs : (string, attr_info) Hashtbl.t;
+  physdoms : (string, phys_info) Hashtbl.t;
+  vars : (var_key, var_info) Hashtbl.t;
+  methods : (string, tmeth) Hashtbl.t;
+  mutable method_order : string list;
+  (* method signatures collected before bodies are checked, so calls can
+     be resolved in any order (and recursively) *)
+  sigs : (string, sig_info) Hashtbl.t;
+  mutable next_eid : int;
+  mutable exprs : texpr list;
+}
+
+and sig_info = {
+  s_params : sig_param list;
+  s_return : attr_info list option;
+  s_return_spec : (string * phys_info) list;
+}
+
+and sig_param =
+  | Sig_rel of attr_info list * var_key
+  | Sig_obj of domain_info * string
+
+let fresh_eid env =
+  let id = env.next_eid in
+  env.next_eid <- id + 1;
+  id
+
+let register env e =
+  env.exprs <- e :: env.exprs;
+  e
+
+let find_domain env name pos =
+  match Hashtbl.find_opt env.domains name with
+  | Some d -> d
+  | None -> err pos "unknown domain %s" name
+
+let find_attr env name pos =
+  match Hashtbl.find_opt env.attrs name with
+  | Some a -> a
+  | None -> err pos "unknown attribute %s" name
+
+let find_phys env name pos =
+  match Hashtbl.find_opt env.physdoms name with
+  | Some p -> p
+  | None -> err pos "unknown physical domain %s" name
+
+let attr_mem a schema = List.exists (fun b -> b.a_name = a.a_name) schema
+let attr_remove a schema = List.filter (fun b -> b.a_name <> a.a_name) schema
+
+let schema_equal s1 s2 =
+  List.length s1 = List.length s2 && List.for_all (fun a -> attr_mem a s2) s1
+
+(* Resolve a source rel_type <a:P, b, ...> to a schema + spec map. *)
+let resolve_rel_type env (rt : Ast.rel_type) =
+  let seen = Hashtbl.create 8 in
+  let schema, spec =
+    List.fold_left
+      (fun (schema, spec) (ap : Ast.attr_phys) ->
+        if Hashtbl.mem seen ap.attr_name then
+          err rt.type_pos "duplicate attribute %s in relation type" ap.attr_name;
+        Hashtbl.add seen ap.attr_name ();
+        let a = find_attr env ap.attr_name rt.type_pos in
+        let spec =
+          match ap.phys_name with
+          | Some p -> (ap.attr_name, find_phys env p rt.type_pos) :: spec
+          | None -> spec
+        in
+        (a :: schema, spec))
+      ([], []) rt.elems
+  in
+  (List.rev schema, List.rev spec)
+
+(* -- expression checking -------------------------------------------------- *)
+
+type scope = {
+  cls : string;
+  meth : string option;
+  mutable locals : (string * var_info) list;  (* innermost first *)
+  obj_params : (string * domain_info) list;
+}
+
+let lookup_var env scope name =
+  match List.assoc_opt name scope.locals with
+  | Some v -> Some v
+  | None -> (
+    (* field of the enclosing class, then of any class (single global
+       program namespace, as in the paper's whole-program analyses) *)
+    match Hashtbl.find_opt env.vars (scope.cls ^ "." ^ name) with
+    | Some v -> Some v
+    | None ->
+      Hashtbl.fold
+        (fun _ v acc ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+            if
+              v.v_kind = Vfield
+              && String.length v.v_key > String.length name
+              && String.sub v.v_key
+                   (String.length v.v_key - String.length name - 1)
+                   (String.length name + 1)
+                 = "." ^ name
+            then Some v
+            else acc)
+        env.vars None)
+
+let resolve_obj _env scope pos (o : Ast.obj_expr) : obj_ref =
+  match o with
+  | Ast.Obj_int n -> Tobj_int n
+  | Ast.Obj_var name -> (
+    match List.assoc_opt name scope.obj_params with
+    | Some d -> Tobj_var (name, d)
+    | None -> err pos "unknown object %s (not an object parameter)" name)
+
+let rec check_expr env scope (e : Ast.expr) : texpr =
+  let pos = e.pos in
+  match e.desc with
+  | Ast.Empty ->
+    register env
+      {
+        eid = fresh_eid env;
+        ekind = "Constant_0B";
+        epos = pos;
+        eschema = [];
+        is_poly = true;
+        espec = [];
+        edesc = TEmpty;
+      }
+  | Ast.Full ->
+    register env
+      {
+        eid = fresh_eid env;
+        ekind = "Constant_1B";
+        epos = pos;
+        eschema = [];
+        is_poly = true;
+        espec = [];
+        edesc = TFull;
+      }
+  | Ast.Var name -> (
+    match lookup_var env scope name with
+    | Some v ->
+      register env
+        {
+          eid = fresh_eid env;
+          ekind = "Variable_use";
+          epos = pos;
+          eschema = v.v_schema;
+          is_poly = false;
+          espec = [];
+          edesc = TVar (v.v_kind, v.v_key);
+        }
+    | None -> err pos "unknown relation variable %s" name)
+  | Ast.Literal pieces ->
+    (* [Literal] rule: distinct attributes; objects from matching
+       domains. *)
+    let seen = Hashtbl.create 8 in
+    let tpieces =
+      List.map
+        (fun (o, (ap : Ast.attr_phys)) ->
+          if Hashtbl.mem seen ap.attr_name then
+            err pos "duplicate attribute %s in relation literal" ap.attr_name;
+          Hashtbl.add seen ap.attr_name ();
+          let a = find_attr env ap.attr_name pos in
+          let o = resolve_obj env scope pos o in
+          (match o with
+          | Tobj_var (oname, d) ->
+            if d.d_name <> a.a_domain.d_name then
+              err pos "object %s of domain %s stored in attribute %s of domain %s"
+                oname d.d_name a.a_name a.a_domain.d_name
+          | Tobj_int n ->
+            if n < 0 || n >= a.a_domain.d_size then
+              err pos "object %d out of range for domain %s" n a.a_domain.d_name);
+          (o, a, ap.phys_name))
+        pieces
+    in
+    let espec =
+      List.filter_map
+        (fun (_, a, phys) ->
+          match phys with
+          | Some p -> Some (a.a_name, find_phys env p pos)
+          | None -> None)
+        tpieces
+    in
+    register env
+      {
+        eid = fresh_eid env;
+        ekind = "Literal_expression";
+        epos = pos;
+        eschema = List.map (fun (_, a, _) -> a) tpieces;
+        is_poly = false;
+        espec;
+        edesc = TLiteral (List.map (fun (o, a, _) -> (o, a)) tpieces);
+      }
+  | Ast.Binop (op, l, r) ->
+    (* [SetOp] rule: both operands share the schema.  0B/1B operands are
+       allowed only where the rules allow them (assignment/compare), so
+       reject them here. *)
+    let tl = check_expr env scope l in
+    let tr = check_expr env scope r in
+    if tl.is_poly || tr.is_poly then
+      err pos "0B/1B may only appear in assignments and comparisons";
+    if not (schema_equal tl.eschema tr.eschema) then
+      err pos "set operation on incompatible schemas %s and %s"
+        (schema_to_string tl.eschema)
+        (schema_to_string tr.eschema);
+    let kind =
+      match op with
+      | Ast.Union -> "Union_expression"
+      | Ast.Inter -> "Intersect_expression"
+      | Ast.Diff -> "Difference_expression"
+    in
+    register env
+      {
+        eid = fresh_eid env;
+        ekind = kind;
+        epos = pos;
+        eschema = tl.eschema;
+        is_poly = false;
+        espec = [];
+        edesc = TBinop (op, tl, tr);
+      }
+  | Ast.Replace (replacements, operand) ->
+    let t = check_expr env scope operand in
+    if t.is_poly then
+      err pos "0B/1B may not be the operand of an attribute operation";
+    (* apply sequentially, checking each rule *)
+    let schema, treps =
+      List.fold_left
+        (fun (schema, treps) (r : Ast.replacement) ->
+          match r with
+          | Ast.Project_away name ->
+            (* [Project] *)
+            let a = find_attr env name pos in
+            if not (attr_mem a schema) then
+              err pos "projected attribute %s not in schema %s" name
+                (schema_to_string schema);
+            (attr_remove a schema, TProj a :: treps)
+          | Ast.Rename_to (from_name, to_name) ->
+            (* [Rename]: a in T, b not in T *)
+            let a = find_attr env from_name pos in
+            let b = find_attr env to_name pos in
+            if not (attr_mem a schema) then
+              err pos "renamed attribute %s not in schema %s" from_name
+                (schema_to_string schema);
+            if attr_mem b (attr_remove a schema) then
+              err pos "rename target %s already in schema %s" to_name
+                (schema_to_string schema);
+            if a.a_domain.d_name <> b.a_domain.d_name then
+              err pos "rename between different domains (%s -> %s)"
+                a.a_domain.d_name b.a_domain.d_name;
+            (b :: attr_remove a schema, TRen (a, b) :: treps)
+          | Ast.Copy_to (from_name, b_name, c_name) ->
+            (* [Copy]: a in T; b,c not in T \ {a}; b <> c *)
+            let a = find_attr env from_name pos in
+            let b = find_attr env b_name pos in
+            let c = find_attr env c_name pos in
+            if not (attr_mem a schema) then
+              err pos "copied attribute %s not in schema %s" from_name
+                (schema_to_string schema);
+            let rest = attr_remove a schema in
+            if attr_mem b rest then
+              err pos "copy target %s already in schema" b_name;
+            if attr_mem c rest then
+              err pos "copy target %s already in schema" c_name;
+            if b.a_name = c.a_name then
+              err pos "copy targets must be distinct (got %s twice)" b_name;
+            if
+              a.a_domain.d_name <> b.a_domain.d_name
+              || a.a_domain.d_name <> c.a_domain.d_name
+            then err pos "copy between different domains";
+            (b :: c :: rest, TCopy (a, b, c) :: treps))
+        (t.eschema, []) replacements
+    in
+    register env
+      {
+        eid = fresh_eid env;
+        ekind = "Replace_expression";
+        epos = pos;
+        eschema = schema;
+        is_poly = false;
+        espec = [];
+        edesc = TReplace (List.rev treps, t);
+      }
+  | Ast.JoinExpr (kind, l, lattrs, r, rattrs) ->
+    let tl = check_expr env scope l in
+    let tr = check_expr env scope r in
+    if tl.is_poly || tr.is_poly then
+      err pos "0B/1B may not be joined or composed";
+    if List.length lattrs <> List.length rattrs then
+      err pos "join/compose attribute lists differ in length";
+    let resolve_list t names =
+      List.map
+        (fun name ->
+          let a = find_attr env name pos in
+          if not (attr_mem a t.eschema) then
+            err pos "compared attribute %s not in schema %s" name
+              (schema_to_string t.eschema);
+          a)
+        names
+    in
+    let la = resolve_list tl lattrs in
+    let ra = resolve_list tr rattrs in
+    let distinct l =
+      List.length (List.sort_uniq compare (List.map (fun a -> a.a_name) l))
+      = List.length l
+    in
+    if not (distinct la && distinct ra) then
+      err pos "duplicate attribute in comparison list";
+    List.iter2
+      (fun a b ->
+        if a.a_domain.d_name <> b.a_domain.d_name then
+          err pos "compared attributes %s and %s have different domains"
+            a.a_name b.a_name)
+      la ra;
+    let l_remaining, result_schema, kind_name =
+      match kind with
+      | Ast.Join ->
+        (* [Join]: T ∩ (U \ {b}) = ∅ *)
+        let u' = List.fold_left (fun u a -> attr_remove a u) tr.eschema ra in
+        (tl.eschema, tl.eschema @ u', "Join_expression")
+      | Ast.Compose ->
+        (* [Compose]: (T \ {a}) ∩ (U \ {b}) = ∅ *)
+        let t' = List.fold_left (fun t a -> attr_remove a t) tl.eschema la in
+        let u' = List.fold_left (fun u a -> attr_remove a u) tr.eschema ra in
+        (t', t' @ u', "Compose_expression")
+    in
+    let u' =
+      List.fold_left (fun u a -> attr_remove a u) tr.eschema ra
+    in
+    List.iter
+      (fun a ->
+        if attr_mem a u' then
+          err pos "attribute %s appears on both sides of the %s" a.a_name
+            (match kind with Ast.Join -> "join" | Ast.Compose -> "composition"))
+      l_remaining;
+    register env
+      {
+        eid = fresh_eid env;
+        ekind = kind_name;
+        epos = pos;
+        eschema = result_schema;
+        is_poly = false;
+        espec = [];
+        edesc = TJoin (kind, tl, la, tr, ra);
+      }
+  | Ast.Call (name, args) -> (
+    (* resolve within the class first, then globally *)
+    let qualified =
+      let local = scope.cls ^ "." ^ name in
+      if Hashtbl.mem env.sigs local then Some local
+      else
+        Hashtbl.fold
+          (fun q _ acc ->
+            match acc with
+            | Some _ -> acc
+            | None ->
+              if
+                String.length q > String.length name
+                && String.sub q
+                     (String.length q - String.length name - 1)
+                     (String.length name + 1)
+                   = "." ^ name
+              then Some q
+              else acc)
+          env.sigs None
+    in
+    match qualified with
+    | None -> err pos "unknown method %s" name
+    | Some q ->
+      let s = Hashtbl.find env.sigs q in
+      if List.length args <> List.length s.s_params then
+        err pos "method %s expects %d arguments, got %d" q
+          (List.length s.s_params) (List.length args);
+      let targs =
+        List.map2
+          (fun (arg : Ast.arg) sp ->
+            match (arg, sp) with
+            | Ast.Arg_rel { desc = Ast.Var v; pos = apos }, Sig_obj (d, _)
+              -> (
+              (* an identifier argument against an object parameter is an
+                 object variable *)
+              match List.assoc_opt v scope.obj_params with
+              | Some d' when d'.d_name = d.d_name -> Targ_obj (Tobj_var (v, d'))
+              | Some d' ->
+                err apos "object %s has domain %s but %s is expected" v
+                  d'.d_name d.d_name
+              | None -> err apos "unknown object %s" v)
+            | Ast.Arg_obj o, Sig_obj (d, _) -> (
+              let o = resolve_obj env scope pos o in
+              match o with
+              | Tobj_int n when n < 0 || n >= d.d_size ->
+                err pos "object %d out of range for domain %s" n d.d_name
+              | _ -> Targ_obj o)
+            | Ast.Arg_rel e, Sig_rel (schema, _) ->
+              let t = check_expr env scope e in
+              if (not t.is_poly) && not (schema_equal t.eschema schema) then
+                err e.pos "argument schema %s does not match parameter %s"
+                  (schema_to_string t.eschema)
+                  (schema_to_string schema);
+              Targ_rel t
+            | Ast.Arg_obj _, Sig_rel _ ->
+              err pos "relation expected but object given"
+            | Ast.Arg_rel e, Sig_obj (d, _) ->
+              err e.pos "object of domain %s expected but relation given"
+                d.d_name)
+          args s.s_params
+      in
+      register env
+        {
+          eid = fresh_eid env;
+          ekind = "Call_expression";
+          epos = pos;
+          eschema = (match s.s_return with Some sch -> sch | None -> []);
+          is_poly = false;
+          espec = [];
+          edesc = TCall (q, targs);
+        })
+
+(* -- statements ------------------------------------------------------------ *)
+
+let rec check_cond env scope (c : Ast.cond) : tcond =
+  match c.cdesc with
+  | Ast.Bool_lit b -> TBool b
+  | Ast.Not c -> TNot (check_cond env scope c)
+  | Ast.And (a, b) -> TAnd (check_cond env scope a, check_cond env scope b)
+  | Ast.Or (a, b) -> TOr (check_cond env scope a, check_cond env scope b)
+  | Ast.Cmp_eq (l, r) | Ast.Cmp_ne (l, r) ->
+    (* [Compare] rule: same schema, or one side 0B/1B *)
+    let tl = check_expr env scope l in
+    let tr = check_expr env scope r in
+    if
+      (not tl.is_poly) && (not tr.is_poly)
+      && not (schema_equal tl.eschema tr.eschema)
+    then
+      err c.cpos "comparison of incompatible schemas %s and %s"
+        (schema_to_string tl.eschema)
+        (schema_to_string tr.eschema);
+    if tl.is_poly && tr.is_poly then
+      err c.cpos "comparing two relation constants is always trivial";
+    (match c.cdesc with
+    | Ast.Cmp_eq _ -> TCmp_eq (tl, tr)
+    | _ -> TCmp_ne (tl, tr))
+
+let check_assign_compat pos (v : var_info) (t : texpr) =
+  (* [Assign] rule *)
+  if (not t.is_poly) && not (schema_equal v.v_schema t.eschema) then
+    err pos "assignment of %s to variable %s of type %s"
+      (schema_to_string t.eschema)
+      v.v_key
+      (schema_to_string v.v_schema)
+
+let rec check_stmt env scope (s : Ast.stmt) : tstmt =
+  match s.sdesc with
+  | Ast.Decl (rt, name, init) ->
+    if List.mem_assoc name scope.locals then
+      err s.spos "duplicate local variable %s" name;
+    let schema, spec = resolve_rel_type env rt in
+    let meth = match scope.meth with Some m -> m | None -> "<init>" in
+    let key = scope.cls ^ "." ^ meth ^ "." ^ name in
+    let v =
+      {
+        v_key = key;
+        v_kind = Vlocal;
+        v_schema = schema;
+        v_spec = spec;
+        v_pos = s.spos;
+      }
+    in
+    Hashtbl.replace env.vars key v;
+    let tinit =
+      Option.map
+        (fun e ->
+          let t = check_expr env scope e in
+          check_assign_compat s.spos v t;
+          t)
+        init
+    in
+    scope.locals <- (name, v) :: scope.locals;
+    TDecl (key, tinit, s.spos)
+  | Ast.Assign (name, e) -> (
+    match lookup_var env scope name with
+    | None -> err s.spos "unknown relation variable %s" name
+    | Some v ->
+      let t = check_expr env scope e in
+      check_assign_compat s.spos v t;
+      TAssign (v.v_key, v.v_kind, t, s.spos))
+  | Ast.Op_assign (op, name, e) -> (
+    match lookup_var env scope name with
+    | None -> err s.spos "unknown relation variable %s" name
+    | Some v ->
+      let t = check_expr env scope e in
+      check_assign_compat s.spos v t;
+      TOp_assign (op, v.v_key, v.v_kind, t, s.spos))
+  | Ast.If (c, th, el) ->
+    let tc = check_cond env scope c in
+    let tth = check_stmt env (branch_scope scope) th in
+    let tel = Option.map (check_stmt env (branch_scope scope)) el in
+    TIf (tc, tth, tel)
+  | Ast.While (c, body) ->
+    TWhile (check_cond env scope c, check_stmt env (branch_scope scope) body)
+  | Ast.Do_while (body, c) ->
+    TDo_while (check_stmt env (branch_scope scope) body, check_cond env scope c)
+  | Ast.Block stmts ->
+    let inner = branch_scope scope in
+    TBlock (List.map (check_stmt env inner) stmts)
+  | Ast.Return e -> TReturn (Option.map (check_expr env scope) e, s.spos)
+  | Ast.Expr_stmt e -> TExpr (check_expr env scope e)
+  | Ast.Print e -> TPrint (check_expr env scope e)
+
+and branch_scope scope = { scope with locals = scope.locals }
+
+(* -- program ---------------------------------------------------------------- *)
+
+let check (program : Ast.program) : tprogram =
+  let env =
+    {
+      domains = Hashtbl.create 16;
+      attrs = Hashtbl.create 16;
+      physdoms = Hashtbl.create 16;
+      vars = Hashtbl.create 64;
+      methods = Hashtbl.create 16;
+      method_order = [];
+      sigs = Hashtbl.create 16;
+      next_eid = 0;
+      exprs = [];
+    }
+  in
+  (* pass 1: global declarations *)
+  List.iter
+    (fun (d : Ast.decl) ->
+      match d with
+      | Ast.Domain_decl (name, size, pos) ->
+        if Hashtbl.mem env.domains name then err pos "duplicate domain %s" name;
+        if size <= 0 then err pos "domain %s must have positive size" name;
+        Hashtbl.add env.domains name { d_name = name; d_size = size }
+      | Ast.Attribute_decl (name, domain_name, pos) ->
+        if Hashtbl.mem env.attrs name then err pos "duplicate attribute %s" name;
+        let dom = find_domain env domain_name pos in
+        Hashtbl.add env.attrs name { a_name = name; a_domain = dom }
+      | Ast.Physdom_decl (name, bits, pos) ->
+        if Hashtbl.mem env.physdoms name then
+          err pos "duplicate physical domain %s" name;
+        Hashtbl.add env.physdoms name { p_name = name; p_min_bits = bits }
+      | Ast.Class_decl _ -> ())
+    program;
+  let classes =
+    List.filter_map
+      (function Ast.Class_decl c -> Some c | _ -> None)
+      program
+  in
+  (* pass 2: fields and method signatures *)
+  List.iter
+    (fun (c : Ast.cls) ->
+      List.iter
+        (fun (f : Ast.field) ->
+          let schema, spec = resolve_rel_type env f.field_type in
+          let key = c.cls_name ^ "." ^ f.field_name in
+          if Hashtbl.mem env.vars key then
+            err f.field_pos "duplicate field %s" key;
+          Hashtbl.add env.vars key
+            {
+              v_key = key;
+              v_kind = Vfield;
+              v_schema = schema;
+              v_spec = spec;
+              v_pos = f.field_pos;
+            })
+        c.fields;
+      List.iter
+        (fun (m : Ast.meth) ->
+          let q = c.cls_name ^ "." ^ m.meth_name in
+          if Hashtbl.mem env.sigs q then err m.meth_pos "duplicate method %s" q;
+          let params =
+            List.map
+              (fun (p : Ast.param) ->
+                match p with
+                | Ast.Param_rel (rt, name) ->
+                  let schema, spec = resolve_rel_type env rt in
+                  let key = q ^ "." ^ name in
+                  Hashtbl.add env.vars key
+                    {
+                      v_key = key;
+                      v_kind = Vparam;
+                      v_schema = schema;
+                      v_spec = spec;
+                      v_pos = m.meth_pos;
+                    };
+                  Sig_rel (schema, key)
+                | Ast.Param_obj (domain_name, name) ->
+                  Sig_obj (find_domain env domain_name m.meth_pos, name))
+              m.meth_params
+          in
+          let s_return, s_return_spec =
+            match m.meth_return with
+            | None -> (None, [])
+            | Some rt ->
+              let schema, spec = resolve_rel_type env rt in
+              (Some schema, spec)
+          in
+          Hashtbl.add env.sigs q { s_params = params; s_return; s_return_spec })
+        c.methods)
+    classes;
+  (* pass 3: field initialisers and method bodies *)
+  List.iter
+    (fun (c : Ast.cls) ->
+      List.iter
+        (fun (f : Ast.field) ->
+          match f.field_init with
+          | None -> ()
+          | Some e ->
+            let scope =
+              { cls = c.cls_name; meth = None; locals = []; obj_params = [] }
+            in
+            let t = check_expr env scope e in
+            let v = Hashtbl.find env.vars (c.cls_name ^ "." ^ f.field_name) in
+            check_assign_compat f.field_pos v t;
+            (* record as an implicit initialiser method *)
+            let q = c.cls_name ^ ".<init:" ^ f.field_name ^ ">" in
+            let m =
+              {
+                tm_qualified = q;
+                tm_params = [];
+                tm_return = None;
+                tm_return_spec = [];
+                tm_body = [ TAssign (v.v_key, Vfield, t, f.field_pos) ];
+                tm_pos = f.field_pos;
+              }
+            in
+            Hashtbl.add env.methods q m;
+            env.method_order <- q :: env.method_order)
+        c.fields;
+      List.iter
+        (fun (m : Ast.meth) ->
+          let q = c.cls_name ^ "." ^ m.meth_name in
+          let s = Hashtbl.find env.sigs q in
+          let obj_params =
+            List.filter_map
+              (function Sig_obj (d, name) -> Some (name, d) | _ -> None)
+              s.s_params
+          in
+          let rel_param_locals =
+            List.filter_map
+              (function
+                | Sig_rel (_, key) ->
+                  let v = Hashtbl.find env.vars key in
+                  (* visible under its source name *)
+                  let name =
+                    let parts = String.split_on_char '.' key in
+                    List.nth parts (List.length parts - 1)
+                  in
+                  Some (name, v)
+                | _ -> None)
+              s.s_params
+          in
+          let scope =
+            {
+              cls = c.cls_name;
+              meth = Some m.meth_name;
+              locals = rel_param_locals;
+              obj_params;
+            }
+          in
+          let body = List.map (check_stmt env scope) m.meth_body in
+          let tm =
+            {
+              tm_qualified = q;
+              tm_params =
+                List.map
+                  (function
+                    | Sig_rel (_, key) -> Tparam_rel key
+                    | Sig_obj (d, name) -> Tparam_obj (name, d))
+                  s.s_params;
+              tm_return = s.s_return;
+              tm_return_spec = s.s_return_spec;
+              tm_body = body;
+              tm_pos = m.meth_pos;
+            }
+          in
+          Hashtbl.add env.methods q tm;
+          env.method_order <- q :: env.method_order)
+        c.methods)
+    classes;
+  (* declaration order matters: the relative bit ordering of physical
+     domains follows their declaration (§3.2.1) *)
+  let in_decl_order f =
+    List.filter_map f program
+  in
+  {
+    domains =
+      in_decl_order (function
+        | Ast.Domain_decl (n, _, _) -> Some (Hashtbl.find env.domains n)
+        | _ -> None);
+    attrs =
+      in_decl_order (function
+        | Ast.Attribute_decl (n, _, _) -> Some (Hashtbl.find env.attrs n)
+        | _ -> None);
+    physdoms =
+      in_decl_order (function
+        | Ast.Physdom_decl (n, _, _) -> Some (Hashtbl.find env.physdoms n)
+        | _ -> None);
+    vars = env.vars;
+    methods = env.methods;
+    method_order = List.rev env.method_order;
+    classes = List.map (fun (c : Ast.cls) -> c.cls_name) classes;
+    all_exprs = List.rev env.exprs;
+    n_exprs = env.next_eid;
+  }

@@ -1,0 +1,12 @@
+(** Semantic analysis: name resolution and the static type rules of the
+    paper's Figure 6.
+
+    Produces a {!Tast.tprogram} where every relational expression is
+    annotated with its inferred schema (attribute set) and the physical
+    domains the programmer specified, ready for the assignment stage. *)
+
+exception Error of string * Ast.pos
+
+val check : Ast.program -> Tast.tprogram
+(** Raises {!Error} with the offending position when a Figure 6 rule is
+    violated, a name is unresolved, or a declaration is inconsistent. *)

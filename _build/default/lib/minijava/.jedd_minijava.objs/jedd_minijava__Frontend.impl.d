@@ -1,0 +1,1 @@
+lib/minijava/frontend.ml: Array Fun Hashtbl List Option Printf Program String

@@ -1,0 +1,1 @@
+lib/minijava/frontend.mli: Program

@@ -1,0 +1,1 @@
+lib/minijava/program.ml: Format Hashtbl List

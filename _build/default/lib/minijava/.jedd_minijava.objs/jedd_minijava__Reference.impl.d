@@ -1,0 +1,1 @@
+lib/minijava/reference.ml: Array Hashtbl Int List Program Set

@@ -1,0 +1,1 @@
+lib/minijava/reference.mli: Program Set

@@ -1,0 +1,1 @@
+lib/minijava/workload.ml: Array Hashtbl List Printf Program Random

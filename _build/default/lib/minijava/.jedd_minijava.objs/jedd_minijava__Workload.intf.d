@@ -1,0 +1,1 @@
+lib/minijava/workload.mli: Program

@@ -1,0 +1,331 @@
+exception Parse_error of string * int
+
+(* -- tokens ------------------------------------------------------------ *)
+
+type token =
+  | Tid of string
+  | Tclass
+  | Textends
+  | Tmethod
+  | Tnew
+  | Tlbrace
+  | Trbrace
+  | Tlparen
+  | Trparen
+  | Teq
+  | Tdot
+  | Tsemi
+  | Teof
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let is_id_start c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+  in
+  let is_id c = is_id_start c || (c >= '0' && c <= '9') in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    else if is_id_start c then begin
+      let start = !i in
+      while !i < n && is_id src.[!i] do
+        incr i
+      done;
+      let word = String.sub src start (!i - start) in
+      let tok =
+        match word with
+        | "class" -> Tclass
+        | "extends" -> Textends
+        | "method" -> Tmethod
+        | "new" -> Tnew
+        | w -> Tid w
+      in
+      tokens := (tok, !line) :: !tokens
+    end
+    else begin
+      let tok =
+        match c with
+        | '{' -> Tlbrace
+        | '}' -> Trbrace
+        | '(' -> Tlparen
+        | ')' -> Trparen
+        | '=' -> Teq
+        | '.' -> Tdot
+        | ';' -> Tsemi
+        | c -> raise (Parse_error (Printf.sprintf "unexpected %C" c, !line))
+      in
+      tokens := (tok, !line) :: !tokens;
+      incr i
+    end
+  done;
+  tokens := (Teof, !line) :: !tokens;
+  Array.of_list (List.rev !tokens)
+
+(* -- raw syntax --------------------------------------------------------- *)
+
+type rstmt =
+  | Ralloc of string * string  (* var = new Class *)
+  | Rassign of string * string  (* dst = src *)
+  | Rstore of string * string * string  (* base.field = src *)
+  | Rload of string * string * string  (* dst = base.field *)
+  | Rcall of string * string  (* recv.sig() *)
+
+type rmethod = { rm_name : string; rm_body : rstmt list }
+type rclass = { rc_name : string; rc_super : string option; rc_methods : rmethod list }
+
+type parser_state = { toks : (token * int) array; mutable k : int }
+
+let peek st = fst st.toks.(st.k)
+let peek_line st = snd st.toks.(st.k)
+let advance st = if st.k < Array.length st.toks - 1 then st.k <- st.k + 1
+
+let expect st tok what =
+  if peek st = tok then advance st
+  else raise (Parse_error ("expected " ^ what, peek_line st))
+
+let expect_id st what =
+  match peek st with
+  | Tid s ->
+    advance st;
+    s
+  | _ -> raise (Parse_error ("expected " ^ what, peek_line st))
+
+let parse_stmt st =
+  (* forms: v = new C ; | v = v ; | v = v . f ; | v . f = v ; | v . m ( ) ; *)
+  let first = expect_id st "identifier" in
+  match peek st with
+  | Teq -> (
+    advance st;
+    match peek st with
+    | Tnew ->
+      advance st;
+      let cls = expect_id st "class name" in
+      expect st Tsemi ";";
+      Ralloc (first, cls)
+    | Tid _ -> (
+      let second = expect_id st "identifier" in
+      match peek st with
+      | Tdot ->
+        advance st;
+        let field = expect_id st "field name" in
+        expect st Tsemi ";";
+        Rload (first, second, field)
+      | _ ->
+        expect st Tsemi ";";
+        Rassign (first, second))
+    | _ -> raise (Parse_error ("expected rhs of assignment", peek_line st)))
+  | Tdot -> (
+    advance st;
+    let member = expect_id st "member name" in
+    match peek st with
+    | Tlparen ->
+      advance st;
+      expect st Trparen ")";
+      expect st Tsemi ";";
+      Rcall (first, member)
+    | Teq ->
+      advance st;
+      let src = expect_id st "identifier" in
+      expect st Tsemi ";";
+      Rstore (first, member, src)
+    | _ -> raise (Parse_error ("expected ( or = after member", peek_line st)))
+  | _ -> raise (Parse_error ("expected = or . in statement", peek_line st))
+
+let parse_method st =
+  expect st Tmethod "method";
+  let name = expect_id st "method name" in
+  expect st Tlparen "(";
+  expect st Trparen ")";
+  expect st Tlbrace "{";
+  let body = ref [] in
+  while peek st <> Trbrace do
+    body := parse_stmt st :: !body
+  done;
+  expect st Trbrace "}";
+  { rm_name = name; rm_body = List.rev !body }
+
+let parse_class st =
+  expect st Tclass "class";
+  let name = expect_id st "class name" in
+  let super =
+    if peek st = Textends then begin
+      advance st;
+      Some (expect_id st "superclass name")
+    end
+    else None
+  in
+  expect st Tlbrace "{";
+  let methods = ref [] in
+  while peek st <> Trbrace do
+    methods := parse_method st :: !methods
+  done;
+  expect st Trbrace "}";
+  { rc_name = name; rc_super = super; rc_methods = List.rev !methods }
+
+(* -- elaboration to Program.t ------------------------------------------- *)
+
+let parse src : Program.t =
+  let st = { toks = tokenize src; k = 0 } in
+  let classes = ref [] in
+  while peek st <> Teof do
+    classes := parse_class st :: !classes
+  done;
+  let classes = List.rev !classes in
+  (* numbering *)
+  let class_ids = Hashtbl.create 16 in
+  List.iteri
+    (fun i (c : rclass) ->
+      if Hashtbl.mem class_ids c.rc_name then
+        raise (Parse_error ("duplicate class " ^ c.rc_name, 0));
+      Hashtbl.add class_ids c.rc_name i)
+    classes;
+  let class_id name =
+    match Hashtbl.find_opt class_ids name with
+    | Some i -> i
+    | None -> raise (Parse_error ("unknown class " ^ name, 0))
+  in
+  let sig_ids = Hashtbl.create 16 in
+  let sig_id name =
+    match Hashtbl.find_opt sig_ids name with
+    | Some i -> i
+    | None ->
+      let i = Hashtbl.length sig_ids in
+      Hashtbl.add sig_ids name i;
+      i
+  in
+  let field_ids = Hashtbl.create 16 in
+  let field_id name =
+    match Hashtbl.find_opt field_ids name with
+    | Some i -> i
+    | None ->
+      let i = Hashtbl.length field_ids in
+      Hashtbl.add field_ids name i;
+      i
+  in
+  let extend =
+    List.filter_map
+      (fun (c : rclass) ->
+        Option.map (fun s -> (class_id c.rc_name, class_id s)) c.rc_super)
+      classes
+  in
+  (* methods *)
+  let declares = ref [] in
+  let method_class = ref [] in
+  let method_sig = ref [] in
+  let n_methods = ref 0 in
+  let method_of = Hashtbl.create 32 in
+  List.iter
+    (fun (c : rclass) ->
+      List.iter
+        (fun (m : rmethod) ->
+          let mid = !n_methods in
+          incr n_methods;
+          let sg = sig_id m.rm_name in
+          declares := (class_id c.rc_name, sg, mid) :: !declares;
+          method_class := class_id c.rc_name :: !method_class;
+          method_sig := sg :: !method_sig;
+          Hashtbl.add method_of (c.rc_name, m.rm_name) mid)
+        c.rc_methods)
+    classes;
+  (* statements: variables are (method, name) *)
+  let var_ids = Hashtbl.create 64 in
+  let var_method_rev = ref [] in
+  let n_vars = ref 0 in
+  let var_id mid name =
+    match Hashtbl.find_opt var_ids (mid, name) with
+    | Some v -> v
+    | None ->
+      let v = !n_vars in
+      incr n_vars;
+      Hashtbl.add var_ids (mid, name) v;
+      var_method_rev := mid :: !var_method_rev;
+      v
+  in
+  let heap_type = ref [] in
+  let n_heap = ref 0 in
+  let allocs = ref [] and assigns = ref [] in
+  let stores = ref [] and loads = ref [] in
+  let calls = ref [] in
+  let n_calls = ref 0 in
+  List.iter
+    (fun (c : rclass) ->
+      List.iter
+        (fun (m : rmethod) ->
+          let mid = Hashtbl.find method_of (c.rc_name, m.rm_name) in
+          List.iter
+            (fun (s : rstmt) ->
+              match s with
+              | Ralloc (v, cls) ->
+                let h = !n_heap in
+                incr n_heap;
+                heap_type := class_id cls :: !heap_type;
+                allocs := (var_id mid v, h) :: !allocs
+              | Rassign (dst, src) ->
+                assigns := (var_id mid src, var_id mid dst) :: !assigns
+              | Rstore (base, f, src) ->
+                stores := (var_id mid src, var_id mid base, field_id f) :: !stores
+              | Rload (dst, base, f) ->
+                loads := (var_id mid base, field_id f, var_id mid dst) :: !loads
+              | Rcall (recv, sg) ->
+                let cs = !n_calls in
+                incr n_calls;
+                calls :=
+                  {
+                    Program.cs_id = cs;
+                    cs_recv = var_id mid recv;
+                    cs_sig = sig_id sg;
+                    cs_in_method = mid;
+                  }
+                  :: !calls)
+            m.rm_body)
+        c.rc_methods)
+    classes;
+  let entry_methods =
+    match Hashtbl.find_opt sig_ids "main" with
+    | Some main_sig ->
+      let sigs = Array.of_list (List.rev !method_sig) in
+      let mains =
+        List.filter
+          (fun i -> sigs.(i) = main_sig)
+          (List.init !n_methods Fun.id)
+      in
+      if mains = [] then List.init !n_methods Fun.id else mains
+    | None -> List.init !n_methods Fun.id
+  in
+  {
+    Program.n_classes = List.length classes;
+    n_sigs = max 1 (Hashtbl.length sig_ids);
+    n_methods = !n_methods;
+    n_vars = max 1 !n_vars;
+    n_heap = max 1 !n_heap;
+    n_fields = max 1 (Hashtbl.length field_ids);
+    extend;
+    declares = List.rev !declares;
+    method_class = Array.of_list (List.rev !method_class);
+    method_sig = Array.of_list (List.rev !method_sig);
+    var_method = Array.of_list (List.rev !var_method_rev);
+    heap_type = Array.of_list (List.rev !heap_type);
+    allocs = List.rev !allocs;
+    assigns = List.rev !assigns;
+    stores = List.rev !stores;
+    loads = List.rev !loads;
+    calls = List.rev !calls;
+    entry_methods;
+  }
+
+let load_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  parse s

@@ -1,0 +1,35 @@
+(** A textual front end for the Java-like substrate, so the analyses can
+    run on hand-written programs as well as generated ones (standing in
+    for Soot's ability to load real class files).
+
+    The source format covers exactly the features the whole-program
+    analyses consume:
+
+    {v
+    class A {
+      method foo() {
+        a = new B;        // allocation (site type B)
+        b = a;            // copy
+        a.f = b;          // field store
+        c = b.f;          // field load
+        c.foo();          // virtual call
+      }
+    }
+    class B extends A {
+      method foo() { }
+      method main() { x = new B; x.foo(); }
+    }
+    v}
+
+    Classes are declared in any order; [extends] must name a declared
+    class.  Methods take no parameters (inter-procedural data flow is
+    modelled with field reads/writes, as in the flow-insensitive
+    analyses).  Variables are method-local names; fields are global
+    names; every [new C] is a distinct allocation site.  Methods named
+    [main] are the entry points (all methods, if there is no [main]). *)
+
+exception Parse_error of string * int  (** message, line *)
+
+val parse : string -> Program.t
+
+val load_file : string -> Program.t

@@ -1,0 +1,97 @@
+(* A Java-like whole-program intermediate representation: the substrate
+   the five whole-program analyses (§5) run on.
+
+   This stands in for Soot's Jimple: classes with single inheritance,
+   method signatures, concrete methods, and the four pointer-relevant
+   statement forms (allocation, copy, field store, field load) plus
+   virtual call sites.  Entities are dense integers, which is also
+   exactly what Jedd domains need. *)
+
+type call_site = {
+  cs_id : int;
+  cs_recv : int;  (* receiver variable *)
+  cs_sig : int;  (* invoked signature *)
+  cs_in_method : int;  (* enclosing method *)
+}
+
+type t = {
+  n_classes : int;
+  n_sigs : int;
+  n_methods : int;
+  n_vars : int;
+  n_heap : int;  (* allocation sites *)
+  n_fields : int;
+  extend : (int * int) list;  (* (subclass, direct superclass) *)
+  declares : (int * int * int) list;  (* (class, signature, method) *)
+  method_class : int array;  (* method -> declaring class *)
+  method_sig : int array;
+  var_method : int array;  (* variable -> enclosing method *)
+  heap_type : int array;  (* allocation site -> dynamic type *)
+  allocs : (int * int) list;  (* (var, heap object) *)
+  assigns : (int * int) list;  (* (source var, destination var) *)
+  stores : (int * int * int) list;  (* (source var, base var, field) *)
+  loads : (int * int * int) list;  (* (base var, field, destination var) *)
+  calls : call_site list;
+  entry_methods : int list;
+}
+
+let empty =
+  {
+    n_classes = 0;
+    n_sigs = 0;
+    n_methods = 0;
+    n_vars = 0;
+    n_heap = 0;
+    n_fields = 0;
+    extend = [];
+    declares = [];
+    method_class = [||];
+    method_sig = [||];
+    var_method = [||];
+    heap_type = [||];
+    allocs = [];
+    assigns = [];
+    stores = [];
+    loads = [];
+    calls = [];
+    entry_methods = [];
+  }
+
+(* Reference implementations used by tests and by the analyses'
+   correctness checks: direct OCaml computations of the program facts
+   the BDD analyses must reproduce. *)
+
+let superclasses p cls =
+  (* walk up the extend chain, nearest first (excluding cls itself) *)
+  let direct = Hashtbl.create 16 in
+  List.iter (fun (sub, sup) -> Hashtbl.replace direct sub sup) p.extend;
+  let rec go c acc =
+    match Hashtbl.find_opt direct c with
+    | Some sup when not (List.mem sup acc) -> go sup (sup :: acc)
+    | _ -> List.rev acc
+  in
+  go cls []
+
+let resolve_virtual p ~rectype ~signature =
+  (* the Figure 4 algorithm, sequentially: search rectype then up *)
+  let declares_tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (c, s, m) -> Hashtbl.replace declares_tbl (c, s) m)
+    p.declares;
+  let rec search c =
+    match Hashtbl.find_opt declares_tbl (c, signature) with
+    | Some m -> Some m
+    | None -> (
+      match List.assoc_opt c p.extend with
+      | Some sup -> search sup
+      | None -> None)
+  in
+  search rectype
+
+let pp_stats ppf p =
+  Format.fprintf ppf
+    "classes=%d sigs=%d methods=%d vars=%d heap=%d fields=%d stmts=%d calls=%d"
+    p.n_classes p.n_sigs p.n_methods p.n_vars p.n_heap p.n_fields
+    (List.length p.allocs + List.length p.assigns + List.length p.stores
+   + List.length p.loads)
+    (List.length p.calls)

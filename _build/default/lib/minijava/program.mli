@@ -1,0 +1,47 @@
+(** A Java-like whole-program intermediate representation — the
+    substrate the five whole-program analyses of §5 consume, standing in
+    for Soot's Jimple.
+
+    Entities (classes, method signatures, concrete methods, variables,
+    allocation sites, fields, call sites) are dense integers, which is
+    also exactly the object-to-integer mapping Jedd domains require
+    (§2.1). *)
+
+type call_site = {
+  cs_id : int;
+  cs_recv : int;  (** receiver variable *)
+  cs_sig : int;  (** invoked signature *)
+  cs_in_method : int;  (** enclosing method *)
+}
+
+type t = {
+  n_classes : int;
+  n_sigs : int;
+  n_methods : int;
+  n_vars : int;
+  n_heap : int;  (** allocation sites *)
+  n_fields : int;
+  extend : (int * int) list;  (** (subclass, direct superclass) *)
+  declares : (int * int * int) list;  (** (class, signature, method) *)
+  method_class : int array;  (** method -> declaring class *)
+  method_sig : int array;
+  var_method : int array;  (** variable -> enclosing method *)
+  heap_type : int array;  (** allocation site -> dynamic type *)
+  allocs : (int * int) list;  (** (variable, heap object) *)
+  assigns : (int * int) list;  (** (source, destination) *)
+  stores : (int * int * int) list;  (** (source, base, field) *)
+  loads : (int * int * int) list;  (** (base, field, destination) *)
+  calls : call_site list;
+  entry_methods : int list;
+}
+
+val empty : t
+
+val superclasses : t -> int -> int list
+(** Proper superclasses, nearest first. *)
+
+val resolve_virtual : t -> rectype:int -> signature:int -> int option
+(** Sequential reference implementation of the Figure 4 walk: find the
+    method a call with this receiver type and signature dispatches to. *)
+
+val pp_stats : Format.formatter -> t -> unit

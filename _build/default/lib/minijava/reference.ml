@@ -1,0 +1,169 @@
+(* Reference (non-BDD) implementations of the five whole-program
+   analyses, computed with ordinary sets and worklists.  These are the
+   ground truth the BDD/Jedd analyses are tested against, and the
+   "mostly implementing data structures" Java-style baseline the paper
+   contrasts Jedd's compactness with (§5). *)
+
+module IS = Set.Make (Int)
+module IPS = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+module ITS = Set.Make (struct
+  type t = int * int * int
+
+  let compare = compare
+end)
+
+(* transitive (reflexive) subtype relation: pairs (sub, super) *)
+let hierarchy (p : Program.t) : IPS.t =
+  let direct = Hashtbl.create 64 in
+  List.iter (fun (sub, sup) -> Hashtbl.replace direct sub sup) p.extend;
+  let acc = ref IPS.empty in
+  for c = 0 to p.n_classes - 1 do
+    acc := IPS.add (c, c) !acc;
+    let rec up x =
+      match Hashtbl.find_opt direct x with
+      | Some sup ->
+        acc := IPS.add (c, sup) !acc;
+        up sup
+      | None -> ()
+    in
+    up c
+  done;
+  !acc
+
+(* flow-insensitive subset-based points-to with field sensitivity:
+   returns var->heap pairs and (heap, field, heap) triples *)
+let points_to (p : Program.t) : IPS.t * ITS.t =
+  let pt = Array.make (max 1 p.n_vars) IS.empty in
+  let fieldpt = ref ITS.empty in
+  let changed = ref true in
+  List.iter
+    (fun (v, h) -> pt.(v) <- IS.add h pt.(v))
+    p.allocs;
+  while !changed do
+    changed := false;
+    let add_pt v hs =
+      let before = pt.(v) in
+      let after = IS.union before hs in
+      if not (IS.equal before after) then begin
+        pt.(v) <- after;
+        changed := true
+      end
+    in
+    List.iter (fun (src, dst) -> add_pt dst pt.(src)) p.assigns;
+    List.iter
+      (fun (src, base, f) ->
+        IS.iter
+          (fun hb ->
+            IS.iter
+              (fun h ->
+                if not (ITS.mem (hb, f, h) !fieldpt) then begin
+                  fieldpt := ITS.add (hb, f, h) !fieldpt;
+                  changed := true
+                end)
+              pt.(src))
+          pt.(base))
+      p.stores;
+    List.iter
+      (fun (base, f, dst) ->
+        IS.iter
+          (fun hb ->
+            let hs =
+              ITS.fold
+                (fun (hb', f', h) acc ->
+                  if hb' = hb && f' = f then IS.add h acc else acc)
+                !fieldpt IS.empty
+            in
+            add_pt dst hs)
+          pt.(base))
+      p.loads
+  done;
+  let pairs = ref IPS.empty in
+  Array.iteri
+    (fun v hs -> IS.iter (fun h -> pairs := IPS.add (v, h) !pairs) hs)
+    pt;
+  (!pairs, !fieldpt)
+
+(* virtual call resolution given points-to: call site -> target methods *)
+let call_targets (p : Program.t) (pt : IPS.t) : IPS.t =
+  let result = ref IPS.empty in
+  List.iter
+    (fun (cs : Program.call_site) ->
+      IPS.iter
+        (fun (v, h) ->
+          if v = cs.cs_recv then begin
+            let rectype = p.heap_type.(h) in
+            match
+              Program.resolve_virtual p ~rectype ~signature:cs.cs_sig
+            with
+            | Some m -> result := IPS.add (cs.cs_id, m) !result
+            | None -> ()
+          end)
+        pt)
+    p.calls;
+  !result
+
+(* reachable methods from the entry points over the call graph *)
+let reachable (p : Program.t) (targets : IPS.t) : IS.t =
+  let site_in = Hashtbl.create 64 in
+  List.iter
+    (fun (cs : Program.call_site) ->
+      Hashtbl.add site_in cs.cs_in_method cs.cs_id)
+    p.calls;
+  let reach = ref (IS.of_list p.entry_methods) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    IS.iter
+      (fun m ->
+        List.iter
+          (fun cs ->
+            IPS.iter
+              (fun (cs', target) ->
+                if cs' = cs && not (IS.mem target !reach) then begin
+                  reach := IS.add target !reach;
+                  changed := true
+                end)
+              targets)
+          (Hashtbl.find_all site_in m))
+      !reach
+  done;
+  !reach
+
+(* side effects: (method, heap, field) writes, transitively through the
+   call graph *)
+let side_effects (p : Program.t) (pt : IPS.t) (targets : IPS.t) : ITS.t =
+  let direct = ref ITS.empty in
+  List.iter
+    (fun (src, base, f) ->
+      ignore src;
+      let m = p.var_method.(base) in
+      IPS.iter
+        (fun (v, hb) -> if v = base then direct := ITS.add (m, hb, f) !direct)
+        pt)
+    p.stores;
+  let star = ref !direct in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (cs : Program.call_site) ->
+        let caller = cs.cs_in_method in
+        IPS.iter
+          (fun (cs', callee) ->
+            if cs' = cs.cs_id then
+              ITS.iter
+                (fun (m, h, f) ->
+                  if m = callee && not (ITS.mem (caller, h, f) !star) then begin
+                    star := ITS.add (caller, h, f) !star;
+                    changed := true
+                  end)
+                !star)
+          targets)
+      p.calls
+  done;
+  !star

@@ -1,0 +1,28 @@
+(** Reference (non-BDD) implementations of the five whole-program
+    analyses, with ordinary sets and worklists.
+
+    These are the ground truth the Jedd/BDD analyses are differentially
+    tested against, and they double as the "conventional implementation"
+    in the §5 compactness comparison. *)
+
+module IS : Set.S with type elt = int
+module IPS : Set.S with type elt = int * int
+module ITS : Set.S with type elt = int * int * int
+
+val hierarchy : Program.t -> IPS.t
+(** Reflexive-transitive subtype pairs (sub, super). *)
+
+val points_to : Program.t -> IPS.t * ITS.t
+(** Flow-insensitive, field-sensitive subset-based points-to:
+    (variable, heap) pairs and (base heap, field, heap) triples. *)
+
+val call_targets : Program.t -> IPS.t -> IPS.t
+(** Virtual call resolution under the given points-to:
+    (call site, target method) pairs. *)
+
+val reachable : Program.t -> IPS.t -> IS.t
+(** Methods reachable from the entry points over resolved calls. *)
+
+val side_effects : Program.t -> IPS.t -> IPS.t -> ITS.t
+(** (method, heap, field) write effects, transitive over the call
+    graph. *)

@@ -1,0 +1,1 @@
+lib/profiler/recorder.ml: Hashtbl Jedd_relation List

@@ -1,0 +1,1 @@
+lib/profiler/recorder.mli: Jedd_relation

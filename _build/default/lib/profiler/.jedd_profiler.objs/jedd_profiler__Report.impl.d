@@ -1,0 +1,1 @@
+lib/profiler/report.ml: Array Buffer Filename Jedd_relation List Printf Recorder String

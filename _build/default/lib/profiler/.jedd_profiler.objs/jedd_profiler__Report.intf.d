@@ -1,0 +1,1 @@
+lib/profiler/report.mli: Recorder

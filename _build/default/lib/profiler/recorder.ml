@@ -1,0 +1,66 @@
+module U = Jedd_relation.Universe
+
+type row = { seq : int; event : U.op_event }
+
+type summary = {
+  op : string;
+  label : string;
+  executions : int;
+  total_millis : float;
+  max_result_nodes : int;
+  total_result_tuples : int;
+}
+
+type t = { mutable events : row list; mutable next_seq : int }
+
+let create () = { events = []; next_seq = 0 }
+
+let record t event =
+  t.events <- { seq = t.next_seq; event } :: t.events;
+  t.next_seq <- t.next_seq + 1
+
+let attach t u ~level =
+  U.set_profile_level u level;
+  U.set_on_op u (Some (record t))
+
+let detach u =
+  U.set_profile_level u U.Off;
+  U.set_on_op u None
+
+let rows t = List.rev t.events
+let total_operations t = t.next_seq
+
+let clear t =
+  t.events <- [];
+  t.next_seq <- 0
+
+let summaries t =
+  let table = Hashtbl.create 32 in
+  List.iter
+    (fun { event = e; _ } ->
+      let key = (e.U.op, e.U.label) in
+      let current =
+        match Hashtbl.find_opt table key with
+        | Some s -> s
+        | None ->
+          {
+            op = e.U.op;
+            label = e.U.label;
+            executions = 0;
+            total_millis = 0.0;
+            max_result_nodes = 0;
+            total_result_tuples = 0;
+          }
+      in
+      Hashtbl.replace table key
+        {
+          current with
+          executions = current.executions + 1;
+          total_millis = current.total_millis +. e.U.millis;
+          max_result_nodes = max current.max_result_nodes e.U.result_nodes;
+          total_result_tuples =
+            current.total_result_tuples + e.U.result_tuples;
+        })
+    t.events;
+  Hashtbl.fold (fun _ s acc -> s :: acc) table []
+  |> List.sort (fun a b -> compare b.total_millis a.total_millis)

@@ -1,0 +1,1 @@
+lib/relation/attribute.ml: Domain Format Stdlib

@@ -1,0 +1,1 @@
+lib/relation/attribute.mli: Domain Format

@@ -1,0 +1,1 @@
+lib/relation/physdom.ml: Domain Jedd_bdd List Universe

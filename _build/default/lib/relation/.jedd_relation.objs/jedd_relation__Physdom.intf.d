@@ -1,0 +1,1 @@
+lib/relation/physdom.mli: Domain Jedd_bdd Universe

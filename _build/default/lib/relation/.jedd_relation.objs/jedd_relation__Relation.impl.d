@@ -1,0 +1,1 @@
+lib/relation/relation.ml: Array Attribute Domain Format Gc Hashtbl Jedd_bdd List Physdom Schema String Sys Universe

@@ -1,0 +1,1 @@
+lib/relation/relation.mli: Attribute Format Jedd_bdd Physdom Schema Universe

@@ -1,0 +1,1 @@
+lib/relation/schema.ml: Array Attribute Format Hashtbl List Physdom Printf

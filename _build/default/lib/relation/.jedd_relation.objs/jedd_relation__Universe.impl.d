@@ -1,0 +1,1 @@
+lib/relation/universe.ml: Jedd_bdd Printf

@@ -1,0 +1,1 @@
+lib/relation/universe.mli: Jedd_bdd

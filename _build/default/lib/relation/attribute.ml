@@ -1,0 +1,13 @@
+type t = { name : string; domain : Domain.t; uid : int }
+
+let counter = ref 0
+
+let declare ~name ~domain =
+  incr counter;
+  { name; domain; uid = !counter }
+
+let name a = a.name
+let domain a = a.domain
+let equal a b = a.uid = b.uid
+let compare a b = Stdlib.compare a.uid b.uid
+let pp ppf a = Format.pp_print_string ppf a.name

@@ -1,0 +1,13 @@
+(** Attributes: named occurrences of a domain within a relation schema
+    (§2.1).  Two attributes are the same only if they were declared by
+    the same call — mirroring Jedd, where each attribute is a distinct
+    Java class implementing [jedd.Attribute]. *)
+
+type t
+
+val declare : name:string -> domain:Domain.t -> t
+val name : t -> string
+val domain : t -> Domain.t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

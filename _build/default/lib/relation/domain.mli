@@ -1,0 +1,21 @@
+(** Domains: named finite sets of objects, mapped to integers.
+
+    In the paper a domain is a Java class implementing [jedd.Domain],
+    declaring its maximum size and converting objects to integers and
+    back (§2.1).  Here objects are the integers themselves; a printer
+    turns them back into human-readable names. *)
+
+type t
+
+val declare : name:string -> size:int -> ?printer:(int -> string) -> unit -> t
+(** [declare ~name ~size ()] makes a domain of [size] objects numbered
+    [0 .. size-1].  The default printer shows ["name#i"]. *)
+
+val name : t -> string
+val size : t -> int
+val print_obj : t -> int -> string
+
+val bits : t -> int
+(** Minimum physical-domain width able to hold this domain. *)
+
+val equal : t -> t -> bool

@@ -1,0 +1,28 @@
+type t = {
+  name : string;
+  block : Jedd_bdd.Fdd.block;
+  uid : int;
+}
+
+let counter = ref 0
+
+let fresh name block =
+  incr counter;
+  { name; block; uid = !counter }
+
+let declare u ~name ~bits =
+  fresh name (Jedd_bdd.Fdd.extdomain_bits (Universe.manager u) bits)
+
+let declare_interleaved u requests =
+  let sizes = List.map (fun (_, bits) -> 1 lsl bits) requests in
+  let blocks =
+    Jedd_bdd.Fdd.extdomains_interleaved (Universe.manager u) sizes
+  in
+  List.map2 (fun (name, _) block -> fresh name block) requests blocks
+
+let name p = p.name
+let width p = Jedd_bdd.Fdd.width p.block
+let block p = p.block
+let levels p = Jedd_bdd.Fdd.levels p.block
+let equal a b = a.uid = b.uid
+let fits p d = Domain.bits d <= width p

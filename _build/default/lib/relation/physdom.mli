@@ -1,0 +1,23 @@
+(** Physical domains: named blocks of BDD variables that attributes are
+    assigned to (§2.1, §3.2.1).  The relative bit ordering of physical
+    domains is fixed by declaration order, or interleaved on request —
+    the ordering lever the paper's §3.3.1 discusses. *)
+
+type t
+
+val declare : Universe.t -> name:string -> bits:int -> t
+(** Allocate a physical domain of the given width at the bottom of the
+    current variable order. *)
+
+val declare_interleaved : Universe.t -> (string * int) list -> t list
+(** Allocate several physical domains with their bits interleaved.
+    All receive the width of the widest request. *)
+
+val name : t -> string
+val width : t -> int
+val block : t -> Jedd_bdd.Fdd.block
+val levels : t -> int array
+val equal : t -> t -> bool
+
+val fits : t -> Domain.t -> bool
+(** Can this physical domain hold every object of the domain? *)

@@ -1,0 +1,67 @@
+type entry = { attr : Attribute.t; phys : Physdom.t }
+type t = entry list
+
+let make entries =
+  let seen_attr = Hashtbl.create 8 in
+  let seen_phys = Hashtbl.create 8 in
+  List.iter
+    (fun { attr; phys } ->
+      let aname = Attribute.name attr in
+      if Hashtbl.mem seen_attr aname then
+        invalid_arg
+          (Printf.sprintf "Schema.make: duplicate attribute %s" aname);
+      Hashtbl.add seen_attr aname ();
+      let pname = Physdom.name phys in
+      if Hashtbl.mem seen_phys pname then
+        invalid_arg
+          (Printf.sprintf
+             "Schema.make: two attributes share physical domain %s" pname);
+      Hashtbl.add seen_phys pname ();
+      if not (Physdom.fits phys (Attribute.domain attr)) then
+        invalid_arg
+          (Printf.sprintf
+             "Schema.make: physical domain %s too narrow for attribute %s"
+             pname aname))
+    entries;
+  entries
+
+let entries s = s
+let attrs s = List.map (fun e -> e.attr) s
+let arity = List.length
+let mem s a = List.exists (fun e -> Attribute.equal e.attr a) s
+
+let find s a =
+  match List.find_opt (fun e -> Attribute.equal e.attr a) s with
+  | Some e -> e
+  | None -> raise Not_found
+
+let phys_of s a = (find s a).phys
+
+let same_attrs s1 s2 =
+  let sort s = List.sort Attribute.compare (attrs s) in
+  List.length s1 = List.length s2
+  && List.for_all2 Attribute.equal (sort s1) (sort s2)
+
+let same_layout s1 s2 =
+  same_attrs s1 s2
+  && List.for_all
+       (fun e ->
+         match List.find_opt (fun e2 -> Attribute.equal e2.attr e.attr) s2 with
+         | Some e2 -> Physdom.equal e.phys e2.phys
+         | None -> false)
+       s1
+
+let levels s =
+  List.concat_map (fun e -> Array.to_list (Physdom.levels e.phys)) s
+  |> List.sort_uniq compare |> Array.of_list
+
+let pp ppf s =
+  Format.fprintf ppf "<%a>"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf e ->
+         Format.fprintf ppf "%s:%s" (Attribute.name e.attr)
+           (Physdom.name e.phys)))
+    s
+
+let to_string s = Format.asprintf "%a" pp s

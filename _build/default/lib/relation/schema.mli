@@ -1,0 +1,43 @@
+(** Schemas: the ordered list of attributes of a relation together with
+    the physical domain each attribute is currently stored in.
+
+    The paper's static type of a relation is the attribute *set*; the
+    physical-domain assignment is the extra run-time information the
+    translator threads through generated code.  This module keeps both
+    and enforces the well-formedness rules: no duplicate attribute, no
+    two attributes sharing a physical domain, every physical domain wide
+    enough for its attribute's domain. *)
+
+type entry = { attr : Attribute.t; phys : Physdom.t }
+type t
+
+val make : entry list -> t
+(** Raises [Invalid_argument] if an attribute or physical domain is
+    duplicated, or a physical domain is too narrow for its attribute. *)
+
+val entries : t -> entry list
+(** In declaration order. *)
+
+val attrs : t -> Attribute.t list
+val arity : t -> int
+val mem : t -> Attribute.t -> bool
+val find : t -> Attribute.t -> entry
+(** Raises [Not_found]. *)
+
+val phys_of : t -> Attribute.t -> Physdom.t
+
+val same_attrs : t -> t -> bool
+(** Set equality of the attribute lists (ignoring order and physical
+    domains) — the paper's notion of compatible schemas. *)
+
+val same_layout : t -> t -> bool
+(** Same attributes *and* the same physical domain for each — when BDD
+    roots are directly comparable. *)
+
+val levels : t -> int array
+(** All BDD levels used by the schema's physical domains, sorted. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints [<attr:PD, ...>] in the paper's declaration syntax. *)
+
+val to_string : t -> string

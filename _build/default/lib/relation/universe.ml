@@ -1,0 +1,49 @@
+type op_event = {
+  op : string;
+  label : string;
+  millis : float;
+  operand_nodes : int list;
+  result_nodes : int;
+  result_tuples : int;
+  shapes : (int array * int array list) option;
+}
+
+type profile_level = Off | Counts | Shapes
+
+type t = {
+  manager : Jedd_bdd.Manager.t;
+  uid : int;
+  mutable level : profile_level;
+  mutable on_op : (op_event -> unit) option;
+  mutable scratch_counter : int;
+}
+
+let counter = ref 0
+
+let create ?(node_capacity = 1 lsl 16) () =
+  incr counter;
+  {
+    manager = Jedd_bdd.Manager.create ~node_capacity ();
+    uid = !counter;
+    level = Off;
+    on_op = None;
+    scratch_counter = 0;
+  }
+
+let uid u = u.uid
+
+let manager u = u.manager
+let set_profile_level u level = u.level <- level
+let profile_level u = u.level
+let set_on_op u hook = u.on_op <- hook
+
+let emit_op u event =
+  match u.on_op with
+  | Some hook when u.level <> Off -> hook event
+  | _ -> ()
+
+let next_scratch_name u =
+  u.scratch_counter <- u.scratch_counter + 1;
+  Printf.sprintf "__scratch%d" u.scratch_counter
+
+let checkpoint u = Jedd_bdd.Manager.checkpoint u.manager

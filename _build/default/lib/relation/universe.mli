@@ -1,0 +1,43 @@
+(** The universe: one BDD manager plus the registries of domains,
+    attributes and physical domains a Jedd program runs against.
+
+    Corresponds to the global state of the paper's Jedd runtime library:
+    the BDD package instance behind JNI, the [jedd.Domain],
+    [jedd.Attribute] and [jedd.PhysicalDomain] implementations, and the
+    profiler hook. *)
+
+type t
+
+(** What an operation reports to the profiler hook. *)
+type op_event = {
+  op : string;  (** operation name: "join", "compose", "replace", ... *)
+  label : string;  (** source position or user label *)
+  millis : float;
+  operand_nodes : int list;  (** BDD node count of each operand *)
+  result_nodes : int;
+  result_tuples : int;  (** [size()] of the result relation *)
+  shapes : (int array * int array list) option;
+      (** result shape and operand shapes, when shape profiling is on *)
+}
+
+type profile_level = Off | Counts | Shapes
+
+val create : ?node_capacity:int -> unit -> t
+val manager : t -> Jedd_bdd.Manager.t
+
+val uid : t -> int
+(** A unique id per universe, used to key per-universe side tables. *)
+
+val set_profile_level : t -> profile_level -> unit
+val profile_level : t -> profile_level
+
+val set_on_op : t -> (op_event -> unit) option -> unit
+val emit_op : t -> op_event -> unit
+(** Used by the relation operations to publish profile events. *)
+
+val next_scratch_name : t -> string
+(** Fresh name generator for scratch physical domains the runtime
+    allocates when it must separate colliding attributes on the fly. *)
+
+val checkpoint : t -> unit
+(** Give the BDD manager a safe point to garbage-collect. *)

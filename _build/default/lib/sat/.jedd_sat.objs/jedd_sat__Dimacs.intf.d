@@ -1,0 +1,1 @@
+lib/sat/dimacs.mli: Solver

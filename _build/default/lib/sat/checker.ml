@@ -1,0 +1,146 @@
+(* Independent unsatisfiability checking: reverse unit propagation over
+   a plain clause list, no watched literals, no sharing with Solver. *)
+
+type proof = int list list
+
+(* Unit propagation to a fixpoint under the given assumptions.
+   [clauses] is a plain list; assignment is a map var -> bool.
+   Returns [`Conflict] if some clause is falsified, [`Stable] otherwise. *)
+let propagate ~nvars clauses assumptions =
+  let value = Array.make (nvars + 1) 0 (* 0 unknown / 1 true / -1 false *) in
+  let assign lit =
+    let v = abs lit in
+    value.(v) <- (if lit > 0 then 1 else -1)
+  in
+  List.iter assign assumptions;
+  let conflict = ref false in
+  let changed = ref true in
+  while !changed && not !conflict do
+    changed := false;
+    List.iter
+      (fun clause ->
+        if not !conflict then begin
+          let unassigned = ref [] in
+          let satisfied = ref false in
+          List.iter
+            (fun lit ->
+              let v = value.(abs lit) in
+              if v = 0 then unassigned := lit :: !unassigned
+              else if (lit > 0 && v = 1) || (lit < 0 && v = -1) then
+                satisfied := true)
+            clause;
+          if not !satisfied then
+            match !unassigned with
+            | [] -> conflict := true
+            | [ unit_lit ] ->
+              assign unit_lit;
+              changed := true
+            | _ -> ()
+        end)
+      clauses
+  done;
+  if !conflict then `Conflict else `Stable
+
+(* A clause C has the RUP property w.r.t. a clause set F if unit
+   propagation on F under the negation of C's literals conflicts. *)
+let rup ~nvars clauses clause =
+  let negated = List.map (fun l -> -l) clause in
+  propagate ~nvars clauses negated = `Conflict
+
+let check_rup ~nvars originals proof =
+  (* normalise: the solver deduplicates literals internally, and the
+     naive propagation here must see the same unit clauses it saw *)
+  let originals = List.map (List.sort_uniq compare) originals in
+  let rec go derived = function
+    | [] -> false (* proof must end with the empty clause *)
+    | step :: rest ->
+      if not (rup ~nvars (originals @ List.rev derived) step) then false
+      else if step = [] then true
+      else go (step :: derived) rest
+  in
+  go [] proof
+
+(* -- core validation ------------------------------------------------- *)
+
+module Clause = struct
+  (* clauses are sorted, duplicate-free literal lists *)
+  let normalise c = List.sort_uniq compare c
+  let tautology c = List.exists (fun l -> List.mem (-l) c) c
+
+  let subsumes a b =
+    (* a ⊆ b *)
+    List.for_all (fun l -> List.mem l b) a
+
+  let resolve a b pivot =
+    normalise
+      (List.filter (( <> ) pivot) a @ List.filter (( <> ) (-pivot)) b)
+end
+
+let variables clauses =
+  List.sort_uniq compare (List.concat_map (List.map abs) clauses)
+
+(* brute force over the mentioned variables, for narrow cores *)
+let brute_force_unsat clauses =
+  let vars = Array.of_list (variables clauses) in
+  let n = Array.length vars in
+  if n > 20 then None
+  else begin
+    let index v =
+      let rec go i = if vars.(i) = v then i else go (i + 1) in
+      go 0
+    in
+    let satisfied assignment =
+      List.for_all
+        (fun clause ->
+          List.exists
+            (fun lit ->
+              let bit = (assignment lsr index (abs lit)) land 1 = 1 in
+              if lit > 0 then bit else not bit)
+            clause)
+        clauses
+    in
+    let rec try_all a =
+      if a >= 1 lsl n then Some true (* no model found: unsat *)
+      else if satisfied a then Some false
+      else try_all (a + 1)
+    in
+    try_all 0
+  end
+
+(* saturation with subsumption, bounded *)
+let saturate_unsat clauses ~max_clauses =
+  let db = ref (List.filter (fun c -> not (Clause.tautology c)) clauses) in
+  let subsumed c = List.exists (fun d -> Clause.subsumes d c) !db in
+  let found_empty = ref (List.mem [] !db) in
+  let progress = ref true in
+  while !progress && (not !found_empty) && List.length !db < max_clauses do
+    progress := false;
+    let snapshot = !db in
+    List.iter
+      (fun a ->
+        List.iter
+          (fun b ->
+            if not !found_empty then
+              List.iter
+                (fun pivot ->
+                  if pivot > 0 && List.mem (-pivot) b then begin
+                    let r = Clause.resolve a b pivot in
+                    if not (Clause.tautology r) then
+                      if r = [] then found_empty := true
+                      else if not (subsumed r) then begin
+                        db := r :: !db;
+                        progress := true
+                      end
+                  end)
+                a)
+          snapshot)
+      snapshot
+  done;
+  !found_empty
+
+let check_core ~nvars clauses =
+  ignore nvars;
+  let clauses = List.map Clause.normalise clauses in
+  match brute_force_unsat clauses with
+  | Some answer -> answer
+  | None -> saturate_unsat clauses ~max_clauses:20000

@@ -1,0 +1,27 @@
+(** Independent validation of unsatisfiability results, after Zhang &
+    Malik's resolution-based checker (the paper's reference [30], the
+    same work that gave zChaff its unsat-core extraction).
+
+    The solver can log every clause it learns, in order; this module
+    re-derives each one by {e reverse unit propagation} (RUP) against
+    the original clauses plus the previously validated learned clauses —
+    a check that is sound even though it trusts nothing about the
+    solver's internals — and finally confirms the empty clause.  The
+    checker deliberately shares no code with the solver: it uses its own
+    naive unit propagation. *)
+
+type proof = int list list
+(** Learned clauses in derivation order (DIMACS literals), ending with
+    the empty clause [[]]. *)
+
+val check_rup : nvars:int -> int list list -> proof -> bool
+(** [check_rup ~nvars originals proof] validates every proof step by
+    RUP and requires the final step to be the empty clause.  Returns
+    [false] on the first failing step. *)
+
+val check_core : nvars:int -> int list list -> bool
+(** Validate an extracted unsatisfiable core by an independent,
+    saturation-style check: exhaustive resolution with subsumption on
+    small cores, falling back to brute-force enumeration when the core
+    mentions few variables.  Intended for the small cores the
+    physical-domain diagnosis produces. *)

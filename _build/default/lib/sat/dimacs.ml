@@ -1,0 +1,46 @@
+type problem = { nvars : int; clauses : int list list }
+
+let to_string { nvars; clauses } =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" nvars (List.length clauses));
+  List.iter
+    (fun clause ->
+      List.iter (fun lit -> Buffer.add_string buf (string_of_int lit ^ " ")) clause;
+      Buffer.add_string buf "0\n")
+    clauses;
+  Buffer.contents buf
+
+let of_string text =
+  let nvars = ref 0 in
+  let clauses = ref [] in
+  let current = ref [] in
+  let lines = String.split_on_char '\n' text in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = 'c' then ()
+      else if line.[0] = 'p' then begin
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ "p"; "cnf"; nv; _nc ] -> nvars := int_of_string nv
+        | _ -> failwith "Dimacs.of_string: malformed problem line"
+      end
+      else
+        String.split_on_char ' ' line
+        |> List.filter (( <> ) "")
+        |> List.iter (fun tok ->
+               match int_of_string_opt tok with
+               | None -> failwith "Dimacs.of_string: malformed literal"
+               | Some 0 ->
+                 clauses := List.rev !current :: !clauses;
+                 current := []
+               | Some lit -> current := lit :: !current))
+    lines;
+  if !current <> [] then failwith "Dimacs.of_string: clause not terminated";
+  { nvars = !nvars; clauses = List.rev !clauses }
+
+let load_into solver { nvars; clauses } =
+  while Solver.num_vars solver < nvars do
+    ignore (Solver.new_var solver)
+  done;
+  List.map (Solver.add_clause solver) clauses

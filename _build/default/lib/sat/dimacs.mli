@@ -1,0 +1,15 @@
+(** DIMACS CNF reading and writing — the interchange format the paper's
+    jeddc used to talk to zChaff.  Kept for interoperability and for
+    dumping the domain-assignment instances the benchmark harness
+    measures (Table 1). *)
+
+type problem = { nvars : int; clauses : int list list }
+
+val to_string : problem -> string
+(** Serialise in [p cnf] format. *)
+
+val of_string : string -> problem
+(** Parse a DIMACS file body.  Raises [Failure] on malformed input. *)
+
+val load_into : Solver.t -> problem -> int list
+(** Add every clause to a solver; returns the clause ids in order. *)

@@ -1,0 +1,571 @@
+(* Conflict-driven clause learning, after MiniSat, with a resolution
+   trace for unsat-core extraction.
+
+   Internal literal encoding: variable [v] (0-based) gives literals
+   [2v] (positive) and [2v+1] (negative).  The external interface uses
+   DIMACS-style integers (1-based, sign for polarity). *)
+
+type clause = {
+  id : int; (* original-clause id, or -1 for learned *)
+  mutable lits : int array;
+  antecedents : int list; (* clause-db indices resolved to learn this *)
+}
+
+type t = {
+  mutable nvars : int;
+  mutable clauses : clause array; (* clause database, dense *)
+  mutable nclauses_db : int;
+  mutable n_original : int; (* ids handed out, incl. skipped tautologies *)
+  mutable n_literals : int;
+  (* per-variable state *)
+  mutable assign : int array; (* -1 unassigned / 0 false / 1 true *)
+  mutable var_level : int array;
+  mutable reason : int array; (* clause-db index or -1 *)
+  mutable activity : float array;
+  mutable phase : bool array;
+  mutable heap_pos : int array; (* -1 when not in heap *)
+  mutable heap : int array;
+  mutable heap_size : int;
+  (* watch lists, indexed by literal code *)
+  mutable watches : int list array;
+  (* trail *)
+  mutable trail : int array;
+  mutable trail_size : int;
+  mutable trail_head : int;
+  mutable trail_lim : int list; (* decision-level boundaries, most recent first *)
+  mutable var_inc : float;
+  (* results *)
+  mutable status : result option;
+  mutable core : int list;
+  mutable empty_clause : bool;
+  mutable proof_log : int list list; (* learned clauses, reversed, DIMACS *)
+  (* stats *)
+  mutable n_conflicts : int;
+  mutable n_decisions : int;
+  mutable n_propagations : int;
+}
+
+and result = Sat | Unsat
+
+let var_decay = 1.0 /. 0.95
+
+let create () =
+  {
+    nvars = 0;
+    clauses = Array.make 64 { id = -2; lits = [||]; antecedents = [] };
+    nclauses_db = 0;
+    n_original = 0;
+    n_literals = 0;
+    assign = Array.make 16 (-1);
+    var_level = Array.make 16 0;
+    reason = Array.make 16 (-1);
+    activity = Array.make 16 0.0;
+    phase = Array.make 16 false;
+    heap_pos = Array.make 16 (-1);
+    heap = Array.make 16 0;
+    heap_size = 0;
+    watches = Array.make 32 [];
+    trail = Array.make 16 0;
+    trail_size = 0;
+    trail_head = 0;
+    trail_lim = [];
+    var_inc = 1.0;
+    status = None;
+    core = [];
+    empty_clause = false;
+    proof_log = [];
+    n_conflicts = 0;
+    n_decisions = 0;
+    n_propagations = 0;
+  }
+
+let num_vars s = s.nvars
+let num_clauses s = s.n_original
+let num_literals s = s.n_literals
+let conflicts s = s.n_conflicts
+let decisions s = s.n_decisions
+let propagations s = s.n_propagations
+
+(* -- growable arrays ---------------------------------------------------- *)
+
+let ensure_var_capacity s =
+  let cap = Array.length s.assign in
+  if s.nvars >= cap then begin
+    let ncap = cap * 2 in
+    let extend a fill =
+      let a' = Array.make ncap fill in
+      Array.blit a 0 a' 0 cap;
+      a'
+    in
+    s.assign <- extend s.assign (-1);
+    s.var_level <- extend s.var_level 0;
+    s.reason <- extend s.reason (-1);
+    s.activity <- extend s.activity 0.0;
+    s.phase <- extend s.phase false;
+    s.heap_pos <- extend s.heap_pos (-1);
+    s.heap <- extend s.heap 0;
+    let w' = Array.make (ncap * 2) [] in
+    Array.blit s.watches 0 w' 0 (Array.length s.watches);
+    s.watches <- w';
+    let t' = Array.make ncap 0 in
+    Array.blit s.trail 0 t' 0 (Array.length s.trail);
+    s.trail <- t'
+  end
+
+(* -- VSIDS heap --------------------------------------------------------- *)
+
+let heap_less s a b = s.activity.(a) > s.activity.(b)
+
+let heap_swap s i j =
+  let a = s.heap.(i) and b = s.heap.(j) in
+  s.heap.(i) <- b;
+  s.heap.(j) <- a;
+  s.heap_pos.(a) <- j;
+  s.heap_pos.(b) <- i
+
+let rec heap_up s i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if heap_less s s.heap.(i) s.heap.(parent) then begin
+      heap_swap s i parent;
+      heap_up s parent
+    end
+  end
+
+let rec heap_down s i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < s.heap_size && heap_less s s.heap.(l) s.heap.(!best) then best := l;
+  if r < s.heap_size && heap_less s s.heap.(r) s.heap.(!best) then best := r;
+  if !best <> i then begin
+    heap_swap s i !best;
+    heap_down s !best
+  end
+
+let heap_insert s v =
+  if s.heap_pos.(v) < 0 then begin
+    s.heap.(s.heap_size) <- v;
+    s.heap_pos.(v) <- s.heap_size;
+    s.heap_size <- s.heap_size + 1;
+    heap_up s s.heap_pos.(v)
+  end
+
+let heap_pop s =
+  let v = s.heap.(0) in
+  s.heap_size <- s.heap_size - 1;
+  if s.heap_size > 0 then begin
+    s.heap.(0) <- s.heap.(s.heap_size);
+    s.heap_pos.(s.heap.(0)) <- 0
+  end;
+  s.heap_pos.(v) <- -1;
+  if s.heap_size > 0 then heap_down s 0;
+  v
+
+let bump_var s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for i = 0 to s.nvars - 1 do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end;
+  if s.heap_pos.(v) >= 0 then heap_up s s.heap_pos.(v)
+
+let decay_activities s = s.var_inc <- s.var_inc *. var_decay
+
+(* -- basic literal machinery -------------------------------------------- *)
+
+let var_of lit = lit lsr 1
+let neg lit = lit lxor 1
+
+let lit_value s lit =
+  let a = s.assign.(var_of lit) in
+  if a < 0 then -1 else a lxor (lit land 1)
+
+let decision_level s = List.length s.trail_lim
+
+let new_var s =
+  let v = s.nvars in
+  s.nvars <- v + 1;
+  ensure_var_capacity s;
+  heap_insert s v;
+  v + 1
+
+(* -- clause database ----------------------------------------------------- *)
+
+let push_clause s c =
+  if s.nclauses_db >= Array.length s.clauses then begin
+    let a = Array.make (Array.length s.clauses * 2) c in
+    Array.blit s.clauses 0 a 0 s.nclauses_db;
+    s.clauses <- a
+  end;
+  s.clauses.(s.nclauses_db) <- c;
+  s.nclauses_db <- s.nclauses_db + 1;
+  s.nclauses_db - 1
+
+let watch s lit ci = s.watches.(lit) <- ci :: s.watches.(lit)
+
+let enqueue s lit reason_ci =
+  let v = var_of lit in
+  s.assign.(v) <- 1 - (lit land 1);
+  s.var_level.(v) <- decision_level s;
+  s.reason.(v) <- reason_ci;
+  s.phase.(v) <- lit land 1 = 0;
+  s.trail.(s.trail_size) <- lit;
+  s.trail_size <- s.trail_size + 1
+
+(* -- unsat-core extraction (from a level-0 conflict) --------------------- *)
+
+let extract_core s confl_ci =
+  let core = Hashtbl.create 64 in
+  let seen_clause = Hashtbl.create 256 in
+  let seen_var = Array.make (max 1 s.nvars) false in
+  let rec visit_clause ci =
+    if ci >= 0 && not (Hashtbl.mem seen_clause ci) then begin
+      Hashtbl.add seen_clause ci ();
+      let c = s.clauses.(ci) in
+      if c.id >= 0 then Hashtbl.replace core c.id ()
+      else List.iter visit_clause c.antecedents;
+      Array.iter
+        (fun q ->
+          let v = var_of q in
+          if not seen_var.(v) then begin
+            seen_var.(v) <- true;
+            if s.reason.(v) >= 0 then visit_clause s.reason.(v)
+          end)
+        c.lits
+    end
+  in
+  visit_clause confl_ci;
+  List.sort compare (Hashtbl.fold (fun id () acc -> id :: acc) core [])
+
+(* internal lit from DIMACS int *)
+let lit_of_dimacs d =
+  if d = 0 then invalid_arg "Solver.add_clause: zero literal";
+  let v = abs d - 1 in
+  if d > 0 then 2 * v else (2 * v) + 1
+
+let add_clause s dimacs_lits =
+  let id = s.n_original in
+  s.n_original <- id + 1;
+  let lits = List.map lit_of_dimacs dimacs_lits in
+  List.iter
+    (fun l ->
+      while var_of l >= s.nvars do
+        ignore (new_var s)
+      done)
+    lits;
+  s.n_literals <- s.n_literals + List.length lits;
+  let lits = List.sort_uniq compare lits in
+  let tautology = List.exists (fun l -> List.mem (neg l) lits) lits in
+  if tautology then id
+  else begin
+    (* Remove literals already false at level 0; they can never help.
+       This simplification must be recorded for core soundness: a literal
+       false at level 0 has a level-0 reason clause, which we fold into
+       this clause's antecedents.  To keep original clauses pristine we
+       skip the simplification instead — correctness is unaffected, the
+       watch machinery handles false literals. *)
+    match lits with
+    | [] ->
+      s.empty_clause <- true;
+      s.status <- Some Unsat;
+      s.proof_log <- [ [] ];
+      s.core <- [ id ];
+      id
+    | [ l ] ->
+      let ci = push_clause s { id; lits = [| l; l |]; antecedents = [] } in
+      (* Unit clause: assert at level 0 (if consistent). *)
+      (match lit_value s l with
+      | 1 -> ()
+      | 0 ->
+        (* Immediate level-0 conflict with earlier units. *)
+        s.status <- Some Unsat;
+        s.proof_log <- [ [] ];
+      s.proof_log <- [ [] ];
+        s.core <- extract_core s ci
+      | _ -> enqueue s l ci);
+      id
+    | l0 :: l1 :: _ ->
+      let arr = Array.of_list lits in
+      let ci = push_clause s { id; lits = arr; antecedents = [] } in
+      watch s l0 ci;
+      watch s l1 ci;
+      id
+  end
+
+(* -- propagation --------------------------------------------------------- *)
+
+exception Conflict of int
+
+let propagate s =
+  try
+    while s.trail_head < s.trail_size do
+      let p = s.trail.(s.trail_head) in
+      s.trail_head <- s.trail_head + 1;
+      s.n_propagations <- s.n_propagations + 1;
+      let false_lit = neg p in
+      let ws = s.watches.(false_lit) in
+      s.watches.(false_lit) <- [];
+      let rec scan = function
+        | [] -> ()
+        | ci :: rest -> (
+          let c = s.clauses.(ci) in
+          let lits = c.lits in
+          if lits.(0) = false_lit then begin
+            lits.(0) <- lits.(1);
+            lits.(1) <- false_lit
+          end;
+          if lit_value s lits.(0) = 1 then begin
+            (* already satisfied: keep watching false_lit *)
+            s.watches.(false_lit) <- ci :: s.watches.(false_lit);
+            scan rest
+          end
+          else
+            (* look for a new watch *)
+            let n = Array.length lits in
+            let rec find k =
+              if k >= n then -1
+              else if lit_value s lits.(k) <> 0 then k
+              else find (k + 1)
+            in
+            match find 2 with
+            | k when k >= 0 ->
+              lits.(1) <- lits.(k);
+              lits.(k) <- false_lit;
+              watch s lits.(1) ci;
+              scan rest
+            | _ ->
+              s.watches.(false_lit) <- ci :: s.watches.(false_lit);
+              if lit_value s lits.(0) = 0 then begin
+                (* conflict: restore remaining watches, then raise *)
+                List.iter
+                  (fun ci' ->
+                    s.watches.(false_lit) <- ci' :: s.watches.(false_lit))
+                  rest;
+                s.trail_head <- s.trail_size;
+                raise (Conflict ci)
+              end
+              else begin
+                enqueue s lits.(0) ci;
+                scan rest
+              end)
+      in
+      scan ws
+    done;
+    -1
+  with Conflict ci -> ci
+
+(* -- conflict analysis ---------------------------------------------------- *)
+
+let analyze s confl_ci =
+  let seen = Array.make s.nvars false in
+  let learnt = ref [] in
+  let antecedents = ref [] in
+  let counter = ref 0 in
+  let p = ref (-1) in
+  let confl = ref confl_ci in
+  let index = ref s.trail_size in
+  let continue = ref true in
+  while !continue do
+    antecedents := !confl :: !antecedents;
+    let c = s.clauses.(!confl) in
+    Array.iter
+      (fun q ->
+        if q <> !p then begin
+          let v = var_of q in
+          if (not seen.(v)) && s.var_level.(v) > 0 then begin
+            seen.(v) <- true;
+            bump_var s v;
+            if s.var_level.(v) >= decision_level s then incr counter
+            else learnt := q :: !learnt
+          end
+        end)
+      c.lits;
+    (* pick next literal to resolve on *)
+    let rec next () =
+      decr index;
+      let q = s.trail.(!index) in
+      if seen.(var_of q) then q else next ()
+    in
+    let q = next () in
+    seen.(var_of q) <- false;
+    decr counter;
+    if !counter = 0 then begin
+      p := neg q;
+      continue := false
+    end
+    else begin
+      p := q;
+      confl := s.reason.(var_of q)
+    end
+  done;
+  let learnt_lits = !p :: !learnt in
+  (* Backjump level: highest level among the non-asserting literals. *)
+  let bj_level =
+    List.fold_left
+      (fun acc q -> max acc s.var_level.(var_of q))
+      0 !learnt
+  in
+  (learnt_lits, bj_level, !antecedents)
+
+let backtrack s level =
+  let rec strip_lims lims n =
+    (* keep [level] boundaries *)
+    if n <= level then lims
+    else
+      match lims with
+      | [] -> []
+      | boundary :: rest ->
+        (* undo assignments above this boundary *)
+        while s.trail_size > boundary do
+          s.trail_size <- s.trail_size - 1;
+          let v = var_of s.trail.(s.trail_size) in
+          s.assign.(v) <- -1;
+          s.reason.(v) <- -1;
+          heap_insert s v
+        done;
+        strip_lims rest (n - 1)
+  in
+  s.trail_lim <- strip_lims s.trail_lim (decision_level s);
+  s.trail_head <- s.trail_size
+
+(* -- search --------------------------------------------------------------- *)
+
+(* Luby sequence, 1-indexed: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... *)
+let rec luby i =
+  (* find k with i <= 2^k - 1 *)
+  let rec size k = if (1 lsl k) - 1 >= i then k else size (k + 1) in
+  let k = size 1 in
+  if i = (1 lsl k) - 1 then 1 lsl (k - 1)
+  else luby (i - ((1 lsl (k - 1)) - 1))
+
+let pick_branch_var s =
+  let rec go () =
+    if s.heap_size = 0 then -1
+    else
+      let v = heap_pop s in
+      if s.assign.(v) < 0 then v else go ()
+  in
+  go ()
+
+let dimacs_of_lit lit =
+  let v = var_of lit + 1 in
+  if lit land 1 = 0 then v else -v
+
+let learn_clause s lits antecedents =
+  s.proof_log <- List.map dimacs_of_lit lits :: s.proof_log;
+  match lits with
+  | [] -> assert false
+  | [ l ] ->
+    backtrack s 0;
+    let ci = push_clause s { id = -1; lits = [| l; l |]; antecedents } in
+    if lit_value s l = 0 then (
+      (* level-0 conflict right away *)
+      Some ci)
+    else begin
+      if lit_value s l < 0 then enqueue s l ci;
+      None
+    end
+  | first :: _ ->
+    let arr = Array.of_list lits in
+    (* watched literals: the asserting literal and one literal of the
+       backjump level *)
+    let ci = push_clause s { id = -1; lits = arr; antecedents } in
+    (* ensure arr.(1) has max level among non-asserting *)
+    let best = ref 1 in
+    for k = 2 to Array.length arr - 1 do
+      if s.var_level.(var_of arr.(k)) > s.var_level.(var_of arr.(!best)) then
+        best := k
+    done;
+    let tmp = arr.(1) in
+    arr.(1) <- arr.(!best);
+    arr.(!best) <- tmp;
+    watch s arr.(0) ci;
+    watch s arr.(1) ci;
+    enqueue s first ci;
+    None
+
+let solve s =
+  match s.status with
+  | Some r -> r
+  | None ->
+    let result = ref None in
+    let restart_count = ref 0 in
+    let conflicts_until_restart = ref (100 * luby 1) in
+    (* top-level propagation of unit clauses *)
+    (while !result = None do
+       let confl = propagate s in
+       if confl >= 0 then begin
+         s.n_conflicts <- s.n_conflicts + 1;
+         if decision_level s = 0 then begin
+           s.core <- extract_core s confl;
+           result := Some Unsat
+         end
+         else begin
+           let lits, bj, antecedents = analyze s confl in
+           backtrack s bj;
+           (match learn_clause s lits antecedents with
+           | Some conflicting_ci ->
+             s.core <- extract_core s conflicting_ci;
+             result := Some Unsat
+           | None -> ());
+           decay_activities s
+         end
+       end
+       else if s.n_conflicts >= !conflicts_until_restart then begin
+         incr restart_count;
+         conflicts_until_restart :=
+           s.n_conflicts + (100 * luby (!restart_count + 1));
+         backtrack s 0
+       end
+       else begin
+         match pick_branch_var s with
+         | -1 -> result := Some Sat
+         | v ->
+           s.n_decisions <- s.n_decisions + 1;
+           s.trail_lim <- s.trail_size :: s.trail_lim;
+           let lit = if s.phase.(v) then 2 * v else (2 * v) + 1 in
+           enqueue s lit (-1)
+       end
+     done);
+    let r = match !result with Some r -> r | None -> assert false in
+    if r = Unsat then s.proof_log <- [] :: s.proof_log;
+    s.status <- Some r;
+    r
+
+let value s v =
+  match s.status with
+  | Some Sat ->
+    let a = s.assign.(v - 1) in
+    a = 1
+  | _ -> invalid_arg "Solver.value: no model available"
+
+let unsat_core s =
+  match s.status with
+  | Some Unsat -> s.core
+  | _ -> invalid_arg "Solver.unsat_core: instance not proven unsatisfiable"
+
+let proof s =
+  match s.status with
+  | Some Unsat -> List.rev s.proof_log
+  | _ -> invalid_arg "Solver.proof: instance not proven unsatisfiable"
+
+let minimize_core ~rebuild core =
+  let rec shrink kept candidates =
+    match candidates with
+    | [] -> List.sort compare kept
+    | c :: rest ->
+      let subset = kept @ rest in
+      let s, id_map = rebuild subset in
+      (match solve s with
+      | Unsat ->
+        (* still unsat without [c]: drop it, and restrict to the new
+           (possibly smaller) core *)
+        let new_core = List.map id_map (unsat_core s) in
+        let new_core_set = List.sort_uniq compare new_core in
+        let keep x = List.mem x new_core_set in
+        shrink (List.filter keep kept) (List.filter keep rest)
+      | Sat -> shrink (c :: kept) rest)
+  in
+  shrink [] core

@@ -1,0 +1,71 @@
+(** A CDCL SAT solver with unsatisfiable-core extraction.
+
+    This plays the role zChaff plays in the paper: the back end of the
+    physical-domain-assignment algorithm (§3.3.2) and the provider of the
+    unsatisfiable cores that power Jedd's error messages (§3.3.3).
+
+    The implementation is a classic conflict-driven solver: two-watched
+    literals, first-UIP clause learning, VSIDS variable activities with a
+    binary heap, phase saving, and Luby restarts.  Every learned clause
+    records the clauses resolved in its derivation, so when the instance
+    is unsatisfiable the solver can walk the resolution graph backwards
+    and report a subset of the *original* clauses that is itself
+    unsatisfiable. *)
+
+type t
+
+type result = Sat | Unsat
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocate a variable and return its index, starting from 1 (literals
+    are DIMACS-style: [v] positive, [-v] negative). *)
+
+val num_vars : t -> int
+val num_clauses : t -> int
+(** Number of original (problem) clauses added so far, counting
+    tautologies that were skipped. *)
+
+val add_clause : t -> int list -> int
+(** [add_clause s lits] adds a clause and returns its id (a dense index
+    also counting skipped tautologies, so callers can keep side tables
+    indexed by id).  Duplicated literals are removed; a tautological
+    clause is accepted but ignored by the search. *)
+
+val solve : t -> result
+(** Run the search.  May be called only once per solver instance
+    (subsequent calls return the cached result). *)
+
+val value : t -> int -> bool
+(** After [solve] returned [Sat]: the value of a variable in the model. *)
+
+val unsat_core : t -> int list
+(** After [solve] returned [Unsat]: ids of original clauses whose
+    conjunction is unsatisfiable.  Sorted ascending.  Not guaranteed
+    minimal (neither was zChaff's); see {!minimize_core}. *)
+
+val proof : t -> int list list
+(** After [solve] returned [Unsat]: the learned clauses in derivation
+    order (DIMACS literals), ending with the empty clause — a clausal
+    proof validatable by {!Checker.check_rup}, in the spirit of the
+    independent resolution-based checking of the paper's reference
+    [30]. *)
+
+val minimize_core :
+  rebuild:(int list -> t * (int -> int)) -> int list -> int list
+(** Deletion-based core minimisation.  [rebuild ids] must construct a
+    fresh solver containing only the original clauses [ids] and return it
+    together with a map from the new solver's clause ids back to the
+    original ids.  Each clause is tentatively dropped; if the rest is
+    still unsatisfiable the drop is kept.  The result is a minimal
+    unsatisfiable subset (with respect to single deletions). *)
+
+(** {2 Statistics} *)
+
+val conflicts : t -> int
+val decisions : t -> int
+val propagations : t -> int
+val num_literals : t -> int
+(** Total number of literal occurrences over all original clauses —
+    the "Literals" column of the paper's Table 1. *)

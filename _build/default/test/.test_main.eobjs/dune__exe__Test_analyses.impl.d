@@ -1,0 +1,1 @@
+test/test_analyses.ml: Alcotest Jedd_analyses Jedd_lang Jedd_minijava List Sys

@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Array Hashtbl Jedd_bdd List QCheck QCheck_alcotest

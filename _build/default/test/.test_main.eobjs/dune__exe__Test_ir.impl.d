@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Format Jedd_analyses Jedd_lang Jedd_minijava Jedd_relation List Printf Str String

@@ -1,0 +1,1 @@
+test/test_jedd.ml: Alcotest Hashtbl Jedd_lang Jedd_relation List Str String

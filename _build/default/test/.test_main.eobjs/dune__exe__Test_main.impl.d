@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_analyses Test_bdd Test_ir Test_jedd Test_relation Test_sat Test_tools Test_zdd

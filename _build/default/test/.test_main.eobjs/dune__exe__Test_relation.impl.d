@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Jedd_relation List QCheck QCheck_alcotest Random Set String

@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Jedd_sat List QCheck QCheck_alcotest Random

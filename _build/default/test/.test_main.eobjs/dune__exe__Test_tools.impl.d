@@ -1,0 +1,1 @@
+test/test_tools.ml: Alcotest Format Jedd_bdd Jedd_lang Jedd_profiler Jedd_relation List String

@@ -1,0 +1,1 @@
+test/test_zdd.ml: Alcotest Array Fun Jedd_bdd List QCheck QCheck_alcotest Random Set

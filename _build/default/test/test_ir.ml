@@ -1,0 +1,250 @@
+(* Tests for the lowered IR (§3.2 code generation): lowering structure,
+   and differential execution — the register machine and the
+   tree-walking interpreter must produce identical relations on the same
+   programs and inputs. *)
+
+module Driver = Jedd_lang.Driver
+module Interp = Jedd_lang.Interp
+module Ir = Jedd_lang.Ir
+module Lower = Jedd_lang.Lower
+module Ir_interp = Jedd_lang.Ir_interp
+module R = Jedd_relation.Relation
+
+let preamble =
+  "domain Type 8;\n\
+   domain Signature 8;\n\
+   domain Method 8;\n\
+   attribute type : Type;\n\
+   attribute rectype : Type;\n\
+   attribute tgttype : Type;\n\
+   attribute subtype : Type;\n\
+   attribute supertype : Type;\n\
+   attribute signature : Signature;\n\
+   attribute method : Method;\n\
+   physdom T1;\nphysdom T2;\nphysdom T3;\nphysdom S1;\nphysdom M1;\n"
+
+let compile src =
+  match Driver.compile [ ("t.jedd", src) ] with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "compile: %s" (Driver.error_to_string e)
+
+let figure4 =
+  preamble
+  ^ "class Resolver {\n\
+     \  <type, signature, method> declaresMethod;\n\
+     \  <rectype, signature, tgttype, method> answer = 0B;\n\
+     \  public void resolve( <rectype, signature> receiverTypes, <subtype, supertype:T3> extend ) {\n\
+     \    <rectype, signature, tgttype> toResolve = (rectype => rectype tgttype) receiverTypes;\n\
+     \    do {\n\
+     \      <rectype:T1, signature:S1, tgttype:T2, method:M1> resolved =\n\
+     \        toResolve{tgttype, signature} >< declaresMethod{type, signature};\n\
+     \      answer |= resolved;\n\
+     \      toResolve -= (method=>) resolved;\n\
+     \      toResolve = (supertype=>tgttype) (toResolve{tgttype} <> extend{subtype});\n\
+     \    } while( toResolve != 0B );\n\
+     \  }\n\
+     }\n"
+
+(* run a program + scenario through both engines, compare every field *)
+let differential src ~fields ~scenario =
+  let c = compile src in
+  (* tree interpreter *)
+  let inst1 = Driver.instantiate c in
+  scenario inst1 (fun q args -> ignore (Interp.call inst1 q args));
+  let res1 = List.map (fun f -> R.tuples (Interp.get_field inst1 f)) fields in
+  (* IR engine on a fresh instance *)
+  let inst2 = Driver.instantiate c in
+  let ir = Ir_interp.create c inst2 in
+  scenario inst2 (fun q args -> ignore (Ir_interp.call ir q args));
+  let res2 = List.map (fun f -> R.tuples (Interp.get_field inst2 f)) fields in
+  List.iter2
+    (fun (f : string) (t1, t2) ->
+      Alcotest.(check (list (list int)))
+        (Printf.sprintf "field %s agrees" f)
+        t1 t2)
+    fields
+    (List.combine res1 res2)
+
+let test_lowering_structure () =
+  let c = compile figure4 in
+  let m = Lower.lower_method c "Resolver.resolve" in
+  Alcotest.(check bool) "allocated registers" true (m.Ir.c_nregs > 5);
+  Alcotest.(check bool) "body nonempty" true (Ir.method_size m > 10);
+  let text = Format.asprintf "%a" Ir.pp_method m in
+  Alcotest.(check bool) "has a join" true
+    (Str.string_match (Str.regexp ".*><.*") (String.map (fun c -> if c = '\n' then ' ' else c) text) 0);
+  Alcotest.(check bool) "has frees" true
+    (Str.string_match (Str.regexp ".*free r.*") (String.map (fun c -> if c = '\n' then ' ' else c) text) 0)
+
+let test_replace_sites_lowered () =
+  (* a field-to-field assignment across layouts must lower to IReplace *)
+  let src =
+    "domain Type 8;\nattribute type : Type;\nphysdom TA;\nphysdom TB;\n\
+     class Rep { <type:TA> a; <type:TB> b; public void go() { b = a; } }\n"
+  in
+  let c = compile src in
+  let m = Lower.lower_method c "Rep.go" in
+  let has_replace = ref false in
+  let rec scan (s : Ir.cstmt) =
+    match s with
+    | Ir.CExec is ->
+      List.iter (function Ir.IReplace _ -> has_replace := true | _ -> ()) is
+    | Ir.CBlock b -> List.iter scan b
+    | Ir.CIf (_, th, el) ->
+      List.iter scan th;
+      List.iter scan el
+    | Ir.CWhile (_, b) | Ir.CDoWhile (b, _) -> List.iter scan b
+    | Ir.CReturn (is, _) ->
+      List.iter (function Ir.IReplace _ -> has_replace := true | _ -> ()) is
+  in
+  List.iter scan m.Ir.c_body;
+  Alcotest.(check bool) "IReplace present" true !has_replace
+
+let test_figure4_differential () =
+  differential figure4 ~fields:[ "Resolver.answer" ] ~scenario:(fun inst call ->
+      let u = Interp.universe inst in
+      let set f tuples =
+        let r = R.of_tuples u (Interp.schema_of_var inst f) tuples in
+        Interp.set_field inst f r;
+        R.release r
+      in
+      set "Resolver.declaresMethod" [ [ 0; 0; 0 ]; [ 1; 1; 1 ] ];
+      let recv =
+        R.of_tuples u
+          (Interp.schema_of_var inst "Resolver.resolve.receiverTypes")
+          [ [ 1; 0 ]; [ 1; 1 ] ]
+      in
+      let extend =
+        R.of_tuples u
+          (Interp.schema_of_var inst "Resolver.resolve.extend")
+          [ [ 1; 0 ] ]
+      in
+      call "Resolver.resolve" [ Interp.VRel recv; Interp.VRel extend ])
+
+let test_figure4_ir_result_correct () =
+  let c = compile figure4 in
+  let inst = Driver.instantiate c in
+  let ir = Ir_interp.create c inst in
+  let u = Interp.universe inst in
+  let set f tuples =
+    let r = R.of_tuples u (Interp.schema_of_var inst f) tuples in
+    Interp.set_field inst f r;
+    R.release r
+  in
+  set "Resolver.declaresMethod" [ [ 0; 0; 0 ]; [ 1; 1; 1 ] ];
+  let recv =
+    R.of_tuples u
+      (Interp.schema_of_var inst "Resolver.resolve.receiverTypes")
+      [ [ 1; 0 ]; [ 1; 1 ] ]
+  in
+  let extend =
+    R.of_tuples u
+      (Interp.schema_of_var inst "Resolver.resolve.extend")
+      [ [ 1; 0 ] ]
+  in
+  ignore (Ir_interp.call ir "Resolver.resolve" [ Interp.VRel recv; Interp.VRel extend ]);
+  Alcotest.(check (list (list int)))
+    "IR engine resolves the calls"
+    [ [ 1; 0; 0; 0 ]; [ 1; 1; 1; 1 ] ]
+    (R.tuples (Interp.get_field inst "Resolver.answer"))
+
+let test_calls_differential () =
+  let src =
+    preamble
+    ^ "class C {\n\
+       \  <type:T1> f;\n\
+       \  <type> get() { return f; }\n\
+       \  public void bump( Type t ) { f |= new { t=>type }; }\n\
+       \  public void m( Type t ) { bump(t); f = get() | f; }\n\
+       }\n"
+  in
+  differential src ~fields:[ "C.f" ] ~scenario:(fun _inst call ->
+      call "C.m" [ Interp.VObj 3 ];
+      call "C.m" [ Interp.VObj 6 ])
+
+let test_control_flow_differential () =
+  let src =
+    preamble
+    ^ "class C {\n\
+       \  <type:T1> acc;\n\
+       \  public void m( <type> seed, <subtype, supertype:T2> succ ) {\n\
+       \    <type> frontier = seed;\n\
+       \    while (frontier != 0B) {\n\
+       \      acc |= frontier;\n\
+       \      frontier = (supertype=>type) (frontier{type} <> succ{subtype});\n\
+       \      frontier -= acc;\n\
+       \    }\n\
+       \    if (acc == 0B) { acc = seed; } else { acc = acc | acc; }\n\
+       \  }\n\
+       }\n"
+  in
+  differential src ~fields:[ "C.acc" ] ~scenario:(fun inst call ->
+      let u = Interp.universe inst in
+      let seed =
+        R.of_tuples u (Interp.schema_of_var inst "C.m.seed") [ [ 0 ] ]
+      in
+      let succ =
+        R.of_tuples u
+          (Interp.schema_of_var inst "C.m.succ")
+          [ [ 0; 1 ]; [ 1; 2 ]; [ 5; 6 ] ]
+      in
+      call "C.m" [ Interp.VRel seed; Interp.VRel succ ])
+
+let test_pointsto_via_ir () =
+  (* the Points-to analysis, executed entirely by the IR engine, must
+     match the reference implementation *)
+  let p = Jedd_minijava.Workload.generate Jedd_minijava.Workload.tiny in
+  let src = Jedd_analyses.Suite.source_for p "Points-to Analysis" in
+  let c = compile src in
+  let inst = Driver.instantiate c in
+  let ir = Ir_interp.create c inst in
+  Jedd_analyses.Pointsto.load_facts inst p;
+  ignore (Ir_interp.call ir "PointsTo.run" []);
+  let got = R.tuples (Interp.get_field inst "PointsTo.pt") in
+  let ref_pt, _ = Jedd_minijava.Reference.points_to p in
+  Alcotest.(check (list (list int)))
+    "IR-run points-to matches reference"
+    (Jedd_minijava.Reference.IPS.elements ref_pt
+    |> List.map (fun (a, b) -> [ a; b ]))
+    got
+
+let test_no_leaks_via_ir () =
+  (* after a full IR run, live handles = the instance's fields only *)
+  let src =
+    preamble
+    ^ "class C {\n\
+       \  <type:T1> f;\n\
+       \  public void m( <type> x ) {\n\
+       \    <type> a = x | x;\n\
+       \    <type> b = a & x;\n\
+       \    f = (a | b) - (a & b);\n\
+       \    do { f = f | f; } while (false);\n\
+       \  }\n\
+       }\n"
+  in
+  let c = compile src in
+  let inst = Driver.instantiate c in
+  let ir = Ir_interp.create c inst in
+  let u = Interp.universe inst in
+  let before = Jedd_relation.Relation.live_root_count u in
+  let x = R.of_tuples u (Interp.schema_of_var inst "C.m.x") [ [ 1 ]; [ 4 ] ] in
+  ignore (Ir_interp.call ir "C.m" [ Interp.VRel x ]);
+  (* x's handle was transferred to the callee and released there *)
+  Alcotest.(check int) "no leaked handles" before
+    (Jedd_relation.Relation.live_root_count u)
+
+let suite =
+  [
+    Alcotest.test_case "lowering structure" `Quick test_lowering_structure;
+    Alcotest.test_case "replace sites lowered" `Quick
+      test_replace_sites_lowered;
+    Alcotest.test_case "Figure 4 differential" `Quick
+      test_figure4_differential;
+    Alcotest.test_case "Figure 4 via IR is correct" `Quick
+      test_figure4_ir_result_correct;
+    Alcotest.test_case "calls differential" `Quick test_calls_differential;
+    Alcotest.test_case "control flow differential" `Quick
+      test_control_flow_differential;
+    Alcotest.test_case "points-to via IR" `Quick test_pointsto_via_ir;
+    Alcotest.test_case "no leaks via IR" `Quick test_no_leaks_via_ir;
+  ]

@@ -1,0 +1,124 @@
+(* Tests for the ZDD kernel (§4.1 extension): set-family semantics
+   against a reference implementation, zero-suppression canonicity, and
+   BDD->ZDD conversion. *)
+
+module Z = Jedd_bdd.Zdd
+module M = Jedd_bdd.Manager
+module Ops = Jedd_bdd.Ops
+
+module SetFam = Set.Make (struct
+  type t = int list
+
+  let compare = compare
+end)
+
+let family_of t node =
+  let acc = ref SetFam.empty in
+  Z.iter_sets t node (fun s -> acc := SetFam.add s !acc);
+  !acc
+
+let test_terminals () =
+  let t = Z.create () in
+  Alcotest.(check int) "zero is empty family" 0 (Z.count t Z.zero);
+  Alcotest.(check int) "one is {{}}" 1 (Z.count t Z.one);
+  Alcotest.(check bool) "one contains the empty set" true
+    (SetFam.mem [] (family_of t Z.one))
+
+let test_singleton () =
+  let t = Z.create () in
+  let v = Z.new_var t in
+  let s = Z.singleton_var t v in
+  Alcotest.(check int) "one member" 1 (Z.count t s);
+  Alcotest.(check bool) "the member is {v}" true
+    (SetFam.equal (family_of t s) (SetFam.singleton [ v ]))
+
+let test_union_inter_diff () =
+  let t = Z.create () in
+  let a = Z.new_var t and b = Z.new_var t and c = Z.new_var t in
+  let sa = Z.singleton_var t a in
+  let sb = Z.singleton_var t b in
+  let sab = Z.change t sa b in
+  (* {a}, {b}, {a,b} *)
+  let fam = Z.union t (Z.union t sa sb) sab in
+  Alcotest.(check int) "three members" 3 (Z.count t fam);
+  let with_a = Z.subset1 t fam a in
+  (* members containing a, with a removed: {} and {b} *)
+  Alcotest.(check int) "two contained a" 2 (Z.count t with_a);
+  let without_a = Z.subset0 t fam a in
+  Alcotest.(check int) "one avoided a" 1 (Z.count t without_a);
+  let minus = Z.diff t fam sb in
+  Alcotest.(check int) "diff removes {b}" 2 (Z.count t minus);
+  let inter = Z.inter t fam (Z.union t sb sab) in
+  Alcotest.(check int) "intersection" 2 (Z.count t inter);
+  ignore c
+
+let test_canonicity () =
+  let t = Z.create () in
+  let a = Z.new_var t and b = Z.new_var t in
+  let f1 = Z.union t (Z.singleton_var t a) (Z.singleton_var t b) in
+  let f2 = Z.union t (Z.singleton_var t b) (Z.singleton_var t a) in
+  Alcotest.(check int) "same family, same node" f1 f2
+
+let test_of_assignments_roundtrip () =
+  let t = Z.create () in
+  let bits l = Array.init 4 (fun i -> List.mem i l) in
+  let sets = [ [ 0; 2 ]; [ 1 ]; []; [ 0; 1; 2; 3 ] ] in
+  let f = Z.of_assignments t ~nvars:4 (List.map bits sets) in
+  Alcotest.(check int) "count" 4 (Z.count t f);
+  Alcotest.(check bool) "members round-trip" true
+    (SetFam.equal (family_of t f) (SetFam.of_list (List.map (List.sort compare) sets)))
+
+let test_of_bdd () =
+  let m = M.create () in
+  let v0 = M.new_var m and v1 = M.new_var m in
+  let f = Ops.bor m (M.var m v0) (M.var m v1) in
+  let t = Z.create () in
+  let z = Z.of_bdd m f t in
+  (* satisfying assignments of x0|x1 over 2 vars: 01, 10, 11 *)
+  Alcotest.(check int) "three assignments" 3 (Z.count t z);
+  Alcotest.(check bool) "families match" true
+    (SetFam.equal (family_of t z)
+       (SetFam.of_list [ [ 0 ]; [ 1 ]; [ 0; 1 ] ]))
+
+let prop_ops_match_reference =
+  QCheck.Test.make ~count:200 ~name:"ZDD set algebra matches reference"
+    QCheck.(pair (int_bound 1000000) (int_bound 1000))
+    (fun (seed, extra) ->
+      let st = Random.State.make [| seed; extra |] in
+      let rand n = Random.State.int st n in
+      let nvars = 5 in
+      let t = Z.create () in
+      for _ = 1 to nvars do
+        ignore (Z.new_var t)
+      done;
+      let random_family () =
+        let k = rand 8 in
+        List.init k (fun _ -> Array.init nvars (fun _ -> rand 2 = 0))
+      in
+      let fam1 = random_family () and fam2 = random_family () in
+      let to_sets fam =
+        SetFam.of_list
+          (List.map
+             (fun bits ->
+               List.filteri (fun i _ -> bits.(i)) (List.init nvars Fun.id))
+             fam)
+      in
+      let z1 = Z.of_assignments t ~nvars fam1 in
+      let z2 = Z.of_assignments t ~nvars fam2 in
+      let s1 = to_sets fam1 and s2 = to_sets fam2 in
+      SetFam.equal (family_of t (Z.union t z1 z2)) (SetFam.union s1 s2)
+      && SetFam.equal (family_of t (Z.inter t z1 z2)) (SetFam.inter s1 s2)
+      && SetFam.equal (family_of t (Z.diff t z1 z2)) (SetFam.diff s1 s2)
+      && Z.count t z1 = SetFam.cardinal s1)
+
+let suite =
+  [
+    Alcotest.test_case "terminals" `Quick test_terminals;
+    Alcotest.test_case "singleton" `Quick test_singleton;
+    Alcotest.test_case "union/inter/diff/subset" `Quick test_union_inter_diff;
+    Alcotest.test_case "canonicity" `Quick test_canonicity;
+    Alcotest.test_case "assignments roundtrip" `Quick
+      test_of_assignments_roundtrip;
+    Alcotest.test_case "of_bdd" `Quick test_of_bdd;
+    QCheck_alcotest.to_alcotest ~verbose:false prop_ops_match_reference;
+  ]
