@@ -1,0 +1,29 @@
+.PHONY: all check test smoke release bench-json clean
+
+all:
+	dune build
+
+# The full gate: build, unit/property tests, and the seconds-scale
+# benchmark smoke run.
+check:
+	dune build
+	dune runtest
+	dune build @bench-smoke
+
+test:
+	dune runtest
+
+smoke:
+	dune build @bench-smoke
+
+# Optimised binaries (-O3 -unsafe -noassert); see the root `dune` file.
+release:
+	dune build --profile release
+
+# Regenerate the machine-readable benchmark summary committed at the
+# repo root (BENCH_pr1.json).
+bench-json:
+	dune exec --profile release bench/main.exe -- json
+
+clean:
+	dune clean

@@ -8,7 +8,10 @@
      dune exec bench/main.exe -- compactness  -- the §5 LoC comparison
      dune exec bench/main.exe -- ablation-compose | ablation-replace
                                 | ablation-order | ablation-memory
-     dune exec bench/main.exe -- bechamel     -- Bechamel micro-benchmarks *)
+     dune exec bench/main.exe -- bechamel     -- Bechamel micro-benchmarks
+     dune exec bench/main.exe -- json         -- write BENCH_pr1.json
+     dune exec bench/main.exe -- smoke        -- seconds-scale sanity run
+                                                 (also: dune build @bench-smoke) *)
 
 module Workload = Jedd_minijava.Workload
 module Program = Jedd_minijava.Program
@@ -467,6 +470,261 @@ let bechamel () =
   print_newline ()
 
 (* ----------------------------------------------------------------- *)
+(* Machine-readable benchmark summary (BENCH_pr1.json) and the        *)
+(* seconds-scale smoke run behind the @bench-smoke alias              *)
+(* ----------------------------------------------------------------- *)
+
+module Rep = Jedd_bdd.Replace
+
+let ops_per_sec f =
+  ignore (f ());
+  (* double the repetition count until the timed region is long enough
+     to trust the clock *)
+  let rec go n =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      ignore (f ())
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < 0.25 then go (n * 2) else float_of_int n /. dt
+  in
+  go 4
+
+(* Microbenchmark fixture mirroring the runtime's join/compose pattern:
+   consecutive physical-domain blocks, with the shared attribute moved
+   by an order-preserving block permutation — the fused kernels' fast
+   path, exactly the layout the SAT assignment produces. *)
+let kernel_fixture () =
+  let m = M.create ~node_capacity:(1 lsl 18) () in
+  let bits = 10 in
+  let bx = Fdd.extdomain_bits m bits in
+  let by = Fdd.extdomain_bits m bits in
+  let by' = Fdd.extdomain_bits m bits in
+  let bz = Fdd.extdomain_bits m bits in
+  let bw = Fdd.extdomain_bits m bits in
+  let st = Random.State.make [| 987654321 |] in
+  let random_tuple blocks =
+    List.fold_left
+      (fun acc b ->
+        Ops.band m acc (Fdd.ithvar m b (Random.State.int st (1 lsl bits))))
+      M.one blocks
+  in
+  let random_rel blocks n =
+    let acc = ref M.zero in
+    for _ = 1 to n do
+      acc := Ops.bor m !acc (random_tuple blocks)
+    done;
+    M.addref m !acc
+  in
+  let f = random_rel [ bx; by ] 3000 in
+  let f2 = random_rel [ bx; by ] 3000 in
+  let g = random_rel [ by'; bz ] 3000 in
+  (* ternary relation for the project+coerce benchmark: quantifying the
+     trailing attribute leaves a large survivor to re-lay out *)
+  let g3 = random_rel [ by'; bz; bw ] 3000 in
+  (* move g's copy of the shared attribute onto f's block, and back *)
+  let p_in = Rep.make_perm m (Fdd.perm_pairs by' by) in
+  let p_out = Rep.make_perm m (Fdd.perm_pairs by by') in
+  let cube_shared = M.addref m (Fdd.domain_cube m by) in
+  let cube_w = M.addref m (Fdd.domain_cube m bw) in
+  (m, f, f2, g, g3, by', bz, p_in, p_out, cube_shared, cube_w)
+
+type micro = { name : string; ops : float }
+
+let kernel_microbench () =
+  let m, f, f2, g, g3, _, _, p_in, p_out, cube_shared, cube_w =
+    kernel_fixture ()
+  in
+  ignore p_out;
+  (* correctness gate: never report timings for wrong answers *)
+  let gate a b = if a <> b then failwith "microbench equivalence violated" in
+  gate
+    (Rep.relprod_replace m f g p_in M.one)
+    (Ops.band m f (Rep.replace m g p_in));
+  gate
+    (Rep.relprod_replace m f g p_in cube_shared)
+    (Quant.relprod m f (Rep.replace m g p_in) cube_shared);
+  gate
+    (Rep.replace_exist m g3 p_in cube_w)
+    (Rep.replace m (Quant.exist m g3 cube_w) p_in);
+  let bench name op =
+    {
+      name;
+      ops =
+        ops_per_sec (fun () ->
+            M.clear_caches m;
+            op ());
+    }
+  in
+  [
+    bench "band" (fun () -> Ops.band m f f2);
+    bench "relprod" (fun () -> Quant.relprod m f f2 cube_shared);
+    bench "replace" (fun () -> Rep.replace m g p_in);
+    bench "join_fused" (fun () -> Rep.relprod_replace m f g p_in M.one);
+    bench "join_unfused" (fun () -> Ops.band m f (Rep.replace m g p_in));
+    bench "compose_fused" (fun () ->
+        Rep.relprod_replace m f g p_in cube_shared);
+    bench "compose_unfused" (fun () ->
+        Quant.relprod m f (Rep.replace m g p_in) cube_shared);
+    (* project-then-relayout, the runtime's project + coerce pattern:
+       quantify the trailing attribute and re-lay out the survivor *)
+    bench "replace_exist_fused" (fun () ->
+        Rep.replace_exist m g3 p_in cube_w);
+    bench "replace_exist_unfused" (fun () ->
+        Rep.replace m (Quant.exist m g3 cube_w) p_in);
+  ]
+
+type pt_result = {
+  pt_name : string;
+  hand_seconds : float;
+  jedd_seconds : float;
+  pt_tuples : int;
+  pt_peak_nodes : int;
+  pt_hits : int;
+  pt_misses : int;
+  pt_tags : M.cache_stat list;
+}
+
+let pointsto_bench name =
+  let p = Workload.generate (Workload.profile_named name) in
+  let b = Baseline.create p in
+  let (), hand_t = wall (fun () -> Baseline.solve b) in
+  let hand_tuples = List.length (Baseline.pt_tuples b) in
+  Baseline.destroy b;
+  let compiled = Suite.compile_one p "Points-to Analysis" in
+  let inst = Driver.instantiate ~node_capacity:(1 lsl 18) compiled in
+  Jedd_analyses.Pointsto.load_facts inst p;
+  let (), jedd_t = wall (fun () -> Jedd_analyses.Pointsto.run inst) in
+  let tuples = List.length (Jedd_analyses.Pointsto.results inst) in
+  if tuples <> hand_tuples then begin
+    Printf.eprintf "points-to mismatch on %s: hand %d vs jedd %d tuples\n" name
+      hand_tuples tuples;
+    exit 1
+  end;
+  let m = Jedd_relation.Universe.manager (Interp.universe inst) in
+  let hits, misses, _ = M.cache_totals m in
+  {
+    pt_name = name;
+    hand_seconds = hand_t;
+    jedd_seconds = jedd_t;
+    pt_tuples = tuples;
+    pt_peak_nodes = M.peak_nodes m;
+    pt_hits = hits;
+    pt_misses = misses;
+    pt_tags = M.cache_stats m;
+  }
+
+let hit_rate hits misses =
+  if hits + misses = 0 then 0.0
+  else float_of_int hits /. float_of_int (hits + misses)
+
+let bench_json ?(path = "BENCH_pr1.json") () =
+  let micro = kernel_microbench () in
+  let pts = List.map pointsto_bench [ "javac"; "compress" ] in
+  let fused, fallback = Rep.fused_stats () in
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "{\n";
+  out "  \"schema\": \"jedd-bench-v1\",\n";
+  out "  \"microbench_ops_per_sec\": {\n";
+  List.iteri
+    (fun i { name; ops } ->
+      out "    %S: %.2f%s\n" name ops
+        (if i = List.length micro - 1 then "" else ","))
+    micro;
+  out "  },\n";
+  out "  \"pointsto\": [\n";
+  List.iteri
+    (fun i r ->
+      out
+        "    {\"benchmark\": %S, \"hand_seconds\": %.4f, \"jedd_seconds\": \
+         %.4f, \"tuples\": %d, \"peak_nodes\": %d, \"cache_hits\": %d, \
+         \"cache_misses\": %d, \"cache_hit_rate\": %.4f}%s\n"
+        r.pt_name r.hand_seconds r.jedd_seconds r.pt_tuples r.pt_peak_nodes
+        r.pt_hits r.pt_misses
+        (hit_rate r.pt_hits r.pt_misses)
+        (if i = List.length pts - 1 then "" else ","))
+    pts;
+  out "  ],\n";
+  (match pts with
+  | last :: _ ->
+    out "  \"cache_tags_jedd_pointsto_%s\": [\n" last.pt_name;
+    let active =
+      List.filter
+        (fun (s : M.cache_stat) -> s.hits + s.misses + s.stores > 0)
+        last.pt_tags
+    in
+    List.iteri
+      (fun i (s : M.cache_stat) ->
+        out
+          "    {\"tag\": %S, \"hits\": %d, \"misses\": %d, \"stores\": %d, \
+           \"evictions\": %d, \"hit_rate\": %.4f}%s\n"
+          s.name s.hits s.misses s.stores s.evictions
+          (hit_rate s.hits s.misses)
+          (if i = List.length active - 1 then "" else ","))
+      active;
+    out "  ],\n"
+  | [] -> ());
+  out "  \"fused_kernel_calls\": %d,\n" fused;
+  out "  \"fallback_kernel_calls\": %d\n" fallback;
+  out "}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  print_string (Buffer.contents buf);
+  Printf.printf "wrote %s\n" path
+
+let smoke () =
+  let failures = ref 0 in
+  let check name ok =
+    if not ok then begin
+      Printf.printf "SMOKE FAIL: %s\n" name;
+      incr failures
+    end
+  in
+  let m, f, f2, g, g3, by', bz, p_in, p_out, cube_shared, cube_w =
+    kernel_fixture ()
+  in
+  ignore f2;
+  let fused0, fb0 = Rep.fused_stats () in
+  check "join: fused = band after replace"
+    (Rep.relprod_replace m f g p_in M.one
+    = Ops.band m f (Rep.replace m g p_in));
+  check "compose: fused = relprod after replace"
+    (Rep.relprod_replace m f g p_in cube_shared
+    = Quant.relprod m f (Rep.replace m g p_in) cube_shared);
+  check "replace_exist (project+coerce): fused = replace after exist"
+    (Rep.replace_exist m g3 p_in cube_w
+    = Rep.replace m (Quant.exist m g3 cube_w) p_in);
+  check "replace_exist (up-moving perm): fused = replace after exist"
+    (Rep.replace_exist m f p_out cube_shared
+    = Rep.replace m (Quant.exist m f cube_shared) p_out);
+  let fused1, _ = Rep.fused_stats () in
+  check "block moves take the single-recursion path" (fused1 > fused0);
+  (* a distant swap is not order-preserving: must fall back, same answer *)
+  let l1 = (Fdd.levels by').(0) and l2 = (Fdd.levels bz).(0) in
+  let p_swap = Rep.make_perm m [ (l1, l2); (l2, l1) ] in
+  check "non-monotone perm: fallback agrees with pipeline"
+    (Rep.relprod_replace m f g p_swap M.one
+    = Ops.band m f (Rep.replace m g p_swap));
+  let _, fb1 = Rep.fused_stats () in
+  check "non-monotone perm takes the fallback path" (fb1 > fb0);
+  (* end-to-end: tiny points-to, hand-coded vs the Jedd runtime (whose
+     join/compose now run on the fused kernels) *)
+  let p = Workload.generate Workload.tiny in
+  let b = Baseline.create p in
+  Baseline.solve b;
+  let hand_tuples = List.length (Baseline.pt_tuples b) in
+  Baseline.destroy b;
+  let compiled = Suite.compile_one p "Points-to Analysis" in
+  let inst = Driver.instantiate compiled in
+  Jedd_analyses.Pointsto.load_facts inst p;
+  Jedd_analyses.Pointsto.run inst;
+  check "tiny points-to: jedd = hand-coded"
+    (List.length (Jedd_analyses.Pointsto.results inst) = hand_tuples);
+  if !failures > 0 then exit 1 else print_endline "bench smoke: OK"
+
+(* ----------------------------------------------------------------- *)
 
 let () =
   let cmds = Array.to_list Sys.argv |> List.tl in
@@ -480,4 +738,6 @@ let () =
   run "ablation-order" ablation_order;
   run "ablation-memory" ablation_memory;
   run "ablation-zdd" ablation_zdd;
-  if List.mem "bechamel" cmds then bechamel ()
+  if List.mem "bechamel" cmds then bechamel ();
+  if List.mem "json" cmds then bench_json ();
+  if List.mem "smoke" cmds then smoke ()

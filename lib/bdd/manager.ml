@@ -4,10 +4,43 @@ let zero = 0
 let one = 1
 let terminal_level = max_int lsr 1
 
+(* -- Operation-cache tag registry --------------------------------------- *)
+
+(* Every algorithm module that memoises through the shared operation
+   cache registers a tag at module-initialisation time.  The registry is
+   global (tags are plain ints baked into cache keys, identical for every
+   manager) and gives each tag a stable human-readable name so per-tag
+   statistics can be reported by the profiler and the benchmark JSON. *)
+
+let max_tags = 64
+let tag_names = Array.make max_tags ""
+let registered_tags = ref 0
+
+let register_tag name =
+  let t = !registered_tags in
+  if t >= max_tags then invalid_arg "Manager.register_tag: tag space exhausted";
+  incr registered_tags;
+  tag_names.(t) <- name;
+  t
+
+let tag_name t =
+  if t < 0 || t >= !registered_tags then invalid_arg "Manager.tag_name"
+  else tag_names.(t)
+
+type cache_stat = {
+  tag : int;
+  name : string;
+  hits : int;
+  misses : int;
+  stores : int;
+  evictions : int;
+}
+
 (* A free node has [lvl] = -1 and its [hnext] field threads the free
    list.  Allocated nodes thread [hnext] through their unique-table
    bucket. *)
 type t = {
+  uid : int;
   mutable nvars : int;
   mutable capacity : int;
   mutable lvl : int array;
@@ -22,22 +55,48 @@ type t = {
   mutable allocated : int; (* nodes ever handed out and not swept *)
   mutable peak : int;
   mutable gcs : int;
-  cache : int array; (* direct-mapped: 5 ints per entry *)
-  cache_mask : int;
+  mutable gc_millis : float;
+  mutable grows : int;
+  mutable grow_millis : float;
+  (* N-way set-associative operation cache.  Each entry is
+     [entry_ints] consecutive ints: tag, a, b, c, result, generation.
+     A set is [ways] consecutive entries; lookups scan the set and
+     promote hits toward the front, stores insert at the front and
+     push the rest down (evicting the last way). *)
+  cache : int array;
+  ways : int;
+  set_mask : int;
+  mutable cache_gen : int;
+  hit_ct : int array; (* per tag *)
+  miss_ct : int array;
+  store_ct : int array;
+  evict_ct : int array;
   mutable marked : Bytes.t;
   mutable visited : Bytes.t;
 }
 
 let free_mark = -1
+let entry_ints = 6
 
 let hash3 a b c mask =
   let h = (a * 12582917) lxor (b * 4256249) lxor (c * 0x9e3779b9) in
   (h lxor (h lsr 16)) land mask
 
-let create ?(node_capacity = 1 lsl 15) ?(cache_bits = 14) () =
+let next_uid = ref 0
+
+let create ?(node_capacity = 1 lsl 15) ?(cache_bits = 14) ?(cache_ways = 4) () =
+  if cache_ways < 1 then invalid_arg "Manager.create: cache_ways must be >= 1";
+  incr next_uid;
+  let uid = !next_uid in
   let capacity = max 1024 node_capacity in
+  let entries = max cache_ways (1 lsl cache_bits) in
+  let sets = entries / cache_ways in
+  (* round the set count down to a power of two for mask indexing *)
+  let rec pow2_below n acc = if acc * 2 > n then acc else pow2_below n (acc * 2) in
+  let sets = pow2_below sets 1 in
   let m =
     {
+      uid;
       nvars = 0;
       capacity;
       lvl = Array.make capacity free_mark;
@@ -52,8 +111,17 @@ let create ?(node_capacity = 1 lsl 15) ?(cache_bits = 14) () =
       allocated = 2;
       peak = 2;
       gcs = 0;
-      cache = Array.make ((1 lsl cache_bits) * 5) (-1);
-      cache_mask = (1 lsl cache_bits) - 1;
+      gc_millis = 0.0;
+      grows = 0;
+      grow_millis = 0.0;
+      cache = Array.make (sets * cache_ways * entry_ints) (-1);
+      ways = cache_ways;
+      set_mask = sets - 1;
+      cache_gen = 1; (* entries start at gen 0: all invalid *)
+      hit_ct = Array.make max_tags 0;
+      miss_ct = Array.make max_tags 0;
+      store_ct = Array.make max_tags 0;
+      evict_ct = Array.make max_tags 0;
       marked = Bytes.make capacity '\000';
       visited = Bytes.make capacity '\000';
     }
@@ -77,6 +145,7 @@ let new_var m =
   m.nvars <- v + 1;
   v
 
+let uid m = m.uid
 let num_vars m = m.nvars
 let level m n = m.lvl.(n)
 let low m n = m.lo.(n)
@@ -85,25 +154,98 @@ let is_terminal n = n < 2
 let live_nodes m = m.allocated
 let peak_nodes m = m.peak
 let gc_count m = m.gcs
+let gc_millis m = m.gc_millis
+let grow_count m = m.grows
+let grow_millis m = m.grow_millis
 let refcount m n = m.refc.(n)
 
-let clear_caches m = Array.fill m.cache 0 (Array.length m.cache) (-1)
+(* Invalidation is a generation bump: O(1) instead of an O(cache) wipe.
+   Entries stamped with an older generation fail the lookup check and are
+   recycled by the next store to their slot. *)
+let clear_caches m = m.cache_gen <- m.cache_gen + 1
 
 let cache_lookup m tag a b c =
-  let idx = hash3 (a lxor (tag * 0x85ebca6b)) b c m.cache_mask * 5 in
+  let set = hash3 (a lxor (tag * 0x85ebca6b)) b c m.set_mask in
+  let base = set * m.ways * entry_ints in
   let t = m.cache in
-  if t.(idx) = tag && t.(idx + 1) = a && t.(idx + 2) = b && t.(idx + 3) = c
-  then t.(idx + 4)
-  else -1
+  let gen = m.cache_gen in
+  let ways = m.ways in
+  let rec scan i =
+    if i >= ways then begin
+      m.miss_ct.(tag) <- m.miss_ct.(tag) + 1;
+      -1
+    end
+    else
+      let idx = base + (i * entry_ints) in
+      if
+        t.(idx + 5) = gen
+        && t.(idx) = tag
+        && t.(idx + 1) = a
+        && t.(idx + 2) = b
+        && t.(idx + 3) = c
+      then begin
+        let r = t.(idx + 4) in
+        (* promote: swap with the front entry so repeated winners stay
+           resident (cheap approximation of LRU) *)
+        if i > 0 then begin
+          for k = 0 to entry_ints - 1 do
+            let tmp = t.(base + k) in
+            t.(base + k) <- t.(idx + k);
+            t.(idx + k) <- tmp
+          done
+        end;
+        m.hit_ct.(tag) <- m.hit_ct.(tag) + 1;
+        r
+      end
+      else scan (i + 1)
+  in
+  scan 0
 
 let cache_store m tag a b c result =
-  let idx = hash3 (a lxor (tag * 0x85ebca6b)) b c m.cache_mask * 5 in
+  let set = hash3 (a lxor (tag * 0x85ebca6b)) b c m.set_mask in
+  let base = set * m.ways * entry_ints in
   let t = m.cache in
-  t.(idx) <- tag;
-  t.(idx + 1) <- a;
-  t.(idx + 2) <- b;
-  t.(idx + 3) <- c;
-  t.(idx + 4) <- result
+  let last = base + ((m.ways - 1) * entry_ints) in
+  (* the last way is the victim; count it if it held a live entry *)
+  let victim_tag = t.(last) in
+  if t.(last + 5) = m.cache_gen && victim_tag >= 0 && victim_tag < max_tags then
+    m.evict_ct.(victim_tag) <- m.evict_ct.(victim_tag) + 1;
+  if m.ways > 1 then
+    Array.blit t base t (base + entry_ints) ((m.ways - 1) * entry_ints);
+  t.(base) <- tag;
+  t.(base + 1) <- a;
+  t.(base + 2) <- b;
+  t.(base + 3) <- c;
+  t.(base + 4) <- result;
+  t.(base + 5) <- m.cache_gen;
+  m.store_ct.(tag) <- m.store_ct.(tag) + 1
+
+let cache_stats m =
+  let acc = ref [] in
+  for tag = !registered_tags - 1 downto 0 do
+    acc :=
+      {
+        tag;
+        name = tag_names.(tag);
+        hits = m.hit_ct.(tag);
+        misses = m.miss_ct.(tag);
+        stores = m.store_ct.(tag);
+        evictions = m.evict_ct.(tag);
+      }
+      :: !acc
+  done;
+  !acc
+
+let cache_totals m =
+  let h = ref 0 and mi = ref 0 and e = ref 0 in
+  for tag = 0 to !registered_tags - 1 do
+    h := !h + m.hit_ct.(tag);
+    mi := !mi + m.miss_ct.(tag);
+    e := !e + m.evict_ct.(tag)
+  done;
+  (!h, !mi, !e)
+
+let cache_config m = ((m.set_mask + 1) * m.ways, m.ways)
 
 (* -- Growth ------------------------------------------------------------ *)
 
@@ -130,7 +272,10 @@ let rebuild_buckets m =
     end
   done
 
+(* Growing preserves node handles, so cached results stay valid: the
+   operation cache is deliberately left untouched here. *)
 let grow m =
+  let t0 = Sys.time () in
   let capacity = m.capacity * 2 in
   m.lvl <- grow_array m.lvl capacity free_mark;
   m.lo <- grow_array m.lo capacity 0;
@@ -146,7 +291,9 @@ let grow m =
   Bytes.blit m.visited 0 visited 0 (Bytes.length m.visited);
   m.visited <- visited;
   m.capacity <- capacity;
-  rebuild_buckets m
+  rebuild_buckets m;
+  m.grows <- m.grows + 1;
+  m.grow_millis <- m.grow_millis +. ((Sys.time () -. t0) *. 1000.0)
 
 (* -- Garbage collection ------------------------------------------------ *)
 
@@ -166,7 +313,10 @@ let mark_from m root =
   end
 
 let gc m =
+  let t0 = Sys.time () in
   m.gcs <- m.gcs + 1;
+  (* Collection frees (and later recycles) node handles, so every cached
+     result is suspect: retire the whole generation. *)
   clear_caches m;
   Bytes.fill m.marked 0 (Bytes.length m.marked) '\000';
   for n = 2 to m.capacity - 1 do
@@ -179,7 +329,8 @@ let gc m =
       if Bytes.get m.marked n = '\000' then m.lvl.(n) <- free_mark
       else m.allocated <- m.allocated + 1
   done;
-  rebuild_buckets m
+  rebuild_buckets m;
+  m.gc_millis <- m.gc_millis +. ((Sys.time () -. t0) *. 1000.0)
 
 let checkpoint m =
   if m.free_count * 4 < m.capacity then begin

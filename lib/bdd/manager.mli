@@ -1,9 +1,10 @@
 (** Hash-consed ROBDD node store with reference counting and mark/sweep GC.
 
     This module is the bottom layer of the BDD package: it owns the node
-    arrays, the unique table, and the garbage collector.  Nodes are dense
-    integer handles into flat arrays, exactly as in BuDDy and CUDD.  The
-    two terminals are the constants {!zero} (node 0) and {!one} (node 1).
+    arrays, the unique table, the shared operation cache and the garbage
+    collector.  Nodes are dense integer handles into flat arrays, exactly
+    as in BuDDy and CUDD.  The two terminals are the constants {!zero}
+    (node 0) and {!one} (node 1).
 
     Garbage collection runs only at safe points (between top-level
     operations, see {!Ops}); in the middle of a recursive operation the
@@ -25,10 +26,17 @@ val terminal_level : int
 (** Pseudo-level of the two terminals; strictly greater than any variable
     level. *)
 
-val create : ?node_capacity:int -> ?cache_bits:int -> unit -> t
+val create :
+  ?node_capacity:int -> ?cache_bits:int -> ?cache_ways:int -> unit -> t
 (** [create ()] makes an empty manager with no variables.
-    [node_capacity] is the initial node-array capacity (default 1 lsl 15)
-    and [cache_bits] the log2 size of each operation cache (default 14). *)
+    [node_capacity] is the initial node-array capacity (default 1 lsl 15),
+    [cache_bits] the log2 of the total operation-cache entry count
+    (default 14), and [cache_ways] the set associativity (default 4; 1
+    recovers a direct-mapped cache). *)
+
+val uid : t -> int
+(** A process-unique id for this manager, for keying external memo
+    tables that span managers. *)
 
 val new_var : t -> int
 (** Allocate a fresh variable at the bottom of the current order and
@@ -69,7 +77,8 @@ val refcount : t -> node -> int
 
 val gc : t -> unit
 (** Force a mark/sweep collection from externally referenced nodes.
-    Clears all operation caches. *)
+    Invalidates all operation-cache entries (by generation bump, not by a
+    wipe — see {!clear_caches}). *)
 
 val checkpoint : t -> unit
 (** Safe-point hook called by top-level operations: runs a GC when the
@@ -86,19 +95,67 @@ val peak_nodes : t -> int
 val gc_count : t -> int
 (** Number of collections performed so far. *)
 
+val gc_millis : t -> float
+(** Total CPU milliseconds spent inside {!gc}. *)
+
+val grow_count : t -> int
+(** Number of node-table doublings performed so far. *)
+
+val grow_millis : t -> float
+(** Total CPU milliseconds spent growing and re-hashing the node table. *)
+
 (** {2 Operation caches}
 
-    Shared fixed-size direct-mapped caches used by the algorithm modules.
+    One shared N-way set-associative cache used by all algorithm modules.
     Keys are small tuples of node handles plus an operation tag; a miss
-    returns [-1]. *)
+    returns [-1].  Entries are generation-stamped: invalidation
+    ({!clear_caches}, and every {!gc}) bumps the generation in O(1)
+    instead of wiping the array, and table growth preserves node handles
+    so it does not touch the cache at all. *)
+
+val register_tag : string -> int
+(** Allocate a fresh operation tag with a human-readable name.  Called at
+    module-initialisation time by the algorithm modules; the registry is
+    global, so tags mean the same thing in every manager.  At most 64
+    tags may be registered. *)
+
+val tag_name : int -> string
+(** Name a registered tag ([Invalid_argument] for unregistered ids). *)
 
 val cache_lookup : t -> int -> node -> node -> node -> node
-(** [cache_lookup m tag a b c] *)
+(** [cache_lookup m tag a b c] probes the set for [(tag, a, b, c)];
+    returns the cached result or [-1].  Hits are promoted toward the
+    front of their set. *)
 
 val cache_store : t -> int -> node -> node -> node -> node -> unit
-(** [cache_store m tag a b c result] *)
+(** [cache_store m tag a b c result] inserts at the front of the set,
+    evicting the entry in the last way if the set is full. *)
 
 val clear_caches : t -> unit
+(** Invalidate every cache entry by bumping the generation stamp.
+    Statistics counters are {e not} reset; they count monotonically over
+    the manager's lifetime. *)
+
+(** Per-tag cache statistics, as reported by {!cache_stats}. *)
+type cache_stat = {
+  tag : int;
+  name : string;
+  hits : int;
+  misses : int;
+  stores : int;
+  evictions : int;
+}
+
+val cache_stats : t -> cache_stat list
+(** One entry per registered tag, in tag order.  All counters are
+    monotone over the manager's lifetime (GC and growth never reset
+    them). *)
+
+val cache_totals : t -> int * int * int
+(** [(hits, misses, evictions)] summed over all tags. *)
+
+val cache_config : t -> int * int
+(** [(total_entries, ways)] of the operation cache. *)
 
 val iter_live : t -> (node -> unit) -> unit
 (** Iterate over all currently allocated non-terminal nodes (marks from

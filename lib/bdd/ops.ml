@@ -1,14 +1,14 @@
 type man = Manager.t
 type node = Manager.node
 
-(* Cache tags.  Tags 0..15 are reserved for this module; other algorithm
-   modules pick from the ranges documented in their implementation. *)
-let tag_not = 1
-let tag_and = 2
-let tag_or = 3
-let tag_xor = 4
-let tag_diff = 5
-let tag_ite = 6
+(* Cache tags, allocated from the registry in {!Manager} so the shared
+   cache can attribute per-tag hit/miss statistics by name. *)
+let tag_not = Manager.register_tag "not"
+let tag_and = Manager.register_tag "and"
+let tag_or = Manager.register_tag "or"
+let tag_xor = Manager.register_tag "xor"
+let tag_diff = Manager.register_tag "diff"
+let tag_ite = Manager.register_tag "ite"
 
 let zero = Manager.zero
 let one = Manager.one

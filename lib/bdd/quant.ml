@@ -1,8 +1,8 @@
 type man = Manager.t
 type node = Manager.node
 
-let tag_exist = 16
-let tag_relprod = 17
+let tag_exist = Manager.register_tag "exist"
+let tag_relprod = Manager.register_tag "relprod"
 
 let zero = Manager.zero
 let one = Manager.one

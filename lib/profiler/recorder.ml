@@ -9,6 +9,10 @@ type summary = {
   total_millis : float;
   max_result_nodes : int;
   total_result_tuples : int;
+  cache_hits : int;
+  cache_misses : int;
+  gcs : int;
+  gc_millis : float;
 }
 
 type t = { mutable events : row list; mutable next_seq : int }
@@ -50,7 +54,16 @@ let summaries t =
             total_millis = 0.0;
             max_result_nodes = 0;
             total_result_tuples = 0;
+            cache_hits = 0;
+            cache_misses = 0;
+            gcs = 0;
+            gc_millis = 0.0;
           }
+      in
+      let hits, misses, gcs, gc_millis =
+        match e.U.bdd with
+        | Some d -> (d.U.cache_hits, d.U.cache_misses, d.U.gcs, d.U.gc_millis)
+        | None -> (0, 0, 0, 0.0)
       in
       Hashtbl.replace table key
         {
@@ -60,6 +73,10 @@ let summaries t =
           max_result_nodes = max current.max_result_nodes e.U.result_nodes;
           total_result_tuples =
             current.total_result_tuples + e.U.result_tuples;
+          cache_hits = current.cache_hits + hits;
+          cache_misses = current.cache_misses + misses;
+          gcs = current.gcs + gcs;
+          gc_millis = current.gc_millis +. gc_millis;
         })
     t.events;
   Hashtbl.fold (fun _ s acc -> s :: acc) table []

@@ -14,7 +14,9 @@ type row = {
   event : Jedd_relation.Universe.op_event;
 }
 
-(** Aggregate per (operation, label) pair — the paper's overview view. *)
+(** Aggregate per (operation, label) pair — the paper's overview view,
+    extended with the BDD-layer costs (operation-cache activity and GC
+    time) attributed to the operation. *)
 type summary = {
   op : string;
   label : string;
@@ -22,6 +24,10 @@ type summary = {
   total_millis : float;
   max_result_nodes : int;
   total_result_tuples : int;
+  cache_hits : int;
+  cache_misses : int;
+  gcs : int;
+  gc_millis : float;
 }
 
 val create : unit -> t

@@ -52,18 +52,30 @@ let to_html rec_ =
      td.l,th.l{text-align:left}</style></head><body>";
   out "<h1>Jedd profiler report</h1>";
   out "<p>%d operations recorded.</p>" (Recorder.total_operations rec_);
-  (* Overview: the paper's top-level profile view. *)
+  (* Overview: the paper's top-level profile view, plus the BDD-layer
+     cache behaviour attributed to each relational operation. *)
   out "<h2>Overview</h2><table><tr><th class=l>operation</th><th \
        class=l>label</th><th>executions</th><th>total ms</th><th>max \
-       result nodes</th></tr>";
+       result nodes</th><th>cache hits</th><th>cache misses</th><th>hit \
+       rate</th><th>GCs</th><th>GC ms</th></tr>";
   let summaries = Recorder.summaries rec_ in
+  let hit_rate hits misses =
+    if hits + misses = 0 then "-"
+    else
+      Printf.sprintf "%.1f%%"
+        (100.0 *. float_of_int hits /. float_of_int (hits + misses))
+  in
   List.iter
     (fun (s : Recorder.summary) ->
       out
         "<tr><td class=l><a href=\"#%s\">%s</a></td><td \
-         class=l>%s</td><td>%d</td><td>%.3f</td><td>%d</td></tr>"
+         class=l>%s</td><td>%d</td><td>%.3f</td><td>%d</td><td>%d</td>\
+         <td>%d</td><td>%s</td><td>%d</td><td>%.3f</td></tr>"
         (anchor s.op s.label) (escape_html s.op) (escape_html s.label)
-        s.executions s.total_millis s.max_result_nodes)
+        s.executions s.total_millis s.max_result_nodes s.cache_hits
+        s.cache_misses
+        (hit_rate s.cache_hits s.cache_misses)
+        s.gcs s.gc_millis)
     summaries;
   out "</table>";
   (* Drill-down: one section per operation. *)
@@ -73,17 +85,31 @@ let to_html rec_ =
         (escape_html s.label);
       out
         "<table><tr><th>#</th><th>ms</th><th>operand nodes</th><th>result \
-         nodes</th><th>result tuples</th><th class=l>shape</th></tr>";
+         nodes</th><th>result tuples</th><th class=l>cache (per \
+         kernel)</th><th class=l>shape</th></tr>";
       List.iter
         (fun (r : Recorder.row) ->
           let e = r.event in
           if e.U.op = s.op && e.U.label = s.label then
             out
-              "<tr><td>%d</td><td>%.3f</td><td>%s</td><td>%d</td><td>%d</td><td \
-               class=l>%s</td></tr>"
+              "<tr><td>%d</td><td>%.3f</td><td>%s</td><td>%d</td><td>%d</td>\
+               <td class=l>%s</td><td class=l>%s</td></tr>"
               r.seq e.U.millis
               (String.concat ", " (List.map string_of_int e.U.operand_nodes))
               e.U.result_nodes e.U.result_tuples
+              (match e.U.bdd with
+              | Some d ->
+                String.concat ", "
+                  (List.map
+                     (fun (t : U.tag_delta) ->
+                       Printf.sprintf "%s %d/%d" (escape_html t.tag) t.hits
+                         (t.hits + t.misses))
+                     d.U.per_tag)
+                ^
+                if d.U.gcs > 0 then
+                  Printf.sprintf " (%d GC, %.2f ms)" d.U.gcs d.U.gc_millis
+                else ""
+              | None -> "")
               (match e.U.shapes with
               | Some (result_shape, _) -> shape_svg result_shape
               | None -> ""))
@@ -95,15 +121,22 @@ let to_html rec_ =
 
 let to_csv rec_ =
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf "seq,op,label,millis,operand_nodes,result_nodes,result_tuples\n";
+  Buffer.add_string buf
+    "seq,op,label,millis,operand_nodes,result_nodes,result_tuples,\
+     cache_hits,cache_misses,gcs,gc_millis\n";
   List.iter
     (fun (r : Recorder.row) ->
       let e = r.event in
+      let hits, misses, gcs, gc_ms =
+        match e.U.bdd with
+        | Some d -> (d.U.cache_hits, d.U.cache_misses, d.U.gcs, d.U.gc_millis)
+        | None -> (0, 0, 0, 0.0)
+      in
       Buffer.add_string buf
-        (Printf.sprintf "%d,%s,\"%s\",%.4f,\"%s\",%d,%d\n" r.seq e.U.op
-           e.U.label e.U.millis
+        (Printf.sprintf "%d,%s,\"%s\",%.4f,\"%s\",%d,%d,%d,%d,%d,%.4f\n" r.seq
+           e.U.op e.U.label e.U.millis
            (String.concat ";" (List.map string_of_int e.U.operand_nodes))
-           e.U.result_nodes e.U.result_tuples))
+           e.U.result_nodes e.U.result_tuples hits misses gcs gc_ms))
     (Recorder.rows rec_);
   Buffer.contents buf
 
@@ -115,16 +148,23 @@ let to_sql rec_ =
   Buffer.add_string buf
     "CREATE TABLE IF NOT EXISTS jedd_ops (seq INTEGER PRIMARY KEY, op TEXT, \
      label TEXT, millis REAL, operand_nodes TEXT, result_nodes INTEGER, \
-     result_tuples INTEGER);\n";
+     result_tuples INTEGER, cache_hits INTEGER, cache_misses INTEGER, \
+     gcs INTEGER, gc_millis REAL);\n";
   List.iter
     (fun (r : Recorder.row) ->
       let e = r.event in
+      let hits, misses, gcs, gc_ms =
+        match e.U.bdd with
+        | Some d -> (d.U.cache_hits, d.U.cache_misses, d.U.gcs, d.U.gc_millis)
+        | None -> (0, 0, 0, 0.0)
+      in
       Buffer.add_string buf
         (Printf.sprintf
-           "INSERT INTO jedd_ops VALUES (%d, '%s', '%s', %.4f, '%s', %d, %d);\n"
+           "INSERT INTO jedd_ops VALUES (%d, '%s', '%s', %.4f, '%s', %d, %d, \
+            %d, %d, %d, %.4f);\n"
            r.seq (escape_sql e.U.op) (escape_sql e.U.label) e.U.millis
            (String.concat ";" (List.map string_of_int e.U.operand_nodes))
-           e.U.result_nodes e.U.result_tuples))
+           e.U.result_nodes e.U.result_tuples hits misses gcs gc_ms))
     (Recorder.rows rec_);
   Buffer.contents buf
 

@@ -62,9 +62,11 @@ let profiled u ~op ~label ~operands f =
   | Universe.Off -> f ()
   | lvl ->
     let m = Universe.manager u in
+    let snap = Universe.bdd_snapshot m in
     let t0 = now_ms () in
     let result = f () in
     let millis = now_ms () -. t0 in
+    let bdd = Some (Universe.bdd_delta_since m snap) in
     let operand_nodes = List.map (fun (r : t) -> Count.nodecount m r.rt) operands in
     let result_nodes = Count.nodecount m result.rt in
     let result_tuples =
@@ -79,7 +81,16 @@ let profiled u ~op ~label ~operands f =
       | _ -> None
     in
     Universe.emit_op u
-      { op; label; millis; operand_nodes; result_nodes; result_tuples; shapes };
+      {
+        op;
+        label;
+        millis;
+        operand_nodes;
+        result_nodes;
+        result_tuples;
+        shapes;
+        bdd;
+      };
     result
 
 (* -- scratch physical domains ------------------------------------------- *)
@@ -110,11 +121,17 @@ let scratch u ~bits ~avoid =
 (* Move attributes between physical domains of possibly different widths.
    [moves] is a list of (source physdom, target physdom).  Relies on the
    runtime invariant that bits above an attribute's domain width are
-   constrained to zero. *)
-let change_layout u rt moves =
+   constrained to zero.
+
+   [layout_parts] splits the change into the three pieces the fused
+   kernels consume separately: the source-side restriction (applied
+   eagerly — it only shrinks the operand, and only when a move narrows),
+   the bit permutation, and the levels of new high bits of wider targets
+   that must be constrained to zero after the move. *)
+let layout_parts u rt moves =
   let m = Universe.manager u in
   let moves = List.filter (fun (s, d) -> not (Physdom.equal s d)) moves in
-  if moves = [] then rt
+  if moves = [] then (rt, Rep.identity m, [])
   else begin
     (* 1. Drop dependence on over-wide source high bits (constant 0). *)
     let rt =
@@ -139,22 +156,27 @@ let change_layout u rt moves =
           List.init k (fun i -> (ls.(ws - 1 - i), ld.(wd - 1 - i))))
         moves
     in
-    let rt = Rep.replace m rt (Rep.make_perm m pairs) in
-    (* 3. Constrain new high bits of wider targets to zero. *)
-    List.fold_left
-      (fun rt (src, dst) ->
-        let ws = Physdom.width src and wd = Physdom.width dst in
-        if wd > ws then begin
-          let lv = Physdom.levels dst in
-          let zero_high =
-            Ops.cube m
-              (List.init (wd - ws) (fun i -> (lv.(i), false)))
-          in
-          Ops.band m rt zero_high
-        end
-        else rt)
-      rt moves
+    (* 3. New high bits of wider targets, to be constrained to zero. *)
+    let zero_levels =
+      List.concat_map
+        (fun (src, dst) ->
+          let ws = Physdom.width src and wd = Physdom.width dst in
+          if wd > ws then
+            let lv = Physdom.levels dst in
+            List.init (wd - ws) (fun i -> lv.(i))
+          else [])
+        moves
+    in
+    (rt, Rep.make_perm m pairs, zero_levels)
   end
+
+let zero_cube m levels = Ops.cube m (List.map (fun l -> (l, false)) levels)
+
+let change_layout u rt moves =
+  let m = Universe.manager u in
+  let rt, perm, zero_levels = layout_parts u rt moves in
+  let rt = Rep.replace m rt perm in
+  if zero_levels = [] then rt else Ops.band m rt (zero_cube m zero_levels)
 
 (* Equality constraint between two physical domains holding the same
    domain's values (used by attribute copy). *)
@@ -471,13 +493,18 @@ let align name x cmp_x y cmp_y =
         if Physdom.equal e.phys t then None else Some (e.phys, t))
       y_targets
   in
-  let y_root' = change_layout x.u (root y) moves in
+  (* Hot path: the aligned right operand is NOT materialised here.  The
+     caller feeds the pre-restricted root plus the permutation to the
+     fused kernels (Rep.relprod_replace), which conjoin/quantify against
+     the permuted operand in one recursion (§2.2.3's one-pass argument,
+     extended to the re-layout itself). *)
+  let y_pre, perm, zero_levels = layout_parts x.u (root y) moves in
   let y_entries' =
     List.map
       (fun ((e : Schema.entry), t) -> { e with Schema.phys = t })
       y_targets
   in
-  (y_root', y_entries')
+  (y_pre, perm, zero_levels, y_entries')
 
 let result_disjointness name left_entries right_entries =
   List.iter
@@ -491,10 +518,20 @@ let result_disjointness name left_entries right_entries =
           (Attribute.name e.attr))
     left_entries
 
+(* The left operand absorbs the zero-constraint on any new high bits of
+   the (unmaterialised) aligned right operand:
+   [f /\ (perm(g) /\ Z)] = [(f /\ Z) /\ perm(g)], and conjoining a small
+   cube into [f] is linear in [f]. *)
+let absorb_zero_levels m x_root zero_levels =
+  if zero_levels = [] then x_root
+  else Ops.band m x_root (zero_cube m zero_levels)
+
 let join ?(label = "") x cmp_x y cmp_y =
   Universe.checkpoint x.u;
   profiled x.u ~op:"join" ~label ~operands:[ x; y ] (fun () ->
-      let y_root', y_entries' = align "join" x cmp_x y cmp_y in
+      let y_pre, perm, zero_levels, y_entries' =
+        align "join" x cmp_x y cmp_y
+      in
       let kept_right =
         List.filter
           (fun (e : Schema.entry) ->
@@ -502,13 +539,18 @@ let join ?(label = "") x cmp_x y cmp_y =
           y_entries'
       in
       result_disjointness "join" (Schema.entries x.sch) kept_right;
-      let rt = Ops.band (Universe.manager x.u) (root x) y_root' in
+      let m = Universe.manager x.u in
+      let xr = absorb_zero_levels m (root x) zero_levels in
+      (* Fused conjunction-with-permutation: no aligned intermediate. *)
+      let rt = Rep.relprod_replace m xr y_pre perm M.one in
       make x.u (Schema.make (Schema.entries x.sch @ kept_right)) rt)
 
 let compose ?(label = "") x cmp_x y cmp_y =
   Universe.checkpoint x.u;
   profiled x.u ~op:"compose" ~label ~operands:[ x; y ] (fun () ->
-      let y_root', y_entries' = align "compose" x cmp_x y cmp_y in
+      let y_pre, perm, zero_levels, y_entries' =
+        align "compose" x cmp_x y cmp_y
+      in
       let m = Universe.manager x.u in
       let kept_left =
         List.filter
@@ -530,8 +572,10 @@ let compose ?(label = "") x cmp_x y cmp_y =
              cmp_x)
       in
       (* The one-pass relational product the paper says makes composition
-         cheaper than join-then-project (§2.2.3). *)
-      let rt = Quant.relprod m (root x) y_root' cube in
+         cheaper than join-then-project (§2.2.3), further fused with the
+         right operand's re-layout so no aligned intermediate is built. *)
+      let xr = absorb_zero_levels m (root x) zero_levels in
+      let rt = Rep.relprod_replace m xr y_pre perm cube in
       make x.u (Schema.make (kept_left @ kept_right)) rt)
 
 let select ?(label = "") r bindings =

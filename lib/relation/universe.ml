@@ -1,3 +1,16 @@
+type tag_delta = { tag : string; hits : int; misses : int }
+
+type bdd_delta = {
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  per_tag : tag_delta list;
+  gcs : int;
+  gc_millis : float;
+  grows : int;
+  grow_millis : float;
+}
+
 type op_event = {
   op : string;
   label : string;
@@ -6,7 +19,55 @@ type op_event = {
   result_nodes : int;
   result_tuples : int;
   shapes : (int array * int array list) option;
+  bdd : bdd_delta option;
 }
+
+(* Snapshot the manager's monotone counters; [bdd_delta_since] turns two
+   snapshots into the per-operation delta the profiler records. *)
+type bdd_snapshot = {
+  snap_stats : Jedd_bdd.Manager.cache_stat list;
+  snap_gcs : int;
+  snap_gc_millis : float;
+  snap_grows : int;
+  snap_grow_millis : float;
+}
+
+let bdd_snapshot m =
+  {
+    snap_stats = Jedd_bdd.Manager.cache_stats m;
+    snap_gcs = Jedd_bdd.Manager.gc_count m;
+    snap_gc_millis = Jedd_bdd.Manager.gc_millis m;
+    snap_grows = Jedd_bdd.Manager.grow_count m;
+    snap_grow_millis = Jedd_bdd.Manager.grow_millis m;
+  }
+
+let bdd_delta_since m before =
+  let after = bdd_snapshot m in
+  let per_tag =
+    List.map2
+      (fun (b : Jedd_bdd.Manager.cache_stat)
+           (a : Jedd_bdd.Manager.cache_stat) ->
+        { tag = a.name; hits = a.hits - b.hits; misses = a.misses - b.misses })
+      before.snap_stats after.snap_stats
+    |> List.filter (fun d -> d.hits <> 0 || d.misses <> 0)
+  in
+  let sum f =
+    List.fold_left2
+      (fun acc (b : Jedd_bdd.Manager.cache_stat)
+           (a : Jedd_bdd.Manager.cache_stat) -> acc + f a - f b)
+      0 before.snap_stats after.snap_stats
+  in
+  {
+    cache_hits = sum (fun (s : Jedd_bdd.Manager.cache_stat) -> s.hits);
+    cache_misses = sum (fun (s : Jedd_bdd.Manager.cache_stat) -> s.misses);
+    cache_evictions =
+      sum (fun (s : Jedd_bdd.Manager.cache_stat) -> s.evictions);
+    per_tag;
+    gcs = after.snap_gcs - before.snap_gcs;
+    gc_millis = after.snap_gc_millis -. before.snap_gc_millis;
+    grows = after.snap_grows - before.snap_grows;
+    grow_millis = after.snap_grow_millis -. before.snap_grow_millis;
+  }
 
 type profile_level = Off | Counts | Shapes
 

@@ -8,6 +8,23 @@
 
 type t
 
+(** Per-tag operation-cache activity during one relational operation. *)
+type tag_delta = { tag : string; hits : int; misses : int }
+
+(** What one relational operation cost at the BDD layer: operation-cache
+    activity (total and per tag, only tags with activity listed) and
+    GC / node-table-resize work that ran during the operation. *)
+type bdd_delta = {
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  per_tag : tag_delta list;
+  gcs : int;
+  gc_millis : float;
+  grows : int;
+  grow_millis : float;
+}
+
 (** What an operation reports to the profiler hook. *)
 type op_event = {
   op : string;  (** operation name: "join", "compose", "replace", ... *)
@@ -18,7 +35,15 @@ type op_event = {
   result_tuples : int;  (** [size()] of the result relation *)
   shapes : (int array * int array list) option;
       (** result shape and operand shapes, when shape profiling is on *)
+  bdd : bdd_delta option;
+      (** BDD-layer costs of this operation, when profiling is on *)
 }
+
+type bdd_snapshot
+(** Opaque snapshot of the manager's monotone cache/GC counters. *)
+
+val bdd_snapshot : Jedd_bdd.Manager.t -> bdd_snapshot
+val bdd_delta_since : Jedd_bdd.Manager.t -> bdd_snapshot -> bdd_delta
 
 type profile_level = Off | Counts | Shapes
 

@@ -317,6 +317,151 @@ let test_growth () =
     (1 lsl (nv - 1))
     (Count.satcount m !f ~over:(List.init nv (fun i -> i)))
 
+(* ---------------- operation cache and fused kernels ---------------- *)
+
+let total_activity stats =
+  List.fold_left
+    (fun acc (s : M.cache_stat) -> acc + s.hits + s.misses + s.stores)
+    0 stats
+
+let test_cache_stats_api () =
+  let m = M.create ~node_capacity:1024 () in
+  let v = Array.init 4 (fun _ -> M.new_var m) in
+  let entries, ways = M.cache_config m in
+  Alcotest.(check bool) "sane geometry" true (entries >= ways && ways >= 1);
+  ignore (Ops.band m (M.var m v.(0)) (M.var m v.(1)));
+  let stats = M.cache_stats m in
+  Alcotest.(check bool) "tags are named" true
+    (List.for_all (fun (s : M.cache_stat) -> s.name <> "") stats);
+  Alcotest.(check bool) "activity recorded" true (total_activity stats > 0);
+  let and_stat =
+    List.find (fun (s : M.cache_stat) -> s.name = "and") stats
+  in
+  Alcotest.(check bool) "and kernel stored its result" true
+    (and_stat.stores > 0)
+
+let test_cache_stats_monotone_across_gc () =
+  let m = M.create ~node_capacity:1024 () in
+  let v = Array.init 6 (fun _ -> M.new_var m) in
+  ignore (Ops.band m (M.var m v.(0)) (Ops.bor m (M.var m v.(1)) (M.var m v.(2))));
+  let before = M.cache_stats m in
+  M.gc m;
+  (* GC invalidates entries (generation bump) but must never reset the
+     statistics counters. *)
+  let after = M.cache_stats m in
+  List.iter2
+    (fun (b : M.cache_stat) (a : M.cache_stat) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "tag %s monotone across gc" b.name)
+        true
+        (a.hits >= b.hits && a.misses >= b.misses && a.stores >= b.stores
+        && a.evictions >= b.evictions))
+    before after;
+  ignore (Ops.band m (M.var m v.(3)) (M.var m v.(4)));
+  Alcotest.(check bool) "counters keep counting after gc" true
+    (total_activity (M.cache_stats m) > total_activity after)
+
+let test_cache_survives_grow () =
+  let m = M.create ~node_capacity:1024 () in
+  let v = Array.init 4 (fun _ -> M.new_var m) in
+  let f = Ops.bor m (M.var m v.(0)) (M.var m v.(1)) in
+  let g = Ops.bor m (M.var m v.(2)) (M.var m v.(3)) in
+  let r1 = Ops.band m f g in
+  let hits_before =
+    (List.find (fun (s : M.cache_stat) -> s.name = "and") (M.cache_stats m))
+      .hits
+  in
+  (* Force node-table growth with cache-neutral allocations (Ops.cube
+     builds through mk only): ithvar cubes are all distinct. *)
+  let b = Fdd.extdomain_bits m 11 in
+  for value = 0 to 1500 do
+    ignore (Fdd.ithvar m b value)
+  done;
+  Alcotest.(check bool) "the table grew" true (M.grow_count m > 0);
+  let r2 = Ops.band m f g in
+  Alcotest.(check int) "same result after growth" r1 r2;
+  let hits_after =
+    (List.find (fun (s : M.cache_stat) -> s.name = "and") (M.cache_stats m))
+      .hits
+  in
+  Alcotest.(check bool) "entry survived growth: repeat lookup hits" true
+    (hits_after > hits_before)
+
+let test_cache_gc_invalidates_entries () =
+  let m = M.create ~node_capacity:1024 () in
+  let v = Array.init 4 (fun _ -> M.new_var m) in
+  let f = M.addref m (Ops.bor m (M.var m v.(0)) (M.var m v.(1))) in
+  let g = M.addref m (Ops.bor m (M.var m v.(2)) (M.var m v.(3))) in
+  ignore (Ops.band m f g);
+  let stat () =
+    List.find (fun (s : M.cache_stat) -> s.name = "and") (M.cache_stats m)
+  in
+  let before = stat () in
+  M.gc m;
+  ignore (Ops.band m f g);
+  let after = stat () in
+  Alcotest.(check bool) "entry invalidated by gc: recomputed" true
+    (after.misses > before.misses);
+  ignore (Ops.band m f g);
+  let again = stat () in
+  Alcotest.(check bool) "and cached again after recompute" true
+    (again.hits > after.hits)
+
+let test_relprod_replace_block_move () =
+  (* f over {0,1,4,5}; g over {2,3}; move g's block {2,3} onto {0,1}
+     (order-preserving): the fused path must run, not the fallback. *)
+  with_man ~nvars:6 (fun m vars ->
+      let f =
+        Ops.band m
+          (Ops.bor m vars.(0) vars.(4))
+          (Ops.bor m vars.(1) vars.(5))
+      in
+      let g = Ops.band m vars.(2) (Ops.bnot m vars.(3)) in
+      let p = Replace.make_perm m [ (2, 0); (3, 1) ] in
+      let cube = Quant.varset m [ 0; 1 ] in
+      let fused_before, _ = Replace.fused_stats () in
+      let got = Replace.relprod_replace m f g p cube in
+      let fused_after, _ = Replace.fused_stats () in
+      let expected = Quant.relprod m f (Replace.replace m g p) cube in
+      Alcotest.(check int) "fused relprod_replace = pipeline" expected got;
+      Alcotest.(check bool) "single-recursion path taken" true
+        (fused_after > fused_before);
+      (* terminal cube degenerates to the fused conjunction *)
+      let got_band = Replace.relprod_replace m f g p M.one in
+      let expected_band = Ops.band m f (Replace.replace m g p) in
+      Alcotest.(check int) "fused band_replace = pipeline" expected_band
+        got_band)
+
+let test_relprod_replace_fallback () =
+  (* Swapping two distant variables both present in g is not
+     order-preserving along g's edges: the kernel must fall back and
+     still agree with the pipeline. *)
+  with_man ~nvars:6 (fun m vars ->
+      let f = Ops.bor m vars.(1) vars.(4) in
+      let g = Ops.band m vars.(0) (Ops.bor m vars.(2) vars.(5)) in
+      let p = Replace.make_perm m [ (0, 5); (5, 0) ] in
+      let cube = Quant.varset m [ 2 ] in
+      let _, fallback_before = Replace.fused_stats () in
+      let got = Replace.relprod_replace m f g p cube in
+      let _, fallback_after = Replace.fused_stats () in
+      let expected = Quant.relprod m f (Replace.replace m g p) cube in
+      Alcotest.(check int) "fallback relprod_replace = pipeline" expected got;
+      Alcotest.(check bool) "fallback path taken" true
+        (fallback_after > fallback_before))
+
+let test_replace_exist_block_move () =
+  with_man ~nvars:6 (fun m vars ->
+      let f =
+        Ops.band m
+          (Ops.bor m vars.(0) vars.(2))
+          (Ops.bor m vars.(3) (Ops.bnot m vars.(5)))
+      in
+      let p = Replace.make_perm m [ (2, 4) ] in
+      let cube = Quant.varset m [ 0; 3 ] in
+      let got = Replace.replace_exist m f p cube in
+      let expected = Replace.replace m (Quant.exist m f cube) p in
+      Alcotest.(check int) "fused replace_exist = pipeline" expected got)
+
 (* ---------------- property-based tests ---------------------------- *)
 
 let nvars_prop = 5
@@ -413,6 +558,78 @@ let prop_enum_complete =
                  Hashtbl.mem seen key = eval_expr expr a)
                (all_assignments nvars_prop)))
 
+(* Random (partial) permutations over [n] levels: draw a full random
+   permutation of the levels, then keep a random subset of its pairs.
+   Sources and targets stay distinct by construction; the result ranges
+   from identity through order-preserving block moves to distant swaps
+   (which must take the kernels' fallback path). *)
+let gen_perm_pairs n =
+  QCheck.Gen.(
+    list_repeat n (int_bound 1_000_000) >>= fun keys ->
+    int_bound ((1 lsl n) - 1) >>= fun mask ->
+    let targets =
+      List.combine keys (List.init n (fun i -> i))
+      |> List.sort compare |> List.map snd
+    in
+    return
+      (List.concat
+         (List.mapi
+            (fun s t -> if mask land (1 lsl s) <> 0 then [ (s, t) ] else [])
+            targets)))
+
+let levels_of_mask n mask =
+  List.filter (fun l -> mask land (1 lsl l) <> 0) (List.init n (fun i -> i))
+
+let show_pairs pairs =
+  String.concat ";"
+    (List.map (fun (s, d) -> Printf.sprintf "%d->%d" s d) pairs)
+
+let nvars_fused = 6
+
+let arbitrary_fused_binop_case =
+  QCheck.make
+    ~print:(fun (_, _, pairs, mask) ->
+      Printf.sprintf "<expr,expr> perm=[%s] cube_mask=%d" (show_pairs pairs)
+        mask)
+    QCheck.Gen.(
+      expr_gen nvars_fused >>= fun e1 ->
+      expr_gen nvars_fused >>= fun e2 ->
+      gen_perm_pairs nvars_fused >>= fun pairs ->
+      int_bound ((1 lsl nvars_fused) - 1) >>= fun mask ->
+      return (e1, e2, pairs, mask))
+
+let arbitrary_fused_unop_case =
+  QCheck.make
+    ~print:(fun (_, pairs, mask) ->
+      Printf.sprintf "<expr> perm=[%s] cube_mask=%d" (show_pairs pairs) mask)
+    QCheck.Gen.(
+      expr_gen nvars_fused >>= fun e ->
+      gen_perm_pairs nvars_fused >>= fun pairs ->
+      int_bound ((1 lsl nvars_fused) - 1) >>= fun mask ->
+      return (e, pairs, mask))
+
+let prop_relprod_replace_equiv =
+  QCheck.Test.make ~count:400
+    ~name:"relprod_replace = relprod against materialised replace"
+    arbitrary_fused_binop_case (fun (e1, e2, pairs, mask) ->
+      with_man ~nvars:nvars_fused (fun m _ ->
+          let f = build m e1 and g = build m e2 in
+          let p = Replace.make_perm m pairs in
+          let cube = Quant.varset m (levels_of_mask nvars_fused mask) in
+          Replace.relprod_replace m f g p cube
+          = Quant.relprod m f (Replace.replace m g p) cube))
+
+let prop_replace_exist_equiv =
+  QCheck.Test.make ~count:400
+    ~name:"replace_exist = replace after exist"
+    arbitrary_fused_unop_case (fun (e, pairs, mask) ->
+      with_man ~nvars:nvars_fused (fun m _ ->
+          let f = build m e in
+          let p = Replace.make_perm m pairs in
+          let cube = Quant.varset m (levels_of_mask nvars_fused mask) in
+          Replace.replace_exist m f p cube
+          = Replace.replace m (Quant.exist m f cube) p))
+
 let qcheck_cases =
   List.map
     (QCheck_alcotest.to_alcotest ~verbose:false)
@@ -424,6 +641,8 @@ let qcheck_cases =
       prop_relprod_matches;
       prop_replace_roundtrip;
       prop_enum_complete;
+      prop_relprod_replace_equiv;
+      prop_replace_exist_equiv;
     ]
 
 let suite =
@@ -449,5 +668,17 @@ let suite =
     Alcotest.test_case "gc keeps referenced" `Quick test_gc_keeps_referenced;
     Alcotest.test_case "gc collects garbage" `Quick test_gc_collects_garbage;
     Alcotest.test_case "table growth" `Quick test_growth;
+    Alcotest.test_case "cache stats api" `Quick test_cache_stats_api;
+    Alcotest.test_case "cache stats monotone across gc" `Quick
+      test_cache_stats_monotone_across_gc;
+    Alcotest.test_case "cache survives grow" `Quick test_cache_survives_grow;
+    Alcotest.test_case "gc invalidates cache entries" `Quick
+      test_cache_gc_invalidates_entries;
+    Alcotest.test_case "relprod_replace fused path" `Quick
+      test_relprod_replace_block_move;
+    Alcotest.test_case "relprod_replace fallback path" `Quick
+      test_relprod_replace_fallback;
+    Alcotest.test_case "replace_exist fused path" `Quick
+      test_replace_exist_block_move;
   ]
   @ qcheck_cases
