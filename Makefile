@@ -4,7 +4,9 @@ all:
 	dune build
 
 # The full gate: build, unit/property tests, and the seconds-scale
-# benchmark smoke run.
+# benchmark smoke run.  The smoke includes the reorder round-trip on a
+# deliberately bad declaration order and exits non-zero on any manager
+# invariant violation after reordering.
 check:
 	dune build
 	dune runtest
@@ -20,10 +22,11 @@ smoke:
 release:
 	dune build --profile release
 
-# Regenerate the machine-readable benchmark summary committed at the
-# repo root (BENCH_pr1.json).
+# Regenerate the machine-readable benchmark summaries committed at the
+# repo root (BENCH_pr1.json, BENCH_pr2.json).
 bench-json:
 	dune exec --profile release bench/main.exe -- json
+	dune exec --profile release bench/main.exe -- json2
 
 clean:
 	dune clean

@@ -9,7 +9,9 @@
      dune exec bench/main.exe -- ablation-compose | ablation-replace
                                 | ablation-order | ablation-memory
      dune exec bench/main.exe -- bechamel     -- Bechamel micro-benchmarks
+     dune exec bench/main.exe -- reorder      -- order optimizer off vs on
      dune exec bench/main.exe -- json         -- write BENCH_pr1.json
+     dune exec bench/main.exe -- json2        -- write BENCH_pr2.json
      dune exec bench/main.exe -- smoke        -- seconds-scale sanity run
                                                  (also: dune build @bench-smoke) *)
 
@@ -523,8 +525,8 @@ let kernel_fixture () =
      trailing attribute leaves a large survivor to re-lay out *)
   let g3 = random_rel [ by'; bz; bw ] 3000 in
   (* move g's copy of the shared attribute onto f's block, and back *)
-  let p_in = Rep.make_perm m (Fdd.perm_pairs by' by) in
-  let p_out = Rep.make_perm m (Fdd.perm_pairs by by') in
+  let p_in = Rep.make_perm m (Fdd.perm_pairs m by' by) in
+  let p_out = Rep.make_perm m (Fdd.perm_pairs m by by') in
   let cube_shared = M.addref m (Fdd.domain_cube m by) in
   let cube_w = M.addref m (Fdd.domain_cube m bw) in
   (m, f, f2, g, g3, by', bz, p_in, p_out, cube_shared, cube_w)
@@ -674,6 +676,142 @@ let bench_json ?(path = "BENCH_pr1.json") () =
   print_string (Buffer.contents buf);
   Printf.printf "wrote %s\n" path
 
+(* ----------------------------------------------------------------- *)
+(* Reorder: points-to under a deliberately bad declaration order,     *)
+(* variable-order optimizer off vs on, with the good order as control *)
+(* ----------------------------------------------------------------- *)
+
+(* V1/V2 and H1/H2 pushed to opposite ends of the order: every copy
+   rule's replace and every join over the pair pays for the spread —
+   the worst case §3.3.1 warns about. *)
+let bad_physdom_order =
+  [ "V1"; "T1"; "T2"; "T3"; "S1"; "M1"; "H1"; "M2"; "V2"; "C1"; "F1"; "H2" ]
+
+type reorder_run = {
+  rr_label : string;
+  rr_seconds : float;
+  rr_tuples : int;
+  rr_peak : int;
+  rr_live : int;
+  rr_reorders : int;
+  rr_swaps : int;
+  rr_aborts : int;
+}
+
+let reorder_run ~label ?physdom_order ~reorder name =
+  Printf.eprintf "[reorder] %s (%s)...\n%!" label name;
+  let p = Workload.generate (Workload.profile_named name) in
+  let source =
+    Jedd_analyses.Common.preamble ?physdom_order p
+    ^ Jedd_analyses.Pointsto.source
+  in
+  let compiled =
+    match Driver.compile [ ("PointsTo.jedd", source) ] with
+    | Ok c -> c
+    | Error e -> failwith (Driver.error_to_string e)
+  in
+  let inst = Driver.instantiate ~node_capacity:(1 lsl 18) compiled in
+  Jedd_analyses.Pointsto.load_facts inst p;
+  let (), secs = wall (fun () -> Jedd_analyses.Pointsto.run ~reorder inst) in
+  Printf.eprintf "[reorder]   ... %.2fs\n%!" secs;
+  let tuples = List.length (Jedd_analyses.Pointsto.results inst) in
+  let u = Interp.universe inst in
+  let m = Jedd_relation.Universe.manager u in
+  (match M.check_invariants m with
+  | [] -> ()
+  | errs ->
+    List.iter
+      (fun e -> Printf.eprintf "reorder invariant violation: %s\n" e)
+      errs;
+    exit 1);
+  M.gc m;
+  let engine = Jedd_relation.Universe.reorder_engine u in
+  let aborts =
+    List.fold_left
+      (fun acc (e : Jedd_reorder.Reorder.event) -> acc + e.aborts)
+      0
+      (Jedd_reorder.Reorder.events engine)
+  in
+  {
+    rr_label = label;
+    rr_seconds = secs;
+    rr_tuples = tuples;
+    rr_peak = M.peak_nodes m;
+    rr_live = M.live_nodes m;
+    rr_reorders = M.reorder_count m;
+    rr_swaps = M.swap_count m;
+    rr_aborts = aborts;
+  }
+
+(* Sequenced with lets: OCaml evaluates list elements right-to-left,
+   which would run the configurations in a confusing order. *)
+let reorder_runs name =
+  let good_off = reorder_run ~label:"good-order/reorder-off" ~reorder:false name in
+  let good_on = reorder_run ~label:"good-order/reorder-on" ~reorder:true name in
+  let bad_off =
+    reorder_run ~label:"bad-order/reorder-off"
+      ~physdom_order:bad_physdom_order ~reorder:false name
+  in
+  let bad_on =
+    reorder_run ~label:"bad-order/reorder-on"
+      ~physdom_order:bad_physdom_order ~reorder:true name
+  in
+  [ good_off; good_on; bad_off; bad_on ]
+
+(* Workload selectable for experimentation; javac is the headline. *)
+let reorder_benchmark_name () =
+  match Sys.getenv_opt "JEDD_REORDER_BENCH" with
+  | Some s -> s
+  | None -> "javac"
+
+let reorder_bench () =
+  let name = reorder_benchmark_name () in
+  line ();
+  Printf.printf
+    "Reorder: points-to (%s) under good vs bad declaration order\n" name;
+  line ();
+  let runs = reorder_runs name in
+  Printf.printf "%-26s %9s %10s %10s %9s %7s %7s\n" "configuration" "seconds"
+    "peak" "live" "reorders" "swaps" "aborts";
+  List.iter
+    (fun r ->
+      Printf.printf "%-26s %9.3f %10d %10d %9d %7d %7d\n" r.rr_label
+        r.rr_seconds r.rr_peak r.rr_live r.rr_reorders r.rr_swaps r.rr_aborts)
+    runs;
+  match runs with
+  | [ _; _; off; on ] ->
+    Printf.printf "bad-order peak nodes %d -> %d (%.2fx)\n" off.rr_peak
+      on.rr_peak
+      (float_of_int off.rr_peak /. float_of_int (max 1 on.rr_peak))
+  | _ -> ()
+
+let bench_json2 ?(path = "BENCH_pr2.json") () =
+  let name = reorder_benchmark_name () in
+  let runs = reorder_runs name in
+  let buf = Buffer.create 2048 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "{\n";
+  out "  \"schema\": \"jedd-bench-v2\",\n";
+  out "  \"benchmark\": %S,\n" name;
+  out "  \"reorder_pointsto\": [\n";
+  List.iteri
+    (fun i r ->
+      out
+        "    {\"config\": %S, \"seconds\": %.4f, \"tuples\": %d, \
+         \"peak_nodes\": %d, \"live_nodes\": %d, \"reorders\": %d, \
+         \"swaps\": %d, \"aborts\": %d}%s\n"
+        r.rr_label r.rr_seconds r.rr_tuples r.rr_peak r.rr_live r.rr_reorders
+        r.rr_swaps r.rr_aborts
+        (if i = List.length runs - 1 then "" else ","))
+    runs;
+  out "  ]\n";
+  out "}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  print_string (Buffer.contents buf);
+  Printf.printf "wrote %s\n" path
+
 let smoke () =
   let failures = ref 0 in
   let check name ok =
@@ -702,7 +840,7 @@ let smoke () =
   let fused1, _ = Rep.fused_stats () in
   check "block moves take the single-recursion path" (fused1 > fused0);
   (* a distant swap is not order-preserving: must fall back, same answer *)
-  let l1 = (Fdd.levels by').(0) and l2 = (Fdd.levels bz).(0) in
+  let l1 = (Fdd.levels m by').(0) and l2 = (Fdd.levels m bz).(0) in
   let p_swap = Rep.make_perm m [ (l1, l2); (l2, l1) ] in
   check "non-monotone perm: fallback agrees with pipeline"
     (Rep.relprod_replace m f g p_swap M.one
@@ -722,6 +860,33 @@ let smoke () =
   Jedd_analyses.Pointsto.run inst;
   check "tiny points-to: jedd = hand-coded"
     (List.length (Jedd_analyses.Pointsto.results inst) = hand_tuples);
+  (* reorder: same fixed point from a deliberately bad declaration order
+     with the optimizer on, and the manager survives a structural audit *)
+  let src_bad =
+    Jedd_analyses.Common.preamble ~physdom_order:bad_physdom_order p
+    ^ Jedd_analyses.Pointsto.source
+  in
+  let compiled_bad =
+    match Driver.compile [ ("PointsTo.jedd", src_bad) ] with
+    | Ok c -> c
+    | Error e -> failwith (Driver.error_to_string e)
+  in
+  let inst_off = Driver.instantiate compiled_bad in
+  Jedd_analyses.Pointsto.load_facts inst_off p;
+  Jedd_analyses.Pointsto.run inst_off;
+  let inst_on = Driver.instantiate compiled_bad in
+  Jedd_analyses.Pointsto.load_facts inst_on p;
+  Jedd_analyses.Pointsto.run ~reorder:true inst_on;
+  check "bad order, reorder on: same fixed point"
+    (Jedd_analyses.Pointsto.results inst_on
+    = Jedd_analyses.Pointsto.results inst_off);
+  let m_on = Jedd_relation.Universe.manager (Interp.universe inst_on) in
+  check "reorder ran at least one pass" (M.reorder_count m_on > 0);
+  (match M.check_invariants m_on with
+  | [] -> ()
+  | errs ->
+    List.iter (fun e -> Printf.printf "SMOKE FAIL: invariant: %s\n" e) errs;
+    incr failures);
   if !failures > 0 then exit 1 else print_endline "bench smoke: OK"
 
 (* ----------------------------------------------------------------- *)
@@ -738,6 +903,8 @@ let () =
   run "ablation-order" ablation_order;
   run "ablation-memory" ablation_memory;
   run "ablation-zdd" ablation_zdd;
+  run "reorder" reorder_bench;
   if List.mem "bechamel" cmds then bechamel ();
   if List.mem "json" cmds then bench_json ();
+  if List.mem "json2" cmds then bench_json2 ();
   if List.mem "smoke" cmds then smoke ()

@@ -33,5 +33,12 @@ let load_facts inst (p : P.t) ~call_edges =
   Common.set_fact inst "CallGraph.entry"
     (List.map (fun m -> [ m ]) p.P.entry_methods)
 
-let run inst = ignore (Interp.call inst "CallGraph.run" [])
+let run ?(reorder = false) inst =
+  let u = Interp.universe inst in
+  if reorder then begin
+    Jedd_relation.Universe.reorder ~trigger:"pre-run" u;
+    Jedd_relation.Universe.set_auto_reorder u (Some (1 lsl 16))
+  end;
+  ignore (Interp.call inst "CallGraph.run" []);
+  if reorder then Jedd_relation.Universe.set_auto_reorder u None
 let results inst = Common.get_tuples inst "CallGraph.reachable"

@@ -8,11 +8,18 @@
 
 module P = Jedd_minijava.Program
 
-let preamble (p : P.t) =
+(* Declaration order fixes the relative bit order of the physical
+   domains; this default keeps the pairs the analyses copy between
+   (V1/V2, H1/H2, the type domains) adjacent.  The reorder benchmark
+   permutes it to manufacture a deliberately bad initial order. *)
+let default_physdom_order =
+  [ "T1"; "T2"; "T3"; "S1"; "M1"; "M2"; "V1"; "V2"; "H1"; "H2"; "F1"; "C1" ]
+
+let preamble ?(physdom_order = default_physdom_order) (p : P.t) =
   let d name size = Printf.sprintf "domain %s %d;\n" name (max 2 size) in
   let a name dom = Printf.sprintf "attribute %s : %s;\n" name dom in
   String.concat ""
-    [
+    ([
       d "Type" p.P.n_classes;
       d "Sig" p.P.n_sigs;
       d "Method" p.P.n_methods;
@@ -37,20 +44,8 @@ let preamble (p : P.t) =
       a "baseheap" "Heap";
       a "field" "Field";
       a "callsite" "CallSite";
-      (* physical domains; relative bit order is declaration order *)
-      "physdom T1;\n";
-      "physdom T2;\n";
-      "physdom T3;\n";
-      "physdom S1;\n";
-      "physdom M1;\n";
-      "physdom M2;\n";
-      "physdom V1;\n";
-      "physdom V2;\n";
-      "physdom H1;\n";
-      "physdom H2;\n";
-      "physdom F1;\n";
-      "physdom C1;\n";
     ]
+    @ List.map (fun n -> Printf.sprintf "physdom %s;\n" n) physdom_order)
 
 (* Build a relation for an instantiated program from fact tuples, at the
    layout of the given field, and install it. *)

@@ -43,6 +43,17 @@ let load_facts inst (p : P.t) =
   Common.set_fact inst "PointsTo.store"
     (List.map (fun (s, b, f) -> [ s; b; f ]) p.P.stores)
 
-let run inst = ignore (Interp.call inst "PointsTo.run" [])
+(* [~reorder:true] turns the order optimizer on for this solve: one
+   explicit sifting pass over the loaded facts (which repairs a bad
+   declaration order before the fixpoint amplifies it), plus the
+   safe-point auto trigger for growth during the run. *)
+let run ?(reorder = false) inst =
+  let u = Interp.universe inst in
+  if reorder then begin
+    Jedd_relation.Universe.reorder ~trigger:"pre-run" u;
+    Jedd_relation.Universe.set_auto_reorder u (Some (1 lsl 16))
+  end;
+  ignore (Interp.call inst "PointsTo.run" []);
+  if reorder then Jedd_relation.Universe.set_auto_reorder u None
 let results inst = Common.get_tuples inst "PointsTo.pt"
 let field_results inst = Common.get_tuples inst "PointsTo.fieldpt"

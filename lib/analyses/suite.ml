@@ -59,7 +59,8 @@ let receiver_types (p : P.t) pt_tuples =
     p.P.calls
   |> List.sort_uniq compare
 
-let run_all ?(node_capacity = 1 lsl 16) (p : P.t) : results =
+let run_all ?(node_capacity = 1 lsl 16) ?(reorder = false) (p : P.t) :
+    results =
   (* 1. hierarchy *)
   let hier = Driver.instantiate ~node_capacity (compile_one p "Hierarchy") in
   Hierarchy.load_facts hier p;
@@ -70,7 +71,7 @@ let run_all ?(node_capacity = 1 lsl 16) (p : P.t) : results =
     Driver.instantiate ~node_capacity (compile_one p "Points-to Analysis")
   in
   Pointsto.load_facts pta p;
-  Pointsto.run pta;
+  Pointsto.run ~reorder pta;
   let pt = Pointsto.results pta in
   (* 3. virtual call resolution *)
   let vcr =
@@ -84,7 +85,7 @@ let run_all ?(node_capacity = 1 lsl 16) (p : P.t) : results =
   (* 4. call graph *)
   let cg = Driver.instantiate ~node_capacity (compile_one p "Call Graph") in
   Callgraph.load_facts cg p ~call_edges;
-  Callgraph.run cg;
+  Callgraph.run ~reorder cg;
   let reachable = Callgraph.results cg in
   (* 5. side effects *)
   let se =

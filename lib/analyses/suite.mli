@@ -39,5 +39,8 @@ val receiver_types : Jedd_minijava.Program.t -> int list list -> int list list
 (** Inter-analysis plumbing: (call site, receiver type, signature)
     triples derived from points-to results. *)
 
-val run_all : ?node_capacity:int -> Jedd_minijava.Program.t -> results
-(** Compile and run the full pipeline. *)
+val run_all :
+  ?node_capacity:int -> ?reorder:bool -> Jedd_minijava.Program.t -> results
+(** Compile and run the full pipeline.  [~reorder:true] enables the
+    variable-order optimizer for the points-to and call-graph solves
+    (explicit pre-run pass + safe-point auto trigger). *)

@@ -1,7 +1,10 @@
 type man = Manager.t
 type node = Manager.node
 
-type block = { bits : int array (* levels, MSB first *) }
+(* Bits are stable variable ids, MSB first.  Levels are looked up through
+   the manager's current order at every use, so a dynamic reorder can
+   never invalidate a block. *)
+type block = { bits : int array }
 
 let bits_for size =
   if size <= 0 then invalid_arg "Fdd.extdomain: size must be positive";
@@ -14,21 +17,32 @@ let extdomain_bits m nbits =
 
 let extdomain m size = extdomain_bits m (bits_for size)
 
-let extdomains_interleaved m sizes =
+let extdomains_interleaved ?(pad = false) m sizes =
   match sizes with
   | [] -> []
   | _ ->
     let widths = List.map bits_for sizes in
+    let widths =
+      if pad then
+        let w = List.fold_left max 1 widths in
+        List.map (fun _ -> w) widths
+      else widths
+    in
     let w = List.fold_left max 1 widths in
-    let blocks = List.map (fun _ -> Array.make w 0) sizes in
+    let blocks = List.map (fun wd -> Array.make wd 0) widths in
+    (* Round-robin over the significance ranks, MSB first; narrower
+       blocks simply stop contributing bits once exhausted. *)
     for bit = 0 to w - 1 do
-      List.iter (fun bits -> bits.(bit) <- Manager.new_var m) blocks
+      List.iter2
+        (fun bits wd -> if bit < wd then bits.(bit) <- Manager.new_var m)
+        blocks widths
     done;
     List.map (fun bits -> { bits }) blocks
 
 let width b = Array.length b.bits
 let size b = 1 lsl width b
-let levels b = Array.copy b.bits
+let vars b = Array.copy b.bits
+let levels m b = Array.map (Manager.level_of_var m) b.bits
 
 let ithvar m b v =
   if v < 0 || v >= size b then invalid_arg "Fdd.ithvar: value out of range";
@@ -36,11 +50,14 @@ let ithvar m b v =
   let assignment =
     List.init w (fun i ->
         (* bit i of the array is the (w-1-i)-th binary digit *)
-        (b.bits.(i), (v lsr (w - 1 - i)) land 1 = 1))
+        ( Manager.level_of_var m b.bits.(i),
+          (v lsr (w - 1 - i)) land 1 = 1 ))
   in
   Ops.cube m assignment
 
-let domain_cube m b = Quant.varset m (Array.to_list b.bits)
+let domain_cube m b =
+  Quant.varset m
+    (Array.to_list (Array.map (Manager.level_of_var m) b.bits))
 
 let less_than_const m b k =
   if k <= 0 then Manager.zero
@@ -53,12 +70,13 @@ let less_than_const m b k =
     (* Base case: the empty suffix is not strictly below the empty
        suffix of k. *)
     let acc = ref Manager.zero in
-    (* Process from LSB (array index w-1) to MSB (index 0); but mk needs
-       children at deeper levels.  The blocks allocated by this module
-       have their MSB at the topmost level and bits in order, so build
-       from the deepest level upwards. *)
+    (* Process deepest level first, whatever the current order is: mk
+       needs children at strictly deeper levels. *)
     let order =
-      Array.to_list (Array.mapi (fun i lvl -> (lvl, w - 1 - i)) b.bits)
+      Array.to_list
+        (Array.mapi
+           (fun i v -> (Manager.level_of_var m v, w - 1 - i))
+           b.bits)
       |> List.sort (fun (l1, _) (l2, _) -> compare l2 l1)
     in
     List.iter
@@ -76,26 +94,31 @@ let equality m b1 b2 =
     invalid_arg "Fdd.equality: blocks differ in width";
   let acc = ref Manager.one in
   for i = width b1 - 1 downto 0 do
-    let bit_eq =
-      Ops.bbiimp m (Manager.var m b1.bits.(i)) (Manager.var m b2.bits.(i))
-    in
+    let v1 = Manager.level_of_var m b1.bits.(i) in
+    let v2 = Manager.level_of_var m b2.bits.(i) in
+    let bit_eq = Ops.bbiimp m (Manager.var m v1) (Manager.var m v2) in
     acc := Ops.band m !acc bit_eq
   done;
   !acc
 
-let perm_pairs b1 b2 =
+let perm_pairs m b1 b2 =
   if width b1 <> width b2 then
     invalid_arg "Fdd.perm_pairs: blocks differ in width";
-  Array.to_list (Array.mapi (fun i src -> (src, b2.bits.(i))) b1.bits)
+  Array.to_list
+    (Array.mapi
+       (fun i src ->
+         ( Manager.level_of_var m src,
+           Manager.level_of_var m b2.bits.(i) ))
+       b1.bits)
 
-let decode b ~levels:lv values =
+let decode m b ~levels:lv values =
   let pos = Hashtbl.create 16 in
   Array.iteri (fun i l -> Hashtbl.replace pos l i) lv;
   let w = width b in
   let v = ref 0 in
   for i = 0 to w - 1 do
     let idx =
-      match Hashtbl.find_opt pos b.bits.(i) with
+      match Hashtbl.find_opt pos (Manager.level_of_var m b.bits.(i)) with
       | Some idx -> idx
       | None -> invalid_arg "Fdd.decode: block level missing from ~levels"
     in

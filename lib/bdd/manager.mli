@@ -40,11 +40,21 @@ val uid : t -> int
 
 val new_var : t -> int
 (** Allocate a fresh variable at the bottom of the current order and
-    return its level.  Levels are allocation order: level 0 is the
-    topmost variable. *)
+    return its {e variable id}.  Ids are stable across reordering; the
+    {e level} (position in the current order, 0 = topmost) of a variable
+    starts out equal to its id and diverges once levels are swapped.
+    Use {!level_of_var} / {!var_at_level} to translate. *)
 
 val num_vars : t -> int
 (** Number of variables allocated so far. *)
+
+val level_of_var : t -> int -> int
+(** Current level of a variable id ([Invalid_argument] if out of
+    range).  Identity until the first reorder. *)
+
+val var_at_level : t -> int -> int
+(** Variable id sitting at a level ([Invalid_argument] if out of
+    range).  Inverse of {!level_of_var}. *)
 
 val level : t -> node -> int
 (** Level of a node ({!terminal_level} for terminals). *)
@@ -161,6 +171,69 @@ val iter_live : t -> (node -> unit) -> unit
 (** Iterate over all currently allocated non-terminal nodes (marks from
     external references first, so only externally reachable nodes are
     visited). *)
+
+(** {2 Dynamic variable reordering}
+
+    The manager exposes one in-place primitive — {!swap_adjacent},
+    exchanging two adjacent levels of the order over the unique table —
+    on top of which {!Jedd_reorder} builds sifting and window search.
+    Every existing handle keeps denoting the same boolean function over
+    {e variable ids} across a swap, so external references, refcounts
+    and relation-layer state survive reordering untouched; only
+    level-dependent memos are invalidated (generation bump +
+    {!order_gen}). *)
+
+val swap_adjacent : t -> int -> unit
+(** [swap_adjacent m l] exchanges levels [l] and [l+1] of the variable
+    order, in place.  O(size of the two ranks).  Bumps {!order_gen} and
+    invalidates the operation cache. *)
+
+val order_gen : t -> int
+(** Generation counter bumped by every {!swap_adjacent}; memo tables
+    keyed on levels must include it in their stamps. *)
+
+val swap_count : t -> int
+(** Total adjacent swaps performed over the manager's lifetime. *)
+
+val reorder_begin : t -> unit
+(** Open a reorder session: builds a per-level node index that
+    {!swap_adjacent} keeps up to date, amortising many swaps.  Idempotent.
+    {!gc} rebuilds the index, so collecting mid-session is fine. *)
+
+val reorder_end : t -> unit
+(** Close the reorder session and drop the per-level index. *)
+
+val reorder_count : t -> int
+(** Number of completed reorder passes (recorded by the reorder engine
+    via {!record_reorder}). *)
+
+val reorder_millis : t -> float
+(** Total wall milliseconds spent inside reorder passes. *)
+
+val reorder_aborts : t -> int
+(** Total sifting moves aborted by the max-growth bound. *)
+
+val record_reorder : t -> millis:float -> aborts:int -> unit
+(** Account one finished reorder pass (called by the reorder engine). *)
+
+val set_reorder_hook : t -> (unit -> unit) option -> unit
+(** Install the auto-reorder callback fired by {!checkpoint} when the
+    allocated-node count reaches the threshold.  The hook runs at a safe
+    point; re-entry is guarded ({!in_reorder}). *)
+
+val set_reorder_threshold : t -> int -> unit
+(** Node-count threshold arming the auto trigger; [0] (the default)
+    disables it. *)
+
+val reorder_threshold : t -> int
+val in_reorder : t -> bool
+
+val check_invariants : t -> string list
+(** Structural audit: variable/level maps are inverse bijections, the
+    free list is consistent, every allocated node respects the order
+    invariant and sits exactly once in its unique-table bucket.  Returns
+    human-readable violations; [[]] means consistent.  O(nodes ×
+    bucket length) — meant for tests and bench smoke gates. *)
 
 (** {2 Scratch marking}
 

@@ -101,13 +101,15 @@ let fused_stats () = (!fused_hits, !fallback_hits)
    shared cache (keyed on node and permutation id); the top-level verdict
    additionally goes into a dedicated table because it is a structural
    property of the node graph — it survives cache invalidation and only
-   dies when GC recycles handles, so fixpoints do not re-traverse their
-   operands after every collection of the operation cache. *)
-let ok_memo : (int * int * int, int * bool) Hashtbl.t = Hashtbl.create 256
+   dies when GC recycles handles or a reorder moves levels around, so
+   fixpoints do not re-traverse their operands after every collection of
+   the operation cache. *)
+let ok_memo : (int * int * int, (int * int) * bool) Hashtbl.t =
+  Hashtbl.create 256
 
 let order_preserving_on m p f =
   let key = (Manager.uid m, p.id, f) in
-  let gcs = Manager.gc_count m in
+  let gcs = (Manager.gc_count m, Manager.order_gen m) in
   match Hashtbl.find_opt ok_memo key with
   | Some (stamp, ok) when stamp = gcs -> ok
   | _ ->

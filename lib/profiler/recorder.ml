@@ -13,6 +13,9 @@ type summary = {
   cache_misses : int;
   gcs : int;
   gc_millis : float;
+  reorders : int;
+  reorder_swaps : int;
+  reorder_millis : float;
 }
 
 type t = { mutable events : row list; mutable next_seq : int }
@@ -58,12 +61,22 @@ let summaries t =
             cache_misses = 0;
             gcs = 0;
             gc_millis = 0.0;
+            reorders = 0;
+            reorder_swaps = 0;
+            reorder_millis = 0.0;
           }
       in
-      let hits, misses, gcs, gc_millis =
+      let hits, misses, gcs, gc_millis, reorders, rswaps, rmillis =
         match e.U.bdd with
-        | Some d -> (d.U.cache_hits, d.U.cache_misses, d.U.gcs, d.U.gc_millis)
-        | None -> (0, 0, 0, 0.0)
+        | Some d ->
+          ( d.U.cache_hits,
+            d.U.cache_misses,
+            d.U.gcs,
+            d.U.gc_millis,
+            d.U.reorders,
+            d.U.reorder_swaps,
+            d.U.reorder_millis )
+        | None -> (0, 0, 0, 0.0, 0, 0, 0.0)
       in
       Hashtbl.replace table key
         {
@@ -77,6 +90,9 @@ let summaries t =
           cache_misses = current.cache_misses + misses;
           gcs = current.gcs + gcs;
           gc_millis = current.gc_millis +. gc_millis;
+          reorders = current.reorders + reorders;
+          reorder_swaps = current.reorder_swaps + rswaps;
+          reorder_millis = current.reorder_millis +. rmillis;
         })
     t.events;
   Hashtbl.fold (fun _ s acc -> s :: acc) table []

@@ -28,6 +28,9 @@ type summary = {
   cache_misses : int;
   gcs : int;
   gc_millis : float;
+  reorders : int;  (** variable-reorder passes during the operation *)
+  reorder_swaps : int;  (** adjacent level swaps performed *)
+  reorder_millis : float;
 }
 
 val create : unit -> t

@@ -3,10 +3,13 @@
     per-execution BDD shape charts), a CSV table, and the SQL dump that
     substitutes for the paper's SQLite database. *)
 
-val to_html : Recorder.t -> string
+val to_html : ?engine:Jedd_reorder.Reorder.t -> Recorder.t -> string
 (** A self-contained HTML page: overview table sorted by cost, one
     anchor-linked section per operation with a line per execution, and
-    inline SVG bar charts of BDD shapes when shape profiling was on. *)
+    inline SVG bar charts of BDD shapes when shape profiling was on.
+    With [?engine] (a universe's reorder engine) a "Variable order"
+    section is appended: live-node histogram per level, node attribution
+    per physical-domain block, and the reorder-pass log. *)
 
 val to_csv : Recorder.t -> string
 (** One row per recorded execution. *)
@@ -15,6 +18,11 @@ val to_sql : Recorder.t -> string
 (** [CREATE TABLE] + [INSERT] statements loadable into any SQL engine —
     the format the paper's runtime wrote for its CGI views. *)
 
-val write_files : Recorder.t -> dir:string -> prefix:string -> string list
+val write_files :
+  ?engine:Jedd_reorder.Reorder.t ->
+  Recorder.t ->
+  dir:string ->
+  prefix:string ->
+  string list
 (** Write [prefix.html], [prefix.csv], [prefix.sql] under [dir]; returns
     the paths written. *)

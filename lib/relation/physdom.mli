@@ -9,14 +9,22 @@ val declare : Universe.t -> name:string -> bits:int -> t
 (** Allocate a physical domain of the given width at the bottom of the
     current variable order. *)
 
-val declare_interleaved : Universe.t -> (string * int) list -> t list
+val declare_interleaved :
+  ?pad:bool -> Universe.t -> (string * int) list -> t list
 (** Allocate several physical domains with their bits interleaved.
-    All receive the width of the widest request. *)
+    Each keeps its requested width (narrower domains stop contributing
+    bits, MSB-aligned); [~pad:true] restores the old behaviour of
+    widening every domain to the widest request. *)
 
 val name : t -> string
 val width : t -> int
 val block : t -> Jedd_bdd.Fdd.block
+
 val levels : t -> int array
+(** Current variable levels of the domain's block, MSB first.  Computed
+    from the manager's live order — do not cache across operations that
+    may reorder. *)
+
 val equal : t -> t -> bool
 
 val fits : t -> Domain.t -> bool

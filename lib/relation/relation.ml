@@ -611,7 +611,7 @@ let iter_tuples r k =
   Enum.iter_assignments m (root r) ~levels (fun values ->
       Array.iteri
         (fun i (e : Schema.entry) ->
-          tuple.(i) <- Fdd.decode (Physdom.block e.phys) ~levels values)
+          tuple.(i) <- Fdd.decode m (Physdom.block e.phys) ~levels values)
         entries;
       k tuple)
 
@@ -628,6 +628,11 @@ let iter_objects r k =
       (Schema.to_string r.sch)
 
 let dup r = make r.u r.sch (root r)
+
+(* Relations hold BDD roots through stable handles, and every operation
+   derives levels/permutations from the current order at call time, so
+   reordering between operations is always safe. *)
+let reorder r = Universe.reorder ~trigger:"relation" r.u
 
 let pp ppf r =
   let entries = Schema.entries r.sch in

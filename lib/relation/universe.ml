@@ -9,6 +9,9 @@ type bdd_delta = {
   gc_millis : float;
   grows : int;
   grow_millis : float;
+  reorders : int;
+  reorder_swaps : int;
+  reorder_millis : float;
 }
 
 type op_event = {
@@ -30,6 +33,9 @@ type bdd_snapshot = {
   snap_gc_millis : float;
   snap_grows : int;
   snap_grow_millis : float;
+  snap_reorders : int;
+  snap_swaps : int;
+  snap_reorder_millis : float;
 }
 
 let bdd_snapshot m =
@@ -39,6 +45,9 @@ let bdd_snapshot m =
     snap_gc_millis = Jedd_bdd.Manager.gc_millis m;
     snap_grows = Jedd_bdd.Manager.grow_count m;
     snap_grow_millis = Jedd_bdd.Manager.grow_millis m;
+    snap_reorders = Jedd_bdd.Manager.reorder_count m;
+    snap_swaps = Jedd_bdd.Manager.swap_count m;
+    snap_reorder_millis = Jedd_bdd.Manager.reorder_millis m;
   }
 
 let bdd_delta_since m before =
@@ -67,12 +76,17 @@ let bdd_delta_since m before =
     gc_millis = after.snap_gc_millis -. before.snap_gc_millis;
     grows = after.snap_grows - before.snap_grows;
     grow_millis = after.snap_grow_millis -. before.snap_grow_millis;
+    reorders = after.snap_reorders - before.snap_reorders;
+    reorder_swaps = after.snap_swaps - before.snap_swaps;
+    reorder_millis =
+      after.snap_reorder_millis -. before.snap_reorder_millis;
   }
 
 type profile_level = Off | Counts | Shapes
 
 type t = {
   manager : Jedd_bdd.Manager.t;
+  engine : Jedd_reorder.Reorder.t;
   uid : int;
   mutable level : profile_level;
   mutable on_op : (op_event -> unit) option;
@@ -83,8 +97,10 @@ let counter = ref 0
 
 let create ?(node_capacity = 1 lsl 16) () =
   incr counter;
+  let manager = Jedd_bdd.Manager.create ~node_capacity () in
   {
-    manager = Jedd_bdd.Manager.create ~node_capacity ();
+    manager;
+    engine = Jedd_reorder.Reorder.create manager;
     uid = !counter;
     level = Off;
     on_op = None;
@@ -94,6 +110,19 @@ let create ?(node_capacity = 1 lsl 16) () =
 let uid u = u.uid
 
 let manager u = u.manager
+let reorder_engine u = u.engine
+
+let register_block u ~name ~vars =
+  Jedd_reorder.Reorder.register_block u.engine ~name ~vars
+
+let reorder ?(trigger = "explicit") u =
+  Jedd_reorder.Reorder.sift ~trigger u.engine
+
+let set_auto_reorder u threshold =
+  match threshold with
+  | Some n -> Jedd_reorder.Reorder.install_auto u.engine ~threshold:n
+  | None -> Jedd_reorder.Reorder.disable_auto u.engine
+
 let set_profile_level u level = u.level <- level
 let profile_level u = u.level
 let set_on_op u hook = u.on_op <- hook

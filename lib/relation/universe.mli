@@ -23,6 +23,9 @@ type bdd_delta = {
   gc_millis : float;
   grows : int;
   grow_millis : float;
+  reorders : int;  (** reorder passes completed during the operation *)
+  reorder_swaps : int;  (** adjacent level swaps performed *)
+  reorder_millis : float;
 }
 
 (** What an operation reports to the profiler hook. *)
@@ -49,6 +52,25 @@ type profile_level = Off | Counts | Shapes
 
 val create : ?node_capacity:int -> unit -> t
 val manager : t -> Jedd_bdd.Manager.t
+
+val reorder_engine : t -> Jedd_reorder.Reorder.t
+(** The universe's variable-order optimizer.  Physical domains register
+    their blocks with it on declaration ({!Physdom.declare}). *)
+
+val register_block : t -> name:string -> vars:int array -> unit
+(** Register a block of variables with the reorder engine so it is moved
+    as a unit.  Called by {!Physdom}; exposed for direct Fdd users. *)
+
+val reorder : ?trigger:string -> t -> unit
+(** Run one sifting pass over the registered blocks now (e.g. between
+    fixpoint phases).  [trigger] defaults to ["explicit"] and is
+    recorded in the pass event. *)
+
+val set_auto_reorder : t -> int option -> unit
+(** [set_auto_reorder u (Some n)] arms the safe-point trigger: a sifting
+    pass fires at the next {!checkpoint} once [n] allocated nodes are
+    reached, re-arming itself above the surviving population.  [None]
+    disarms it. *)
 
 val uid : t -> int
 (** A unique id per universe, used to key per-universe side tables. *)

@@ -1,0 +1,90 @@
+(** Dynamic variable-order optimization over physical-domain blocks.
+
+    The engine sits directly above {!Jedd_bdd.Manager}'s adjacent
+    level-swap primitive and moves whole {!Jedd_bdd.Fdd} blocks as
+    units: Rudell sifting, windowed permutation search, and an
+    interleave/de-interleave transform between two blocks (the layout
+    lever §3.3.1 of the paper identifies as decisive).  Passes can run
+    explicitly or from the manager's safe-point auto trigger; every pass
+    is recorded as an {!event} for the profiler. *)
+
+type t
+(** A reorder engine bound to one manager. *)
+
+(** One completed reorder pass. *)
+type event = {
+  trigger : string; (** ["manual"], ["auto-threshold"], caller-supplied *)
+  strategy : string; (** ["sift"], ["window2"], ["interleave"], ... *)
+  swaps : int; (** adjacent level swaps performed *)
+  aborts : int; (** sifting moves stopped by the max-growth bound *)
+  nodes_before : int; (** live nodes entering the pass (post-GC) *)
+  nodes_after : int; (** live nodes leaving the pass (post-GC) *)
+  millis : float;
+}
+
+val create : Jedd_bdd.Manager.t -> t
+val manager : t -> Jedd_bdd.Manager.t
+
+val register_block : t -> name:string -> vars:int array -> unit
+(** Declare a physical-domain block (stable variable ids, MSB first) so
+    the engine moves it as a unit.  Blocks whose level spans currently
+    overlap are treated as one interleaved group.  Levels belonging to
+    no registered block are sifted as single bits. *)
+
+val set_max_growth : t -> float -> unit
+(** Abort bound for sifting: a direction run stops once the live-node
+    count exceeds this factor of the best size seen (default 1.2, the
+    classic BuDDy/CUDD bound).  Raises [Invalid_argument] below 1.0. *)
+
+val sift : ?trigger:string -> t -> unit
+(** One Rudell sifting pass: each group in turn (heaviest first) is
+    moved across the whole order and parked at its best position.
+    Groups contributing under ~1.5% of the live nodes are left where
+    they are — moving them cannot pay for the ranks they would rewrite
+    on the way. *)
+
+val window : ?trigger:string -> t -> int -> unit
+(** Sliding exhaustive search over [k] consecutive groups, [k] = 2 or 3.
+    Cheaper than sifting; catches locally bad adjacencies. *)
+
+val interleave : ?trigger:string -> t -> string -> string -> unit
+(** [interleave t a b] rewrites the order so the two named blocks' bits
+    alternate, MSB-aligned — the layout that keeps equality and
+    attribute-copy BDDs linear. *)
+
+val deinterleave : ?trigger:string -> t -> string -> string -> unit
+(** Inverse transform: the two named blocks become contiguous, first
+    [a]'s bits then [b]'s. *)
+
+val random_swaps : ?seed:int -> t -> int -> unit
+(** Scramble the order with [n] seeded random adjacent swaps — test
+    harness for semantics-preservation properties. *)
+
+val install_auto : t -> threshold:int -> unit
+(** Arm the manager's safe-point trigger.  When the allocated-node count
+    reaches the armed threshold at a {!Jedd_bdd.Manager.checkpoint}, the
+    hook collects garbage and, if the {e live} population has reached
+    [threshold], runs a sifting pass (trigger ["auto-threshold"]).  It
+    then re-arms at [live + max threshold live], so at least [threshold]
+    fresh allocations separate consecutive firings and a converged order
+    stops paying. *)
+
+val disable_auto : t -> unit
+
+val events : t -> event list
+(** All recorded passes, oldest first. *)
+
+val auto_fired : t -> int
+(** How many times the safe-point trigger fired. *)
+
+val level_histogram : t -> int array
+(** Live-node count per level of the current order (externally reachable
+    nodes only; index = level). *)
+
+val block_attribution : t -> (string * int) list
+(** Live nodes attributed to each registered block's current levels, in
+    registration order, plus an [("(unassigned)", n)] row for levels
+    outside every block when non-empty. *)
+
+val check_invariants : t -> string list
+(** Delegate to {!Jedd_bdd.Manager.check_invariants}. *)

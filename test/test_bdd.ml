@@ -238,7 +238,7 @@ let test_fdd_basics () =
     (Ops.band m v3 v7 = M.zero);
   let union = Ops.bor m v3 v7 in
   Alcotest.(check int) "two tuples" 2
-    (Count.satcount m union ~over:(Array.to_list (Fdd.levels b)))
+    (Count.satcount m union ~over:(Array.to_list (Fdd.levels m b)))
 
 let test_fdd_equality_and_move () =
   let m = M.create () in
@@ -247,20 +247,21 @@ let test_fdd_equality_and_move () =
   let eq = Fdd.equality m b1 b2 in
   Alcotest.(check int) "equality relation has 8 tuples" 8
     (Count.satcount m eq
-       ~over:(Array.to_list (Fdd.levels b1) @ Array.to_list (Fdd.levels b2)));
+       ~over:
+         (Array.to_list (Fdd.levels m b1) @ Array.to_list (Fdd.levels m b2)));
   let v5 = Fdd.ithvar m b1 5 in
-  let moved = Replace.replace m v5 (Replace.make_perm m (Fdd.perm_pairs b1 b2)) in
+  let moved = Replace.replace m v5 (Replace.make_perm m (Fdd.perm_pairs m b1 b2)) in
   Alcotest.(check int) "moved value decodes as 5" 5
-    (let lv = Fdd.levels b2 in
+    (let lv = Fdd.levels m b2 in
      match Enum.first_assignment m moved ~levels:lv with
-     | Some values -> Fdd.decode b2 ~levels:lv values
+     | Some values -> Fdd.decode m b2 ~levels:lv values
      | None -> -1)
 
 let test_fdd_interleaved () =
   let m = M.create () in
   match Fdd.extdomains_interleaved m [ 16; 16 ] with
   | [ b1; b2 ] ->
-    let l1 = Fdd.levels b1 and l2 = Fdd.levels b2 in
+    let l1 = Fdd.levels m b1 and l2 = Fdd.levels m b2 in
     Alcotest.(check (array int)) "b1 levels" [| 0; 2; 4; 6 |] l1;
     Alcotest.(check (array int)) "b2 levels" [| 1; 3; 5; 7 |] l2;
     let eq = Fdd.equality m b1 b2 in
