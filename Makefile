@@ -1,4 +1,4 @@
-.PHONY: all check test smoke release bench-json clean
+.PHONY: all check test smoke bench-smoke release bench-json bench-json3 clean
 
 all:
 	dune build
@@ -18,15 +18,23 @@ test:
 smoke:
 	dune build @bench-smoke
 
+# Alias used by CI.
+bench-smoke: smoke
+
 # Optimised binaries (-O3 -unsafe -noassert); see the root `dune` file.
 release:
 	dune build --profile release
 
 # Regenerate the machine-readable benchmark summaries committed at the
-# repo root (BENCH_pr1.json, BENCH_pr2.json).
+# repo root (BENCH_pr1.json, BENCH_pr2.json, BENCH_pr3.json).
 bench-json:
 	dune exec --profile release bench/main.exe -- json
 	dune exec --profile release bench/main.exe -- json2
+
+# In-core vs out-of-core (extmem) points-to comparison, including the
+# capped-memory scenario that only the extmem backend survives.
+bench-json3:
+	dune exec --profile release bench/main.exe -- json3
 
 clean:
 	dune clean

@@ -10,10 +10,15 @@
                                 | ablation-order | ablation-memory
      dune exec bench/main.exe -- bechamel     -- Bechamel micro-benchmarks
      dune exec bench/main.exe -- reorder      -- order optimizer off vs on
+     dune exec bench/main.exe -- backend      -- in-core vs extmem points-to
      dune exec bench/main.exe -- json         -- write BENCH_pr1.json
      dune exec bench/main.exe -- json2        -- write BENCH_pr2.json
+     dune exec bench/main.exe -- json3        -- write BENCH_pr3.json
      dune exec bench/main.exe -- smoke        -- seconds-scale sanity run
-                                                 (also: dune build @bench-smoke) *)
+                                                 (also: dune build @bench-smoke)
+
+   --backend=incore|extmem (any command) selects the relation backend
+   for every universe the benchmarks create, via JEDD_BACKEND. *)
 
 module Workload = Jedd_minijava.Workload
 module Program = Jedd_minijava.Program
@@ -812,6 +817,211 @@ let bench_json2 ?(path = "BENCH_pr2.json") () =
   print_string (Buffer.contents buf);
   Printf.printf "wrote %s\n" path
 
+(* ----------------------------------------------------------------- *)
+(* Backend comparison: in-core shared node table vs the out-of-core   *)
+(* streaming (extmem) engine, plus the capped-memory scenario the     *)
+(* extmem backend exists for.                                         *)
+(* ----------------------------------------------------------------- *)
+
+type backend_run = {
+  bk_config : string;
+  bk_completed : bool;  (* false: aborted with Manager.Out_of_nodes *)
+  bk_seconds : float;
+  bk_tuples : int;
+  bk_peak_nodes : int;  (* in-core node-table peak; tiny under extmem *)
+  bk_spill_runs : int;
+  bk_spilled_bytes : int;
+  bk_pq_peak_bytes : int;
+  bk_io_millis : float;
+}
+
+(* One points-to solve on the named workload under the given backend.
+   Extmem byte budgets are set through the environment so Store.create
+   picks them up; restored afterwards so other bench commands are
+   unaffected. *)
+let backend_pointsto ~config ~backend ?node_limit ?pq_bytes ?mem_nodes profile =
+  Printf.eprintf "[backend] %s (%s)...\n%!" config profile.Workload.name;
+  let set_env k = function
+    | Some v ->
+      let old = Sys.getenv_opt k in
+      Unix.putenv k (string_of_int v);
+      fun () -> Unix.putenv k (match old with Some s -> s | None -> "")
+    | None -> fun () -> ()
+  in
+  let restore_pq = set_env "JEDD_EXTMEM_PQ_BYTES" pq_bytes in
+  let restore_mem = set_env "JEDD_EXTMEM_MEM_NODES" mem_nodes in
+  Fun.protect
+    ~finally:(fun () ->
+      restore_pq ();
+      restore_mem ())
+    (fun () ->
+      let p = Workload.generate profile in
+      let compiled = Suite.compile_one p "Points-to Analysis" in
+      let inst =
+        Driver.instantiate ~node_capacity:(1 lsl 18) ?node_limit ~backend
+          compiled
+      in
+      let u = Interp.universe inst in
+      let finish completed secs tuples =
+        let m = Jedd_relation.Universe.manager u in
+        let runs, bytes, pq_peak, io =
+          match Jedd_relation.Backend.store (Jedd_relation.Universe.backend u) with
+          | Some st ->
+            Jedd_extmem.Store.
+              (spill_runs st, spilled_bytes st, pq_peak_bytes st, io_millis st)
+          | None -> (0, 0, 0, 0.0)
+        in
+        let r =
+          {
+            bk_config = config;
+            bk_completed = completed;
+            bk_seconds = secs;
+            bk_tuples = tuples;
+            bk_peak_nodes = M.peak_nodes m;
+            bk_spill_runs = runs;
+            bk_spilled_bytes = bytes;
+            bk_pq_peak_bytes = pq_peak;
+            bk_io_millis = io;
+          }
+        in
+        Jedd_relation.Universe.cleanup u;
+        Printf.eprintf "[backend]   ... %s in %.2fs\n%!"
+          (if completed then "completed" else "out of nodes")
+          secs;
+        r
+      in
+      let t0 = Unix.gettimeofday () in
+      match
+        Jedd_analyses.Pointsto.load_facts inst p;
+        Jedd_analyses.Pointsto.run inst
+      with
+      | () ->
+        let secs = Unix.gettimeofday () -. t0 in
+        let tuples = List.length (Jedd_analyses.Pointsto.results inst) in
+        finish true secs tuples
+      | exception M.Out_of_nodes ->
+        finish false (Unix.gettimeofday () -. t0) 0)
+
+(* Default workload: a mid-size profile between compress and javac-13.
+   The extmem engine trades time for bounded memory (every operation is
+   a file-backed sweep with no cross-operation cache, typically 1-2
+   orders of magnitude slower), so the paper-sized javac/javac-13
+   profiles take tens of minutes out of core — selectable via
+   JEDD_BACKEND_BENCH for patient runs, but not a sane default for a
+   regeneratable benchmark. *)
+let backend_mid_profile =
+  {
+    Workload.name = "pointsto-mid";
+    classes = 60;
+    sigs_per_class = 3;
+    methods_scale = 2;
+    vars_per_method = 5;
+    heap_per_method = 2;
+    fields = 24;
+    assign_factor = 7;
+    field_ops_per_method = 2;
+    calls_per_method = 2;
+    seed = 77;
+  }
+
+let backend_benchmark_profile () =
+  match Sys.getenv_opt "JEDD_BACKEND_BENCH" with
+  | Some "tiny" -> Workload.tiny
+  | Some s -> Workload.profile_named s
+  | None -> backend_mid_profile
+
+let backend_runs () =
+  let profile = backend_benchmark_profile () in
+  let name = profile.Workload.name in
+  let incore =
+    backend_pointsto ~config:"incore/unlimited" ~backend:`Incore profile
+  in
+  (* Cap the node table well below the in-core peak: the in-core run
+     must abort cleanly, the extmem run under the same cap must finish
+     with the identical relation. *)
+  let node_limit = max 4096 (incore.bk_peak_nodes / 4) in
+  let capped =
+    backend_pointsto ~config:"incore/capped" ~backend:`Incore ~node_limit
+      profile
+  in
+  (* Budgets low enough to force priority-queue spills to disk. *)
+  let extmem =
+    backend_pointsto ~config:"extmem/capped" ~backend:`Extmem ~node_limit
+      ~pq_bytes:16384 ~mem_nodes:2048 profile
+  in
+  (name, node_limit, [ incore; capped; extmem ], incore, capped, extmem)
+
+let backend_bench () =
+  let name, node_limit, runs, incore, capped, extmem = backend_runs () in
+  line ();
+  Printf.printf
+    "Backend: points-to (%s), in-core vs out-of-core streaming (extmem)\n"
+    name;
+  line ();
+  Printf.printf "%-18s %9s %9s %10s %7s %12s %10s %9s\n" "configuration"
+    "seconds" "tuples" "peak" "runs" "spilled(B)" "pq-peak(B)" "io(ms)";
+  List.iter
+    (fun r ->
+      Printf.printf "%-18s %9s %9d %10d %7d %12d %10d %9.1f\n" r.bk_config
+        (if r.bk_completed then Printf.sprintf "%.3f" r.bk_seconds
+         else "aborted")
+        r.bk_tuples r.bk_peak_nodes r.bk_spill_runs r.bk_spilled_bytes
+        r.bk_pq_peak_bytes r.bk_io_millis)
+    runs;
+  Printf.printf "node limit for the capped runs: %d nodes\n" node_limit;
+  if capped.bk_completed then begin
+    Printf.printf "FAIL: capped in-core run should have hit Out_of_nodes\n";
+    exit 1
+  end;
+  if (not extmem.bk_completed) || extmem.bk_tuples <> incore.bk_tuples
+  then begin
+    Printf.printf "FAIL: extmem run did not reproduce the in-core result\n";
+    exit 1
+  end;
+  Printf.printf
+    "extmem completed under the cap with the identical %d-tuple relation\n"
+    extmem.bk_tuples
+
+let bench_json3 ?(path = "BENCH_pr3.json") () =
+  let name, node_limit, runs, incore, capped, extmem = backend_runs () in
+  let buf = Buffer.create 2048 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "{\n";
+  out "  \"schema\": \"jedd-bench-v3\",\n";
+  out "  \"benchmark\": %S,\n" name;
+  out "  \"node_limit\": %d,\n" node_limit;
+  out "  \"backend_pointsto\": [\n";
+  List.iteri
+    (fun i r ->
+      out
+        "    {\"config\": %S, \"completed\": %b, \"seconds\": %.4f, \
+         \"tuples\": %d, \"peak_nodes\": %d, \"spill_runs\": %d, \
+         \"spilled_bytes\": %d, \"pq_peak_bytes\": %d, \"io_millis\": \
+         %.1f}%s\n"
+        r.bk_config r.bk_completed r.bk_seconds r.bk_tuples r.bk_peak_nodes
+        r.bk_spill_runs r.bk_spilled_bytes r.bk_pq_peak_bytes r.bk_io_millis
+        (if i = List.length runs - 1 then "" else ","))
+    runs;
+  out "  ],\n";
+  out "  \"capped_incore_aborted\": %b,\n" (not capped.bk_completed);
+  out "  \"extmem_matches_incore\": %b\n"
+    (extmem.bk_completed && extmem.bk_tuples = incore.bk_tuples);
+  out "}\n";
+  if capped.bk_completed then begin
+    Printf.eprintf "json3: capped in-core run should have hit Out_of_nodes\n";
+    exit 1
+  end;
+  if (not extmem.bk_completed) || extmem.bk_tuples <> incore.bk_tuples
+  then begin
+    Printf.eprintf "json3: extmem run did not reproduce the in-core result\n";
+    exit 1
+  end;
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  print_string (Buffer.contents buf);
+  Printf.printf "wrote %s\n" path
+
 let smoke () =
   let failures = ref 0 in
   let check name ok =
@@ -892,7 +1102,25 @@ let smoke () =
 (* ----------------------------------------------------------------- *)
 
 let () =
-  let cmds = Array.to_list Sys.argv |> List.tl in
+  let args = Array.to_list Sys.argv |> List.tl in
+  (* --backend=incore|extmem routes every scenario through the chosen
+     relation backend (via JEDD_BACKEND, which Universe.create reads
+     when no explicit backend is passed). *)
+  let cmds =
+    List.filter
+      (fun a ->
+        match String.index_opt a '=' with
+        | Some i when String.sub a 0 i = "--backend" ->
+          let v = String.sub a (i + 1) (String.length a - i - 1) in
+          (match v with
+          | "incore" | "extmem" -> Unix.putenv "JEDD_BACKEND" v
+          | _ ->
+            Printf.eprintf "unknown backend %S (incore|extmem)\n" v;
+            exit 2);
+          false
+        | _ -> true)
+      args
+  in
   let run name f = if cmds = [] || List.mem name cmds then f () in
   run "table1" table1;
   run "table2" table2;
@@ -904,7 +1132,9 @@ let () =
   run "ablation-memory" ablation_memory;
   run "ablation-zdd" ablation_zdd;
   run "reorder" reorder_bench;
+  if List.mem "backend" cmds then backend_bench ();
   if List.mem "bechamel" cmds then bechamel ();
   if List.mem "json" cmds then bench_json ();
   if List.mem "json2" cmds then bench_json2 ();
+  if List.mem "json3" cmds then bench_json3 ();
   if List.mem "smoke" cmds then smoke ()

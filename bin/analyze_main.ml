@@ -7,7 +7,14 @@ module Program = Jedd_minijava.Program
 module Reference = Jedd_minijava.Reference
 module Suite = Jedd_analyses.Suite
 
-let run benchmark file verify reorder =
+let backend_of_string = function
+  | "incore" -> `Incore
+  | "extmem" -> `Extmem
+  | s ->
+    Printf.eprintf "jedd-analyze: unknown backend %S (incore|extmem)\n" s;
+    exit 2
+
+let run benchmark file verify reorder backend node_limit =
   let name, p =
     if file <> "" then (file, Jedd_minijava.Frontend.load_file file)
     else
@@ -17,9 +24,27 @@ let run benchmark file verify reorder =
       in
       (profile.Workload.name, Workload.generate profile)
   in
+  let backend =
+    match (backend, Sys.getenv_opt "JEDD_BACKEND") with
+    | Some b, _ -> Some (backend_of_string b)
+    | None, Some b -> Some (backend_of_string b)
+    | None, None -> None
+  in
+  (match backend with
+  | Some `Extmem -> Format.printf "backend: extmem (out-of-core streaming)@."
+  | _ -> ());
   Format.printf "workload %s: %a@." name Program.pp_stats p;
   let t0 = Sys.time () in
-  let r = Suite.run_all ~reorder p in
+  let r =
+    try Suite.run_all ?backend ?node_limit ~reorder p
+    with Jedd_bdd.Manager.Out_of_nodes ->
+      Printf.eprintf
+        "jedd-analyze: analysis exceeded the in-core memory budget (%s \
+         nodes); retry with --backend=extmem to stream BDDs through \
+         bounded memory, or raise --node-limit.\n"
+        (match node_limit with Some n -> string_of_int n | None -> "?");
+      exit 3
+  in
   Printf.printf "pipeline completed in %.2f s\n" (Sys.time () -. t0);
   Printf.printf "  Hierarchy            : %d subtype pairs\n"
     (List.length r.Suite.subtypes);
@@ -72,10 +97,34 @@ let reorder_arg =
            the loaded facts plus an auto trigger at BDD safe points during \
            the points-to and call-graph solves")
 
+let backend_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "backend" ] ~docv:"NAME"
+        ~doc:
+          "Relation backend: $(b,incore) (default; hash-consed shared node \
+           table) or $(b,extmem) (out-of-core streaming BDDs: levelized \
+           node files + priority-queue sweeps under the \
+           JEDD_EXTMEM_PQ_BYTES / JEDD_EXTMEM_MEM_NODES byte budgets).  \
+           Falls back to the JEDD_BACKEND environment variable.")
+
+let node_limit_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "node-limit" ] ~docv:"N"
+        ~doc:
+          "Cap each in-core BDD node table at N nodes; exceeding the cap \
+           aborts the pipeline with a clean message suggesting \
+           --backend=extmem")
+
 let cmd =
   Cmd.v
     (Cmd.info "jedd-analyze"
        ~doc:"Run the five BDD-based whole-program analyses of Figure 2")
-    Term.(const run $ benchmark_arg $ file_arg $ verify_arg $ reorder_arg)
+    Term.(
+      const run $ benchmark_arg $ file_arg $ verify_arg $ reorder_arg
+      $ backend_arg $ node_limit_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -59,38 +59,32 @@ let receiver_types (p : P.t) pt_tuples =
     p.P.calls
   |> List.sort_uniq compare
 
-let run_all ?(node_capacity = 1 lsl 16) ?(reorder = false) (p : P.t) :
-    results =
+let run_all ?(node_capacity = 1 lsl 16) ?node_limit ?backend
+    ?(reorder = false) (p : P.t) : results =
+  let instantiate c = Driver.instantiate ~node_capacity ?node_limit ?backend c in
   (* 1. hierarchy *)
-  let hier = Driver.instantiate ~node_capacity (compile_one p "Hierarchy") in
+  let hier = instantiate (compile_one p "Hierarchy") in
   Hierarchy.load_facts hier p;
   Hierarchy.run hier;
   let subtypes = Hierarchy.results hier in
   (* 2. points-to *)
-  let pta =
-    Driver.instantiate ~node_capacity (compile_one p "Points-to Analysis")
-  in
+  let pta = instantiate (compile_one p "Points-to Analysis") in
   Pointsto.load_facts pta p;
   Pointsto.run ~reorder pta;
   let pt = Pointsto.results pta in
   (* 3. virtual call resolution *)
-  let vcr =
-    Driver.instantiate ~node_capacity
-      (compile_one p "Virtual Call Resolution")
-  in
+  let vcr = instantiate (compile_one p "Virtual Call Resolution") in
   Vcall.load_facts vcr p;
   Vcall.run vcr (receiver_types p pt);
   let resolved = Vcall.results vcr in
   let call_edges = Vcall.call_edges vcr in
   (* 4. call graph *)
-  let cg = Driver.instantiate ~node_capacity (compile_one p "Call Graph") in
+  let cg = instantiate (compile_one p "Call Graph") in
   Callgraph.load_facts cg p ~call_edges;
   Callgraph.run ~reorder cg;
   let reachable = Callgraph.results cg in
   (* 5. side effects *)
-  let se =
-    Driver.instantiate ~node_capacity (compile_one p "Side-effect Analysis")
-  in
+  let se = instantiate (compile_one p "Side-effect Analysis") in
   Sideeffect.load_facts se p ~pt ~call_edges;
   Sideeffect.run se;
   let side_effects = Sideeffect.results se in

@@ -40,7 +40,16 @@ val receiver_types : Jedd_minijava.Program.t -> int list list -> int list list
     triples derived from points-to results. *)
 
 val run_all :
-  ?node_capacity:int -> ?reorder:bool -> Jedd_minijava.Program.t -> results
+  ?node_capacity:int ->
+  ?node_limit:int ->
+  ?backend:Jedd_relation.Backend.kind ->
+  ?reorder:bool ->
+  Jedd_minijava.Program.t ->
+  results
 (** Compile and run the full pipeline.  [~reorder:true] enables the
     variable-order optimizer for the points-to and call-graph solves
-    (explicit pre-run pass + safe-point auto trigger). *)
+    (explicit pre-run pass + safe-point auto trigger).  [backend]
+    selects the relation engine for every universe the pipeline creates
+    (default: [JEDD_BACKEND] or in-core); [node_limit] caps each
+    in-core node table, turning runaway solves into a catchable
+    [Jedd_bdd.Manager.Out_of_nodes]. *)

@@ -73,6 +73,7 @@ type t = {
   mutable gc_millis : float;
   mutable grows : int;
   mutable grow_millis : float;
+  mutable node_limit : int; (* capacity ceiling; 0 = unlimited *)
   (* N-way set-associative operation cache.  Each entry is
      [entry_ints] consecutive ints: tag, a, b, c, result, generation.
      A set is [ways] consecutive entries; lookups scan the set and
@@ -116,15 +117,25 @@ let hash3 a b c mask =
 
 let next_uid = ref 0
 
-let create ?(node_capacity = 1 lsl 15) ?(cache_bits = 14) ?(cache_ways = 4) () =
+exception Out_of_nodes
+
+let create ?(node_capacity = 1 lsl 15) ?(cache_bits = 14) ?(cache_ways = 4)
+    ?(node_limit = 0) () =
   if cache_ways < 1 then invalid_arg "Manager.create: cache_ways must be >= 1";
   incr next_uid;
   let uid = !next_uid in
+  let rec pow2_below n acc = if acc * 2 > n then acc else pow2_below n (acc * 2) in
   let capacity = max 1024 node_capacity in
+  (* A node budget is a true ceiling: the initial table must fit under it
+     too (rounded down to a power of two for mask indexing). *)
+  let capacity =
+    if node_limit > 0 && capacity > node_limit then
+      pow2_below (max 1024 node_limit) 1024
+    else capacity
+  in
   let entries = max cache_ways (1 lsl cache_bits) in
   let sets = entries / cache_ways in
   (* round the set count down to a power of two for mask indexing *)
-  let rec pow2_below n acc = if acc * 2 > n then acc else pow2_below n (acc * 2) in
   let sets = pow2_below sets 1 in
   let m =
     {
@@ -146,6 +157,7 @@ let create ?(node_capacity = 1 lsl 15) ?(cache_bits = 14) ?(cache_ways = 4) () =
       gc_millis = 0.0;
       grows = 0;
       grow_millis = 0.0;
+      node_limit;
       cache = Array.make (sets * cache_ways * entry_ints) (-1);
       ways = cache_ways;
       set_mask = sets - 1;
@@ -225,6 +237,11 @@ let gc_count m = m.gcs
 let gc_millis m = m.gc_millis
 let grow_count m = m.grows
 let grow_millis m = m.grow_millis
+
+let set_node_limit m limit =
+  m.node_limit <- (match limit with Some n when n > 0 -> n | _ -> 0)
+
+let node_limit m = if m.node_limit > 0 then Some m.node_limit else None
 let refcount m n = m.refc.(n)
 let order_gen m = m.order_gen
 let swap_count m = m.swaps
@@ -453,14 +470,33 @@ let checkpoint m =
   if m.free_count * 4 < m.capacity then begin
     gc m;
     (* If collection freed too little, enlarge so the mutator does not
-       immediately bump into the wall again. *)
-    if m.free_count * 4 < m.capacity then grow m
+       immediately bump into the wall again — unless a node budget says
+       the next doubling is off-limits; then run on what collection
+       recovered and let [alloc] raise if the wall is real. *)
+    if
+      m.free_count * 4 < m.capacity
+      && not (m.node_limit > 0 && m.capacity * 2 > m.node_limit)
+    then grow m
   end
 
 (* -- Node creation ------------------------------------------------------ *)
 
+(* Growth against the node budget.  When the free list is empty and
+   doubling would overshoot the limit, reclaim whatever garbage is left
+   and abandon the current operation: a collection here recycles node
+   handles, so in-flight unreferenced intermediates must not be resumed.
+   The manager itself stays consistent (caches were retired by [gc]) —
+   the handler can release roots and retry, e.g. on the out-of-core
+   backend. *)
+let grow_limited m =
+  if m.node_limit > 0 && m.capacity * 2 > m.node_limit then begin
+    gc m;
+    raise Out_of_nodes
+  end
+  else grow m
+
 let alloc m =
-  if m.free_head < 0 then grow m;
+  if m.free_head < 0 then grow_limited m;
   let n = m.free_head in
   m.free_head <- m.hnext.(n);
   m.free_count <- m.free_count - 1;

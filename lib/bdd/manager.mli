@@ -26,13 +26,34 @@ val terminal_level : int
 (** Pseudo-level of the two terminals; strictly greater than any variable
     level. *)
 
+exception Out_of_nodes
+(** Raised by node allocation when the node table is full, a last-ditch
+    collection recovered nothing, and the configured node budget forbids
+    growing.  The manager itself remains consistent — external roots and
+    their refcounts are untouched and the operation caches have been
+    retired — but the operation in flight is abandoned; catch it at an
+    operation boundary, release what you can, and retry (typically on
+    the out-of-core backend). *)
+
 val create :
-  ?node_capacity:int -> ?cache_bits:int -> ?cache_ways:int -> unit -> t
+  ?node_capacity:int ->
+  ?cache_bits:int ->
+  ?cache_ways:int ->
+  ?node_limit:int ->
+  unit ->
+  t
 (** [create ()] makes an empty manager with no variables.
     [node_capacity] is the initial node-array capacity (default 1 lsl 15),
     [cache_bits] the log2 of the total operation-cache entry count
     (default 14), and [cache_ways] the set associativity (default 4; 1
-    recovers a direct-mapped cache). *)
+    recovers a direct-mapped cache).  [node_limit] caps the node-table
+    capacity: doublings that would overshoot it are refused and
+    allocation raises {!Out_of_nodes} instead (default: unlimited). *)
+
+val set_node_limit : t -> int option -> unit
+(** Install, change or remove ([None]) the node budget at runtime. *)
+
+val node_limit : t -> int option
 
 val uid : t -> int
 (** A process-unique id for this manager, for keying external memo

@@ -1,0 +1,1009 @@
+(* Levelized external-memory BDDs, after Sølvsten & van de Pol's Adiar
+   (arXiv:2104.12101): a BDD is a file of nodes grouped by level, sorted
+   canonically within each level, and operations are streaming sweeps
+   instead of recursions over a shared node table.
+
+   A binary operation runs in two phases:
+
+   - a {e top-down} time-forward-processing sweep: requests [(uf, ug)]
+     travel through a priority queue ordered by (level, uf, ug), so all
+     requests for the same pair meet at its level and are resolved once.
+     Each resolved request becomes one unreduced output node; arcs to
+     terminal children go straight into the reduction queue, arcs to
+     node children are recorded grouped by the child's level;
+   - a {e bottom-up} reduce sweep: per level, child uids arrive through
+     the reduction queue, the ROBDD suppress/merge rules are applied,
+     survivors are sorted by [(lo, hi)] (which makes the representation
+     canonical: structural equality is semantic equality), and the
+     reduced uids are forwarded to the parents recorded in phase one.
+
+   Memory is bounded by the priority-queue byte budget (queues spill
+   sorted runs through {!Pq}) plus the width of the widest level: one
+   level of each operand is held in memory at a time, a documented
+   simplification over Adiar's fully-streamed level files.  Node files
+   and arc files larger than the store's node threshold live on disk
+   under the store's temp directory.
+
+   Uids pack (level, local index) into one int, so a node file needs no
+   global renumbering and uid order is exactly (level, local) order.
+   Terminals are the negative uids [t_false] and [t_true]. *)
+
+let shift = 40
+let mask = (1 lsl shift) - 1
+let t_false = -2
+let t_true = -1
+let pack l i = (l lsl shift) lor i
+let lev u = if u < 0 then max_int else u lsr shift
+let loc u = u land mask
+let is_term u = u < 0
+
+type seg =
+  | SMem of int array * int array  (* lo, hi *)
+  | SDisk of int * int  (* byte offset in [path], node count *)
+
+type nodefile = {
+  path : string option;
+  blocks : (int * seg) array;  (* ascending level *)
+  root : int;
+  ncount : int;
+  dig : string;  (* chained digest of all levels; O(1) equality *)
+}
+
+type t = Term of bool | N of nodefile
+
+let tfalse = Term false
+let ttrue = Term true
+let root_uid = function Term b -> (if b then t_true else t_false) | N nf -> nf.root
+let nodecount = function Term _ -> 0 | N nf -> nf.ncount
+
+let seg_count = function SMem (lo, _) -> Array.length lo | SDisk (_, n) -> n
+
+let support_levels = function
+  | Term _ -> []
+  | N nf -> Array.to_list (Array.map fst nf.blocks)
+
+let max_level = function
+  | Term _ -> -1
+  | N nf -> fst nf.blocks.(Array.length nf.blocks - 1)
+
+let level_digest l lo hi =
+  Digest.bytes (Marshal.to_bytes (l, lo, hi) [ Marshal.No_sharing ])
+
+let chain_digest levds root total =
+  let levds = List.sort (fun (a, _) (b, _) -> compare a b) levds in
+  Digest.string
+    (String.concat "" (List.map snd levds)
+    ^ Printf.sprintf ":%d:%d" root total)
+
+(* -- reading node files ------------------------------------------------- *)
+
+let seg_arrays st nf ic seg =
+  match seg with
+  | SMem (lo, hi) -> (lo, hi)
+  | SDisk (off, _) ->
+    let c =
+      match !ic with
+      | Some c -> c
+      | None ->
+        let c = open_in_bin (Option.get nf.path) in
+        ic := Some c;
+        c
+    in
+    Store.timed st (fun () ->
+        seek_in c off;
+        (Marshal.from_channel c : int array * int array))
+
+let iter_blocks st nf f =
+  let ic = ref None in
+  Array.iter
+    (fun (l, seg) ->
+      let lo, hi = seg_arrays st nf ic seg in
+      f l lo hi)
+    nf.blocks;
+  match !ic with Some c -> close_in c | None -> ()
+
+(* Forward-only per-level access for the sweeps: operand levels are
+   visited in ascending order, and one level's arrays are held in
+   memory at a time. *)
+type cursor = {
+  cnf : nodefile;
+  cic : in_channel option ref;
+  mutable cbi : int;
+  mutable cl : int;
+  mutable clo : int array;
+  mutable chi : int array;
+}
+
+let cursor_make nf =
+  { cnf = nf; cic = ref None; cbi = -1; cl = min_int; clo = [||]; chi = [||] }
+
+let cursor_children st cur u =
+  let l = lev u in
+  if cur.cl <> l then begin
+    let i = ref (cur.cbi + 1) in
+    while fst cur.cnf.blocks.(!i) <> l do
+      incr i
+    done;
+    let lo, hi = seg_arrays st cur.cnf cur.cic (snd cur.cnf.blocks.(!i)) in
+    cur.clo <- lo;
+    cur.chi <- hi;
+    cur.cbi <- !i;
+    cur.cl <- l
+  end;
+  (cur.clo.(loc u), cur.chi.(loc u))
+
+let cursor_close cur =
+  match !(cur.cic) with
+  | Some c ->
+    close_in c;
+    cur.cic := None
+  | None -> ()
+
+(* -- growable int buffer ------------------------------------------------ *)
+
+module Ibuf = struct
+  type t = { mutable a : int array; mutable len : int }
+
+  let create () = { a = Array.make 256 0; len = 0 }
+
+  let push3 b x y z =
+    if b.len + 3 > Array.length b.a then begin
+      let a' = Array.make (2 * Array.length b.a) 0 in
+      Array.blit b.a 0 a' 0 b.len;
+      b.a <- a'
+    end;
+    b.a.(b.len) <- x;
+    b.a.(b.len + 1) <- y;
+    b.a.(b.len + 2) <- z;
+    b.len <- b.len + 3
+
+  let clear b = b.len <- 0
+end
+
+(* -- arcs grouped by child level ---------------------------------------- *)
+
+(* Internal arcs (child_local, parent_uid, bit) are appended while the
+   top-down sweep processes the child's level — levels complete in
+   ascending order, and the reduce sweep consumes them descending, so
+   the whole structure is a stack of per-level segments backed by one
+   sequential file once it outgrows its in-memory budget. *)
+type arcseg = AMem of int array | ADisk of int * int  (* offset, int len *)
+
+type arcs = {
+  ast : Store.t;
+  mutable asegs : (int * arcseg) list;  (* head = highest completed level *)
+  mutable acur_level : int;
+  acur : Ibuf.t;
+  mutable afile : (string * out_channel) option;
+  mutable aic : in_channel option;
+  mutable amem : int;  (* ints held across AMem segments *)
+  abudget : int;
+}
+
+let arcs_create st =
+  {
+    ast = st;
+    asegs = [];
+    acur_level = -1;
+    acur = Ibuf.create ();
+    afile = None;
+    aic = None;
+    amem = 0;
+    abudget = 3 * Store.mem_node_threshold st;
+  }
+
+let arcs_finish_level a =
+  if a.acur.Ibuf.len > 0 then begin
+    let arr = Array.sub a.acur.Ibuf.a 0 a.acur.Ibuf.len in
+    let seg =
+      if a.amem + Array.length arr <= a.abudget then begin
+        a.amem <- a.amem + Array.length arr;
+        AMem arr
+      end
+      else begin
+        let _, oc =
+          match a.afile with
+          | Some f -> f
+          | None ->
+            let p = Store.fresh_path a.ast "arcs" in
+            let oc = open_out_bin p in
+            a.afile <- Some (p, oc);
+            (p, oc)
+        in
+        let off = pos_out oc in
+        Store.timed a.ast (fun () ->
+            Marshal.to_channel oc arr [ Marshal.No_sharing ]);
+        Store.note_spill a.ast ~bytes:(pos_out oc - off);
+        ADisk (off, Array.length arr)
+      end
+    in
+    a.asegs <- (a.acur_level, seg) :: a.asegs;
+    Ibuf.clear a.acur
+  end
+
+let arcs_append a level child_local parent bit =
+  if level <> a.acur_level then begin
+    arcs_finish_level a;
+    a.acur_level <- level
+  end;
+  Ibuf.push3 a.acur child_local parent bit
+
+let arcs_finalize a =
+  arcs_finish_level a;
+  match a.afile with
+  | Some (p, oc) ->
+    close_out oc;
+    a.aic <- Some (open_in_bin p)
+  | None -> ()
+
+let arcs_iter_level a l f =
+  match a.asegs with
+  | (l', seg) :: rest when l' = l ->
+    a.asegs <- rest;
+    let arr =
+      match seg with
+      | AMem arr -> arr
+      | ADisk (off, _) ->
+        let ic = Option.get a.aic in
+        Store.timed a.ast (fun () ->
+            seek_in ic off;
+            (Marshal.from_channel ic : int array))
+    in
+    let n = Array.length arr / 3 in
+    for i = 0 to n - 1 do
+      f arr.(3 * i) arr.((3 * i) + 1) arr.((3 * i) + 2)
+    done
+  | _ -> ()
+
+let arcs_destroy a =
+  (match a.aic with Some ic -> (try close_in ic with _ -> ()) | None -> ());
+  (match a.afile with
+  | Some (p, oc) ->
+    (try close_out oc with _ -> ());
+    (try Sys.remove p with Sys_error _ -> ())
+  | None -> ());
+  a.asegs <- []
+
+(* -- building node files ------------------------------------------------ *)
+
+type builder = {
+  bst : Store.t;
+  mutable bsegs : (int * seg) list;
+  mutable bdigs : (int * string) list;
+  mutable bfile : (string * out_channel) option;
+  mutable bmem : int;  (* nodes held in SMem segments *)
+  mutable btotal : int;
+}
+
+let builder_create st =
+  { bst = st; bsegs = []; bdigs = []; bfile = None; bmem = 0; btotal = 0 }
+
+let builder_add b l lo hi =
+  let n = Array.length lo in
+  b.btotal <- b.btotal + n;
+  b.bdigs <- (l, level_digest l lo hi) :: b.bdigs;
+  let seg =
+    if b.bfile = None && b.bmem + n <= Store.mem_node_threshold b.bst then begin
+      b.bmem <- b.bmem + n;
+      SMem (lo, hi)
+    end
+    else begin
+      let _, oc =
+        match b.bfile with
+        | Some f -> f
+        | None ->
+          let p = Store.fresh_path b.bst "bdd" in
+          let oc = open_out_bin p in
+          b.bfile <- Some (p, oc);
+          (p, oc)
+      in
+      let off = pos_out oc in
+      Store.timed b.bst (fun () ->
+          Marshal.to_channel oc (lo, hi) [ Marshal.No_sharing ]);
+      Store.note_spill b.bst ~bytes:(pos_out oc - off);
+      SDisk (off, n)
+    end
+  in
+  b.bsegs <- (l, seg) :: b.bsegs
+
+let builder_finish b root =
+  (match b.bfile with Some (_, oc) -> close_out oc | None -> ());
+  let blocks =
+    Array.of_list
+      (List.sort (fun (a, _) (c, _) -> compare a c) b.bsegs)
+  in
+  let nf =
+    {
+      path = Option.map fst b.bfile;
+      blocks;
+      root;
+      ncount = b.btotal;
+      dig = chain_digest b.bdigs root b.btotal;
+    }
+  in
+  (match nf.path with
+  | Some p ->
+    Gc.finalise (fun _ -> try Sys.remove p with Sys_error _ -> ()) nf
+  | None -> ());
+  nf
+
+(* Hand-built in-memory node files (single-node-per-level chains and the
+   two-level bi-implication) share the same digest scheme so they
+   compare equal to sweep-built results. *)
+let make_mem_nodefile blocks root =
+  let blocks = List.sort (fun (a, _, _) (b, _, _) -> compare a b) blocks in
+  let total = List.fold_left (fun n (_, lo, _) -> n + Array.length lo) 0 blocks in
+  let digs = List.map (fun (l, lo, hi) -> (l, level_digest l lo hi)) blocks in
+  N
+    {
+      path = None;
+      blocks =
+        Array.of_list (List.map (fun (l, lo, hi) -> (l, SMem (lo, hi))) blocks);
+      root;
+      ncount = total;
+      dig = chain_digest digs root total;
+    }
+
+(* -- the shared bottom-up reduce ---------------------------------------- *)
+
+(* [rpq] records are [| -parent_level; parent_local; bit; child_uid |]:
+   keyed so that a min-pop order visits parents from the deepest level
+   up, exactly the order the reduce sweep wants.  Terminal children were
+   pushed during the top-down sweep; node children are forwarded here as
+   each level finishes reducing. *)
+let reduce st ~counts ~arcs ~rpq ~root =
+  let result =
+    if is_term root then Term (root = t_true)
+    else begin
+      arcs_finalize arcs;
+      let b = builder_create st in
+      let final = ref t_false in
+      let rc = Array.make 4 0 in
+      for l = Array.length counts - 1 downto 0 do
+        let n = counts.(l) in
+        if n > 0 then begin
+          let lo = Array.make n min_int and hi = Array.make n min_int in
+          let continue = ref true in
+          while !continue && Pq.peek rpq rc do
+            if rc.(0) = -l then begin
+              ignore (Pq.pop rpq rc);
+              if rc.(2) = 0 then lo.(rc.(1)) <- rc.(3)
+              else hi.(rc.(1)) <- rc.(3)
+            end
+            else continue := false
+          done;
+          let red = Array.make n 0 in
+          let sv = Array.make n 0 and ns = ref 0 in
+          for i = 0 to n - 1 do
+            assert (lo.(i) <> min_int && hi.(i) <> min_int);
+            if lo.(i) = hi.(i) then red.(i) <- lo.(i)  (* suppressed *)
+            else begin
+              sv.(!ns) <- i;
+              incr ns
+            end
+          done;
+          let sv = Array.sub sv 0 !ns in
+          Array.sort
+            (fun i j ->
+              let c = compare lo.(i) lo.(j) in
+              if c <> 0 then c else compare hi.(i) hi.(j))
+            sv;
+          let olo = Array.make !ns 0 and ohi = Array.make !ns 0 in
+          let m = ref 0 in
+          Array.iter
+            (fun i ->
+              if !m > 0 && lo.(i) = olo.(!m - 1) && hi.(i) = ohi.(!m - 1) then
+                red.(i) <- pack l (!m - 1)  (* merged duplicate *)
+              else begin
+                olo.(!m) <- lo.(i);
+                ohi.(!m) <- hi.(i);
+                red.(i) <- pack l !m;
+                incr m
+              end)
+            sv;
+          if !m > 0 then
+            builder_add b l (Array.sub olo 0 !m) (Array.sub ohi 0 !m);
+          arcs_iter_level arcs l (fun child_local parent bit ->
+              rc.(0) <- -(parent lsr shift);
+              rc.(1) <- parent land mask;
+              rc.(2) <- bit;
+              rc.(3) <- red.(child_local);
+              Pq.push rpq rc);
+          if l = lev root then final := red.(loc root)
+        end
+      done;
+      if is_term !final then Term (!final = t_true)
+      else N (builder_finish b !final)
+    end
+  in
+  arcs_destroy arcs;
+  Pq.destroy rpq;
+  result
+
+(* -- apply -------------------------------------------------------------- *)
+
+type op = And | Or | Diff | Xor | Biimp
+
+let op_eval op a b =
+  match op with
+  | And -> a && b
+  | Or -> a || b
+  | Diff -> a && not b
+  | Xor -> a <> b
+  | Biimp -> a = b
+
+(* Terminal resolution for a child pair: [Some t] when the result is a
+   terminal no matter what lies below, [None] when the sweep must
+   continue.  A pair with one terminal side continues as a copy (or
+   complement, for Diff/Xor/Biimp) of the other side. *)
+let op_resolve op a b =
+  if is_term a && is_term b then
+    Some (if op_eval op (a = t_true) (b = t_true) then t_true else t_false)
+  else
+    match op with
+    | And -> if a = t_false || b = t_false then Some t_false else None
+    | Or -> if a = t_true || b = t_true then Some t_true else None
+    | Diff ->
+      if a = t_false || b = t_true then Some t_false else None
+    | Xor | Biimp -> None
+
+let apply st op f g =
+  let sweep () =
+    let uf = root_uid f and ug = root_uid g in
+    match op_resolve op uf ug with
+    | Some t -> Term (t = t_true)
+    | None ->
+      let nlev = 1 + max (max_level f) (max_level g) in
+      let counts = Array.make nlev 0 in
+      let pq = Pq.create st ~arity:5 and rpq = Pq.create st ~arity:4 in
+      let arcs = arcs_create st in
+      let cf = match f with N nf -> Some (cursor_make nf) | Term _ -> None
+      and cg = match g with N nf -> Some (cursor_make nf) | Term _ -> None in
+      let children side u =
+        match side with
+        | Some c -> cursor_children st c u
+        | None -> assert false  (* terminal operands are never descended *)
+      in
+      let rc5 = Array.make 5 0 and rc4 = Array.make 4 0 in
+      let root_id = ref t_false in
+      rc5.(0) <- min (lev uf) (lev ug);
+      rc5.(1) <- uf;
+      rc5.(2) <- ug;
+      rc5.(3) <- -1;
+      rc5.(4) <- 0;
+      Pq.push pq rc5;
+      while Pq.pop pq rc5 do
+        let l = rc5.(0) and a = rc5.(1) and b = rc5.(2) in
+        let id = pack l counts.(l) in
+        counts.(l) <- counts.(l) + 1;
+        let emit_parent parent bit =
+          if parent = -1 then root_id := id
+          else arcs_append arcs l (loc id) parent bit
+        in
+        emit_parent rc5.(3) rc5.(4);
+        let dup = ref true in
+        while !dup && Pq.peek pq rc5 do
+          if rc5.(0) = l && rc5.(1) = a && rc5.(2) = b then begin
+            ignore (Pq.pop pq rc5);
+            emit_parent rc5.(3) rc5.(4)
+          end
+          else dup := false
+        done;
+        let a0, a1 = if lev a = l then children cf a else (a, a) in
+        let b0, b1 = if lev b = l then children cg b else (b, b) in
+        let child bit x y =
+          match op_resolve op x y with
+          | Some t ->
+            rc4.(0) <- -l;
+            rc4.(1) <- loc id;
+            rc4.(2) <- bit;
+            rc4.(3) <- t;
+            Pq.push rpq rc4
+          | None ->
+            rc5.(0) <- min (lev x) (lev y);
+            rc5.(1) <- x;
+            rc5.(2) <- y;
+            rc5.(3) <- id;
+            rc5.(4) <- bit;
+            Pq.push pq rc5
+        in
+        child 0 a0 b0;
+        child 1 a1 b1
+      done;
+      (match cf with Some c -> cursor_close c | None -> ());
+      (match cg with Some c -> cursor_close c | None -> ());
+      Pq.destroy pq;
+      reduce st ~counts ~arcs ~rpq ~root:!root_id
+  in
+  match (f, g) with
+  | Term a, Term b -> Term (op_eval op a b)
+  | Term a, _ -> (
+    match (op, a) with
+    | And, false -> tfalse
+    | And, true -> g
+    | Or, true -> ttrue
+    | Or, false -> g
+    | Diff, false -> tfalse
+    | (Diff | Xor | Biimp), _ -> sweep ())
+  | _, Term b -> (
+    match (op, b) with
+    | And, false -> tfalse
+    | And, true -> f
+    | Or, true -> ttrue
+    | Or, false -> f
+    | Diff, true -> tfalse
+    | Diff, false -> f
+    | Xor, false -> f
+    | (Xor | Biimp), _ -> sweep ())
+  | N _, N _ -> sweep ()
+
+let band st f g = apply st And f g
+let bor st f g = apply st Or f g
+let bdiff st f g = apply st Diff f g
+let bxor st f g = apply st Xor f g
+let bbiimp st f g = apply st Biimp f g
+let bnot st f = apply st Diff ttrue f
+let ite st c t e = bor st (band st c t) (band st (bnot st c) e)
+
+(* -- existential quantification of one level ---------------------------- *)
+
+(* A request is an OR-set of one or two uids, encoded as an ordered pair
+   (a <= b; a singleton is (u, u)).  Pairs only ever form at the
+   quantified level's children, so below [q] request sets stay at size
+   two and above [q] they are singletons — the invariant that keeps the
+   sweep linear (arXiv:2104.12101 §4.3). *)
+let exist_level st q f =
+  match f with
+  | Term _ -> f
+  | N nf when not (Array.exists (fun (l, _) -> l = q) nf.blocks) -> f
+  | N nf ->
+    let nlev = 1 + fst nf.blocks.(Array.length nf.blocks - 1) in
+    let counts = Array.make nlev 0 in
+    let pq = Pq.create st ~arity:5 and rpq = Pq.create st ~arity:4 in
+    let arcs = arcs_create st in
+    let cur = cursor_make nf in
+    let rc5 = Array.make 5 0 and rc4 = Array.make 4 0 in
+    let root_ref = ref t_false in
+    (* route a normalized OR-set to a parent slot *)
+    let route a b parent bit =
+      if a = t_true || b = t_true then
+        if parent = -1 then root_ref := t_true
+        else begin
+          rc4.(0) <- -(parent lsr shift);
+          rc4.(1) <- parent land mask;
+          rc4.(2) <- bit;
+          rc4.(3) <- t_true;
+          Pq.push rpq rc4
+        end
+      else
+        let a, b =
+          if a = t_false then (b, b)
+          else if b = t_false then (a, a)
+          else if a <= b then (a, b)
+          else (b, a)
+        in
+        if a = t_false then
+          if parent = -1 then root_ref := t_false
+          else begin
+            rc4.(0) <- -(parent lsr shift);
+            rc4.(1) <- parent land mask;
+            rc4.(2) <- bit;
+            rc4.(3) <- t_false;
+            Pq.push rpq rc4
+          end
+        else begin
+          rc5.(0) <- min (lev a) (lev b);
+          rc5.(1) <- a;
+          rc5.(2) <- b;
+          rc5.(3) <- parent;
+          rc5.(4) <- bit;
+          Pq.push pq rc5
+        end
+    in
+    route nf.root nf.root (-1) 0;
+    while Pq.pop pq rc5 do
+      let l = rc5.(0) and a = rc5.(1) and b = rc5.(2) in
+      if l = q then begin
+        (* quantified level: no node; forward OR of the children to
+           every waiting parent slot individually.  Requests here are
+           always singletons: pairs only form strictly below [q]. *)
+        assert (b = a);
+        let a0, a1 = cursor_children st cur a in
+        route a0 a1 rc5.(3) rc5.(4);
+        let dup = ref true in
+        while !dup && Pq.peek pq rc5 do
+          if rc5.(0) = l && rc5.(1) = a && rc5.(2) = b then begin
+            ignore (Pq.pop pq rc5);
+            route a0 a1 rc5.(3) rc5.(4)
+          end
+          else dup := false
+        done
+      end
+      else begin
+        let id = pack l counts.(l) in
+        counts.(l) <- counts.(l) + 1;
+        let emit_parent parent bit =
+          if parent = -1 then root_ref := id
+          else arcs_append arcs l (loc id) parent bit
+        in
+        emit_parent rc5.(3) rc5.(4);
+        let dup = ref true in
+        while !dup && Pq.peek pq rc5 do
+          if rc5.(0) = l && rc5.(1) = a && rc5.(2) = b then begin
+            ignore (Pq.pop pq rc5);
+            emit_parent rc5.(3) rc5.(4)
+          end
+          else dup := false
+        done;
+        let a0, a1 = if lev a = l then cursor_children st cur a else (a, a) in
+        let b0, b1 = if lev b = l then cursor_children st cur b else (b, b) in
+        route a0 b0 id 0;
+        route a1 b1 id 1
+      end
+    done;
+    cursor_close cur;
+    Pq.destroy pq;
+    reduce st ~counts ~arcs ~rpq ~root:!root_ref
+
+let exist st levels f =
+  List.fold_left
+    (fun f q -> exist_level st q f)
+    f
+    (List.sort (fun a b -> compare b a) levels)
+
+(* -- restrict (cofactor by a partial assignment) ------------------------ *)
+
+let restrict st assignment f =
+  match f with
+  | Term _ -> f
+  | N _ when assignment = [] -> f
+  | N nf ->
+    let nlev = 1 + fst nf.blocks.(Array.length nf.blocks - 1) in
+    let fixed = Array.make nlev (-1) in
+    List.iter
+      (fun (l, b) -> if l < nlev then fixed.(l) <- (if b then 1 else 0))
+      assignment;
+    if
+      not
+        (Array.exists (fun (l, _) -> fixed.(l) >= 0) nf.blocks)
+    then f
+    else begin
+      let counts = Array.make nlev 0 in
+      let pq = Pq.create st ~arity:3 and rpq = Pq.create st ~arity:4 in
+      let arcs = arcs_create st in
+      let cur = cursor_make nf in
+      let rc3 = Array.make 3 0 and rc4 = Array.make 4 0 in
+      let root_ref = ref t_false in
+      let route u parent bit =
+        if is_term u then
+          if parent = -1 then root_ref := u
+          else begin
+            rc4.(0) <- -(parent lsr shift);
+            rc4.(1) <- parent land mask;
+            rc4.(2) <- bit;
+            rc4.(3) <- u;
+            Pq.push rpq rc4
+          end
+        else begin
+          rc3.(0) <- u;
+          rc3.(1) <- parent;
+          rc3.(2) <- bit;
+          Pq.push pq rc3
+        end
+      in
+      route nf.root (-1) 0;
+      while Pq.pop pq rc3 do
+        let u = rc3.(0) in
+        let l = lev u in
+        let u0, u1 = cursor_children st cur u in
+        if fixed.(l) >= 0 then begin
+          let chosen = if fixed.(l) = 1 then u1 else u0 in
+          route chosen rc3.(1) rc3.(2);
+          let dup = ref true in
+          while !dup && Pq.peek pq rc3 do
+            if rc3.(0) = u then begin
+              ignore (Pq.pop pq rc3);
+              route chosen rc3.(1) rc3.(2)
+            end
+            else dup := false
+          done
+        end
+        else begin
+          let id = pack l counts.(l) in
+          counts.(l) <- counts.(l) + 1;
+          let emit_parent parent bit =
+            if parent = -1 then root_ref := id
+            else arcs_append arcs l (loc id) parent bit
+          in
+          emit_parent rc3.(1) rc3.(2);
+          let dup = ref true in
+          while !dup && Pq.peek pq rc3 do
+            if rc3.(0) = u then begin
+              ignore (Pq.pop pq rc3);
+              emit_parent rc3.(1) rc3.(2)
+            end
+            else dup := false
+          done;
+          route u0 id 0;
+          route u1 id 1
+        end
+      done;
+      cursor_close cur;
+      Pq.destroy pq;
+      reduce st ~counts ~arcs ~rpq ~root:!root_ref
+    end
+
+(* -- small canonical builders ------------------------------------------- *)
+
+(* single-node-per-level chain, built bottom-up from (level, pick lo/hi
+   as a function of the child) specs; used by cubes and comparators *)
+let ithvar l =
+  make_mem_nodefile [ (l, [| t_false |], [| t_true |]) ] (pack l 0)
+
+let nithvar l =
+  make_mem_nodefile [ (l, [| t_true |], [| t_false |]) ] (pack l 0)
+
+let cube assignment =
+  (* conjunction of literals; levels in any order *)
+  match assignment with
+  | [] -> ttrue
+  | _ ->
+    let assignment =
+      List.sort (fun (a, _) (b, _) -> compare b a) assignment
+    in
+    let cur, blocks =
+      List.fold_left
+        (fun (cur, blocks) (l, b) ->
+          let lo, hi = if b then (t_false, cur) else (cur, t_false) in
+          (pack l 0, (l, [| lo |], [| hi |]) :: blocks))
+        (t_true, []) assignment
+    in
+    make_mem_nodefile blocks cur
+
+(* [levels] most significant bit first and ascending (the layout the
+   interleaved-domain allocator produces); asserts the value is
+   strictly below [k] *)
+let less_than_const levels k =
+  let w = List.length levels in
+  if k <= 0 then tfalse
+  else if k >= 1 lsl w then ttrue
+  else begin
+    let levels = Array.of_list levels in
+    for i = 1 to w - 1 do
+      if levels.(i) <= levels.(i - 1) then
+        invalid_arg "Ebdd.less_than_const: levels must ascend msb-first"
+    done;
+    let cur = ref t_false and blocks = ref [] in
+    for i = w - 1 downto 0 do
+      let ki = (k lsr (w - 1 - i)) land 1 in
+      let lo, hi = if ki = 1 then (t_true, !cur) else (!cur, t_false) in
+      if lo = hi then ()  (* redundant test, skip the level *)
+      else begin
+        blocks := (levels.(i), [| lo |], [| hi |]) :: !blocks;
+        cur := pack levels.(i) 0
+      end
+    done;
+    if is_term !cur then Term (!cur = t_true)
+    else make_mem_nodefile !blocks !cur
+  end
+
+(* the three-node bi-implication l1 <-> l2 (l1 < l2) *)
+let biimp_levels l1 l2 =
+  if l1 = l2 then ttrue
+  else begin
+    let l1, l2 = if l1 < l2 then (l1, l2) else (l2, l1) in
+    (* level l2, sorted by (lo, hi): local 0 = (F,T) "is 1",
+       local 1 = (T,F) "is 0" *)
+    make_mem_nodefile
+      [
+        (l2, [| t_false; t_true |], [| t_true; t_false |]);
+        (l1, [| pack l2 1 |], [| pack l2 0 |]);
+      ]
+      (pack l1 0)
+  end
+
+(* -- replace ------------------------------------------------------------ *)
+
+let replace st pairs f =
+  match f with
+  | Term _ -> f
+  | N nf ->
+    let map l = match List.assoc_opt l pairs with Some d -> d | None -> l in
+    let monotone =
+      let prev = ref min_int and ok = ref true in
+      Array.iter
+        (fun (l, _) ->
+          let m = map l in
+          if m <= !prev then ok := false;
+          prev := m)
+        nf.blocks;
+      !ok
+    in
+    if Array.for_all (fun (l, _) -> map l = l) nf.blocks then f
+    else if monotone then begin
+      (* order-preserving: stream the blocks through a relabel *)
+      let b = builder_create st in
+      let remap u = if is_term u then u else pack (map (lev u)) (loc u) in
+      iter_blocks st nf (fun l lo hi ->
+          builder_add b (map l) (Array.map remap lo) (Array.map remap hi));
+      N (builder_finish b (remap nf.root))
+    end
+    else begin
+      (* Non-order-preserving permutation (e.g. a scratch-domain swap):
+         route every moved level through a fresh temporary level above
+         everything else, one (and f biimp; exists) step per pair, then
+         pull each temporary down to its destination the same way.
+         Slow but total; the monotone fast path covers the runtime's
+         interleaved-domain moves. *)
+      let base =
+        1
+        + List.fold_left
+            (fun m (s, d) -> max m (max s d))
+            (max_level f) pairs
+      in
+      let r = ref f in
+      List.iteri
+        (fun i (s, _) ->
+          let tmp = base + i in
+          r := exist_level st s (band st !r (biimp_levels s tmp)))
+        pairs;
+      List.iteri
+        (fun i (_, d) ->
+          let tmp = base + i in
+          r := exist_level st tmp (band st !r (biimp_levels d tmp)))
+        pairs;
+      !r
+    end
+
+(* -- fused-shape conveniences (compositional out-of-core versions) ------ *)
+
+let relprod st f g qlevels = exist st qlevels (band st f g)
+
+let relprod_replace st f g pairs qlevels =
+  exist st qlevels (band st f (replace st pairs g))
+
+let replace_exist st f pairs qlevels = replace st pairs (exist st qlevels f)
+
+(* -- counting ----------------------------------------------------------- *)
+
+(* Streaming path-count: counts flow top-down through a frontier table
+   keyed by uid; memory is one entry per node on the current level cut,
+   freed as each level streams past. *)
+let satcount st ~over f =
+  let over_a = Array.of_list (List.sort_uniq compare over) in
+  let k = Array.length over_a in
+  (* number of [over] levels strictly below [l] *)
+  let idx l =
+    let lo = ref 0 and hi = ref k in
+    while !lo < !hi do
+      let m = (!lo + !hi) / 2 in
+      if over_a.(m) < l then lo := m + 1 else hi := m
+    done;
+    !lo
+  in
+  let mem l =
+    let i = idx l in
+    i < k && over_a.(i) = l
+  in
+  match f with
+  | Term false -> 0
+  | Term true -> 1 lsl k
+  | N nf ->
+    Array.iter
+      (fun (l, _) ->
+        if not (mem l) then
+          invalid_arg "Ebdd.satcount: node depends on a level outside ~over")
+      nf.blocks;
+    let tbl = Hashtbl.create 1024 in
+    let add u c =
+      match Hashtbl.find_opt tbl u with
+      | Some c' -> Hashtbl.replace tbl u (c' + c)
+      | None -> Hashtbl.add tbl u c
+    in
+    add nf.root (1 lsl idx (lev nf.root));
+    let acc = ref 0 in
+    iter_blocks st nf (fun l lo hi ->
+        let il = idx l in
+        for i = 0 to Array.length lo - 1 do
+          let u = pack l i in
+          let c = match Hashtbl.find_opt tbl u with Some c -> c | None -> 0 in
+          Hashtbl.remove tbl u;
+          let follow child =
+            if child = t_true then
+              acc := !acc + (c lsl (k - il - 1))
+            else if child <> t_false then
+              add child (c lsl (idx (lev child) - il - 1))
+          in
+          follow lo.(i);
+          follow hi.(i)
+        done);
+    !acc
+
+let shape ~num_vars f =
+  let a = Array.make num_vars 0 in
+  (match f with
+  | Term _ -> ()
+  | N nf ->
+    Array.iter
+      (fun (l, seg) -> if l < num_vars then a.(l) <- seg_count seg)
+      nf.blocks);
+  a
+
+(* -- enumeration -------------------------------------------------------- *)
+
+(* Depth-first expansion over an explicit level list, mirroring the
+   in-core [Enum.iter_assignments] contract.  Enumeration materialises
+   each visited level's arrays once (results are read out at the end of
+   an analysis, when relations are small). *)
+let iter_assignments st ~levels f k =
+  let nlevels = Array.length levels in
+  match f with
+  | Term false -> ()
+  | Term true ->
+    let vals = Array.make nlevels false in
+    let rec expand i =
+      if i = nlevels then k vals
+      else begin
+        vals.(i) <- false;
+        expand (i + 1);
+        vals.(i) <- true;
+        expand (i + 1)
+      end
+    in
+    expand 0
+  | N nf ->
+    let in_levels l = Array.exists (fun l' -> l' = l) levels in
+    Array.iter
+      (fun (l, _) ->
+        if not (in_levels l) then
+          invalid_arg
+            "Ebdd.iter_assignments: node depends on a level outside ~levels")
+      nf.blocks;
+    let cache = Hashtbl.create 64 in
+    iter_blocks st nf (fun l lo hi -> Hashtbl.add cache l (lo, hi));
+    let vals = Array.make nlevels false in
+    let rec go i u =
+      if u = t_false then ()
+      else if i = nlevels then k vals
+      else begin
+        let l = levels.(i) in
+        if (not (is_term u)) && lev u = l then begin
+          let lo, hi = Hashtbl.find cache l in
+          let j = loc u in
+          vals.(i) <- false;
+          go (i + 1) lo.(j);
+          vals.(i) <- true;
+          go (i + 1) hi.(j)
+        end
+        else begin
+          (* don't-care level: expand both values *)
+          vals.(i) <- false;
+          go (i + 1) u;
+          vals.(i) <- true;
+          go (i + 1) u
+        end
+      end
+    in
+    go 0 nf.root
+
+exception Found
+
+let first_assignment st ~levels f =
+  let out = ref None in
+  (try
+     iter_assignments st ~levels f (fun vals ->
+         out := Some (Array.copy vals);
+         raise Found)
+   with Found -> ());
+  !out
+
+(* -- equality ----------------------------------------------------------- *)
+
+(* Canonical form makes this O(1): two reduced level files denote the
+   same function iff they are bit-identical, which the chained level
+   digest certifies. *)
+let equal a b =
+  match (a, b) with
+  | Term x, Term y -> x = y
+  | N x, N y -> x.root = y.root && x.ncount = y.ncount && x.dig = y.dig
+  | _ -> false

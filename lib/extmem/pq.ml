@@ -1,0 +1,222 @@
+(* Budget-bounded priority queue of fixed-arity int records, the engine
+   of every time-forward-processing sweep.  Records are compared
+   lexicographically over all their fields, so putting the sort key
+   (level, then operand uids) in the leading fields gives the per-level
+   grouping the sweeps rely on.
+
+   The queue is a strided binary min-heap that grows geometrically up to
+   the store's byte budget; past the budget, the heap contents are
+   sorted and written to disk as a run, and popping merges the heap with
+   the heads of all live runs.  This is sound for the sweeps because
+   every run is individually sorted and, during the phase that pops,
+   pushed keys are never smaller than the key last popped. *)
+
+type run = {
+  path : string;
+  mutable ic : in_channel option;
+  mutable buf : int array; (* current strided chunk *)
+  mutable pos : int; (* int offset of the current record *)
+}
+
+type t = {
+  st : Store.t;
+  arity : int;
+  cap : int; (* record budget before spilling *)
+  mutable heap : int array;
+  mutable n : int; (* records in the heap *)
+  mutable runs : run list;
+  mutable total : int;
+}
+
+let chunk_records = 4096
+
+let create st ~arity =
+  let cap = max 64 (Store.pq_budget_bytes st / (8 * arity)) in
+  {
+    st;
+    arity;
+    cap;
+    heap = Array.make (min cap 1024 * arity) 0;
+    n = 0;
+    runs = [];
+    total = 0;
+  }
+
+let size q = q.total
+let is_empty q = q.total = 0
+
+(* record comparison at strided offsets *)
+let cmp_at q a i j =
+  let rec go k =
+    if k = q.arity then 0
+    else
+      let c = compare a.(i + k) a.(j + k) in
+      if c <> 0 then c else go (k + 1)
+  in
+  go 0
+
+let swap_at q a i j =
+  for k = 0 to q.arity - 1 do
+    let t = a.(i + k) in
+    a.(i + k) <- a.(j + k);
+    a.(j + k) <- t
+  done
+
+let sift_up q i0 =
+  let a = q.heap in
+  let i = ref i0 in
+  while
+    !i > 0
+    &&
+    let p = (!i - 1) / 2 in
+    if cmp_at q a (!i * q.arity) (p * q.arity) < 0 then (
+      swap_at q a (!i * q.arity) (p * q.arity);
+      i := p;
+      true)
+    else false
+  do
+    ()
+  done
+
+let sift_down q =
+  let a = q.heap in
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let s = ref !i in
+    if l < q.n && cmp_at q a (l * q.arity) (!s * q.arity) < 0 then s := l;
+    if r < q.n && cmp_at q a (r * q.arity) (!s * q.arity) < 0 then s := r;
+    if !s <> !i then (
+      swap_at q a (!i * q.arity) (!s * q.arity);
+      i := !s)
+    else continue := false
+  done
+
+(* -- spilled runs ------------------------------------------------------- *)
+
+let spill q =
+  (* sort the heap's records and write them out as one sorted run *)
+  let recs =
+    Array.init q.n (fun i -> Array.sub q.heap (i * q.arity) q.arity)
+  in
+  Array.sort compare recs;
+  let path = Store.fresh_path q.st "run" in
+  let bytes =
+    Store.timed q.st (fun () ->
+        let oc = open_out_bin path in
+        let i = ref 0 in
+        while !i < q.n do
+          let len = min chunk_records (q.n - !i) in
+          let chunk = Array.make (len * q.arity) 0 in
+          for j = 0 to len - 1 do
+            Array.blit recs.(!i + j) 0 chunk (j * q.arity) q.arity
+          done;
+          Marshal.to_channel oc chunk [ Marshal.No_sharing ];
+          i := !i + len
+        done;
+        let b = pos_out oc in
+        close_out oc;
+        b)
+  in
+  Store.note_spill q.st ~bytes;
+  q.runs <- { path; ic = None; buf = [||]; pos = 0 } :: q.runs;
+  q.n <- 0
+
+let run_refill q r =
+  match r.ic with
+  | None ->
+    let ic = Store.timed q.st (fun () -> open_in_bin r.path) in
+    r.ic <- Some ic;
+    r.buf <- Store.timed q.st (fun () -> Marshal.from_channel ic);
+    r.pos <- 0
+  | Some ic -> (
+    match Store.timed q.st (fun () -> Marshal.from_channel ic) with
+    | buf ->
+      r.buf <- buf;
+      r.pos <- 0
+    | exception End_of_file ->
+      close_in ic;
+      (try Sys.remove r.path with Sys_error _ -> ());
+      r.ic <- Some ic;
+      r.buf <- [||];
+      r.pos <- 0)
+
+(* current record of a run, or [None] if exhausted *)
+let run_head q r =
+  if r.pos < Array.length r.buf then Some r.pos
+  else if r.ic <> None && Array.length r.buf = 0 then None
+  else (
+    run_refill q r;
+    if r.pos < Array.length r.buf then Some r.pos else None)
+
+let push q (rc : int array) =
+  if q.n = q.cap then spill q
+  else if (q.n + 1) * q.arity > Array.length q.heap then begin
+    let heap' =
+      Array.make (min q.cap (2 * (Array.length q.heap / q.arity)) * q.arity) 0
+    in
+    Array.blit q.heap 0 heap' 0 (q.n * q.arity);
+    q.heap <- heap'
+  end;
+  Array.blit rc 0 q.heap (q.n * q.arity) q.arity;
+  q.n <- q.n + 1;
+  q.total <- q.total + 1;
+  Store.note_pq_bytes q.st (q.n * q.arity * 8);
+  sift_up q (q.n - 1)
+
+(* pick the smallest among the heap root and the live run heads *)
+type source = Heap | Run of run
+
+let best q =
+  let key_of src =
+    match src with
+    | Heap -> if q.n > 0 then Some (Array.sub q.heap 0 q.arity) else None
+    | Run r -> (
+      match run_head q r with
+      | None -> None
+      | Some p -> Some (Array.sub r.buf p q.arity))
+  in
+  let pick acc src =
+    match key_of src with
+    | None -> acc
+    | Some k -> (
+      match acc with
+      | None -> Some (src, k)
+      | Some (_, kb) -> if compare k kb < 0 then Some (src, k) else acc)
+  in
+  let acc = pick None Heap in
+  List.fold_left (fun acc r -> pick acc (Run r)) acc q.runs
+
+let peek q (dst : int array) =
+  match best q with
+  | None -> false
+  | Some (_, k) ->
+    Array.blit k 0 dst 0 q.arity;
+    true
+
+let pop q (dst : int array) =
+  match best q with
+  | None -> false
+  | Some (src, k) ->
+    Array.blit k 0 dst 0 q.arity;
+    (match src with
+    | Heap ->
+      q.n <- q.n - 1;
+      if q.n > 0 then begin
+        Array.blit q.heap (q.n * q.arity) q.heap 0 q.arity;
+        sift_down q
+      end
+    | Run r -> r.pos <- r.pos + q.arity);
+    q.total <- q.total - 1;
+    true
+
+let destroy q =
+  List.iter
+    (fun r ->
+      (match r.ic with Some ic -> (try close_in ic with _ -> ()) | None -> ());
+      try Sys.remove r.path with Sys_error _ -> ())
+    q.runs;
+  q.runs <- [];
+  q.n <- 0;
+  q.total <- 0

@@ -1,0 +1,130 @@
+(* The spill store: one per-universe temporary directory holding every
+   on-disk artifact the external-memory backend creates — level-ordered
+   node files of large BDDs, sorted priority-queue runs, and arc files
+   produced by the sweeps.  All I/O of the backend is routed through
+   this module so spill activity is observable: the counters below feed
+   [Universe.bdd_delta] and the profiler's "External memory" section.
+
+   Directories are unique per store (pid + a process-local counter), so
+   concurrent universes never collide, and they are removed on
+   [cleanup], which runs from a finaliser and from an [at_exit] hook —
+   `dune runtest` must leave no litter in $TMPDIR. *)
+
+type t = {
+  dir : string;
+  mutable dir_created : bool;
+  mutable next_file : int;
+  mutable closed : bool;
+  pq_budget_bytes : int;
+  mem_node_threshold : int;
+  (* monotone counters, read by [Universe.bdd_delta_since] *)
+  mutable spill_runs : int;
+  mutable spilled_bytes : int;
+  mutable pq_peak_bytes : int;
+  mutable io_millis : float;
+}
+
+let counter = ref 0
+let live_stores : t list ref = ref []
+
+let default_pq_budget () =
+  match Sys.getenv_opt "JEDD_EXTMEM_PQ_BYTES" with
+  | Some s -> (try max 512 (int_of_string s) with _ -> 32 lsl 20)
+  | None -> 32 lsl 20
+
+let default_mem_node_threshold () =
+  match Sys.getenv_opt "JEDD_EXTMEM_MEM_NODES" with
+  | Some s -> (try max 8 (int_of_string s) with _ -> 1 lsl 16)
+  | None -> 1 lsl 16
+
+let cleanup s =
+  if not s.closed then begin
+    s.closed <- true;
+    if s.dir_created then begin
+      (match Sys.readdir s.dir with
+      | files ->
+        Array.iter
+          (fun f -> try Sys.remove (Filename.concat s.dir f) with _ -> ())
+          files
+      | exception _ -> ());
+      (try Unix.rmdir s.dir with _ -> ())
+    end
+  end
+
+let at_exit_installed = ref false
+
+let create ?dir ?pq_budget_bytes ?mem_node_threshold () =
+  incr counter;
+  let dir =
+    match dir with
+    | Some d -> d
+    | None ->
+      let base =
+        match Sys.getenv_opt "JEDD_EXTMEM_DIR" with
+        | Some d -> d
+        | None -> Filename.get_temp_dir_name ()
+      in
+      Filename.concat base
+        (Printf.sprintf "jedd-extmem-%d-%d" (Unix.getpid ()) !counter)
+  in
+  let s =
+    {
+      dir;
+      dir_created = false;
+      next_file = 0;
+      closed = false;
+      pq_budget_bytes =
+        (match pq_budget_bytes with
+        | Some b -> max 512 b
+        | None -> default_pq_budget ());
+      mem_node_threshold =
+        (match mem_node_threshold with
+        | Some n -> max 8 n
+        | None -> default_mem_node_threshold ());
+      spill_runs = 0;
+      spilled_bytes = 0;
+      pq_peak_bytes = 0;
+      io_millis = 0.0;
+    }
+  in
+  live_stores := s :: !live_stores;
+  if not !at_exit_installed then begin
+    at_exit_installed := true;
+    at_exit (fun () -> List.iter cleanup !live_stores)
+  end;
+  Gc.finalise cleanup s;
+  s
+
+let dir s = s.dir
+let pq_budget_bytes s = s.pq_budget_bytes
+let mem_node_threshold s = s.mem_node_threshold
+
+let fresh_path s suffix =
+  if s.closed then invalid_arg "Extmem.Store: use after cleanup";
+  if not s.dir_created then begin
+    (try Unix.mkdir s.dir 0o700
+     with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    s.dir_created <- true
+  end;
+  s.next_file <- s.next_file + 1;
+  Filename.concat s.dir (Printf.sprintf "%06d.%s" s.next_file suffix)
+
+(* -- accounting --------------------------------------------------------- *)
+
+let timed s f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  s.io_millis <- s.io_millis +. ((Unix.gettimeofday () -. t0) *. 1000.0);
+  r
+
+let note_spill s ~bytes =
+  s.spill_runs <- s.spill_runs + 1;
+  s.spilled_bytes <- s.spilled_bytes + bytes
+
+let note_pq_bytes s bytes =
+  if bytes > s.pq_peak_bytes then s.pq_peak_bytes <- bytes
+
+let spill_runs s = s.spill_runs
+let spilled_bytes s = s.spilled_bytes
+let pq_peak_bytes s = s.pq_peak_bytes
+let io_millis s = s.io_millis

@@ -45,5 +45,5 @@ let compile_exn ?max_paths_per_class ~file src =
   | Ok c -> c
   | Error e -> failwith (error_to_string e)
 
-let instantiate ?node_capacity c =
-  Interp.instantiate ?node_capacity c.tprog c.assignment
+let instantiate ?node_capacity ?node_limit ?backend c =
+  Interp.instantiate ?node_capacity ?node_limit ?backend c.tprog c.assignment

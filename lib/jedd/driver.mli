@@ -28,7 +28,12 @@ val compile :
 
 val compile_exn : ?max_paths_per_class:int -> file:string -> string -> compiled
 
-val instantiate : ?node_capacity:int -> compiled -> Interp.t
+val instantiate :
+  ?node_capacity:int ->
+  ?node_limit:int ->
+  ?backend:Jedd_relation.Backend.kind ->
+  compiled ->
+  Interp.t
 (** Set up a runnable instance (universe + fields initialised). *)
 
 val error_to_string : error -> string

@@ -59,9 +59,9 @@ let schema_of_var t key =
 
 let set_print_hook t hook = t.print_hook <- hook
 
-let instantiate_base ?(node_capacity = 1 lsl 16) (prog : tprogram)
-    (asg : Encode.assignment) : t =
-  let u = U.create ~node_capacity () in
+let instantiate_base ?(node_capacity = 1 lsl 16) ?node_limit ?backend
+    (prog : tprogram) (asg : Encode.assignment) : t =
+  let u = U.create ~node_capacity ?node_limit ?backend () in
   let physdoms = Hashtbl.create 16 in
   List.iter
     (fun (p : phys_info) ->
@@ -500,7 +500,7 @@ let set_field t key rel =
 
 let call t q args = call_method t q args
 
-let instantiate ?node_capacity prog asg =
-  let t = instantiate_base ?node_capacity prog asg in
+let instantiate ?node_capacity ?node_limit ?backend prog asg =
+  let t = instantiate_base ?node_capacity ?node_limit ?backend prog asg in
   run_field_initialisers t;
   t

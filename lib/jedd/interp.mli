@@ -17,7 +17,12 @@
 type t
 
 val instantiate :
-  ?node_capacity:int -> Tast.tprogram -> Encode.assignment -> t
+  ?node_capacity:int ->
+  ?node_limit:int ->
+  ?backend:Jedd_relation.Backend.kind ->
+  Tast.tprogram ->
+  Encode.assignment ->
+  t
 (** Create the universe, declare the physical domains at their computed
     widths in declaration order, declare domains and attributes, and
     initialise every field to 0B (then run field initialisers). *)

@@ -16,6 +16,9 @@ type summary = {
   reorders : int;
   reorder_swaps : int;
   reorder_millis : float;
+  spill_runs : int;
+  spilled_bytes : int;
+  io_millis : float;
 }
 
 type t = { mutable events : row list; mutable next_seq : int }
@@ -64,6 +67,9 @@ let summaries t =
             reorders = 0;
             reorder_swaps = 0;
             reorder_millis = 0.0;
+            spill_runs = 0;
+            spilled_bytes = 0;
+            io_millis = 0.0;
           }
       in
       let hits, misses, gcs, gc_millis, reorders, rswaps, rmillis =
@@ -77,6 +83,11 @@ let summaries t =
             d.U.reorder_swaps,
             d.U.reorder_millis )
         | None -> (0, 0, 0, 0.0, 0, 0, 0.0)
+      in
+      let sruns, sbytes, io_ms =
+        match e.U.bdd with
+        | Some d -> (d.U.spill_runs, d.U.spilled_bytes, d.U.io_millis)
+        | None -> (0, 0, 0.0)
       in
       Hashtbl.replace table key
         {
@@ -93,6 +104,9 @@ let summaries t =
           reorders = current.reorders + reorders;
           reorder_swaps = current.reorder_swaps + rswaps;
           reorder_millis = current.reorder_millis +. rmillis;
+          spill_runs = current.spill_runs + sruns;
+          spilled_bytes = current.spilled_bytes + sbytes;
+          io_millis = current.io_millis +. io_ms;
         })
     t.events;
   Hashtbl.fold (fun _ s acc -> s :: acc) table []

@@ -31,6 +31,9 @@ type summary = {
   reorders : int;  (** variable-reorder passes during the operation *)
   reorder_swaps : int;  (** adjacent level swaps performed *)
   reorder_millis : float;
+  spill_runs : int;  (** extmem backend: sorted runs written to disk *)
+  spilled_bytes : int;  (** extmem backend: bytes spilled *)
+  io_millis : float;  (** extmem backend: time inside spill-file I/O *)
 }
 
 val create : unit -> t

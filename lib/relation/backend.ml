@@ -1,0 +1,271 @@
+module M = Jedd_bdd.Manager
+module Ops = Jedd_bdd.Ops
+module Quant = Jedd_bdd.Quant
+module Rep = Jedd_bdd.Replace
+module Count = Jedd_bdd.Count
+module Enum = Jedd_bdd.Enum
+module Fdd = Jedd_bdd.Fdd
+module Store = Jedd_extmem.Store
+module E = Jedd_extmem.Ebdd
+
+module type BACKEND = sig
+  type state
+  type node
+
+  val zero : state -> node
+  val one : state -> node
+  val addref : state -> node -> unit
+  val delref : state -> node -> unit
+  val band : state -> node -> node -> node
+  val bor : state -> node -> node -> node
+  val bdiff : state -> node -> node -> node
+  val cube : state -> (int * bool) list -> node
+  val biimp_vars : state -> int -> int -> node
+  val ithval : state -> Fdd.block -> int -> node
+  val less_than : state -> Fdd.block -> int -> node
+  val restrict : state -> node -> (int * bool) list -> node
+  val exist : state -> node -> int list -> node
+  val replace : state -> node -> (int * int) list -> node
+
+  val relprod_replace :
+    state -> node -> node -> (int * int) list -> int list -> node
+
+  val nodecount : state -> node -> int
+  val satcount : state -> node -> over:int list -> int
+  val shape : state -> node -> int array
+
+  val iter_assignments :
+    state -> node -> levels:int array -> (bool array -> unit) -> unit
+
+  val equal : state -> node -> node -> bool
+  val is_zero : state -> node -> bool
+  val checkpoint : state -> unit
+  val supports_reorder : bool
+end
+
+module Incore = struct
+  type state = M.t
+  type node = M.node
+
+  let zero (_ : state) = M.zero
+  let one (_ : state) = M.one
+  let addref m n = ignore (M.addref m n)
+  let delref m n = M.delref m n
+  let band = Ops.band
+  let bor = Ops.bor
+  let bdiff = Ops.bdiff
+  let cube = Ops.cube
+  let biimp_vars m l1 l2 = Ops.bbiimp m (M.var m l1) (M.var m l2)
+  let ithval = Fdd.ithvar
+  let less_than = Fdd.less_than_const
+  let restrict = Ops.restrict
+
+  let exist m n levels =
+    if levels = [] then n else Quant.exist m n (Quant.varset m levels)
+
+  let replace m n pairs = Rep.replace m n (Rep.make_perm m pairs)
+
+  let relprod_replace m f g pairs qlevels =
+    let perm = Rep.make_perm m pairs in
+    let cube = if qlevels = [] then M.one else Quant.varset m qlevels in
+    Rep.relprod_replace m f g perm cube
+
+  let nodecount = Count.nodecount
+  let satcount = Count.satcount
+  let shape = Count.shape
+  let iter_assignments = Enum.iter_assignments
+  let equal (_ : state) a b = a = b
+  let is_zero (_ : state) n = n = M.zero
+  let checkpoint = M.checkpoint
+  let supports_reorder = true
+end
+
+type extmem_state = { xmgr : M.t; xstore : Store.t }
+
+module Extmem = struct
+  type state = extmem_state
+  type node = E.t
+
+  let zero (_ : state) = E.tfalse
+  let one (_ : state) = E.ttrue
+
+  (* external nodes are ordinary GC'd values; files are reclaimed by
+     finalisers *)
+  let addref (_ : state) (_ : node) = ()
+  let delref (_ : state) (_ : node) = ()
+  let band s = E.band s.xstore
+  let bor s = E.bor s.xstore
+  let bdiff s = E.bdiff s.xstore
+  let cube (_ : state) assignment = E.cube assignment
+  let biimp_vars (_ : state) l1 l2 = E.biimp_levels l1 l2
+
+  let block_levels s block = Fdd.levels s.xmgr block (* msb first *)
+
+  let ithval s block v =
+    let levels = block_levels s block in
+    let w = Array.length levels in
+    E.cube
+      (List.init w (fun i -> (levels.(i), (v lsr (w - 1 - i)) land 1 = 1)))
+
+  let less_than s block k =
+    E.less_than_const (Array.to_list (block_levels s block)) k
+
+  let restrict s n assignment = E.restrict s.xstore assignment n
+  let exist s n levels = E.exist s.xstore levels n
+  let replace s n pairs = E.replace s.xstore pairs n
+
+  let relprod_replace s f g pairs qlevels =
+    E.relprod_replace s.xstore f g pairs qlevels
+
+  let nodecount (_ : state) n = E.nodecount n
+  let satcount s n ~over = E.satcount s.xstore ~over n
+  let shape s n = E.shape ~num_vars:(M.num_vars s.xmgr) n
+  let iter_assignments s n ~levels k = E.iter_assignments s.xstore ~levels n k
+  let equal (_ : state) a b = E.equal a b
+  let is_zero (_ : state) n = E.equal n E.tfalse
+  let checkpoint (_ : state) = ()
+  let supports_reorder = false
+end
+
+(* dispatch layer *)
+
+type kind = [ `Incore | `Extmem ]
+
+type t = { knd : kind; mgr : M.t; ext : extmem_state option }
+type node = In of M.node | Ex of E.t
+
+let make knd mgr =
+  match knd with
+  | `Incore -> { knd; mgr; ext = None }
+  | `Extmem -> { knd; mgr; ext = Some { xmgr = mgr; xstore = Store.create () } }
+
+let kind b = b.knd
+let manager b = b.mgr
+let store b = Option.map (fun s -> s.xstore) b.ext
+
+let cleanup b =
+  match b.ext with None -> () | Some s -> Store.cleanup s.xstore
+
+let ext b =
+  match b.ext with
+  | Some s -> s
+  | None -> invalid_arg "Backend: extmem state on an in-core backend"
+
+let in_node = function
+  | In n -> n
+  | Ex _ -> invalid_arg "Backend: extmem node passed to in-core backend"
+
+let ex_node = function
+  | Ex n -> n
+  | In _ -> invalid_arg "Backend: in-core node passed to extmem backend"
+
+let zero b =
+  match b.knd with
+  | `Incore -> In (Incore.zero b.mgr)
+  | `Extmem -> Ex (Extmem.zero (ext b))
+
+let one b =
+  match b.knd with
+  | `Incore -> In (Incore.one b.mgr)
+  | `Extmem -> Ex (Extmem.one (ext b))
+
+let addref b n =
+  match b.knd with
+  | `Incore -> Incore.addref b.mgr (in_node n)
+  | `Extmem -> Extmem.addref (ext b) (ex_node n)
+
+let delref b n =
+  match b.knd with
+  | `Incore -> Incore.delref b.mgr (in_node n)
+  | `Extmem -> Extmem.delref (ext b) (ex_node n)
+
+let lift2 b fin fex x y =
+  match b.knd with
+  | `Incore -> In (fin b.mgr (in_node x) (in_node y))
+  | `Extmem -> Ex (fex (ext b) (ex_node x) (ex_node y))
+
+let band b = lift2 b Incore.band Extmem.band
+let bor b = lift2 b Incore.bor Extmem.bor
+let bdiff b = lift2 b Incore.bdiff Extmem.bdiff
+
+let cube b assignment =
+  match b.knd with
+  | `Incore -> In (Incore.cube b.mgr assignment)
+  | `Extmem -> Ex (Extmem.cube (ext b) assignment)
+
+let biimp_vars b l1 l2 =
+  match b.knd with
+  | `Incore -> In (Incore.biimp_vars b.mgr l1 l2)
+  | `Extmem -> Ex (Extmem.biimp_vars (ext b) l1 l2)
+
+let ithval b block v =
+  match b.knd with
+  | `Incore -> In (Incore.ithval b.mgr block v)
+  | `Extmem -> Ex (Extmem.ithval (ext b) block v)
+
+let less_than b block k =
+  match b.knd with
+  | `Incore -> In (Incore.less_than b.mgr block k)
+  | `Extmem -> Ex (Extmem.less_than (ext b) block k)
+
+let restrict b n assignment =
+  match b.knd with
+  | `Incore -> In (Incore.restrict b.mgr (in_node n) assignment)
+  | `Extmem -> Ex (Extmem.restrict (ext b) (ex_node n) assignment)
+
+let exist b n levels =
+  match b.knd with
+  | `Incore -> In (Incore.exist b.mgr (in_node n) levels)
+  | `Extmem -> Ex (Extmem.exist (ext b) (ex_node n) levels)
+
+let replace b n pairs =
+  match b.knd with
+  | `Incore -> In (Incore.replace b.mgr (in_node n) pairs)
+  | `Extmem -> Ex (Extmem.replace (ext b) (ex_node n) pairs)
+
+let relprod_replace b f g pairs qlevels =
+  match b.knd with
+  | `Incore ->
+    In (Incore.relprod_replace b.mgr (in_node f) (in_node g) pairs qlevels)
+  | `Extmem ->
+    Ex (Extmem.relprod_replace (ext b) (ex_node f) (ex_node g) pairs qlevels)
+
+let nodecount b n =
+  match b.knd with
+  | `Incore -> Incore.nodecount b.mgr (in_node n)
+  | `Extmem -> Extmem.nodecount (ext b) (ex_node n)
+
+let satcount b n ~over =
+  match b.knd with
+  | `Incore -> Incore.satcount b.mgr (in_node n) ~over
+  | `Extmem -> Extmem.satcount (ext b) (ex_node n) ~over
+
+let shape b n =
+  match b.knd with
+  | `Incore -> Incore.shape b.mgr (in_node n)
+  | `Extmem -> Extmem.shape (ext b) (ex_node n)
+
+let iter_assignments b n ~levels k =
+  match b.knd with
+  | `Incore -> Incore.iter_assignments b.mgr (in_node n) ~levels k
+  | `Extmem -> Extmem.iter_assignments (ext b) (ex_node n) ~levels k
+
+let equal b x y =
+  match b.knd with
+  | `Incore -> Incore.equal b.mgr (in_node x) (in_node y)
+  | `Extmem -> Extmem.equal (ext b) (ex_node x) (ex_node y)
+
+let is_zero b n =
+  match b.knd with
+  | `Incore -> Incore.is_zero b.mgr (in_node n)
+  | `Extmem -> Extmem.is_zero (ext b) (ex_node n)
+
+let checkpoint b =
+  match b.knd with
+  | `Incore -> Incore.checkpoint b.mgr
+  | `Extmem -> Extmem.checkpoint (ext b)
+
+let supports_reorder b =
+  match b.knd with
+  | `Incore -> Incore.supports_reorder
+  | `Extmem -> Extmem.supports_reorder

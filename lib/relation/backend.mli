@@ -1,0 +1,154 @@
+(** The relation-backend interface: everything the relational runtime
+    ({!Universe}, {!Relation}) needs from a BDD engine, carved out as a
+    first-class signature so the engine is pluggable per-universe.
+
+    Two implementations are provided:
+
+    - {!Incore} — the default, backed by the shared hash-consed node
+      store of [Jedd_bdd.Manager] with its fused kernels and operation
+      caches;
+    - {!Extmem} — the out-of-core levelized streaming engine of
+      [Jedd_extmem.Ebdd] (Adiar-style, arXiv:2104.12101): BDDs as
+      level-ordered node files, operations as priority-queue sweeps
+      whose memory is bounded by a byte budget, spilling sorted runs to
+      a per-universe temp directory.
+
+    The relation layer is dispatch-routed over the two through {!t} and
+    {!node}: a universe carries one {!t} and every relation root is a
+    {!node} of the matching implementation.
+
+    In both cases the in-core manager remains the variable-order
+    authority — domains and physical domains allocate their bit blocks
+    through it, and the external engine addresses variables by level.
+    Consequently extmem universes keep a fixed order (dynamic
+    reordering is disabled: levels are baked into node files). *)
+
+(** Operations a backend must provide.  [state] is the engine instance
+    (node store, caches, spill store); [node] the engine's BDD values.
+    Levels are current manager levels; blocks are the finite-domain bit
+    blocks of [Jedd_bdd.Fdd]. *)
+module type BACKEND = sig
+  type state
+  type node
+
+  val zero : state -> node
+  val one : state -> node
+
+  val addref : state -> node -> unit
+  (** Pin a root across safe points.  No-op for engines whose values
+      are ordinary GC'd data. *)
+
+  val delref : state -> node -> unit
+
+  val band : state -> node -> node -> node
+  val bor : state -> node -> node -> node
+  val bdiff : state -> node -> node -> node
+
+  val cube : state -> (int * bool) list -> node
+  (** Conjunction of literals, [(level, polarity)] pairs in any
+      order. *)
+
+  val biimp_vars : state -> int -> int -> node
+  (** Bi-implication of the variables at two levels (the building block
+      of attribute copy). *)
+
+  val ithval : state -> Jedd_bdd.Fdd.block -> int -> node
+  (** The block holds exactly the given value. *)
+
+  val less_than : state -> Jedd_bdd.Fdd.block -> int -> node
+  (** The block's value is strictly below the bound. *)
+
+  val restrict : state -> node -> (int * bool) list -> node
+  val exist : state -> node -> int list -> node
+
+  val replace : state -> node -> (int * int) list -> node
+  (** Rebuild with levels permuted by the given (source, target)
+      pairs. *)
+
+  val relprod_replace :
+    state -> node -> node -> (int * int) list -> int list -> node
+  (** [relprod_replace s f g pairs qlevels] is
+      [exist (band f (replace g pairs)) qlevels] — the join/compose
+      kernel.  Engines may fuse it (in-core) or compose the pieces
+      out-of-core (extmem). *)
+
+  val nodecount : state -> node -> int
+  val satcount : state -> node -> over:int list -> int
+  val shape : state -> node -> int array
+
+  val iter_assignments :
+    state -> node -> levels:int array -> (bool array -> unit) -> unit
+
+  val equal : state -> node -> node -> bool
+  val is_zero : state -> node -> bool
+
+  val checkpoint : state -> unit
+  (** A safe point: the engine may garbage-collect. *)
+
+  val supports_reorder : bool
+end
+
+type extmem_state = {
+  xmgr : Jedd_bdd.Manager.t;  (** variable-order authority *)
+  xstore : Jedd_extmem.Store.t;  (** spill files and I/O counters *)
+}
+
+module Incore :
+  BACKEND
+    with type state = Jedd_bdd.Manager.t
+     and type node = Jedd_bdd.Manager.node
+
+module Extmem :
+  BACKEND with type state = extmem_state and type node = Jedd_extmem.Ebdd.t
+
+(** {2 Dispatch layer} *)
+
+type kind = [ `Incore | `Extmem ]
+
+type t
+(** A backend instance: which engine, plus its state. *)
+
+type node = In of Jedd_bdd.Manager.node | Ex of Jedd_extmem.Ebdd.t
+
+val make : kind -> Jedd_bdd.Manager.t -> t
+(** Build a backend over the given manager.  [`Extmem] creates a fresh
+    spill store (unique temp directory, cleaned up on finalisation and
+    at exit) whose budgets come from [JEDD_EXTMEM_PQ_BYTES] /
+    [JEDD_EXTMEM_MEM_NODES]. *)
+
+val kind : t -> kind
+val manager : t -> Jedd_bdd.Manager.t
+
+val store : t -> Jedd_extmem.Store.t option
+(** The spill store of an [`Extmem] backend ([None] for [`Incore]);
+    source of the spill/I/O counters in [Universe.bdd_delta]. *)
+
+val cleanup : t -> unit
+(** Release backend resources eagerly (removes the spill directory). *)
+
+val zero : t -> node
+val one : t -> node
+val addref : t -> node -> unit
+val delref : t -> node -> unit
+val band : t -> node -> node -> node
+val bor : t -> node -> node -> node
+val bdiff : t -> node -> node -> node
+val cube : t -> (int * bool) list -> node
+val biimp_vars : t -> int -> int -> node
+val ithval : t -> Jedd_bdd.Fdd.block -> int -> node
+val less_than : t -> Jedd_bdd.Fdd.block -> int -> node
+val restrict : t -> node -> (int * bool) list -> node
+val exist : t -> node -> int list -> node
+val replace : t -> node -> (int * int) list -> node
+val relprod_replace : t -> node -> node -> (int * int) list -> int list -> node
+val nodecount : t -> node -> int
+val satcount : t -> node -> over:int list -> int
+val shape : t -> node -> int array
+
+val iter_assignments :
+  t -> node -> levels:int array -> (bool array -> unit) -> unit
+
+val equal : t -> node -> node -> bool
+val is_zero : t -> node -> bool
+val checkpoint : t -> unit
+val supports_reorder : t -> bool

@@ -1,10 +1,5 @@
-module M = Jedd_bdd.Manager
-module Ops = Jedd_bdd.Ops
-module Quant = Jedd_bdd.Quant
-module Rep = Jedd_bdd.Replace
-module Count = Jedd_bdd.Count
-module Enum = Jedd_bdd.Enum
 module Fdd = Jedd_bdd.Fdd
+module B = Backend
 
 exception Type_error of string
 
@@ -13,9 +8,11 @@ let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
 type t = {
   u : Universe.t;
   sch : Schema.t;
-  rt : M.node;
+  rt : B.node;
   mutable released : bool;
 }
+
+let backend r = Universe.backend r.u
 
 (* -- live-root accounting (per universe) -------------------------------- *)
 
@@ -35,11 +32,12 @@ let release r =
   if not r.released then begin
     r.released <- true;
     decr (live_counter r.u);
-    M.delref (Universe.manager r.u) r.rt
+    B.delref (backend r) r.rt
   end
 
 let make u sch rt =
-  let r = { u; sch; rt = M.addref (Universe.manager u) rt; released = false } in
+  B.addref (Universe.backend u) rt;
+  let r = { u; sch; rt; released = false } in
   incr (live_counter u);
   (* The finaliser is the safety net of §4.2: eager releases come from
      [release], called by the interpreter's liveness analysis. *)
@@ -61,23 +59,23 @@ let profiled u ~op ~label ~operands f =
   match Universe.profile_level u with
   | Universe.Off -> f ()
   | lvl ->
-    let m = Universe.manager u in
-    let snap = Universe.bdd_snapshot m in
+    let b = Universe.backend u in
+    let snap = Universe.bdd_snapshot u in
     let t0 = now_ms () in
     let result = f () in
     let millis = now_ms () -. t0 in
-    let bdd = Some (Universe.bdd_delta_since m snap) in
-    let operand_nodes = List.map (fun (r : t) -> Count.nodecount m r.rt) operands in
-    let result_nodes = Count.nodecount m result.rt in
+    let bdd = Some (Universe.bdd_delta_since u snap) in
+    let operand_nodes = List.map (fun (r : t) -> B.nodecount b r.rt) operands in
+    let result_nodes = B.nodecount b result.rt in
     let result_tuples =
-      Count.satcount m result.rt ~over:(Array.to_list (Schema.levels result.sch))
+      B.satcount b result.rt ~over:(Array.to_list (Schema.levels result.sch))
     in
     let shapes =
       match lvl with
       | Universe.Shapes ->
         Some
-          ( Count.shape m result.rt,
-            List.map (fun (r : t) -> Count.shape m r.rt) operands )
+          ( B.shape b result.rt,
+            List.map (fun (r : t) -> B.shape b r.rt) operands )
       | _ -> None
     in
     Universe.emit_op u
@@ -123,15 +121,15 @@ let scratch u ~bits ~avoid =
    runtime invariant that bits above an attribute's domain width are
    constrained to zero.
 
-   [layout_parts] splits the change into the three pieces the fused
-   kernels consume separately: the source-side restriction (applied
-   eagerly — it only shrinks the operand, and only when a move narrows),
-   the bit permutation, and the levels of new high bits of wider targets
-   that must be constrained to zero after the move. *)
+   [layout_parts] splits the change into the three pieces the backends
+   consume separately: the source-side restriction (applied eagerly — it
+   only shrinks the operand, and only when a move narrows), the raw
+   level-permutation pairs, and the levels of new high bits of wider
+   targets that must be constrained to zero after the move. *)
 let layout_parts u rt moves =
-  let m = Universe.manager u in
+  let b = Universe.backend u in
   let moves = List.filter (fun (s, d) -> not (Physdom.equal s d)) moves in
-  if moves = [] then (rt, Rep.identity m, [])
+  if moves = [] then (rt, [], [])
   else begin
     (* 1. Drop dependence on over-wide source high bits (constant 0). *)
     let rt =
@@ -141,7 +139,7 @@ let layout_parts u rt moves =
           if ws > wd then begin
             let lv = Physdom.levels src in
             let highs = Array.to_list (Array.sub lv 0 (ws - wd)) in
-            Ops.restrict m rt (List.map (fun l -> (l, false)) highs)
+            B.restrict b rt (List.map (fun l -> (l, false)) highs)
           end
           else rt)
         rt moves
@@ -167,37 +165,33 @@ let layout_parts u rt moves =
           else [])
         moves
     in
-    (rt, Rep.make_perm m pairs, zero_levels)
+    (rt, pairs, zero_levels)
   end
 
-let zero_cube m levels = Ops.cube m (List.map (fun l -> (l, false)) levels)
+let zero_cube b levels = B.cube b (List.map (fun l -> (l, false)) levels)
 
 let change_layout u rt moves =
-  let m = Universe.manager u in
-  let rt, perm, zero_levels = layout_parts u rt moves in
-  let rt = Rep.replace m rt perm in
-  if zero_levels = [] then rt else Ops.band m rt (zero_cube m zero_levels)
+  let b = Universe.backend u in
+  let rt, pairs, zero_levels = layout_parts u rt moves in
+  let rt = if pairs = [] then rt else B.replace b rt pairs in
+  if zero_levels = [] then rt else B.band b rt (zero_cube b zero_levels)
 
 (* Equality constraint between two physical domains holding the same
    domain's values (used by attribute copy). *)
 let phys_equality u pa pb =
-  let m = Universe.manager u in
+  let b = Universe.backend u in
   let la = Physdom.levels pa and lb = Physdom.levels pb in
   let wa = Array.length la and wb = Array.length lb in
   let k = min wa wb in
-  let acc = ref M.one in
+  let acc = ref (B.one b) in
   for i = 0 to k - 1 do
-    let eq =
-      Ops.bbiimp m
-        (M.var m la.(wa - 1 - i))
-        (M.var m lb.(wb - 1 - i))
-    in
-    acc := Ops.band m !acc eq
+    let eq = B.biimp_vars b la.(wa - 1 - i) lb.(wb - 1 - i) in
+    acc := B.band b !acc eq
   done;
   (* extra high bits of the wider side must be zero *)
   let force_zero levels extra =
     for i = 0 to extra - 1 do
-      acc := Ops.band m !acc (M.nvar m levels.(i))
+      acc := B.band b !acc (B.cube b [ (levels.(i), false) ])
     done
   in
   if wa > wb then force_zero la (wa - wb);
@@ -206,23 +200,23 @@ let phys_equality u pa pb =
 
 (* -- construction -------------------------------------------------------- *)
 
-let empty u sch = make u sch M.zero
+let empty u sch = make u sch (B.zero (Universe.backend u))
 
 let full u sch =
   Universe.checkpoint u;
-  let m = Universe.manager u in
+  let b = Universe.backend u in
   let rt =
     List.fold_left
       (fun acc (e : Schema.entry) ->
-        Ops.band m acc
-          (Fdd.less_than_const m (Physdom.block e.phys)
+        B.band b acc
+          (B.less_than b (Physdom.block e.phys)
              (Domain.size (Attribute.domain e.attr))))
-      M.one (Schema.entries sch)
+      (B.one b) (Schema.entries sch)
   in
   make u sch rt
 
 let tuple_root u sch objs =
-  let m = Universe.manager u in
+  let b = Universe.backend u in
   let entries = Schema.entries sch in
   if List.length objs <> List.length entries then
     type_error "tuple arity %d does not match schema %s" (List.length objs)
@@ -232,8 +226,8 @@ let tuple_root u sch objs =
       let d = Attribute.domain e.attr in
       if v < 0 || v >= Domain.size d then
         type_error "object %d out of range for domain %s" v (Domain.name d);
-      Ops.band m acc (Fdd.ithvar m (Physdom.block e.phys) v))
-    M.one entries objs
+      B.band b acc (B.ithval b (Physdom.block e.phys) v))
+    (B.one b) entries objs
 
 let tuple u sch objs =
   Universe.checkpoint u;
@@ -241,11 +235,11 @@ let tuple u sch objs =
 
 let of_tuples u sch tuples =
   Universe.checkpoint u;
-  let m = Universe.manager u in
+  let b = Universe.backend u in
   let rt =
     List.fold_left
-      (fun acc objs -> Ops.bor m acc (tuple_root u sch objs))
-      M.zero tuples
+      (fun acc objs -> B.bor b acc (tuple_root u sch objs))
+      (B.zero b) tuples
   in
   make u sch rt
 
@@ -309,24 +303,23 @@ let set_op name bdd_op ?(label = "") x y =
   Universe.checkpoint x.u;
   let y = coerce ~label y x.sch in
   profiled x.u ~op:name ~label ~operands:[ x; y ] (fun () ->
-      make x.u x.sch (bdd_op (Universe.manager x.u) (root x) (root y)))
+      make x.u x.sch (bdd_op (Universe.backend x.u) (root x) (root y)))
 
-let union ?label x y = set_op "union" Ops.bor ?label x y
-let inter ?label x y = set_op "intersect" Ops.band ?label x y
-let diff ?label x y = set_op "difference" Ops.bdiff ?label x y
+let union ?label x y = set_op "union" B.bor ?label x y
+let inter ?label x y = set_op "intersect" B.band ?label x y
+let diff ?label x y = set_op "difference" B.bdiff ?label x y
 
 let equal x y =
   if not (Schema.same_attrs x.sch y.sch) then
     type_error "equal: incompatible schemas %s and %s"
       (Schema.to_string x.sch) (Schema.to_string y.sch);
   let y = coerce y x.sch in
-  root x = root y
+  B.equal (backend x) (root x) (root y)
 
-let is_empty r = root r = M.zero
+let is_empty r = B.is_zero (backend r) (root r)
 
 let size r =
-  Count.satcount (Universe.manager r.u) (root r)
-    ~over:(Array.to_list (Schema.levels r.sch))
+  B.satcount (backend r) (root r) ~over:(Array.to_list (Schema.levels r.sch))
 
 (* -- projection and attribute operations ----------------------------------- *)
 
@@ -339,21 +332,19 @@ let project_away ?(label = "") r attrs =
     attrs;
   Universe.checkpoint r.u;
   profiled r.u ~op:"project" ~label ~operands:[ r ] (fun () ->
-      let m = Universe.manager r.u in
+      let b = backend r in
       let removed, kept =
         List.partition
           (fun (e : Schema.entry) ->
             List.exists (Attribute.equal e.attr) attrs)
           (Schema.entries r.sch)
       in
-      let cube =
-        Quant.varset m
-          (List.concat_map
-             (fun (e : Schema.entry) ->
-               Array.to_list (Physdom.levels e.phys))
-             removed)
+      let levels =
+        List.concat_map
+          (fun (e : Schema.entry) -> Array.to_list (Physdom.levels e.phys))
+          removed
       in
-      make r.u (Schema.make kept) (Quant.exist m (root r) cube))
+      make r.u (Schema.make kept) (B.exist b (root r) levels))
 
 let rename ?(label = "") r renames =
   ignore label;
@@ -406,9 +397,7 @@ let copy ?(label = "") ?phys r a ~as_ =
       let entries =
         Schema.entries r.sch @ [ { Schema.attr = as_; phys = target } ]
       in
-      let rt =
-        Ops.band (Universe.manager r.u) (root r) (phys_equality r.u src target)
-      in
+      let rt = B.band (backend r) (root r) (phys_equality r.u src target) in
       make r.u (Schema.make entries) rt)
 
 (* -- join and composition --------------------------------------------------- *)
@@ -494,17 +483,17 @@ let align name x cmp_x y cmp_y =
       y_targets
   in
   (* Hot path: the aligned right operand is NOT materialised here.  The
-     caller feeds the pre-restricted root plus the permutation to the
-     fused kernels (Rep.relprod_replace), which conjoin/quantify against
-     the permuted operand in one recursion (§2.2.3's one-pass argument,
-     extended to the re-layout itself). *)
-  let y_pre, perm, zero_levels = layout_parts x.u (root y) moves in
+     caller feeds the pre-restricted root plus the permutation pairs to
+     the backend's fused product (relprod_replace), which
+     conjoins/quantifies against the permuted operand in one recursion
+     (§2.2.3's one-pass argument, extended to the re-layout itself). *)
+  let y_pre, pairs, zero_levels = layout_parts x.u (root y) moves in
   let y_entries' =
     List.map
       (fun ((e : Schema.entry), t) -> { e with Schema.phys = t })
       y_targets
   in
-  (y_pre, perm, zero_levels, y_entries')
+  (y_pre, pairs, zero_levels, y_entries')
 
 let result_disjointness name left_entries right_entries =
   List.iter
@@ -522,14 +511,14 @@ let result_disjointness name left_entries right_entries =
    the (unmaterialised) aligned right operand:
    [f /\ (perm(g) /\ Z)] = [(f /\ Z) /\ perm(g)], and conjoining a small
    cube into [f] is linear in [f]. *)
-let absorb_zero_levels m x_root zero_levels =
+let absorb_zero_levels b x_root zero_levels =
   if zero_levels = [] then x_root
-  else Ops.band m x_root (zero_cube m zero_levels)
+  else B.band b x_root (zero_cube b zero_levels)
 
 let join ?(label = "") x cmp_x y cmp_y =
   Universe.checkpoint x.u;
   profiled x.u ~op:"join" ~label ~operands:[ x; y ] (fun () ->
-      let y_pre, perm, zero_levels, y_entries' =
+      let y_pre, pairs, zero_levels, y_entries' =
         align "join" x cmp_x y cmp_y
       in
       let kept_right =
@@ -539,19 +528,19 @@ let join ?(label = "") x cmp_x y cmp_y =
           y_entries'
       in
       result_disjointness "join" (Schema.entries x.sch) kept_right;
-      let m = Universe.manager x.u in
-      let xr = absorb_zero_levels m (root x) zero_levels in
+      let b = Universe.backend x.u in
+      let xr = absorb_zero_levels b (root x) zero_levels in
       (* Fused conjunction-with-permutation: no aligned intermediate. *)
-      let rt = Rep.relprod_replace m xr y_pre perm M.one in
+      let rt = B.relprod_replace b xr y_pre pairs [] in
       make x.u (Schema.make (Schema.entries x.sch @ kept_right)) rt)
 
 let compose ?(label = "") x cmp_x y cmp_y =
   Universe.checkpoint x.u;
   profiled x.u ~op:"compose" ~label ~operands:[ x; y ] (fun () ->
-      let y_pre, perm, zero_levels, y_entries' =
+      let y_pre, pairs, zero_levels, y_entries' =
         align "compose" x cmp_x y cmp_y
       in
-      let m = Universe.manager x.u in
+      let b = Universe.backend x.u in
       let kept_left =
         List.filter
           (fun (e : Schema.entry) ->
@@ -565,17 +554,16 @@ let compose ?(label = "") x cmp_x y cmp_y =
           y_entries'
       in
       result_disjointness "compose" kept_left kept_right;
-      let cube =
-        Quant.varset m
-          (List.concat_map
-             (fun a -> Array.to_list (Physdom.levels (Schema.phys_of x.sch a)))
-             cmp_x)
+      let qlevels =
+        List.concat_map
+          (fun a -> Array.to_list (Physdom.levels (Schema.phys_of x.sch a)))
+          cmp_x
       in
       (* The one-pass relational product the paper says makes composition
          cheaper than join-then-project (§2.2.3), further fused with the
          right operand's re-layout so no aligned intermediate is built. *)
-      let xr = absorb_zero_levels m (root x) zero_levels in
-      let rt = Rep.relprod_replace m xr y_pre perm cube in
+      let xr = absorb_zero_levels b (root x) zero_levels in
+      let rt = B.relprod_replace b xr y_pre pairs qlevels in
       make x.u (Schema.make (kept_left @ kept_right)) rt)
 
 let select ?(label = "") r bindings =
@@ -587,7 +575,7 @@ let select ?(label = "") r bindings =
     bindings;
   Universe.checkpoint r.u;
   profiled r.u ~op:"select" ~label ~operands:[ r ] (fun () ->
-      let m = Universe.manager r.u in
+      let b = backend r in
       let constraint_bdd =
         List.fold_left
           (fun acc (a, v) ->
@@ -596,19 +584,20 @@ let select ?(label = "") r bindings =
             if v < 0 || v >= Domain.size d then
               type_error "select: object %d out of range for domain %s" v
                 (Domain.name d);
-            Ops.band m acc (Fdd.ithvar m (Physdom.block e.phys) v))
-          M.one bindings
+            B.band b acc (B.ithval b (Physdom.block e.phys) v))
+          (B.one b) bindings
       in
-      make r.u r.sch (Ops.band m (root r) constraint_bdd))
+      make r.u r.sch (B.band b (root r) constraint_bdd))
 
 (* -- extraction -------------------------------------------------------------- *)
 
 let iter_tuples r k =
+  let b = backend r in
   let m = Universe.manager r.u in
   let levels = Schema.levels r.sch in
   let entries = Array.of_list (Schema.entries r.sch) in
   let tuple = Array.make (Array.length entries) 0 in
-  Enum.iter_assignments m (root r) ~levels (fun values ->
+  B.iter_assignments b (root r) ~levels (fun values ->
       Array.iteri
         (fun i (e : Schema.entry) ->
           tuple.(i) <- Fdd.decode m (Physdom.block e.phys) ~levels values)

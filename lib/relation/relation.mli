@@ -27,8 +27,9 @@ exception Type_error of string
 
 val universe : t -> Universe.t
 val schema : t -> Schema.t
-val root : t -> Jedd_bdd.Manager.node
-(** The underlying BDD (for profilers, benchmarks, and tests). *)
+val root : t -> Backend.node
+(** The underlying BDD, in whichever backend the relation's universe
+    runs on (for profilers, benchmarks, and tests). *)
 
 (** {2 Construction} *)
 

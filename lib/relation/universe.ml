@@ -12,6 +12,10 @@ type bdd_delta = {
   reorders : int;
   reorder_swaps : int;
   reorder_millis : float;
+  spill_runs : int;
+  spilled_bytes : int;
+  pq_peak_bytes : int;
+  io_millis : float;
 }
 
 type op_event = {
@@ -25,8 +29,72 @@ type op_event = {
   bdd : bdd_delta option;
 }
 
-(* Snapshot the manager's monotone counters; [bdd_delta_since] turns two
-   snapshots into the per-operation delta the profiler records. *)
+type profile_level = Off | Counts | Shapes
+
+type t = {
+  manager : Jedd_bdd.Manager.t;
+  backend : Backend.t;
+  engine : Jedd_reorder.Reorder.t;
+  uid : int;
+  mutable level : profile_level;
+  mutable on_op : (op_event -> unit) option;
+  mutable scratch_counter : int;
+}
+
+let counter = ref 0
+
+let backend_of_env () =
+  match Sys.getenv_opt "JEDD_BACKEND" with
+  | Some "extmem" -> `Extmem
+  | Some ("incore" | "") | None -> `Incore
+  | Some other ->
+    invalid_arg
+      (Printf.sprintf "JEDD_BACKEND=%s: expected \"incore\" or \"extmem\""
+         other)
+
+let create ?(node_capacity = 1 lsl 16) ?node_limit ?backend () =
+  incr counter;
+  let kind = match backend with Some k -> k | None -> backend_of_env () in
+  let manager = Jedd_bdd.Manager.create ~node_capacity ?node_limit () in
+  {
+    manager;
+    backend = Backend.make kind manager;
+    engine = Jedd_reorder.Reorder.create manager;
+    uid = !counter;
+    level = Off;
+    on_op = None;
+    scratch_counter = 0;
+  }
+
+let uid u = u.uid
+
+let manager u = u.manager
+let backend u = u.backend
+let backend_kind u = Backend.kind u.backend
+let reorder_engine u = u.engine
+
+let set_node_limit u limit = Jedd_bdd.Manager.set_node_limit u.manager limit
+
+let register_block u ~name ~vars =
+  Jedd_reorder.Reorder.register_block u.engine ~name ~vars
+
+(* Dynamic reordering rewires the in-core node store in place; an
+   external-memory universe bakes levels into its node files, so
+   reordering is disabled there and both entry points degrade to
+   no-ops. *)
+let reorder ?(trigger = "explicit") u =
+  if Backend.supports_reorder u.backend then
+    Jedd_reorder.Reorder.sift ~trigger u.engine
+
+let set_auto_reorder u threshold =
+  if Backend.supports_reorder u.backend then
+    match threshold with
+    | Some n -> Jedd_reorder.Reorder.install_auto u.engine ~threshold:n
+    | None -> Jedd_reorder.Reorder.disable_auto u.engine
+
+(* Snapshot the monotone counters of the manager and (when present) the
+   spill store; [bdd_delta_since] turns two snapshots into the
+   per-operation delta the profiler records. *)
 type bdd_snapshot = {
   snap_stats : Jedd_bdd.Manager.cache_stat list;
   snap_gcs : int;
@@ -36,9 +104,23 @@ type bdd_snapshot = {
   snap_reorders : int;
   snap_swaps : int;
   snap_reorder_millis : float;
+  snap_spill_runs : int;
+  snap_spilled_bytes : int;
+  snap_pq_peak_bytes : int;
+  snap_io_millis : float;
 }
 
-let bdd_snapshot m =
+let bdd_snapshot u =
+  let m = u.manager in
+  let spill_runs, spilled_bytes, pq_peak, io_millis =
+    match Backend.store u.backend with
+    | None -> (0, 0, 0, 0.0)
+    | Some st ->
+      ( Jedd_extmem.Store.spill_runs st,
+        Jedd_extmem.Store.spilled_bytes st,
+        Jedd_extmem.Store.pq_peak_bytes st,
+        Jedd_extmem.Store.io_millis st )
+  in
   {
     snap_stats = Jedd_bdd.Manager.cache_stats m;
     snap_gcs = Jedd_bdd.Manager.gc_count m;
@@ -48,10 +130,14 @@ let bdd_snapshot m =
     snap_reorders = Jedd_bdd.Manager.reorder_count m;
     snap_swaps = Jedd_bdd.Manager.swap_count m;
     snap_reorder_millis = Jedd_bdd.Manager.reorder_millis m;
+    snap_spill_runs = spill_runs;
+    snap_spilled_bytes = spilled_bytes;
+    snap_pq_peak_bytes = pq_peak;
+    snap_io_millis = io_millis;
   }
 
-let bdd_delta_since m before =
-  let after = bdd_snapshot m in
+let bdd_delta_since u before =
+  let after = bdd_snapshot u in
   let per_tag =
     List.map2
       (fun (b : Jedd_bdd.Manager.cache_stat)
@@ -80,48 +166,11 @@ let bdd_delta_since m before =
     reorder_swaps = after.snap_swaps - before.snap_swaps;
     reorder_millis =
       after.snap_reorder_millis -. before.snap_reorder_millis;
+    spill_runs = after.snap_spill_runs - before.snap_spill_runs;
+    spilled_bytes = after.snap_spilled_bytes - before.snap_spilled_bytes;
+    pq_peak_bytes = after.snap_pq_peak_bytes;
+    io_millis = after.snap_io_millis -. before.snap_io_millis;
   }
-
-type profile_level = Off | Counts | Shapes
-
-type t = {
-  manager : Jedd_bdd.Manager.t;
-  engine : Jedd_reorder.Reorder.t;
-  uid : int;
-  mutable level : profile_level;
-  mutable on_op : (op_event -> unit) option;
-  mutable scratch_counter : int;
-}
-
-let counter = ref 0
-
-let create ?(node_capacity = 1 lsl 16) () =
-  incr counter;
-  let manager = Jedd_bdd.Manager.create ~node_capacity () in
-  {
-    manager;
-    engine = Jedd_reorder.Reorder.create manager;
-    uid = !counter;
-    level = Off;
-    on_op = None;
-    scratch_counter = 0;
-  }
-
-let uid u = u.uid
-
-let manager u = u.manager
-let reorder_engine u = u.engine
-
-let register_block u ~name ~vars =
-  Jedd_reorder.Reorder.register_block u.engine ~name ~vars
-
-let reorder ?(trigger = "explicit") u =
-  Jedd_reorder.Reorder.sift ~trigger u.engine
-
-let set_auto_reorder u threshold =
-  match threshold with
-  | Some n -> Jedd_reorder.Reorder.install_auto u.engine ~threshold:n
-  | None -> Jedd_reorder.Reorder.disable_auto u.engine
 
 let set_profile_level u level = u.level <- level
 let profile_level u = u.level
@@ -136,4 +185,5 @@ let next_scratch_name u =
   u.scratch_counter <- u.scratch_counter + 1;
   Printf.sprintf "__scratch%d" u.scratch_counter
 
-let checkpoint u = Jedd_bdd.Manager.checkpoint u.manager
+let checkpoint u = Backend.checkpoint u.backend
+let cleanup u = Backend.cleanup u.backend

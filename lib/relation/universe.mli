@@ -1,10 +1,17 @@
-(** The universe: one BDD manager plus the registries of domains,
+(** The universe: one BDD backend plus the registries of domains,
     attributes and physical domains a Jedd program runs against.
 
     Corresponds to the global state of the paper's Jedd runtime library:
     the BDD package instance behind JNI, the [jedd.Domain],
     [jedd.Attribute] and [jedd.PhysicalDomain] implementations, and the
-    profiler hook. *)
+    profiler hook.
+
+    Every universe carries an in-core [Jedd_bdd.Manager] — the variable
+    order and finite-domain blocks always live there — but the engine
+    that stores and combines relation BDDs is pluggable ({!Backend}):
+    the default [`Incore] backend computes on the manager itself, while
+    [`Extmem] streams levelized node files through bounded-memory sweeps
+    and can run analyses whose BDDs exceed main memory. *)
 
 type t
 
@@ -12,8 +19,9 @@ type t
 type tag_delta = { tag : string; hits : int; misses : int }
 
 (** What one relational operation cost at the BDD layer: operation-cache
-    activity (total and per tag, only tags with activity listed) and
-    GC / node-table-resize work that ran during the operation. *)
+    activity (total and per tag, only tags with activity listed), GC /
+    node-table-resize work, and — on the external-memory backend — the
+    spill traffic of the operation's sweeps. *)
 type bdd_delta = {
   cache_hits : int;
   cache_misses : int;
@@ -26,6 +34,12 @@ type bdd_delta = {
   reorders : int;  (** reorder passes completed during the operation *)
   reorder_swaps : int;  (** adjacent level swaps performed *)
   reorder_millis : float;
+  spill_runs : int;  (** sorted priority-queue runs written to disk *)
+  spilled_bytes : int;  (** bytes of runs, arc files and node files *)
+  pq_peak_bytes : int;
+      (** high-water mark of in-memory priority-queue bytes so far
+          (a watermark, not a per-operation difference) *)
+  io_millis : float;  (** wall milliseconds inside spill-file I/O *)
 }
 
 (** What an operation reports to the profiler hook. *)
@@ -43,15 +57,30 @@ type op_event = {
 }
 
 type bdd_snapshot
-(** Opaque snapshot of the manager's monotone cache/GC counters. *)
+(** Opaque snapshot of the monotone cache/GC/spill counters. *)
 
-val bdd_snapshot : Jedd_bdd.Manager.t -> bdd_snapshot
-val bdd_delta_since : Jedd_bdd.Manager.t -> bdd_snapshot -> bdd_delta
+val bdd_snapshot : t -> bdd_snapshot
+val bdd_delta_since : t -> bdd_snapshot -> bdd_delta
 
 type profile_level = Off | Counts | Shapes
 
-val create : ?node_capacity:int -> unit -> t
+val create :
+  ?node_capacity:int -> ?node_limit:int -> ?backend:Backend.kind -> unit -> t
+(** [create ()] makes a universe over a fresh manager.  [backend]
+    selects the relation engine; when omitted it is read from the
+    [JEDD_BACKEND] environment variable (["incore"] or ["extmem"],
+    default in-core).  [node_limit] caps the manager's node table —
+    exceeding it raises [Jedd_bdd.Manager.Out_of_nodes]
+    ({!set_node_limit} adjusts it later). *)
+
 val manager : t -> Jedd_bdd.Manager.t
+(** The in-core manager: variable-order authority for both backends. *)
+
+val backend : t -> Backend.t
+val backend_kind : t -> Backend.kind
+
+val set_node_limit : t -> int option -> unit
+(** Install or remove the in-core node budget at runtime. *)
 
 val reorder_engine : t -> Jedd_reorder.Reorder.t
 (** The universe's variable-order optimizer.  Physical domains register
@@ -64,13 +93,14 @@ val register_block : t -> name:string -> vars:int array -> unit
 val reorder : ?trigger:string -> t -> unit
 (** Run one sifting pass over the registered blocks now (e.g. between
     fixpoint phases).  [trigger] defaults to ["explicit"] and is
-    recorded in the pass event. *)
+    recorded in the pass event.  A no-op on an [`Extmem] universe:
+    levels are baked into its node files, so the order is fixed. *)
 
 val set_auto_reorder : t -> int option -> unit
 (** [set_auto_reorder u (Some n)] arms the safe-point trigger: a sifting
     pass fires at the next {!checkpoint} once [n] allocated nodes are
     reached, re-arming itself above the surviving population.  [None]
-    disarms it. *)
+    disarms it.  A no-op on an [`Extmem] universe. *)
 
 val uid : t -> int
 (** A unique id per universe, used to key per-universe side tables. *)
@@ -87,4 +117,8 @@ val next_scratch_name : t -> string
     allocates when it must separate colliding attributes on the fly. *)
 
 val checkpoint : t -> unit
-(** Give the BDD manager a safe point to garbage-collect. *)
+(** Give the backend a safe point to garbage-collect. *)
+
+val cleanup : t -> unit
+(** Release backend resources eagerly — removes an [`Extmem] universe's
+    spill directory (also done by finalisers and at exit). *)

@@ -1,0 +1,414 @@
+(* Differential tests for the external-memory backend.
+
+   Part 1 drives the levelized streaming BDD engine (Jedd_extmem.Ebdd)
+   in lockstep with the in-core manager over randomized formula storms
+   — every operation is performed on both representations and the
+   results compared tuple-for-tuple and by satcount.  The storm runs
+   twice: once with roomy budgets (everything stays in memory) and once
+   with tiny budgets that force priority-queue runs, arc files and node
+   files onto disk, so the spill machinery is exercised by the same
+   assertions.
+
+   Part 2 (added with the relation-backend wiring) runs randomized
+   relational programs and the full analysis suite on both backends. *)
+
+module M = Jedd_bdd.Manager
+module Ops = Jedd_bdd.Ops
+module Quant = Jedd_bdd.Quant
+module Count = Jedd_bdd.Count
+module Enum = Jedd_bdd.Enum
+module Replace = Jedd_bdd.Replace
+module Store = Jedd_extmem.Store
+module E = Jedd_extmem.Ebdd
+
+let nbits = 8
+let formula_bits = 6 (* keep levels 6,7 free as replace targets *)
+let all_levels = Array.init nbits (fun i -> i)
+let all_levels_l = Array.to_list all_levels
+
+let bits_to_int vals =
+  Array.fold_left (fun acc b -> (acc lsl 1) lor if b then 1 else 0) 0 vals
+
+let tuples_incore m f =
+  let out = ref [] in
+  Enum.iter_assignments m f ~levels:all_levels (fun vals ->
+      out := bits_to_int vals :: !out);
+  List.sort compare !out
+
+let tuples_ext st f =
+  let out = ref [] in
+  E.iter_assignments st ~levels:all_levels f (fun vals ->
+      out := bits_to_int vals :: !out);
+  List.sort compare !out
+
+(* random formulas, built simultaneously on both engines *)
+let rec gen m st rand depth =
+  if depth = 0 then
+    match Random.State.int rand 6 with
+    | 0 -> (M.one, E.ttrue)
+    | 1 -> (M.zero, E.tfalse)
+    | 2 | 3 ->
+      let l = Random.State.int rand formula_bits in
+      (M.var m l, E.ithvar l)
+    | _ ->
+      let l = Random.State.int rand formula_bits in
+      (M.nvar m l, E.nithvar l)
+  else
+    match Random.State.int rand 9 with
+    | 0 | 1 ->
+      let a, ea = gen m st rand (depth - 1) and b, eb = gen m st rand (depth - 1) in
+      (Ops.band m a b, E.band st ea eb)
+    | 2 | 3 ->
+      let a, ea = gen m st rand (depth - 1) and b, eb = gen m st rand (depth - 1) in
+      (Ops.bor m a b, E.bor st ea eb)
+    | 4 ->
+      let a, ea = gen m st rand (depth - 1) and b, eb = gen m st rand (depth - 1) in
+      (Ops.bdiff m a b, E.bdiff st ea eb)
+    | 5 ->
+      let a, ea = gen m st rand (depth - 1) and b, eb = gen m st rand (depth - 1) in
+      (Ops.bxor m a b, E.bxor st ea eb)
+    | 6 ->
+      let a, ea = gen m st rand (depth - 1) and b, eb = gen m st rand (depth - 1) in
+      (Ops.bbiimp m a b, E.bbiimp st ea eb)
+    | 7 ->
+      let a, ea = gen m st rand (depth - 1) in
+      (Ops.bnot m a, E.bnot st ea)
+    | _ ->
+      let c, ec = gen m st rand (depth - 1)
+      and t, et = gen m st rand (depth - 1)
+      and e, ee = gen m st rand (depth - 1) in
+      (Ops.ite m c t e, E.ite st ec et ee)
+
+let random_subset rand n =
+  let s = List.filter (fun _ -> Random.State.bool rand) (List.init n Fun.id) in
+  if s = [] then [ Random.State.int rand n ] else s
+
+(* a random transform: quantification, cofactor or replace *)
+let transform m st rand (f, ef) =
+  match Random.State.int rand 4 with
+  | 0 ->
+    let levels = random_subset rand formula_bits in
+    ( Quant.exist m f (Quant.varset m levels),
+      E.exist st levels ef )
+  | 1 ->
+    let asg =
+      List.map (fun l -> (l, Random.State.bool rand)) (random_subset rand formula_bits)
+    in
+    (Ops.restrict m f asg, E.restrict st asg ef)
+  | 2 ->
+    (* order-preserving move: shift the whole formula band up by two,
+       into the reserved target levels — the monotone fast path *)
+    let pairs = List.init formula_bits (fun l -> (l, l + 2)) in
+    ( Replace.replace m f (Replace.make_perm m pairs),
+      E.replace st pairs ef )
+  | _ ->
+    (* a cycle on a small subset: non-order-preserving, exercises the
+       temporary-level fallback *)
+    let s = List.sort_uniq compare (random_subset rand formula_bits) in
+    if List.length s < 2 then (f, ef)
+    else
+      let rot = List.tl s @ [ List.hd s ] in
+      let pairs = List.combine s rot in
+      ( Replace.replace m f (Replace.make_perm m pairs),
+        E.replace st pairs ef )
+
+let check_same m st what f ef =
+  Alcotest.(check (list int))
+    (what ^ ": tuple set")
+    (tuples_incore m f) (tuples_ext st ef);
+  Alcotest.(check int)
+    (what ^ ": satcount")
+    (Count.satcount m f ~over:all_levels_l)
+    (E.satcount st ~over:all_levels_l ef)
+
+let storm ~rounds ~seed st () =
+  let rand = Random.State.make [| seed |] in
+  let m = M.create ~node_capacity:(1 lsl 16) () in
+  for _ = 1 to nbits do
+    ignore (M.new_var m)
+  done;
+  let prev = ref None in
+  for round = 1 to rounds do
+    let f, ef = gen m st rand (2 + Random.State.int rand 3) in
+    let f, ef =
+      if Random.State.bool rand then transform m st rand (f, ef) else (f, ef)
+    in
+    let f, ef =
+      if Random.State.int rand 4 = 0 then transform m st rand (f, ef)
+      else (f, ef)
+    in
+    check_same m st (Printf.sprintf "storm round %d" round) f ef;
+    (* digest-based equality must coincide with the in-core manager's
+       canonical node equality *)
+    (match !prev with
+    | Some (g, eg) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "storm round %d: equality agrees" round)
+        (f = g) (E.equal ef eg)
+    | None -> ());
+    prev := Some (f, ef)
+  done
+
+let test_storm_memory () =
+  let st = Store.create ~pq_budget_bytes:(4 lsl 20) ~mem_node_threshold:(1 lsl 16) () in
+  storm ~rounds:120 ~seed:42 st ();
+  Alcotest.(check int) "no spills with roomy budgets" 0 (Store.spill_runs st);
+  Store.cleanup st
+
+let test_storm_spilling () =
+  let st = Store.create ~pq_budget_bytes:512 ~mem_node_threshold:8 () in
+  storm ~rounds:120 ~seed:43 st ();
+  Alcotest.(check bool) "tiny budgets forced spills" true (Store.spilled_bytes st > 0);
+  Store.cleanup st
+
+let test_builders () =
+  let st = Store.create () in
+  (* less_than_const over ascending msb-first levels: satcount = k *)
+  let levels = [ 0; 1; 2; 3; 4 ] in
+  for k = 0 to 32 do
+    let f = E.less_than_const levels k in
+    Alcotest.(check int)
+      (Printf.sprintf "less_than_const %d" k)
+      k
+      (E.satcount st ~over:levels f)
+  done;
+  (* bi-implication: exactly the two agreeing assignments *)
+  let b = E.biimp_levels 1 4 in
+  Alcotest.(check int) "biimp satcount" 2 (E.satcount st ~over:[ 1; 4 ] b);
+  (* cube: one assignment *)
+  let c = E.cube [ (3, true); (0, false); (5, true) ] in
+  Alcotest.(check int) "cube satcount" 1 (E.satcount st ~over:[ 0; 3; 5 ] c);
+  Store.cleanup st
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: the relation runtime on both backends.                      *)
+
+module U = Jedd_relation.Universe
+module Dom = Jedd_relation.Domain
+module Attr = Jedd_relation.Attribute
+module Phys = Jedd_relation.Physdom
+module Schema = Jedd_relation.Schema
+module R = Jedd_relation.Relation
+module Backend = Jedd_relation.Backend
+module Workload = Jedd_minijava.Workload
+module Suite = Jedd_analyses.Suite
+
+(* One side of the lockstep harness: a universe on the given backend
+   with four 3-bit physical domains and the two schema families the
+   storm shuffles relations between. *)
+type side = {
+  u : U.t;
+  p : Phys.t array;
+  xsch : Schema.t;  (* {a@P0, b@P1} *)
+  ysch : Schema.t;  (* {b@P2, c@P3} *)
+}
+
+let side ~dom_a ~dom_b ~a ~b ~c kind =
+  ignore dom_a;
+  ignore dom_b;
+  let u = U.create ~backend:kind () in
+  let p =
+    Array.init 4 (fun i -> Phys.declare u ~name:(Printf.sprintf "P%d" i) ~bits:3)
+  in
+  let xsch =
+    Schema.make [ { Schema.attr = a; phys = p.(0) }; { Schema.attr = b; phys = p.(1) } ]
+  in
+  let ysch =
+    Schema.make [ { Schema.attr = b; phys = p.(2) }; { Schema.attr = c; phys = p.(3) } ]
+  in
+  { u; p; xsch; ysch }
+
+let random_tuples rand ~size_a ~size_b =
+  List.init
+    (Random.State.int rand 12)
+    (fun _ -> [ Random.State.int rand size_a; Random.State.int rand size_b ])
+
+(* Run the same randomized relational program on the in-core and extmem
+   backends, comparing tuple sets and sizes after every operation. *)
+let relational_storm ~rounds ~seed () =
+  let rand = Random.State.make [| seed |] in
+  let dom_a = Dom.declare ~name:"DA" ~size:8 () in
+  let dom_b = Dom.declare ~name:"DB" ~size:5 () in
+  (* non-power-of-two *)
+  let a = Attr.declare ~name:"a" ~domain:dom_a in
+  let b = Attr.declare ~name:"b" ~domain:dom_a in
+  let c = Attr.declare ~name:"c" ~domain:dom_b in
+  let si = side ~dom_a ~dom_b ~a ~b ~c `Incore in
+  let se = side ~dom_a ~dom_b ~a ~b ~c `Extmem in
+  let fresh_x tuples = (R.of_tuples si.u si.xsch tuples, R.of_tuples se.u se.xsch tuples) in
+  let fresh_y tuples = (R.of_tuples si.u si.ysch tuples, R.of_tuples se.u se.ysch tuples) in
+  let xs = ref [ fresh_x (random_tuples rand ~size_a:8 ~size_b:8) ] in
+  let ys = ref [ fresh_y (random_tuples rand ~size_a:8 ~size_b:5) ] in
+  let pick l = List.nth l (Random.State.int rand (List.length l)) in
+  let check what (ri, re) =
+    Alcotest.(check (list (list int)))
+      (what ^ ": tuples") (R.tuples ri) (R.tuples re);
+    Alcotest.(check int) (what ^ ": size") (R.size ri) (R.size re);
+    Alcotest.(check bool) (what ^ ": emptiness") (R.is_empty ri) (R.is_empty re)
+  in
+  for round = 1 to rounds do
+    let what = Printf.sprintf "round %d" round in
+    let result =
+      match Random.State.int rand 9 with
+      | 0 ->
+        let x1i, x1e = pick !xs and x2i, x2e = pick !xs in
+        (R.union x1i x2i, R.union x1e x2e)
+      | 1 ->
+        let x1i, x1e = pick !xs and x2i, x2e = pick !xs in
+        (R.inter x1i x2i, R.inter x1e x2e)
+      | 2 ->
+        let x1i, x1e = pick !xs and x2i, x2e = pick !xs in
+        (R.diff x1i x2i, R.diff x1e x2e)
+      | 3 ->
+        (* join on b, then drop c and restore the canonical layout *)
+        let xi, xe = pick !xs and yi, ye = pick !ys in
+        let ji = R.join xi [ b ] yi [ b ] and je = R.join xe [ b ] ye [ b ] in
+        ( R.coerce (R.project_away ji [ c ]) si.xsch,
+          R.coerce (R.project_away je [ c ]) se.xsch )
+      | 4 ->
+        (* compose over b: {a,c}; c keeps b's role via rename *)
+        let xi, xe = pick !xs and yi, ye = pick !ys in
+        let ci = R.compose xi [ a ] yi [ b ]
+        and ce = R.compose xe [ a ] ye [ b ] in
+        check (what ^ " compose") (ci, ce);
+        let yi2, ye2 = pick !ys in
+        ignore (yi2, ye2);
+        pick !xs
+      | 5 ->
+        let xi, xe = pick !xs in
+        let v = Random.State.int rand 8 in
+        (R.select xi [ (a, v) ], R.select xe [ (a, v) ])
+      | 6 ->
+        (* copy a into a scratch column, then forget it again *)
+        let xi, xe = pick !xs in
+        let d = Attr.declare ~name:(Printf.sprintf "d%d" round) ~domain:dom_a in
+        ( R.project_away (R.copy ~phys:si.p.(2) xi a ~as_:d) [ d ],
+          R.project_away (R.copy ~phys:se.p.(2) xe a ~as_:d) [ d ] )
+      | 7 ->
+        (* move a to another physical domain and back: replace both ways *)
+        let xi, xe = pick !xs in
+        ( R.coerce (R.replace xi [ (a, si.p.(3)) ]) si.xsch,
+          R.coerce (R.replace xe [ (a, se.p.(3)) ]) se.xsch )
+      | _ -> fresh_x (random_tuples rand ~size_a:8 ~size_b:8)
+    in
+    check what result;
+    xs := result :: (if List.length !xs > 6 then List.tl !xs else !xs);
+    if Random.State.int rand 3 = 0 then
+      ys := fresh_y (random_tuples rand ~size_a:8 ~size_b:5) :: List.tl !ys
+  done;
+  (si, se)
+
+let test_relational_storm () =
+  let _ = relational_storm ~rounds:150 ~seed:7 () in
+  ()
+
+let test_relational_storm_spilling () =
+  (* Tiny budgets force the extmem side of the same storm through the
+     spill machinery; the profiler must surface the traffic. *)
+  Unix.putenv "JEDD_EXTMEM_PQ_BYTES" "512";
+  Unix.putenv "JEDD_EXTMEM_MEM_NODES" "8";
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "JEDD_EXTMEM_PQ_BYTES" "";
+      Unix.putenv "JEDD_EXTMEM_MEM_NODES" "")
+    (fun () ->
+      let rec_ = Jedd_profiler.Recorder.create () in
+      let si, se = relational_storm ~rounds:60 ~seed:8 () in
+      ignore si;
+      (* replay a profiled operation on the extmem side *)
+      Jedd_profiler.Recorder.attach rec_ se.u ~level:U.Counts;
+      let r1 = R.of_tuples se.u se.xsch [ [ 1; 2 ]; [ 3; 4 ] ] in
+      let r2 = R.of_tuples se.u se.xsch [ [ 1; 2 ]; [ 5; 1 ] ] in
+      let _ = R.union r1 r2 in
+      Jedd_profiler.Recorder.detach se.u;
+      let st =
+        match Backend.store (U.backend se.u) with
+        | Some st -> st
+        | None -> Alcotest.fail "extmem universe has no spill store"
+      in
+      Alcotest.(check bool) "storm spilled" true (Store.spilled_bytes st > 0);
+      let html = Jedd_profiler.Report.to_html rec_ in
+      Alcotest.(check bool) "report has external-memory section" true
+        (let re = Str.regexp_string "External memory" in
+         try
+           ignore (Str.search_forward re html 0);
+           true
+         with Not_found -> false);
+      let csv = Jedd_profiler.Report.to_csv rec_ in
+      Alcotest.(check bool) "csv has spill columns" true
+        (let re = Str.regexp_string "spilled_bytes" in
+         try
+           ignore (Str.search_forward re csv 0);
+           true
+         with Not_found -> false))
+
+let test_suite_differential () =
+  let p = Workload.generate Workload.tiny in
+  let ri = Suite.run_all ~backend:`Incore p in
+  (* the extmem run also proves the pipeline fits a tight in-core node
+     budget: the manager only hosts variables and finite-domain blocks *)
+  let re = Suite.run_all ~backend:`Extmem ~node_limit:4096 p in
+  let check name f = Alcotest.(check (list (list int))) name (f ri) (f re) in
+  check "subtypes" (fun r -> r.Suite.subtypes);
+  check "pt" (fun r -> r.Suite.pt);
+  check "resolved" (fun r -> r.Suite.resolved);
+  check "call_edges" (fun r -> r.Suite.call_edges);
+  check "reachable" (fun r -> r.Suite.reachable);
+  check "side_effects" (fun r -> r.Suite.side_effects)
+
+let test_out_of_nodes () =
+  let m = M.create ~node_capacity:1024 ~node_limit:1024 () in
+  for _ = 1 to 24 do
+    ignore (M.new_var m)
+  done;
+  let rand = Random.State.make [| 11 |] in
+  let random_cube () =
+    let levels = Array.init 24 Fun.id in
+    for i = 23 downto 1 do
+      let j = Random.State.int rand (i + 1) in
+      let t = levels.(i) in
+      levels.(i) <- levels.(j);
+      levels.(j) <- t
+    done;
+    Ops.cube m
+      (List.init 8 (fun i -> (levels.(i), Random.State.bool rand)))
+  in
+  let raised = ref false in
+  (try
+     let acc = ref (M.addref m M.zero) in
+     for _ = 1 to 5000 do
+       let acc' = M.addref m (Ops.bor m !acc (random_cube ())) in
+       M.delref m !acc;
+       acc := acc'
+     done
+   with M.Out_of_nodes -> raised := true);
+  Alcotest.(check bool) "budget exceeded raises" true !raised;
+  (* the manager survives: roots, refcounts and fresh work are fine *)
+  let x = Ops.band m (M.var m 0) (M.var m 1) in
+  Alcotest.(check int) "manager usable after Out_of_nodes" 1
+    (Count.satcount m x ~over:[ 0; 1 ])
+
+let test_store_cleanup () =
+  let st = Store.create ~pq_budget_bytes:512 ~mem_node_threshold:8 () in
+  (* force real files into the store's directory *)
+  storm ~rounds:10 ~seed:44 st ();
+  let dir = Store.dir st in
+  Alcotest.(check bool) "spill directory exists" true (Sys.file_exists dir);
+  Store.cleanup st;
+  Alcotest.(check bool) "spill directory removed" false (Sys.file_exists dir)
+
+let suite =
+  [
+    Alcotest.test_case "ebdd storm (in memory)" `Quick test_storm_memory;
+    Alcotest.test_case "ebdd storm (spilling)" `Quick test_storm_spilling;
+    Alcotest.test_case "canonical builders" `Quick test_builders;
+    Alcotest.test_case "store cleanup" `Quick test_store_cleanup;
+    Alcotest.test_case "cross-backend relational storm" `Quick
+      test_relational_storm;
+    Alcotest.test_case "cross-backend storm (spilling) + profiler" `Quick
+      test_relational_storm_spilling;
+    Alcotest.test_case "full pipeline differential" `Quick
+      test_suite_differential;
+    Alcotest.test_case "node limit raises Out_of_nodes" `Quick
+      test_out_of_nodes;
+  ]
