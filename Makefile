@@ -1,4 +1,4 @@
-.PHONY: all check test smoke bench-smoke release bench-json bench-json3 clean
+.PHONY: all check test smoke bench-smoke release bench-json bench-json3 lint clean
 
 all:
 	dune build
@@ -14,6 +14,16 @@ check:
 
 test:
 	dune runtest
+
+# jeddlint over the shipped sources: the clean example and the five
+# Figure 2 analyses must produce no warnings or errors (exit 0); the
+# seeded-defect example must trip the checkers (exit non-zero).
+lint:
+	dune build bin/jeddc_main.exe bin/analyze_main.exe
+	dune exec bin/jeddc_main.exe -- --lint=text examples/lint_clean.jedd
+	dune exec bin/analyze_main.exe -- -b tiny --lint
+	dune exec bin/analyze_main.exe -- -f examples/shapes.mjava --lint
+	! dune exec bin/jeddc_main.exe -- --lint=text examples/lint_defects.jedd
 
 smoke:
 	dune build @bench-smoke

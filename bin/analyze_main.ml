@@ -14,7 +14,19 @@ let backend_of_string = function
     Printf.eprintf "jedd-analyze: unknown backend %S (incore|extmem)\n" s;
     exit 2
 
-let run benchmark file verify reorder backend node_limit =
+let lint_suite p =
+  (* lint each of the Figure 2 analyses as jeddc --lint would *)
+  let worst = ref 0 in
+  List.iter
+    (fun (name, _) ->
+      let compiled = Suite.compile_one p name in
+      let report = Jedd_lint.Driver.lint compiled in
+      Printf.printf "== %s ==\n%s\n" name (Jedd_lint.Driver.to_text report);
+      worst := max !worst (Jedd_lint.Driver.exit_code report))
+    Suite.analyses;
+  exit !worst
+
+let run benchmark file verify reorder backend node_limit lint =
   let name, p =
     if file <> "" then (file, Jedd_minijava.Frontend.load_file file)
     else
@@ -24,6 +36,7 @@ let run benchmark file verify reorder backend node_limit =
       in
       (profile.Workload.name, Workload.generate profile)
   in
+  if lint then lint_suite p;
   let backend =
     match (backend, Sys.getenv_opt "JEDD_BACKEND") with
     | Some b, _ -> Some (backend_of_string b)
@@ -119,12 +132,20 @@ let node_limit_arg =
            aborts the pipeline with a clean message suggesting \
            --backend=extmem")
 
+let lint_arg =
+  Arg.(
+    value & flag
+    & info [ "lint" ]
+        ~doc:
+          "Run the jeddlint checkers over each of the five analyses instead \
+           of executing them; exits with the worst per-analysis lint code")
+
 let cmd =
   Cmd.v
     (Cmd.info "jedd-analyze"
        ~doc:"Run the five BDD-based whole-program analyses of Figure 2")
     Term.(
       const run $ benchmark_arg $ file_arg $ verify_arg $ reorder_arg
-      $ backend_arg $ node_limit_arg)
+      $ backend_arg $ node_limit_arg $ lint_arg)
 
 let () = exit (Cmd.eval cmd)

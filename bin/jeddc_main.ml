@@ -15,7 +15,7 @@ let read_file path =
   close_in ic;
   s
 
-let run files output stats dimacs dump_ir =
+let run files output stats dimacs dump_ir lint =
   if files = [] then begin
     prerr_endline "jeddc: no input files";
     exit 2
@@ -48,6 +48,18 @@ let run files output stats dimacs dump_ir =
     prerr_endline (Jedd_lang.Driver.error_to_string e);
     exit 1
   | Ok compiled ->
+    (match lint with
+    | Some format ->
+      (* lint mode: diagnostics only, CI-friendly exit code *)
+      let report = Jedd_lint.Driver.lint compiled in
+      (match format with
+      | "json" -> print_endline (Jedd_lint.Driver.to_json report)
+      | "text" -> print_endline (Jedd_lint.Driver.to_text report)
+      | other ->
+        Printf.eprintf "jeddc: unknown lint format %s (text|json)\n" other;
+        exit 2);
+      exit (Jedd_lint.Driver.exit_code report)
+    | None -> ());
     let st = compiled.Jedd_lang.Driver.constraint_stats in
     let sat = compiled.Jedd_lang.Driver.assignment.Jedd_lang.Encode.stats in
     Printf.printf "jeddc: physical domain assignment complete (%.4f s)\n"
@@ -108,10 +120,21 @@ let dump_ir_arg =
     value & flag
     & info [ "dump-ir" ] ~doc:"Print the lowered relational IR (§3.2)")
 
+let lint_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "text") (some string) None
+    & info [ "lint" ] ~docv:"FORMAT"
+        ~doc:
+          "Run the jeddlint checkers instead of generating code and print \
+           diagnostics as $(docv) (text or json).  Exits 2 on errors, 1 on \
+           warnings, 0 otherwise.")
+
 let cmd =
   Cmd.v
     (Cmd.info "jeddc" ~doc:"Jedd to Java translator (PLDI 2004 reproduction)")
     Term.(
-      const run $ files_arg $ output_arg $ stats_arg $ dimacs_arg $ dump_ir_arg)
+      const run $ files_arg $ output_arg $ stats_arg $ dimacs_arg $ dump_ir_arg
+      $ lint_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,6 +1,8 @@
 (* Reproduction of the paper's §3.3.3 error reporting: the unsat-core
    driven "Conflict between ... over physical domain T1" message, and
-   the fix that makes the program compile.
+   the fix that makes the program compile — plus the same unsat-core
+   machinery aimed at programs that DO compile: the jeddlint replace
+   audit explains every surviving replace with a minimized core.
 
    Run with:  dune exec examples/error_messages.exe *)
 
@@ -63,7 +65,29 @@ let show title src =
   | Error e -> Printf.printf "%s\n" (Driver.error_to_string e));
   print_newline ()
 
+(* Two fields pinned to different physical domains: assigning one to
+   the other compiles, but costs a BDD copy — jeddlint (JL007) reports
+   the replace and the SAT core proving it unavoidable. *)
+let forced_replace =
+  preamble
+  ^ "class Pins {\n\
+     \  <rectype:T1> one;\n\
+     \  <rectype:T2> two;\n\
+     \  public void go() { two = one; }\n\
+     }\n"
+
+let show_lint title src =
+  Printf.printf "== %s ==\n" title;
+  (match Driver.compile [ ("Test.jedd", src) ] with
+  | Ok c ->
+    let report = Jedd_lint.Driver.lint c in
+    print_endline (Jedd_lint.Driver.to_text report)
+  | Error e -> Printf.printf "%s\n" (Driver.error_to_string e));
+  print_newline ()
+
 let () =
   show "the erroneous program of Section 3.3.3" broken;
   show "the paper's fix (supertype:T3)" fixed;
-  show "unreachable-attribute failure mode" unreachable
+  show "unreachable-attribute failure mode" unreachable;
+  show_lint "jeddlint: a forced replace, explained by its SAT core"
+    forced_replace

@@ -10,7 +10,7 @@ let source =
   \  <subtype:T1, supertype:T2> subtypes = 0B;\n\
   \  public void run() {\n\
   \    subtypes = extendH;\n\
-  \    <subtype:T1, supertype:T2> delta = subtypes;\n\
+  \    <subtype:T1, supertype:T2> delta;\n\
   \    do {\n\
   \      delta = subtypes{supertype} <> extendH{subtype};\n\
   \      delta -= subtypes;\n\

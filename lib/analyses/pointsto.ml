@@ -15,7 +15,7 @@ let source =
   \  <baseheap:H2, field:F1, heap:H1> fieldpt = 0B;\n\
   \  public void run() {\n\
   \    pt = alloc;\n\
-  \    <var:V1, heap:H1> old = 0B;\n\
+  \    <var:V1, heap:H1> old;\n\
   \    do {\n\
   \      old = pt;\n\
   \      // copy rule: dst points to whatever src points to\n\

@@ -1,0 +1,92 @@
+(* A generic monotone dataflow framework: explicit CFGs plus a worklist
+   fixpoint solver.  Direction is handled by swapping the edge relation,
+   so forward and backward analyses share the one engine. *)
+
+module Graph = struct
+  type t = {
+    mutable n : int;
+    mutable succ : int list array;
+    mutable pred : int list array;
+  }
+
+  let create () = { n = 0; succ = Array.make 16 []; pred = Array.make 16 [] }
+
+  let ensure g i =
+    let cap = Array.length g.succ in
+    if i >= cap then begin
+      let cap' = max (i + 1) (2 * cap) in
+      let grow a =
+        let a' = Array.make cap' [] in
+        Array.blit a 0 a' 0 cap;
+        a'
+      in
+      g.succ <- grow g.succ;
+      g.pred <- grow g.pred
+    end
+
+  let add_node g =
+    let id = g.n in
+    g.n <- id + 1;
+    ensure g id;
+    id
+
+  let add_edge g a b =
+    g.succ.(a) <- b :: g.succ.(a);
+    g.pred.(b) <- a :: g.pred.(b)
+
+  let size g = g.n
+  let succs g i = g.succ.(i)
+  let preds g i = g.pred.(i)
+end
+
+type direction = Forward | Backward
+
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  val join : t -> t -> t
+  val equal : t -> t -> bool
+end
+
+module Solver (L : LATTICE) = struct
+  type result = { before : int -> L.t; after : int -> L.t }
+
+  let run (g : Graph.t) (dir : direction) ~(init : int -> L.t)
+      ~(transfer : int -> L.t -> L.t) : result =
+    let n = Graph.size g in
+    let input = Array.init n init in
+    let output = Array.make n L.bottom in
+    let pred_of, succ_of =
+      match dir with
+      | Forward -> (Graph.preds g, Graph.succs g)
+      | Backward -> (Graph.succs g, Graph.preds g)
+    in
+    let queued = Array.make n true in
+    let queue = Queue.create () in
+    for i = 0 to n - 1 do
+      Queue.add i queue
+    done;
+    while not (Queue.is_empty queue) do
+      let i = Queue.pop queue in
+      queued.(i) <- false;
+      let inp =
+        List.fold_left
+          (fun acc p -> L.join acc output.(p))
+          (init i) (pred_of i)
+      in
+      input.(i) <- inp;
+      let out = transfer i inp in
+      if not (L.equal out output.(i)) then begin
+        output.(i) <- out;
+        List.iter
+          (fun s ->
+            if not queued.(s) then begin
+              queued.(s) <- true;
+              Queue.add s queue
+            end)
+          (succ_of i)
+      end
+    done;
+    { before = (fun i -> input.(i)); after = (fun i -> output.(i)) }
+end

@@ -1,0 +1,60 @@
+(** A generic monotone dataflow framework: explicit control-flow graphs
+    plus a worklist fixpoint solver over a join-semilattice.
+
+    This is the shared engine under the §4.2 liveness analysis
+    ([Jedd_lang.Liveness]) and every jeddlint checker: clients build a
+    {!Graph} whose nodes carry their own meaning (statements, condition
+    evaluations, IR instructions, ...), give a lattice and a transfer
+    function, and read back the per-node fixpoint facts. *)
+
+module Graph : sig
+  type t
+
+  val create : unit -> t
+
+  val add_node : t -> int
+  (** Allocate a node and return its id (dense, starting at 0). *)
+
+  val add_edge : t -> int -> int -> unit
+  (** [add_edge g a b] adds a directed edge [a -> b]. *)
+
+  val size : t -> int
+  val succs : t -> int -> int list
+  val preds : t -> int -> int list
+end
+
+type direction = Forward | Backward
+
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  (** Least element; the initial guess at every node. *)
+
+  val join : t -> t -> t
+  val equal : t -> t -> bool
+end
+
+module Solver (L : LATTICE) : sig
+  type result = {
+    before : int -> L.t;
+        (** The fact flowing {e into} the node's transfer function: the
+            join over predecessors (successors when running [Backward])
+            of their output facts, joined with the node's [init]. *)
+    after : int -> L.t;  (** The node's transfer output. *)
+  }
+
+  val run :
+    Graph.t ->
+    direction ->
+    init:(int -> L.t) ->
+    transfer:(int -> L.t -> L.t) ->
+    result
+  (** Iterate [transfer] to a fixpoint with a worklist.  [init] seeds
+      each node's input fact (typically [L.bottom] everywhere except a
+      distinguished entry node); [transfer n fact] must be monotone in
+      [fact].  For a [Backward] problem, [before n] is the fact {e
+      after} the node in execution order (e.g. live-out) and [after n]
+      the fact before it (live-in) — the names follow dataflow order,
+      not execution order. *)
+end

@@ -240,6 +240,121 @@ let diagnose inst core =
     "Contradictory physical domain specifications: "
     ^ String.concat "; " specs
 
+(* -- replace-site audit probe (jeddlint JL007/JL008) ----------------------- *)
+
+type replace_probe =
+  | Forced of string list
+      (* the copy is unavoidable; the strings name the minimal set of
+         conflicting constraints (a minimized unsat core) that forces it *)
+  | Avoidable
+      (* some satisfying assignment keeps this wrapper's domains equal:
+         only the solver's global optimisation chose to break it *)
+
+let probe_wrap_equal ?max_paths_per_class (prog : Tast.tprogram)
+    (g : Constraints.t) ~eid : replace_probe =
+  let inst = build ?max_paths_per_class prog g in
+  let np = Array.length inst.physdoms in
+  let var node p = (node * np) + p + 1 in
+  let n_original = Array.length inst.clause_lits in
+  (* the assignment edges the partitioning was allowed to break: the
+     (expression, wrapper) node pair of every attribute of [eid] *)
+  let pairs =
+    let out = ref [] in
+    Array.iteri
+      (fun j (node : Constraints.node) ->
+        match node.Constraints.site with
+        | Constraints.S_wrap e when e = eid -> (
+          match
+            Hashtbl.find_opt inst.g.Constraints.node_index
+              (Constraints.S_expr eid, node.Constraints.attr.Tast.a_name)
+          with
+          | Some i -> out := (i, j) :: !out
+          | None -> ())
+        | _ -> ())
+      inst.g.Constraints.nodes;
+    !out
+  in
+  (* probe clauses asserting the wrapper keeps its input's domains *)
+  let probe_lits =
+    List.concat_map
+      (fun (i, j) ->
+        List.concat
+          (List.init np (fun p ->
+               [ [ -var i p; var j p ]; [ -var j p; var i p ] ])))
+      pairs
+  in
+  List.iter (fun lits -> ignore (Solver.add_clause inst.solver lits)) probe_lits;
+  match Solver.solve inst.solver with
+  | Solver.Sat -> Avoidable
+  | Solver.Unsat ->
+    let core =
+      List.filter
+        (fun id -> id < n_original)
+        (Solver.unsat_core inst.solver)
+    in
+    (* deletion-minimize the original-clause part of the core, keeping
+       the probe clauses as fixed background on every candidate check *)
+    let num_vars = Solver.num_vars inst.solver in
+    let unsat_without ids =
+      let s = Solver.create () in
+      for _ = 1 to num_vars do
+        ignore (Solver.new_var s)
+      done;
+      List.iter (fun id -> ignore (Solver.add_clause s inst.clause_lits.(id))) ids;
+      List.iter (fun lits -> ignore (Solver.add_clause s lits)) probe_lits;
+      Solver.solve s = Solver.Unsat
+    in
+    let core =
+      if List.length core > 60 then core
+      else
+        List.fold_left
+          (fun kept id ->
+            let rest = List.filter (fun x -> x <> id) kept in
+            if unsat_without rest then rest else kept)
+          core core
+    in
+    let describe id =
+      match inst.clause_kinds.(id) with
+      | K_spec (i, p) ->
+        Some
+          (Printf.sprintf "%s is pinned to %s"
+             (Constraints.describe_node inst.g i)
+             inst.physdoms.(p).p_name)
+      | K_equal (i, j, _) ->
+        let i, j = if i <= j then (i, j) else (j, i) in
+        Some
+          (Printf.sprintf "%s must share a physical domain with %s"
+             (Constraints.describe_node inst.g i)
+             (Constraints.describe_node inst.g j))
+      | K_conflict (i, j, _) ->
+        let i, j = if i <= j then (i, j) else (j, i) in
+        Some
+          (Printf.sprintf "%s and %s must use distinct physical domains"
+             (Constraints.describe_node inst.g i)
+             (Constraints.describe_node inst.g j))
+      | K_flow i ->
+        Some
+          (Printf.sprintf "%s must be reached by some specified domain"
+             (Constraints.describe_node inst.g i))
+      | K_path (cls, p0) ->
+        let who =
+          match inst.fp.Flowpath.members.(cls) with
+          | i :: _ -> Constraints.describe_node inst.g i
+          | [] -> "an attribute class"
+        in
+        Some
+          (Printf.sprintf "the flow of %s constrains %s"
+             inst.physdoms.(p0).p_name who)
+      | K_some _ | K_unique _ -> None
+    in
+    let msgs = List.sort_uniq compare (List.filter_map describe core) in
+    let msgs =
+      if msgs = [] then
+        [ "the surrounding constraints force distinct physical domains here" ]
+      else msgs
+    in
+    Forced msgs
+
 let solve ?max_paths_per_class (prog : Tast.tprogram) (g : Constraints.t) :
     assignment =
   let inst = build ?max_paths_per_class prog g in

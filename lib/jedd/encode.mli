@@ -39,6 +39,29 @@ val solve :
 (** Runs the whole §3.3.2 pipeline.  Raises {!Unreachable_attribute} or
     {!Assignment_conflict} on the two failure modes of §3.3.3. *)
 
+(** Outcome of re-solving with a replace wrapper's assignment edges
+    promoted to hard equalities, for the jeddlint replace audit. *)
+type replace_probe =
+  | Forced of string list
+      (** unavoidable: a minimized unsat core, rendered as one message
+          per conflicting constraint, explains why the copy must exist *)
+  | Avoidable
+      (** a satisfying assignment without this copy exists; the solver's
+          global choice, not a hard conflict, introduced it *)
+
+val probe_wrap_equal :
+  ?max_paths_per_class:int ->
+  Tast.tprogram ->
+  Constraints.t ->
+  eid:int ->
+  replace_probe
+(** Rebuild the clause-1–7 instance and additionally assert that every
+    attribute of the dummy replace wrapper around expression [eid] keeps
+    its input's physical domain — i.e. that the [IReplace] the
+    assignment stage emitted there is unnecessary.  [Sat] means the copy
+    was avoidable; [Unsat] yields a deletion-minimized core naming the
+    constraints that force it (§3.3.3 machinery, aimed at one site). *)
+
 val build_cnf :
   ?max_paths_per_class:int ->
   Tast.tprogram ->

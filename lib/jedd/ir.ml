@@ -175,3 +175,172 @@ and cond_size (c : ccond) =
     + match rhs with Rhs_reg (is2, _) -> List.length is2 | _ -> 0)
 
 let method_size m = List.fold_left (fun a s -> a + stmt_size s) 0 m.c_body
+
+(* ------------------------------------------------------------------ *)
+(* The §4.2 register/ownership discipline as an explicit state machine.
+
+   [Lower] must write each register before it is read, consume owned
+   intermediates exactly once, free them right after consumption, and
+   never touch a register once its value is gone; [IKill] retires a
+   variable's handle, after which only a plain store may revive it.
+
+   The static verifier ([Jedd_lint.Refcount]) proves these rules over
+   every path of the IR control-flow graph; the dynamic checker
+   ([Ir_interp] under JEDD_CHECK_IR=1) asserts them on the actually
+   executed path.  Both share the transition rules below, so the prover
+   and the runtime can never drift apart. *)
+
+module Discipline = struct
+  module SS = Set.Make (String)
+
+  type state =
+    | Unborn  (* never written *)
+    | Owned  (* holds a value this frame must free or consume *)
+    | Borrowed  (* views a container's value; freeing it is a no-op *)
+    | Dead  (* consumed or freed: the value is gone *)
+    | Maybe_borrowed  (* borrowed on some paths, dead on others (join) *)
+    | Conflict  (* owned on some paths only: any use is a leak or fault *)
+
+  let state_to_string = function
+    | Unborn -> "unborn"
+    | Owned -> "owned"
+    | Borrowed -> "borrowed"
+    | Dead -> "dead"
+    | Maybe_borrowed -> "maybe-borrowed"
+    | Conflict -> "conflicted"
+
+  let join_state a b =
+    if a = b then a
+    else
+      match (a, b) with
+      | Conflict, _ | _, Conflict | Owned, _ | _, Owned -> Conflict
+      | (Borrowed | Maybe_borrowed), _ | _, (Borrowed | Maybe_borrowed) ->
+        Maybe_borrowed
+      | (Unborn | Dead), (Unborn | Dead) -> Dead
+
+  (* a frame's abstract state: one state per register, plus the set of
+     variables whose handle a liveness kill has retired *)
+  type frame = { regs : state array; mutable killed : SS.t }
+
+  let init nregs = { regs = Array.make (max 1 nregs) Unborn; killed = SS.empty }
+  let copy fr = { regs = Array.copy fr.regs; killed = fr.killed }
+
+  let equal_frame a b = a.regs = b.regs && SS.equal a.killed b.killed
+
+  let join_frame a b =
+    {
+      regs =
+        Array.init (Array.length a.regs) (fun i ->
+            join_state a.regs.(i) b.regs.(i));
+      killed = SS.union a.killed b.killed;
+    }
+
+  let read_error = function
+    | Owned | Borrowed -> None
+    | Unborn -> Some "read before being written"
+    | Dead -> Some "read after being consumed or freed"
+    | Maybe_borrowed -> Some "read but dead on some path"
+    | Conflict -> Some "read in conflicting ownership states"
+
+  let read fr r acc =
+    match read_error fr.regs.(r) with
+    | Some m -> Printf.sprintf "r%d %s" r m :: acc
+    | None -> acc
+
+  (* Apply one instruction's transitions.  Violations are returned and
+     the frame is left in the best-effort post-state, so a checker can
+     keep going and report everything at once. *)
+  let step fr (i : instr) : string list =
+    let errs = ref [] in
+    let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+    let read r = errs := List.rev_append (read fr r []) !errs in
+    let write ~owned r =
+      (match fr.regs.(r) with
+      | Owned -> err "r%d overwritten while still owning a value" r
+      | Conflict -> err "r%d overwritten while it may still own a value" r
+      | Unborn | Borrowed | Dead | Maybe_borrowed -> ());
+      fr.regs.(r) <- (if owned then Owned else Borrowed)
+    in
+    let consume r =
+      read r;
+      fr.regs.(r) <- Dead
+    in
+    let free r =
+      (match fr.regs.(r) with
+      | Owned | Borrowed | Maybe_borrowed -> ()
+      | Unborn -> err "r%d freed before being written" r
+      | Dead -> err "r%d freed twice (or freed after being consumed)" r
+      | Conflict -> err "r%d freed in conflicting ownership states" r);
+      fr.regs.(r) <- Dead
+    in
+    let use_var key =
+      if SS.mem key fr.killed then
+        err "variable %s used after its liveness kill" key
+    in
+    let revive key = fr.killed <- SS.remove key fr.killed in
+    (match i with
+    | ILoad (r, key) ->
+      use_var key;
+      write ~owned:false r
+    | IStore (key, r) ->
+      consume r;
+      revive key
+    | IStoreUnion (key, r) | IStoreInter (key, r) | IStoreDiff (key, r) ->
+      (* reads the variable's current value, then stores *)
+      use_var key;
+      consume r;
+      revive key
+    | IConst (r, _, _) | ILiteral (r, _, _) -> write ~owned:true r
+    | IUnion (d, a, b) | IInter (d, a, b) | IDiff (d, a, b) ->
+      read a;
+      read b;
+      write ~owned:true d
+    | IProject (d, s, _) | IRename (d, s, _) | IReplace (d, s, _) ->
+      read s;
+      write ~owned:true d
+    | ICopy (d, s, _, _, _) ->
+      read s;
+      write ~owned:true d
+    | IJoin (d, a, _, b, _) | ICompose (d, a, _, b, _) ->
+      read a;
+      read b;
+      write ~owned:true d
+    | ICall (dest, _, args) ->
+      List.iter
+        (function Carg_reg r -> consume r | Carg_obj _ -> ())
+        args;
+      (match dest with Some d -> write ~owned:true d | None -> ())
+    | IFree r -> free r
+    | IKill key -> fr.killed <- SS.add key fr.killed
+    | IPrint r -> read r);
+    List.rev !errs
+
+  (* a relational comparison reads its operands (the interpreter frees
+     them afterwards with explicit IFree transitions) *)
+  let compare_reads fr r1 r2 : string list =
+    let acc = read fr r1 [] in
+    let acc = match r2 with Some r -> read fr r acc | None -> acc in
+    List.rev acc
+
+  let consume_return fr r : string list =
+    let acc = read fr r [] in
+    fr.regs.(r) <- Dead;
+    List.rev acc
+
+  (* owned values reaching method exit are leaks: the runtime sweep
+     would silently release them, hiding a Lower bug *)
+  let leaks fr : string list =
+    let out = ref [] in
+    Array.iteri
+      (fun i st ->
+        match st with
+        | Owned ->
+          out := Printf.sprintf "r%d still owned at method exit (leak)" i :: !out
+        | Conflict ->
+          out :=
+            Printf.sprintf "r%d owned on some paths at method exit (leak)" i
+            :: !out
+        | Unborn | Borrowed | Dead | Maybe_borrowed -> ())
+      fr.regs;
+    List.rev !out
+end

@@ -19,16 +19,27 @@ type t = {
   inst : Interp.t;
   methods : (string, cmethod) Hashtbl.t;
   mutable print_hook : string -> unit;
+  mutable check : bool;
+      (* shadow the register-discipline state machine on every executed
+         instruction (JEDD_CHECK_IR=1); shares [Ir.Discipline] with the
+         static verifier so runtime and prover enforce the same rules *)
 }
+
+let check_from_env () =
+  match Sys.getenv_opt "JEDD_CHECK_IR" with
+  | Some ("" | "0") | None -> false
+  | Some _ -> true
 
 let create compiled inst =
   {
     inst;
     methods = Lower.lower_program compiled;
     print_hook = print_string;
+    check = check_from_env ();
   }
 
 let set_print_hook t hook = t.print_hook <- hook
+let set_check t b = t.check <- b
 let instance t = t.inst
 let methods t = t.methods
 
@@ -37,7 +48,12 @@ type frame = {
   owned : bool array;
   locals : (Tast.var_key, R.t ref) Hashtbl.t;
   objs : (string, int) Hashtbl.t;
+  disc : Discipline.frame option;  (* shadow state when checking *)
+  meth : string;  (* for check-failure messages *)
 }
+
+let disc_fail frame what errs =
+  fail "JEDD_CHECK_IR: %s in %s: %s" what frame.meth (String.concat "; " errs)
 
 exception Return_value of R.t option
 
@@ -104,6 +120,15 @@ let store_var t frame key value =
       Hashtbl.replace frame.locals key (ref (coerce_to_var value))
 
 let rec exec_instr t frame (i : instr) : unit =
+  (match frame.disc with
+  | Some d -> (
+    match Discipline.step d i with
+    | [] -> ()
+    | errs ->
+      disc_fail frame
+        (Format.asprintf "discipline violation at [%a]" pp_instr i)
+        errs)
+  | None -> ());
   match i with
   | ILoad (r, key) -> set_reg frame r (read_var t frame key) ~owned:false
   | IStore (key, r) -> store_var t frame key (consume_reg frame r)
@@ -208,10 +233,21 @@ and eval_cond t frame (c : ccond) : bool =
   | Cor (a, b) -> eval_cond t frame a || eval_cond t frame b
   | Ceq (code, r, rhs) | Cne (code, r, rhs) ->
     List.iter (exec_instr t frame) code;
+    let check_cmp r2 =
+      match frame.disc with
+      | Some d -> (
+        match Discipline.compare_reads d r r2 with
+        | [] -> ()
+        | errs -> disc_fail frame "discipline violation at comparison" errs)
+      | None -> ()
+    in
     let result =
       match rhs with
-      | Rhs_empty -> R.is_empty (reg_value frame r)
+      | Rhs_empty ->
+        check_cmp None;
+        R.is_empty (reg_value frame r)
       | Rhs_full ->
+        check_cmp None;
         let v = reg_value frame r in
         let full = R.full (Interp.universe t.inst) (R.schema v) in
         let e = R.equal v full in
@@ -219,6 +255,7 @@ and eval_cond t frame (c : ccond) : bool =
         e
       | Rhs_reg (code2, r2) ->
         List.iter (exec_instr t frame) code2;
+        check_cmp (Some r2);
         let e = R.equal (reg_value frame r) (reg_value frame r2) in
         exec_instr t frame (IFree r2);
         e
@@ -245,6 +282,12 @@ and exec_stmt t frame (s : cstmt) : unit =
     done
   | CReturn (code, r) ->
     List.iter (exec_instr t frame) code;
+    (match (frame.disc, r) with
+    | Some d, Some r -> (
+      match Discipline.consume_return d r with
+      | [] -> ()
+      | errs -> disc_fail frame "discipline violation at return" errs)
+    | _ -> ());
     raise
       (Return_value (match r with Some r -> Some (consume_reg frame r) | None -> None))
 
@@ -260,6 +303,8 @@ and call t q (args : Interp.value list) : R.t option =
       owned = Array.make (max 1 m.c_nregs) false;
       locals = Hashtbl.create 8;
       objs = Hashtbl.create 4;
+      disc = (if t.check then Some (Discipline.init m.c_nregs) else None);
+      meth = q;
     }
   in
   List.iter2
@@ -281,6 +326,12 @@ and call t q (args : Interp.value list) : R.t option =
     with Return_value r -> r
   in
   (* frame teardown: locals die; stray owned registers are swept *)
+  (match frame.disc with
+  | Some d -> (
+    match Discipline.leaks d with
+    | [] -> ()
+    | errs -> disc_fail frame "leak at method exit" errs)
+  | None -> ());
   Hashtbl.iter (fun _ slot -> R.release !slot) frame.locals;
   Array.iteri
     (fun i v ->

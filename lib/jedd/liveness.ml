@@ -1,22 +1,29 @@
-open Tast
+(* Liveness of relation variables (§4.2), as a backward may-live
+   problem on the [Cfg] control-flow graph, solved by the generic
+   [Jedd_dataflow] worklist engine.
 
+   Kill sites are derived from the fixpoint: an atomic statement kills
+   the variables it touches that are dead afterwards; an [if] kills its
+   condition-only variables after the whole statement (Lower copies the
+   kill into both branches).  The do-while compatibility edge keeps the
+   historical conservatism — condition uses count as live at loop entry
+   — so kill sites land exactly where they always have. *)
+
+open Tast
 module S = Set.Make (String)
 
-(* Statements carry no ids; methods are small, so kills are recorded in
-   a physical-identity association list. *)
-type t = { mutable kills : (tstmt * var_key list) list }
-
-let record t s keys =
-  if keys <> [] then t.kills <- (s, keys) :: t.kills
+type t = {
+  ids : int Cfg.Stmt_tbl.t;  (* statement occurrence -> dense id *)
+  kills : (int, var_key list) Hashtbl.t;  (* statement id -> kill set *)
+}
 
 let kills_after t s =
-  let rec find = function
-    | [] -> []
-    | (s', ks) :: rest -> if s' == s then ks else find rest
-  in
-  find t.kills
+  match Cfg.Stmt_tbl.find_opt t.ids s with
+  | None -> []
+  | Some id -> (
+    match Hashtbl.find_opt t.kills id with Some ks -> ks | None -> [])
 
-let total_kill_sites t = List.length t.kills
+let total_kill_sites t = Hashtbl.length t.kills
 
 (* variables (locals and parameters, by key) an expression reads *)
 let rec expr_uses (e : texpr) acc =
@@ -39,92 +46,81 @@ let rec cond_uses (c : tcond) acc =
   | TAnd (a, b) | TOr (a, b) -> cond_uses a (cond_uses b acc)
   | TCmp_eq (l, r) | TCmp_ne (l, r) -> expr_uses l (expr_uses r acc)
 
-(* Backward transfer.  [record_pass] controls whether kill sets are
-   written (only on the final fixpoint pass, so loop bodies do not keep
-   stale kill sets from early iterations). *)
-let rec transfer t ~record_pass (s : tstmt) (live_out : S.t) : S.t =
-  let kill_set used defined =
-    S.elements (S.diff (S.union used defined) live_out)
-  in
+(* uses and definitions of an atomic statement *)
+let uses_defs (s : tstmt) : S.t * S.t =
   match s with
-  | TBlock stmts ->
-    List.fold_right
-      (fun s live -> transfer t ~record_pass s live)
-      stmts live_out
   | TDecl (key, init, _) ->
     let used =
       match init with Some e -> expr_uses e S.empty | None -> S.empty
     in
-    if record_pass then record t s (kill_set used (S.singleton key));
-    S.union used (S.remove key live_out)
+    (used, S.singleton key)
   | TAssign (key, kind, e, _) ->
-    let used = expr_uses e S.empty in
     let defined =
       if kind = Vlocal || kind = Vparam then S.singleton key else S.empty
     in
-    if record_pass then record t s (kill_set used defined);
-    S.union used (S.diff live_out defined)
+    (expr_uses e S.empty, defined)
   | TOp_assign (_, key, kind, e, _) ->
     (* reads and writes the variable *)
-    let used =
-      let u = expr_uses e S.empty in
-      if kind = Vlocal || kind = Vparam then S.add key u else u
-    in
-    if record_pass then record t s (kill_set used S.empty);
-    S.union used live_out
-  | TIf (c, th, el) ->
-    let live_th = transfer t ~record_pass th live_out in
-    let live_el =
-      match el with
-      | Some el -> transfer t ~record_pass el live_out
-      | None -> live_out
-    in
-    let branches = S.union live_th live_el in
-    let used_c = cond_uses c S.empty in
-    (* condition-only variables die after the whole statement *)
-    if record_pass then
-      record t s (S.elements (S.diff used_c (S.union live_out branches)));
-    S.union used_c branches
-  | TWhile (c, body) ->
-    let used_c = cond_uses c S.empty in
-    let rec fixpoint live =
-      let live' =
-        S.union live (transfer t ~record_pass:false body (S.union live used_c))
-      in
-      if S.equal live' live then live else fixpoint live'
-    in
-    let live_in = fixpoint (S.union live_out used_c) in
-    if record_pass then
-      ignore (transfer t ~record_pass:true body (S.union live_in used_c));
-    live_in
-  | TDo_while (body, c) ->
-    let used_c = cond_uses c S.empty in
-    let rec fixpoint live =
-      let live' =
-        S.union live (transfer t ~record_pass:false body (S.union live used_c))
-      in
-      if S.equal live' live then live else fixpoint live'
-    in
-    let live_in = fixpoint (S.union live_out used_c) in
-    if record_pass then
-      ignore (transfer t ~record_pass:true body (S.union live_in used_c));
-    live_in
+    let u = expr_uses e S.empty in
+    ((if kind = Vlocal || kind = Vparam then S.add key u else u), S.empty)
+  | TExpr e | TPrint e -> (expr_uses e S.empty, S.empty)
   | TReturn (e, _) ->
-    (* frame teardown releases everything anyway *)
-    (match e with Some e -> expr_uses e S.empty | None -> S.empty)
-  | TExpr e ->
-    let used = expr_uses e S.empty in
-    if record_pass then record t s (kill_set used S.empty);
-    S.union used live_out
-  | TPrint e ->
-    let used = expr_uses e S.empty in
-    if record_pass then record t s (kill_set used S.empty);
-    S.union used live_out
+    ((match e with Some e -> expr_uses e S.empty | None -> S.empty), S.empty)
+  | TIf _ | TWhile _ | TDo_while _ | TBlock _ -> (S.empty, S.empty)
+
+module Live = Jedd_dataflow.Solver (struct
+  type t = S.t
+
+  let bottom = S.empty
+  let join = S.union
+  let equal = S.equal
+end)
 
 let analyze (m : tmeth) : t =
-  let t = { kills = [] } in
-  ignore
-    (List.fold_right
-       (fun s live -> transfer t ~record_pass:true s live)
-       m.tm_body S.empty);
+  let cfg = Cfg.build_ast ~dowhile_compat:true m in
+  let transfer n (out : S.t) =
+    match cfg.Cfg.anodes.(n) with
+    | Cfg.A_stmt (TReturn _ as s) ->
+      (* frame teardown releases everything anyway *)
+      fst (uses_defs s)
+    | Cfg.A_stmt s ->
+      let used, defined = uses_defs s in
+      S.union used (S.diff out defined)
+    | Cfg.A_cond (c, _) -> S.union (cond_uses c S.empty) out
+    | Cfg.A_entry | Cfg.A_exit | Cfg.A_join | Cfg.A_branch _ -> out
+  in
+  let res =
+    Live.run cfg.Cfg.agraph Jedd_dataflow.Backward
+      ~init:(fun _ -> S.empty)
+      ~transfer
+  in
+  (* derive kill sites from the fixpoint; [before] is the live-out *)
+  let t = { ids = Cfg.Stmt_tbl.create 32; kills = Hashtbl.create 32 } in
+  let record s id keys =
+    if keys <> [] then begin
+      Cfg.Stmt_tbl.replace t.ids s id;
+      Hashtbl.replace t.kills id keys
+    end
+  in
+  let rec walk (s : tstmt) =
+    match s with
+    | TBlock ss -> List.iter walk ss
+    | TIf (c, th, el) ->
+      walk th;
+      Option.iter walk el;
+      let cn, j = Cfg.Stmt_tbl.find cfg.Cfg.aif_nodes s in
+      let live_out = res.Live.before j in
+      let branches = res.Live.before cn in
+      let used_c = cond_uses c S.empty in
+      (* condition-only variables die after the whole statement *)
+      record s cn (S.elements (S.diff used_c (S.union live_out branches)))
+    | TWhile (_, body) | TDo_while (body, _) -> walk body
+    | TReturn _ -> ()
+    | TDecl _ | TAssign _ | TOp_assign _ | TExpr _ | TPrint _ ->
+      let n = Cfg.Stmt_tbl.find cfg.Cfg.astmt_node s in
+      let live_out = res.Live.before n in
+      let used, defined = uses_defs s in
+      record s n (S.elements (S.diff (S.union used defined) live_out))
+  in
+  List.iter walk m.tm_body;
   t

@@ -10,11 +10,35 @@
 open Tast
 open Ir
 
+(* Provenance the lint subsystem feeds on: where each kept replace came
+   from (for the §3.3.3-style SAT-core audit) and which source position
+   each result register was materialised at (for attributing IR-level
+   diagnostics back to the program text). *)
+type replace_site = {
+  rs_method : string;  (* qualified method *)
+  rs_eid : int;  (* the coerced subexpression's node id *)
+  rs_pos : Ast.pos;
+  rs_from : layout;  (* layout the subexpression computes *)
+  rs_to : layout;  (* layout its consumer requires *)
+}
+
+type method_provenance = {
+  mp_reg_pos : (reg, Ast.pos) Hashtbl.t;
+  mp_replaces : replace_site list;  (* in lowering order *)
+}
+
+type program_provenance = {
+  pp_methods : (string, method_provenance) Hashtbl.t;
+  pp_replaces : replace_site list;  (* program order *)
+}
+
 type st = {
   compiled : Driver.compiled;
   meth_q : string;  (* qualified name of the method being lowered *)
   mutable next_reg : int;
   mutable code : instr list;  (* reversed *)
+  reg_pos : (reg, Ast.pos) Hashtbl.t;
+  mutable replaces : replace_site list;  (* reversed *)
 }
 
 let emit st i = st.code <- i :: st.code
@@ -41,6 +65,11 @@ let var_layout st key =
 
 (* result: register plus whether the lowering owns it *)
 let rec lower_expr st (e : texpr) : reg * bool =
+  let ((r, _) as result) = lower_expr_raw st e in
+  Hashtbl.replace st.reg_pos r e.epos;
+  result
+
+and lower_expr_raw st (e : texpr) : reg * bool =
   let site = Constraints.S_expr e.eid in
   match e.edesc with
   | TEmpty | TFull ->
@@ -142,6 +171,7 @@ and lower_consumed st (child : texpr) ~fallback : reg * bool =
   if child.is_poly then begin
     let r = fresh st in
     emit st (IConst (r, child.edesc = TFull, Lazy.force fallback));
+    Hashtbl.replace st.reg_pos r child.epos;
     (r, true)
   end
   else begin
@@ -153,6 +183,16 @@ and lower_consumed st (child : texpr) ~fallback : reg * bool =
       let d = fresh st in
       emit st (IReplace (d, r, want));
       if owned then emit st (IFree r);
+      Hashtbl.replace st.reg_pos d child.epos;
+      st.replaces <-
+        {
+          rs_method = st.meth_q;
+          rs_eid = child.eid;
+          rs_pos = child.epos;
+          rs_from = own_layout;
+          rs_to = want;
+        }
+        :: st.replaces;
       (d, true)
     end
   end
@@ -277,17 +317,45 @@ let rec lower_stmt st liveness (s : tstmt) : cstmt =
     end;
     CExec (take_code st @ kills ())
 
-let lower_method (compiled : Driver.compiled) q : cmethod =
+let lower_method_ex (compiled : Driver.compiled) q : cmethod * method_provenance
+    =
   let m = Hashtbl.find compiled.Driver.tprog.methods q in
-  let st = { compiled; meth_q = q; next_reg = 0; code = [] } in
+  let st =
+    {
+      compiled;
+      meth_q = q;
+      next_reg = 0;
+      code = [];
+      reg_pos = Hashtbl.create 32;
+      replaces = [];
+    }
+  in
   let liveness = Liveness.analyze m in
   let body = List.map (lower_stmt st liveness) m.tm_body in
   assert (st.code = []);
-  { c_qualified = q; c_params = m.tm_params; c_body = body; c_nregs = st.next_reg }
+  ( {
+      c_qualified = q;
+      c_params = m.tm_params;
+      c_body = body;
+      c_nregs = st.next_reg;
+    },
+    { mp_reg_pos = st.reg_pos; mp_replaces = List.rev st.replaces } )
+
+let lower_method compiled q = fst (lower_method_ex compiled q)
+
+let lower_program_ex (compiled : Driver.compiled) :
+    (string, cmethod) Hashtbl.t * program_provenance =
+  let out = Hashtbl.create 16 in
+  let pp_methods = Hashtbl.create 16 in
+  let replaces = ref [] in
+  List.iter
+    (fun q ->
+      let meth, mp = lower_method_ex compiled q in
+      Hashtbl.replace out q meth;
+      Hashtbl.replace pp_methods q mp;
+      replaces := List.rev_append mp.mp_replaces !replaces)
+    compiled.Driver.tprog.method_order;
+  (out, { pp_methods; pp_replaces = List.rev !replaces })
 
 let lower_program (compiled : Driver.compiled) : (string, cmethod) Hashtbl.t =
-  let out = Hashtbl.create 16 in
-  List.iter
-    (fun q -> Hashtbl.replace out q (lower_method compiled q))
-    compiled.Driver.tprog.method_order;
-  out
+  fst (lower_program_ex compiled)

@@ -1,0 +1,112 @@
+(* JL009: redundant rename/projection chains in the lowered IR.
+
+   Chained replace expressions lower to consecutive [IRename] /
+   [IProject] instructions feeding each other inside one straight-line
+   instruction list.  A rename followed by a rename that maps every
+   attribute straight back is pure BDD work for nothing; consecutive
+   renames or consecutive projections can always be fused into one
+   operation.  [IReplace] is looked through when following the data
+   flow: a physical-domain move does not change attribute names. *)
+
+open Jedd_lang
+
+(* m1 then m2 is the identity renaming iff m2 undoes exactly m1 *)
+let compose_is_identity (m1 : (string * string) list)
+    (m2 : (string * string) list) : bool =
+  List.for_all
+    (fun (a, b) ->
+      match List.assoc_opt b m2 with Some c -> c = a | None -> b = a)
+    m1
+  && List.for_all (fun (x, _) -> List.exists (fun (_, b) -> b = x) m1) m2
+
+let check_method (prog : Tast.tprogram) (q : string) (m : Ir.cmethod)
+    (prov : Lower.method_provenance) : Diag.t list =
+  let meth_pos =
+    match Hashtbl.find_opt prog.Tast.methods q with
+    | Some tm -> tm.Tast.tm_pos
+    | None -> { Ast.file = "<ir>"; line = 0; col = 0 }
+  in
+  let pos_of_reg r =
+    match Hashtbl.find_opt prov.Lower.mp_reg_pos r with
+    | Some p -> p
+    | None -> meth_pos
+  in
+  let out = ref [] in
+  let add r msg =
+    out :=
+      Diag.make ~code:"JL009" ~severity:Diag.Info ~pos:(pos_of_reg r) msg
+      :: !out
+  in
+  let scan_list (instrs : Ir.instr list) =
+    (* producing instruction of each register, within this list *)
+    let defs = Hashtbl.create 16 in
+    let rec producer r =
+      match Hashtbl.find_opt defs r with
+      | Some (Ir.IReplace (_, s, _)) -> producer s
+      | p -> p
+    in
+    List.iter
+      (fun (i : Ir.instr) ->
+        (match i with
+        | Ir.IRename (d, s, m2) -> (
+          match producer s with
+          | Some (Ir.IRename (_, _, m1)) ->
+            if compose_is_identity m1 m2 then
+              add d
+                "redundant rename chain: the second rename undoes the first"
+            else
+              add d "consecutive renames could be fused into one rename"
+          | _ -> ())
+        | Ir.IProject (d, s, _) -> (
+          match producer s with
+          | Some (Ir.IProject _) ->
+            add d "consecutive projections could be fused into one projection"
+          | _ -> ())
+        | _ -> ());
+        match i with
+        | Ir.ILoad (d, _)
+        | Ir.IConst (d, _, _)
+        | Ir.ILiteral (d, _, _)
+        | Ir.IUnion (d, _, _)
+        | Ir.IInter (d, _, _)
+        | Ir.IDiff (d, _, _)
+        | Ir.IProject (d, _, _)
+        | Ir.IRename (d, _, _)
+        | Ir.ICopy (d, _, _, _, _)
+        | Ir.IJoin (d, _, _, _, _)
+        | Ir.ICompose (d, _, _, _, _)
+        | Ir.IReplace (d, _, _)
+        | Ir.ICall (Some d, _, _) -> Hashtbl.replace defs d i
+        | Ir.IStore _ | Ir.IStoreUnion _ | Ir.IStoreInter _ | Ir.IStoreDiff _
+        | Ir.ICall (None, _, _)
+        | Ir.IFree _ | Ir.IKill _ | Ir.IPrint _ -> ())
+      instrs
+  in
+  let rec scan_cond (c : Ir.ccond) =
+    match c with
+    | Ir.Cbool _ -> ()
+    | Ir.Cnot c -> scan_cond c
+    | Ir.Cand (a, b) | Ir.Cor (a, b) ->
+      scan_cond a;
+      scan_cond b
+    | Ir.Ceq (code, _, rhs) | Ir.Cne (code, _, rhs) -> (
+      scan_list code;
+      match rhs with
+      | Ir.Rhs_reg (code2, _) -> scan_list code2
+      | Ir.Rhs_empty | Ir.Rhs_full -> ())
+  in
+  let rec scan_stmt (s : Ir.cstmt) =
+    match s with
+    | Ir.CExec instrs -> scan_list instrs
+    | Ir.CBlock ss -> List.iter scan_stmt ss
+    | Ir.CIf (c, th, el) ->
+      scan_cond c;
+      List.iter scan_stmt th;
+      List.iter scan_stmt el
+    | Ir.CWhile (c, body) | Ir.CDoWhile (body, c) ->
+      scan_cond c;
+      List.iter scan_stmt body
+    | Ir.CReturn (code, _) -> scan_list code
+  in
+  List.iter scan_stmt m.Ir.c_body;
+  !out

@@ -1,0 +1,120 @@
+(* JL002: dead relational stores — an assignment whose target dies
+   immediately afterwards computed a value nobody will read.  Reuses the
+   §4.2 liveness fixpoint: [Liveness.kills_after] lists exactly the
+   variables whose last use is at a statement, so a store whose target
+   is in its own kill set is dead.
+
+   JL003: relation locals and parameters that are never read anywhere in
+   their method.  Fields are excluded — they are the program's outputs
+   and the host reads them after the run. *)
+
+open Jedd_lang
+open Tast
+module S = Set.Make (String)
+
+let short_name = Check_init.short_name
+
+let rec expr_uses (e : texpr) acc =
+  match e.edesc with
+  | TVar ((Vlocal | Vparam), key) -> S.add key acc
+  | TVar (Vfield, _) | TEmpty | TFull | TLiteral _ -> acc
+  | TBinop (_, l, r) -> expr_uses l (expr_uses r acc)
+  | TReplace (_, c) -> expr_uses c acc
+  | TJoin (_, l, _, r, _) -> expr_uses l (expr_uses r acc)
+  | TCall (_, args) ->
+    List.fold_left
+      (fun acc (a : targ) ->
+        match a with Targ_rel te -> expr_uses te acc | Targ_obj _ -> acc)
+      acc args
+
+let rec cond_uses (c : tcond) acc =
+  match c with
+  | TBool _ -> acc
+  | TNot c -> cond_uses c acc
+  | TAnd (a, b) | TOr (a, b) -> cond_uses a (cond_uses b acc)
+  | TCmp_eq (l, r) | TCmp_ne (l, r) -> expr_uses l (expr_uses r acc)
+
+(* -- JL002 ----------------------------------------------------------------- *)
+
+let dead_stores (m : tmeth) : Diag.t list =
+  let live = Liveness.analyze m in
+  let out = ref [] in
+  let store_target (s : tstmt) =
+    match s with
+    | TDecl (key, Some _, pos) -> Some (key, pos, "initializer")
+    | TAssign (key, (Vlocal | Vparam), _, pos) -> Some (key, pos, "assignment")
+    | TOp_assign (_, key, (Vlocal | Vparam), _, pos) ->
+      Some (key, pos, "update")
+    | _ -> None
+  in
+  let rec walk (s : tstmt) =
+    match s with
+    | TBlock ss -> List.iter walk ss
+    | TIf (_, th, el) ->
+      walk th;
+      Option.iter walk el
+    | TWhile (_, body) | TDo_while (body, _) -> walk body
+    | _ -> (
+      match store_target s with
+      | Some (key, pos, what) when List.mem key (Liveness.kills_after live s)
+        ->
+        out :=
+          Diag.make ~code:"JL002" ~severity:Diag.Warning ~pos
+            (Printf.sprintf
+               "dead store: the %s of '%s' is never read (the variable dies \
+                here)"
+               what (short_name key))
+          :: !out
+      | _ -> ())
+  in
+  List.iter walk m.tm_body;
+  !out
+
+(* -- JL003 ----------------------------------------------------------------- *)
+
+let never_read (prog : tprogram) : Diag.t list =
+  (* one program-wide read set is enough: variable keys are globally
+     unique ("Cls.meth.local") *)
+  let reads = ref S.empty in
+  let rec walk (s : tstmt) =
+    match s with
+    | TBlock ss -> List.iter walk ss
+    | TIf (c, th, el) ->
+      reads := cond_uses c !reads;
+      walk th;
+      Option.iter walk el
+    | TWhile (c, body) | TDo_while (body, c) ->
+      reads := cond_uses c !reads;
+      walk body
+    | TDecl (_, Some e, _) | TAssign (_, _, e, _) | TExpr e | TPrint e ->
+      reads := expr_uses e !reads
+    | TOp_assign (_, key, kind, e, _) ->
+      reads := expr_uses e !reads;
+      if kind = Vlocal || kind = Vparam then reads := S.add key !reads
+    | TReturn (Some e, _) -> reads := expr_uses e !reads
+    | TDecl (_, None, _) | TReturn (None, _) -> ()
+  in
+  List.iter
+    (fun q -> List.iter walk (Hashtbl.find prog.methods q).tm_body)
+    prog.method_order;
+  Hashtbl.fold
+    (fun key (vi : var_info) acc ->
+      match vi.v_kind with
+      | Vfield -> acc
+      | Vlocal | Vparam ->
+        if S.mem key !reads then acc
+        else
+          Diag.make ~code:"JL003" ~severity:Diag.Warning ~pos:vi.v_pos
+            (Printf.sprintf "relation %s '%s' is never read"
+               (match vi.v_kind with
+               | Vparam -> "parameter"
+               | _ -> "variable")
+               (short_name key))
+          :: acc)
+    prog.vars []
+
+let check (prog : tprogram) : Diag.t list =
+  List.concat_map
+    (fun q -> dead_stores (Hashtbl.find prog.methods q))
+    prog.method_order
+  @ never_read prog

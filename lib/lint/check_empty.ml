@@ -1,0 +1,239 @@
+(* JL004/JL005/JL006: constant propagation of statically-known
+   emptiness/fullness.
+
+   A forward analysis maps each local/parameter to Emp (provably 0B),
+   Ful (provably 1B) or Unk, refining on emptiness tests along branch
+   edges.  Fields stay Unk — any call can rewrite them.  The facts flag
+   joins and intersections whose result is guaranteed empty (JL004),
+   no-op unions and differences (JL005), and emptiness tests whose
+   outcome is already decided at compile time (JL006). *)
+
+open Jedd_lang
+open Tast
+module M = Map.Make (String)
+
+type av = Emp | Ful | Unk
+
+let join_av a b = if a = b then a else Unk
+
+(* None = unreachable *)
+type fact = av M.t option
+
+let join_fact a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b ->
+    Some
+      (M.merge
+         (fun _ x y ->
+           match (x, y) with Some x, Some y -> Some (join_av x y) | _ -> None)
+         a b)
+
+let equal_fact a b =
+  match (a, b) with
+  | None, None -> true
+  | Some a, Some b -> M.equal ( = ) a b
+  | _ -> false
+
+let lookup env key = match M.find_opt key env with Some v -> v | None -> Unk
+
+let av_binop (op : Ast.set_op) a b =
+  match (op, a, b) with
+  | Ast.Union, Emp, x | Ast.Union, x, Emp -> x
+  | Ast.Union, Ful, _ | Ast.Union, _, Ful -> Ful
+  | Ast.Inter, Emp, _ | Ast.Inter, _, Emp -> Emp
+  | Ast.Inter, Ful, Ful -> Ful
+  | Ast.Diff, Emp, _ -> Emp
+  | Ast.Diff, x, Emp -> x
+  | Ast.Diff, _, Ful -> Emp
+  | _ -> Unk
+
+let rec aeval env (e : texpr) : av =
+  match e.edesc with
+  | TEmpty -> Emp
+  | TFull -> Ful
+  | TLiteral _ | TCall _ -> Unk
+  | TVar ((Vlocal | Vparam), key) -> lookup env key
+  | TVar (Vfield, _) -> Unk
+  | TBinop (op, l, r) -> av_binop op (aeval env l) (aeval env r)
+  | TJoin (_, l, _, r, _) ->
+    if aeval env l = Emp || aeval env r = Emp then Emp else Unk
+  | TReplace (reps, c) -> (
+    match aeval env c with
+    | Emp -> Emp
+    | Ful ->
+      (* projection and renaming preserve fullness; an attribute copy
+         builds a diagonal, which is not full *)
+      if List.for_all (function TCopy _ -> false | _ -> true) reps then Ful
+      else Unk
+    | Unk -> Unk)
+
+(* decide a comparison, assuming nonempty attribute domains *)
+let decide_cmp env l r : bool option =
+  match (aeval env l, aeval env r) with
+  | Emp, Emp | Ful, Ful -> Some true
+  | Emp, Ful | Ful, Emp -> Some false
+  | _ -> None
+
+let rec decide env (c : tcond) : bool option =
+  match c with
+  | TBool b -> Some b
+  | TNot c -> Option.map not (decide env c)
+  | TAnd (a, b) -> (
+    match (decide env a, decide env b) with
+    | Some false, _ | _, Some false -> Some false
+    | Some true, Some true -> Some true
+    | _ -> None)
+  | TOr (a, b) -> (
+    match (decide env a, decide env b) with
+    | Some true, _ | _, Some true -> Some true
+    | Some false, Some false -> Some false
+    | _ -> None)
+  | TCmp_eq (l, r) -> decide_cmp env l r
+  | TCmp_ne (l, r) -> Option.map not (decide_cmp env l r)
+
+let set env key v = M.add key v env
+
+(* propagate what holds when [c] took outcome [b] *)
+let rec refine env (c : tcond) (b : bool) : av M.t =
+  match (c, b) with
+  | TNot c, b -> refine env c (not b)
+  | TAnd (x, y), true -> refine (refine env x true) y true
+  | TOr (x, y), false -> refine (refine env x false) y false
+  | TCmp_eq (l, r), true | TCmp_ne (l, r), false ->
+    refine_eq (refine_eq env l r) r l
+  | _ -> env
+
+and refine_eq env (l : texpr) (r : texpr) : av M.t =
+  match l.edesc with
+  | TVar ((Vlocal | Vparam), key) -> (
+    match aeval env r with Unk -> env | v -> set env key v)
+  | _ -> env
+
+let stmt_effect env (s : tstmt) : av M.t =
+  match s with
+  | TDecl (key, None, _) -> set env key Emp  (* implicit 0B *)
+  | TDecl (key, Some e, _) -> set env key (aeval env e)
+  | TAssign (key, (Vlocal | Vparam), e, _) -> set env key (aeval env e)
+  | TOp_assign (op, key, (Vlocal | Vparam), e, _) ->
+    set env key (av_binop op (lookup env key) (aeval env e))
+  | _ -> env
+
+module Solver = Jedd_dataflow.Solver (struct
+  type t = fact
+
+  let bottom = None
+  let join = join_fact
+  let equal = equal_fact
+end)
+
+let check_method (m : tmeth) : Diag.t list =
+  let cfg = Cfg.build_ast m in
+  let transfer n (inp : fact) =
+    match inp with
+    | None -> None
+    | Some env -> (
+      match cfg.Cfg.anodes.(n) with
+      | Cfg.A_stmt s -> Some (stmt_effect env s)
+      | Cfg.A_branch (c, b) -> (
+        match decide env c with
+        | Some d when d <> b -> None  (* this branch can never be taken *)
+        | _ -> Some (refine env c b))
+      | _ -> Some env)
+  in
+  let res =
+    Solver.run cfg.Cfg.agraph Jedd_dataflow.Forward
+      ~init:(fun n -> if n = cfg.Cfg.aentry then Some M.empty else None)
+      ~transfer
+  in
+  let out = ref [] in
+  let add ?notes ~code ~severity ~pos msg =
+    out := Diag.make ?notes ~code ~severity ~pos msg :: !out
+  in
+  let rec scan_expr env (e : texpr) =
+    (match e.edesc with
+    | TJoin (_, l, _, r, _) ->
+      if aeval env l = Emp || aeval env r = Emp then
+        add ~code:"JL004" ~severity:Diag.Warning ~pos:e.epos
+          (Printf.sprintf
+             "%s with a statically empty operand always yields an empty \
+              relation"
+             (if e.ekind = "Compose_expression" then "composition" else "join"))
+    | TBinop (Ast.Inter, l, r) ->
+      if aeval env l = Emp || aeval env r = Emp then
+        add ~code:"JL004" ~severity:Diag.Warning ~pos:e.epos
+          "intersection with a statically empty operand always yields an \
+           empty relation"
+    | TBinop (Ast.Diff, l, r) ->
+      if aeval env l = Emp then
+        add ~code:"JL004" ~severity:Diag.Warning ~pos:e.epos
+          "difference whose left operand is statically empty always yields \
+           an empty relation"
+      else if aeval env r = Emp then
+        add ~code:"JL005" ~severity:Diag.Info ~pos:e.epos
+          "subtracting a statically empty relation is a no-op"
+    | TBinop (Ast.Union, l, r) ->
+      if aeval env l = Emp || aeval env r = Emp then
+        add ~code:"JL005" ~severity:Diag.Info ~pos:e.epos
+          "union with a statically empty relation is a no-op"
+    | _ -> ());
+    match e.edesc with
+    | TBinop (_, l, r) ->
+      scan_expr env l;
+      scan_expr env r
+    | TReplace (_, c) -> scan_expr env c
+    | TJoin (_, l, _, r, _) ->
+      scan_expr env l;
+      scan_expr env r
+    | TCall (_, args) ->
+      List.iter
+        (function Targ_rel te -> scan_expr env te | Targ_obj _ -> ())
+        args
+    | TVar _ | TEmpty | TFull | TLiteral _ -> ()
+  in
+  let scan_stmt env (s : tstmt) =
+    match s with
+    | TDecl (_, Some e, _)
+    | TAssign (_, _, e, _)
+    | TOp_assign (_, _, _, e, _)
+    | TExpr e | TPrint e
+    | TReturn (Some e, _) -> scan_expr env e
+    | _ -> ()
+  in
+  let rec scan_cond env (c : tcond) =
+    match c with
+    | TBool _ -> ()
+    | TNot c -> scan_cond env c
+    | TAnd (a, b) | TOr (a, b) ->
+      scan_cond env a;
+      scan_cond env b
+    | TCmp_eq (l, r) | TCmp_ne (l, r) -> (
+      scan_expr env l;
+      scan_expr env r;
+      let verdict =
+        match (c, decide_cmp env l r) with
+        | TCmp_ne _, Some b -> Some (not b)
+        | _, d -> d
+      in
+      match verdict with
+      | Some b ->
+        add ~code:"JL006" ~severity:Diag.Warning ~pos:l.epos
+          (Printf.sprintf "this emptiness test is always %b" b)
+      | None -> ())
+  in
+  Array.iteri
+    (fun n node ->
+      match res.Solver.before n with
+      | None -> ()  (* unreachable *)
+      | Some env -> (
+        match node with
+        | Cfg.A_stmt s -> scan_stmt env s
+        | Cfg.A_cond (c, _) -> scan_cond env c
+        | _ -> ()))
+    cfg.Cfg.anodes;
+  !out
+
+let check (prog : tprogram) : Diag.t list =
+  List.concat_map
+    (fun q -> check_method (Hashtbl.find prog.methods q))
+    prog.method_order

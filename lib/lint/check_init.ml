@@ -1,0 +1,121 @@
+(* JL001: definite-assignment analysis of relation variables.
+
+   A declaration without an initializer lowers to an implicit empty
+   store, so reading such a variable before any real assignment is
+   well-defined at runtime — and almost always a bug.  We run a forward
+   may-be-unassigned analysis over the source CFG (no do-while
+   compatibility edge: first-iteration facts are what matter here) and
+   flag every read that some path reaches with the variable still only
+   implicitly initialized. *)
+
+open Jedd_lang
+open Tast
+module S = Set.Make (String)
+
+let short_name key =
+  match String.rindex_opt key '.' with
+  | Some i -> String.sub key (i + 1) (String.length key - i - 1)
+  | None -> key
+
+(* local/param reads, each with the position of the reading expression *)
+let rec uses_with_pos (e : texpr) acc =
+  match e.edesc with
+  | TVar ((Vlocal | Vparam), key) -> (key, e.epos) :: acc
+  | TVar (Vfield, _) | TEmpty | TFull | TLiteral _ -> acc
+  | TBinop (_, l, r) -> uses_with_pos l (uses_with_pos r acc)
+  | TReplace (_, c) -> uses_with_pos c acc
+  | TJoin (_, l, _, r, _) -> uses_with_pos l (uses_with_pos r acc)
+  | TCall (_, args) ->
+    List.fold_left
+      (fun acc (a : targ) ->
+        match a with Targ_rel te -> uses_with_pos te acc | Targ_obj _ -> acc)
+      acc args
+
+let rec cond_uses_with_pos (c : tcond) acc =
+  match c with
+  | TBool _ -> acc
+  | TNot c -> cond_uses_with_pos c acc
+  | TAnd (a, b) | TOr (a, b) -> cond_uses_with_pos a (cond_uses_with_pos b acc)
+  | TCmp_eq (l, r) | TCmp_ne (l, r) -> uses_with_pos l (uses_with_pos r acc)
+
+(* reads performed by an atomic statement, and its effect on the
+   may-unassigned set *)
+let stmt_reads (s : tstmt) : (var_key * Ast.pos) list =
+  match s with
+  | TDecl (_, Some e, _) -> uses_with_pos e []
+  | TDecl (_, None, _) -> []
+  | TAssign (_, _, e, _) -> uses_with_pos e []
+  | TOp_assign (_, key, kind, e, pos) ->
+    let u = uses_with_pos e [] in
+    if kind = Vlocal || kind = Vparam then (key, pos) :: u else u
+  | TExpr e | TPrint e -> uses_with_pos e []
+  | TReturn (Some e, _) -> uses_with_pos e []
+  | TReturn (None, _) -> []
+  | TIf _ | TWhile _ | TDo_while _ | TBlock _ -> []
+
+let stmt_effect (s : tstmt) (unassigned : S.t) : S.t =
+  match s with
+  | TDecl (key, None, _) -> S.add key unassigned
+  | TDecl (key, Some _, _) -> S.remove key unassigned
+  | TAssign (key, (Vlocal | Vparam), _, _) -> S.remove key unassigned
+  (* a compound assignment counts as the first real assignment too:
+     report the read once, then stop cascading *)
+  | TOp_assign (_, key, (Vlocal | Vparam), _, _) -> S.remove key unassigned
+  | _ -> unassigned
+
+module Solver = Jedd_dataflow.Solver (struct
+  type t = S.t
+
+  let bottom = S.empty
+  let join = S.union
+  let equal = S.equal
+end)
+
+let check_method (prog : tprogram) (m : tmeth) : Diag.t list =
+  let cfg = Cfg.build_ast m in
+  let transfer n (inp : S.t) =
+    match cfg.Cfg.anodes.(n) with
+    | Cfg.A_stmt s -> stmt_effect s inp
+    | _ -> inp
+  in
+  let res =
+    Solver.run cfg.Cfg.agraph Jedd_dataflow.Forward
+      ~init:(fun _ -> S.empty)
+      ~transfer
+  in
+  let out = ref [] in
+  let seen = Hashtbl.create 8 in
+  let report unassigned (key, pos) =
+    if S.mem key unassigned && not (Hashtbl.mem seen (key, pos)) then begin
+      Hashtbl.add seen (key, pos) ();
+      let notes =
+        match Hashtbl.find_opt prog.vars key with
+        | Some vi ->
+          [
+            Format.asprintf "declared without an initializer at %a" Ast.pp_pos
+              vi.v_pos;
+          ]
+        | None -> []
+      in
+      out :=
+        Diag.make ~notes ~code:"JL001" ~severity:Diag.Warning ~pos
+          (Printf.sprintf
+             "relation variable '%s' may be read before it is assigned"
+             (short_name key))
+        :: !out
+    end
+  in
+  Array.iteri
+    (fun n node ->
+      let inp = res.Solver.before n in
+      match node with
+      | Cfg.A_stmt s -> List.iter (report inp) (stmt_reads s)
+      | Cfg.A_cond (c, _) -> List.iter (report inp) (cond_uses_with_pos c [])
+      | _ -> ())
+    cfg.Cfg.anodes;
+  !out
+
+let check (prog : tprogram) : Diag.t list =
+  List.concat_map
+    (fun q -> check_method prog (Hashtbl.find prog.methods q))
+    prog.method_order

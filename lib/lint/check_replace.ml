@@ -1,0 +1,66 @@
+(* JL007/JL008: the replace-site audit.
+
+   [Lower] records every [IReplace] the assignment stage kept, with the
+   source expression it wraps.  For each site we re-solve the §3.3.2 SAT
+   instance with that wrapper's assignment edges promoted to hard
+   equalities ([Encode.probe_wrap_equal]): if the strengthened instance
+   is unsatisfiable, the copy is forced, and the minimized unsat core
+   names the conflicting constraints (the §3.3.3 machinery aimed at one
+   site); if it is satisfiable, the copy was merely the global solver's
+   choice and a different specification could remove it. *)
+
+open Jedd_lang
+module JDriver = Jedd_lang.Driver
+
+type verdict =
+  | V_forced of string list  (* the minimized core, rendered *)
+  | V_chosen
+
+type audit_entry = { site : Lower.replace_site; verdict : verdict }
+
+let layout_to_string (l : Ir.layout) = Format.asprintf "%a" Ir.pp_layout l
+
+let audit ?max_paths_per_class (compiled : JDriver.compiled)
+    (prov : Lower.program_provenance) : audit_entry list * Diag.t list =
+  let entries =
+    List.map
+      (fun (site : Lower.replace_site) ->
+        let verdict =
+          match
+            Encode.probe_wrap_equal ?max_paths_per_class
+              compiled.JDriver.tprog compiled.JDriver.graph
+              ~eid:site.Lower.rs_eid
+          with
+          | Encode.Forced core -> V_forced core
+          | Encode.Avoidable -> V_chosen
+        in
+        { site; verdict })
+      prov.Lower.pp_replaces
+  in
+  let diags =
+    List.map
+      (fun { site; verdict } ->
+        let coerce =
+          Printf.sprintf "%s -> %s (in %s)"
+            (layout_to_string site.Lower.rs_from)
+            (layout_to_string site.Lower.rs_to)
+            site.Lower.rs_method
+        in
+        match verdict with
+        | V_forced core ->
+          Diag.make
+            ~notes:(List.map (fun c -> "forced because " ^ c) core)
+            ~code:"JL007" ~severity:Diag.Info ~pos:site.Lower.rs_pos
+            (Printf.sprintf "replace (BDD copy) required here: %s" coerce)
+        | V_chosen ->
+          Diag.make
+            ~notes:
+              [
+                "no hard constraint forces this copy; adjusting physical \
+                 domain specifications could eliminate it";
+              ]
+            ~code:"JL008" ~severity:Diag.Info ~pos:site.Lower.rs_pos
+            (Printf.sprintf "avoidable replace (BDD copy) here: %s" coerce))
+      entries
+  in
+  (entries, diags)

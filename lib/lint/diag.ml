@@ -1,0 +1,66 @@
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;
+  severity : severity;
+  pos : Jedd_lang.Ast.pos;
+  message : string;
+  notes : string list;
+}
+
+let make ?(notes = []) ~code ~severity ~pos message =
+  { code; severity; pos; message; notes }
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let compare_diag a b =
+  let key (d : t) =
+    let p : Jedd_lang.Ast.pos = d.pos in
+    (p.file, p.line, p.col, d.code, d.message)
+  in
+  compare (key a) (key b)
+
+let to_text d =
+  let head =
+    Format.asprintf "%a: %s: %s [%s]" Jedd_lang.Ast.pp_pos d.pos
+      (severity_name d.severity) d.message d.code
+  in
+  String.concat "\n" (head :: List.map (fun n -> "  note: " ^ n) d.notes)
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let to_json ~indent d =
+  let p = d.pos in
+  let field k v = Printf.sprintf "%s  %s: %s" indent (json_string k) v in
+  let fields =
+    [
+      field "code" (json_string d.code);
+      field "severity" (json_string (severity_name d.severity));
+      field "file" (json_string p.Jedd_lang.Ast.file);
+      field "line" (string_of_int p.Jedd_lang.Ast.line);
+      field "col" (string_of_int p.Jedd_lang.Ast.col);
+      field "message" (json_string d.message);
+      field "notes"
+        ("[" ^ String.concat ", " (List.map json_string d.notes) ^ "]");
+    ]
+  in
+  Printf.sprintf "%s{\n%s\n%s}" indent (String.concat ",\n" fields) indent

@@ -1,0 +1,52 @@
+(** Position-carrying jeddlint diagnostics.
+
+    Every checker emits values of {!t}; the {!Driver} sorts, renders and
+    turns them into an exit code.  Codes are stable: tooling may match
+    on them.
+
+    {ul
+    {- [JL001] use of a relation variable that may be unassigned}
+    {- [JL002] dead relational store}
+    {- [JL003] relation variable never read}
+    {- [JL004] operation with a statically empty operand always yields
+       an empty relation}
+    {- [JL005] no-op union/difference with a statically empty operand}
+    {- [JL006] emptiness test decided at compile time}
+    {- [JL007] unavoidable replace, with the constraints forcing it}
+    {- [JL008] replace chosen by the global assignment but avoidable}
+    {- [JL009] redundant rename/projection chain}
+    {- [JL100] register-discipline violation in lowered IR}} *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;
+  severity : severity;
+  pos : Jedd_lang.Ast.pos;
+  message : string;
+  notes : string list;  (** secondary lines, e.g. the SAT core *)
+}
+
+val make :
+  ?notes:string list ->
+  code:string ->
+  severity:severity ->
+  pos:Jedd_lang.Ast.pos ->
+  string ->
+  t
+
+val severity_name : severity -> string
+
+val compare_diag : t -> t -> int
+(** Source order (file, line, column), then code, then message. *)
+
+val to_text : t -> string
+(** ["file:line,col: warning: message \[JL002\]"] plus one indented
+    ["note:"] line per note. *)
+
+val json_string : string -> string
+(** JSON-quote and escape a string. *)
+
+val to_json : indent:string -> t -> string
+(** A multi-line JSON object; stable field order, suitable for golden
+    tests. *)

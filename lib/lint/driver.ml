@@ -1,0 +1,119 @@
+open Jedd_lang
+module JDriver = Jedd_lang.Driver
+
+type report = {
+  diagnostics : Diag.t list;
+  methods_verified : int;
+  refcount_violations : int;
+  replace_audit : Check_replace.audit_entry list;
+}
+
+let lint ?(replace_audit = true) ?max_paths_per_class
+    (compiled : JDriver.compiled) : report =
+  let prog = compiled.JDriver.tprog in
+  let methods, prov = Lower.lower_program_ex compiled in
+  let source_diags =
+    Check_init.check prog @ Check_dead.check prog @ Check_empty.check prog
+  in
+  let chain_diags =
+    List.concat_map
+      (fun q ->
+        match
+          (Hashtbl.find_opt methods q, Hashtbl.find_opt prov.Lower.pp_methods q)
+        with
+        | Some m, Some mp -> Check_chains.check_method prog q m mp
+        | _ -> [])
+      prog.Tast.method_order
+  in
+  let audit, replace_diags =
+    if replace_audit then
+      Check_replace.audit ?max_paths_per_class compiled prov
+    else ([], [])
+  in
+  let refcount_diags, methods_verified, refcount_violations =
+    Refcount.check prog methods
+  in
+  {
+    diagnostics =
+      List.stable_sort Diag.compare_diag
+        (source_diags @ chain_diags @ replace_diags @ refcount_diags);
+    methods_verified;
+    refcount_violations;
+    replace_audit = audit;
+  }
+
+let count sev r =
+  List.length (List.filter (fun (d : Diag.t) -> d.Diag.severity = sev) r.diagnostics)
+
+let exit_code r =
+  if count Diag.Error r > 0 then 2 else if count Diag.Warning r > 0 then 1 else 0
+
+let summary_line r =
+  let forced =
+    List.length
+      (List.filter
+         (fun (e : Check_replace.audit_entry) ->
+           match e.Check_replace.verdict with
+           | Check_replace.V_forced _ -> true
+           | Check_replace.V_chosen -> false)
+         r.replace_audit)
+  in
+  Printf.sprintf
+    "jeddlint: %d error(s), %d warning(s), %d info(s); %d method(s) \
+     refcount-verified (%d violation(s)); %d replace site(s) (%d forced, %d \
+     avoidable)"
+    (count Diag.Error r) (count Diag.Warning r) (count Diag.Info r)
+    r.methods_verified r.refcount_violations
+    (List.length r.replace_audit)
+    forced
+    (List.length r.replace_audit - forced)
+
+let to_text r =
+  String.concat "\n"
+    (List.map Diag.to_text r.diagnostics @ [ summary_line r ])
+
+let to_json r =
+  let buf = Buffer.create 1024 in
+  let add = Buffer.add_string buf in
+  add "{\n";
+  add "  \"diagnostics\": [\n";
+  add
+    (String.concat ",\n"
+       (List.map (Diag.to_json ~indent:"    ") r.diagnostics));
+  if r.diagnostics <> [] then add "\n";
+  add "  ],\n";
+  add
+    (Printf.sprintf
+       "  \"summary\": { \"errors\": %d, \"warnings\": %d, \"infos\": %d },\n"
+       (count Diag.Error r) (count Diag.Warning r) (count Diag.Info r));
+  add
+    (Printf.sprintf
+       "  \"refcount\": { \"methods_verified\": %d, \"violations\": %d },\n"
+       r.methods_verified r.refcount_violations);
+  add "  \"replace_audit\": [\n";
+  add
+    (String.concat ",\n"
+       (List.map
+          (fun (e : Check_replace.audit_entry) ->
+            let s = e.Check_replace.site in
+            let p = s.Lower.rs_pos in
+            let verdict, core =
+              match e.Check_replace.verdict with
+              | Check_replace.V_forced c -> ("forced", c)
+              | Check_replace.V_chosen -> ("avoidable", [])
+            in
+            Printf.sprintf
+              "    { \"method\": %s, \"file\": %s, \"line\": %d, \"col\": %d, \
+               \"from\": %s, \"to\": %s, \"verdict\": %s, \"core\": [%s] }"
+              (Diag.json_string s.Lower.rs_method)
+              (Diag.json_string p.Ast.file)
+              p.Ast.line p.Ast.col
+              (Diag.json_string (Check_replace.layout_to_string s.Lower.rs_from))
+              (Diag.json_string (Check_replace.layout_to_string s.Lower.rs_to))
+              (Diag.json_string verdict)
+              (String.concat ", " (List.map Diag.json_string core)))
+          r.replace_audit));
+  if r.replace_audit <> [] then add "\n";
+  add "  ]\n";
+  add "}";
+  Buffer.contents buf

@@ -1,0 +1,30 @@
+(** jeddlint: run every checker over a compiled program and render the
+    results.
+
+    The report is deterministic — diagnostics in source order, the
+    replace audit in program order — so both renderings are suitable
+    for golden tests and CI. *)
+
+type report = {
+  diagnostics : Diag.t list;  (** sorted by position, then code *)
+  methods_verified : int;  (** methods the refcount verifier proved *)
+  refcount_violations : int;
+  replace_audit : Check_replace.audit_entry list;
+}
+
+val lint :
+  ?replace_audit:bool ->
+  ?max_paths_per_class:int ->
+  Jedd_lang.Driver.compiled ->
+  report
+(** Run all checkers.  [replace_audit] (default [true]) controls the
+    per-site SAT probes of JL007/JL008, the only non-linear part. *)
+
+val exit_code : report -> int
+(** 2 if any error, 1 if any warning, 0 otherwise — CI-friendly. *)
+
+val to_text : report -> string
+
+val to_json : report -> string
+(** Stable multi-line JSON document: [diagnostics], [summary],
+    [refcount] and [replace_audit] blocks. *)
