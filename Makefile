@@ -1,4 +1,5 @@
-.PHONY: all check test smoke bench-smoke release bench-json bench-json3 lint clean
+.PHONY: all check test smoke bench-smoke release bench-json bench-json3 \
+        bench-json5 serve-smoke lint clean
 
 all:
 	dune build
@@ -45,6 +46,16 @@ bench-json:
 # capped-memory scenario that only the extmem backend survives.
 bench-json3:
 	dune exec --profile release bench/main.exe -- json3
+
+# jeddd warm-start story: cold pipeline vs snapshot load vs per-query
+# server latency; fails if warm-start is not at least 5x faster.
+bench-json5:
+	dune exec --profile release bench/main.exe -- json5
+
+# End-to-end daemon round trip: jeddd cold start, jeddq queries over
+# the socket, snapshot save, warm restart, answers compared.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 clean:
 	dune clean

@@ -14,6 +14,8 @@
      dune exec bench/main.exe -- json         -- write BENCH_pr1.json
      dune exec bench/main.exe -- json2        -- write BENCH_pr2.json
      dune exec bench/main.exe -- json3        -- write BENCH_pr3.json
+     dune exec bench/main.exe -- json5        -- write BENCH_pr5.json
+                                                 (cold vs warm-start jeddd)
      dune exec bench/main.exe -- smoke        -- seconds-scale sanity run
                                                  (also: dune build @bench-smoke)
 
@@ -1022,6 +1024,121 @@ let bench_json3 ?(path = "BENCH_pr3.json") () =
   print_string (Buffer.contents buf);
   Printf.printf "wrote %s\n" path
 
+(* ----------------------------------------------------------------- *)
+(* BENCH_pr5.json: the jeddd warm-start story.  Cold = run the full   *)
+(* combined pipeline and answer one points-to query; warm = load the  *)
+(* snapshot the cold run saved and answer the same query; server =    *)
+(* per-query round-trip latency against a live jeddd socket.  The     *)
+(* acceptance bar is cold/warm >= 5x.                                 *)
+(* ----------------------------------------------------------------- *)
+
+let bench_json5 ?(path = "BENCH_pr5.json") () =
+  let bench_name =
+    match Sys.getenv_opt "JEDD_BENCH_WORKLOAD" with
+    | Some n -> n
+    | None -> "javac"
+  in
+  let p = Workload.generate (Workload.profile_named bench_name) in
+  let snap_path = Filename.temp_file "jedd-bench" ".snap" in
+  (* cold: compute the fixed point, persist it, answer pointsto(var) *)
+  let module Snapshot = Jedd_store.Snapshot in
+  let module R = Jedd_relation.Relation in
+  let query_rel snap var =
+    match Snapshot.find_relation snap "PointsTo.pt" with
+    | None -> failwith "snapshot lacks PointsTo.pt"
+    | Some pt ->
+      let var_attr, heap_attr =
+        match Jedd_relation.Schema.attrs (R.schema pt) with
+        | [ a; b ] ->
+          if Jedd_relation.Attribute.name a = "var" then (a, b) else (b, a)
+        | _ -> failwith "PointsTo.pt is not binary"
+      in
+      let sel = R.select pt [ (var_attr, var) ] in
+      let heaps = R.project_away sel [ var_attr ] in
+      ignore heap_attr;
+      let n = R.size heaps in
+      R.release sel;
+      R.release heaps;
+      n
+  in
+  let (snap_cold, query_var, cold_heaps), cold_s =
+    wall (fun () ->
+        let inst, r = Suite.run_combined p in
+        let snap = Suite.snapshot ~meta:[ ("workload", bench_name) ] inst in
+        Snapshot.save_file snap_path snap;
+        (* a var that actually points somewhere, so the query is real *)
+        let query_var =
+          match r.Suite.pt with (v :: _) :: _ -> v | _ -> 0
+        in
+        (snap, query_var, query_rel snap query_var))
+  in
+  let pt_tuples =
+    match Snapshot.find_relation snap_cold "PointsTo.pt" with
+    | Some pt -> R.size pt
+    | None -> 0
+  in
+  (* warm: load the snapshot, answer the same query; no fixed point *)
+  let (warm_heaps, warm_relations), warm_s =
+    wall (fun () ->
+        let snap = Snapshot.load_file snap_path in
+        (query_rel snap query_var, List.length snap.Snapshot.relations))
+  in
+  (* server: round-trip latency for the same query over the socket *)
+  let module Server = Jedd_server.Server in
+  let module Client = Jedd_server.Client in
+  let socket_path = Filename.temp_file "jedd-bench" ".sock" in
+  Sys.remove socket_path;
+  let server = Server.create ~socket_path snap_cold in
+  let server_thread = Thread.create Server.serve server in
+  let c = Client.connect socket_path in
+  let n_queries = 200 in
+  let lat = Array.make n_queries 0.0 in
+  for i = 0 to n_queries - 1 do
+    let (_ : int list), dt = wall (fun () -> Client.pointsto c query_var) in
+    lat.(i) <- dt
+  done;
+  Client.shutdown c;
+  Client.close c;
+  Thread.join server_thread;
+  Array.sort compare lat;
+  let mean = Array.fold_left ( +. ) 0.0 lat /. float_of_int n_queries in
+  let p95 = lat.(n_queries * 95 / 100) in
+  let speedup = cold_s /. warm_s in
+  let snap_bytes = (Unix.stat snap_path).Unix.st_size in
+  Sys.remove snap_path;
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "{\n";
+  out "  \"schema\": \"jedd-bench-v5\",\n";
+  out "  \"benchmark\": %S,\n" bench_name;
+  out "  \"query_var\": %d,\n" query_var;
+  out "  \"pt_tuples\": %d,\n" pt_tuples;
+  out "  \"snapshot_bytes\": %d,\n" snap_bytes;
+  out "  \"snapshot_relations\": %d,\n" warm_relations;
+  out "  \"cold_seconds\": %.4f,\n" cold_s;
+  out "  \"warm_seconds\": %.4f,\n" warm_s;
+  out "  \"warm_speedup\": %.1f,\n" speedup;
+  out "  \"results_match\": %b,\n" (cold_heaps = warm_heaps);
+  out "  \"server_query_mean_ms\": %.3f,\n" (mean *. 1000.);
+  out "  \"server_query_p95_ms\": %.3f,\n" (p95 *. 1000.);
+  out "  \"server_queries\": %d\n" n_queries;
+  out "}\n";
+  if cold_heaps <> warm_heaps then begin
+    Printf.eprintf "json5: warm-start query disagrees with cold (%d vs %d)\n"
+      cold_heaps warm_heaps;
+    exit 1
+  end;
+  if speedup < 5.0 then begin
+    Printf.eprintf "json5: warm-start speedup %.1fx is below the 5x bar\n"
+      speedup;
+    exit 1
+  end;
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  print_string (Buffer.contents buf);
+  Printf.printf "wrote %s\n" path
+
 let smoke () =
   let failures = ref 0 in
   let check name ok =
@@ -1137,4 +1254,5 @@ let () =
   if List.mem "json" cmds then bench_json ();
   if List.mem "json2" cmds then bench_json2 ();
   if List.mem "json3" cmds then bench_json3 ();
+  if List.mem "json5" cmds then bench_json5 ();
   if List.mem "smoke" cmds then smoke ()

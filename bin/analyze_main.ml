@@ -7,11 +7,10 @@ module Program = Jedd_minijava.Program
 module Reference = Jedd_minijava.Reference
 module Suite = Jedd_analyses.Suite
 
-let backend_of_string = function
-  | "incore" -> `Incore
-  | "extmem" -> `Extmem
-  | s ->
-    Printf.eprintf "jedd-analyze: unknown backend %S (incore|extmem)\n" s;
+let backend_of_string s =
+  try Jedd_relation.Backend.kind_of_string s
+  with Invalid_argument msg ->
+    Printf.eprintf "jedd-analyze: %s\n" msg;
     exit 2
 
 let lint_suite p =
@@ -26,7 +25,22 @@ let lint_suite p =
     Suite.analyses;
   exit !worst
 
-let run benchmark file verify reorder backend node_limit lint =
+(* Print the Table 1-style result-size summary shared by the run_all
+   and run_combined paths. *)
+let print_results (r : Suite.results) =
+  Printf.printf "  Hierarchy            : %d subtype pairs\n"
+    (List.length r.Suite.subtypes);
+  Printf.printf "  Points-to Analysis   : %d (var, heap) pairs\n"
+    (List.length r.Suite.pt);
+  Printf.printf "  Virtual Call Resol.  : %d resolved targets\n"
+    (List.length r.Suite.resolved);
+  Printf.printf "  Call Graph           : %d reachable methods\n"
+    (List.length r.Suite.reachable);
+  Printf.printf "  Side-effect Analysis : %d (method, heap, field) triples\n"
+    (List.length r.Suite.side_effects)
+
+let run benchmark file verify reorder backend node_limit lint save_snapshot
+    serve =
   let name, p =
     if file <> "" then (file, Jedd_minijava.Frontend.load_file file)
     else
@@ -48,27 +62,45 @@ let run benchmark file verify reorder backend node_limit lint =
   | _ -> ());
   Format.printf "workload %s: %a@." name Program.pp_stats p;
   let t0 = Sys.time () in
-  let r =
-    try Suite.run_all ?backend ?node_limit ~reorder p
-    with Jedd_bdd.Manager.Out_of_nodes ->
-      Printf.eprintf
-        "jedd-analyze: analysis exceeded the in-core memory budget (%s \
-         nodes); retry with --backend=extmem to stream BDDs through \
-         bounded memory, or raise --node-limit.\n"
-        (match node_limit with Some n -> string_of_int n | None -> "?");
-      exit 3
+  let needs_instance = save_snapshot <> None || serve <> None in
+  let oom () =
+    Printf.eprintf
+      "jedd-analyze: analysis exceeded the in-core memory budget (%s \
+       nodes); retry with --backend=extmem to stream BDDs through \
+       bounded memory, or raise --node-limit.\n"
+      (match node_limit with Some n -> string_of_int n | None -> "?");
+    exit 3
+  in
+  let inst, r =
+    (* snapshotting and serving need the live combined instance; the
+       plain report path keeps the historical per-analysis universes *)
+    try
+      if needs_instance then
+        let inst, r = Suite.run_combined ?backend ?node_limit ~reorder p in
+        (Some inst, r)
+      else (None, Suite.run_all ?backend ?node_limit ~reorder p)
+    with Jedd_bdd.Manager.Out_of_nodes -> oom ()
   in
   Printf.printf "pipeline completed in %.2f s\n" (Sys.time () -. t0);
-  Printf.printf "  Hierarchy            : %d subtype pairs\n"
-    (List.length r.Suite.subtypes);
-  Printf.printf "  Points-to Analysis   : %d (var, heap) pairs\n"
-    (List.length r.Suite.pt);
-  Printf.printf "  Virtual Call Resol.  : %d resolved targets\n"
-    (List.length r.Suite.resolved);
-  Printf.printf "  Call Graph           : %d reachable methods\n"
-    (List.length r.Suite.reachable);
-  Printf.printf "  Side-effect Analysis : %d (method, heap, field) triples\n"
-    (List.length r.Suite.side_effects);
+  print_results r;
+  let snap =
+    Option.map
+      (fun inst -> Suite.snapshot ~meta:[ ("workload", name) ] inst)
+      inst
+  in
+  (match (save_snapshot, snap) with
+  | Some path, Some snap ->
+    Jedd_store.Snapshot.save_file path snap;
+    Printf.printf "snapshot saved to %s (%d relations)\n" path
+      (List.length snap.Jedd_store.Snapshot.relations)
+  | _ -> ());
+  (match (serve, snap) with
+  | Some socket_path, Some snap ->
+    let server = Jedd_server.Server.create ~socket_path snap in
+    Printf.printf "jeddd: serving %s on %s (send {\"verb\":\"shutdown\"} to stop)\n%!"
+      name socket_path;
+    Jedd_server.Server.serve server
+  | _ -> ());
   if verify then begin
     let ref_pt, _ = Reference.points_to p in
     let ref_targets = Reference.call_targets p ref_pt in
@@ -140,12 +172,32 @@ let lint_arg =
           "Run the jeddlint checkers over each of the five analyses instead \
            of executing them; exits with the worst per-analysis lint code")
 
+let save_snapshot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save-snapshot" ] ~docv:"FILE"
+        ~doc:
+          "After the pipeline completes, persist the combined analysis \
+           universe (checksummed binary snapshot, both backends) to FILE; \
+           jeddd can warm-start from it without recomputing")
+
+let serve_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "serve" ] ~docv:"SOCKET"
+        ~doc:
+          "After the pipeline completes, serve the results over a Unix \
+           socket speaking the jeddd line/JSON protocol (query with jeddq)")
+
 let cmd =
   Cmd.v
-    (Cmd.info "jedd-analyze"
+    (Cmd.info "jedd-analyze" ~version:Jedd_relation.Version.banner
        ~doc:"Run the five BDD-based whole-program analyses of Figure 2")
     Term.(
       const run $ benchmark_arg $ file_arg $ verify_arg $ reorder_arg
-      $ backend_arg $ node_limit_arg $ lint_arg)
+      $ backend_arg $ node_limit_arg $ lint_arg $ save_snapshot_arg
+      $ serve_arg)
 
 let () = exit (Cmd.eval cmd)

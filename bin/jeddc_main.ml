@@ -132,7 +132,8 @@ let lint_arg =
 
 let cmd =
   Cmd.v
-    (Cmd.info "jeddc" ~doc:"Jedd to Java translator (PLDI 2004 reproduction)")
+    (Cmd.info "jeddc" ~version:Jedd_relation.Version.banner
+       ~doc:"Jedd to Java translator (PLDI 2004 reproduction)")
     Term.(
       const run $ files_arg $ output_arg $ stats_arg $ dimacs_arg $ dump_ir_arg
       $ lint_arg)

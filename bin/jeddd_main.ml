@@ -1,0 +1,156 @@
+(* jeddd: the persistent analysis daemon.
+
+   Obtains an analysis snapshot — warm from a snapshot file or the
+   content-addressed store, or cold by running the combined Figure 2
+   pipeline — then serves concurrent queries over a Unix socket in the
+   jeddd line/JSON protocol (see lib/server/protocol.ml).  The whole
+   point: the fixed-point computation happens at most once, queries
+   thereafter are BDD lookups. *)
+
+open Cmdliner
+module Workload = Jedd_minijava.Workload
+module Suite = Jedd_analyses.Suite
+module Snapshot = Jedd_store.Snapshot
+module Cas = Jedd_store.Cas
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
+
+let backend_of_string s =
+  try Jedd_relation.Backend.kind_of_string s
+  with Invalid_argument msg -> fail "jeddd: %s" msg
+
+let load_or_compute ~snapshot_file ~store_dir ~store_name ~benchmark ~backend
+    ~node_limit ~save ~tag =
+  let backend = Option.map backend_of_string backend in
+  let t0 = Unix.gettimeofday () in
+  let snap, origin =
+    match (snapshot_file, store_dir, store_name) with
+    | Some file, _, _ ->
+      (Snapshot.load_file ?backend file, Printf.sprintf "snapshot %s" file)
+    | None, Some dir, Some name -> (
+      let cas = Cas.open_ dir in
+      match Cas.resolve cas name with
+      | None -> fail "jeddd: %S does not name a snapshot in store %s" name dir
+      | Some digest -> (
+        match Cas.get cas digest with
+        | None -> fail "jeddd: store object %s is missing" digest
+        | Some data ->
+          ( Snapshot.of_bytes ?backend data,
+            Printf.sprintf "store %s/%s" dir name )))
+    | None, Some _, None -> fail "jeddd: --store needs --name"
+    | None, None, Some _ -> fail "jeddd: --name needs --store"
+    | None, None, None ->
+      let profile =
+        if benchmark = "tiny" then Workload.tiny
+        else Workload.profile_named benchmark
+      in
+      let p = Workload.generate profile in
+      let inst, _ = Suite.run_combined ?backend ?node_limit p in
+      ( Suite.snapshot ~meta:[ ("workload", benchmark) ] inst,
+        Printf.sprintf "cold run of %s" benchmark )
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Printf.printf "jeddd: ready from %s in %.3f s (%d relations)\n%!" origin
+    elapsed (List.length snap.Snapshot.relations);
+  (match save with
+  | Some path ->
+    Snapshot.save_file path snap;
+    Printf.printf "jeddd: saved snapshot to %s\n%!" path
+  | None -> ());
+  (match (tag, store_dir) with
+  | Some name, Some dir ->
+    let cas = Cas.open_ dir in
+    let digest = Cas.put cas (Snapshot.to_bytes snap) in
+    Cas.tag cas name digest;
+    Printf.printf "jeddd: stored as %s (ref %s)\n%!" digest name
+  | Some _, None -> fail "jeddd: --tag needs --store"
+  | None, _ -> ());
+  snap
+
+let run socket snapshot_file store_dir store_name benchmark backend node_limit
+    save tag =
+  let snap =
+    try
+      load_or_compute ~snapshot_file ~store_dir ~store_name ~benchmark
+        ~backend ~node_limit ~save ~tag
+    with Snapshot.Corrupt msg -> fail "jeddd: corrupt snapshot: %s" msg
+  in
+  let server = Jedd_server.Server.create ~socket_path:socket snap in
+  Printf.printf "jeddd: listening on %s (send {\"verb\":\"shutdown\"} to stop)\n%!"
+    socket;
+  Jedd_server.Server.serve server;
+  Printf.printf "jeddd: stopped\n%!"
+
+let socket_arg =
+  Arg.(
+    value & opt string "jeddd.sock"
+    & info [ "s"; "socket" ] ~docv:"PATH" ~doc:"Unix socket path to listen on")
+
+let snapshot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "snapshot" ] ~docv:"FILE"
+        ~doc:"Warm-start from a snapshot file written by --save or \
+              jedd-analyze --save-snapshot")
+
+let store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:"Content-addressed snapshot store (with --name to load, \
+              --tag to publish)")
+
+let name_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "name" ] ~docv:"REF"
+        ~doc:"Ref name, digest, or unique digest prefix to load from --store")
+
+let benchmark_arg =
+  Arg.(
+    value & opt string "compress"
+    & info [ "b"; "benchmark" ] ~docv:"NAME"
+        ~doc:"Workload for a cold run when no snapshot source is given")
+
+let backend_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "backend" ] ~docv:"NAME"
+        ~doc:"Relation backend: $(b,incore) or $(b,extmem); falls back to \
+              JEDD_BACKEND")
+
+let node_limit_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "node-limit" ] ~docv:"N" ~doc:"In-core BDD node-table cap")
+
+let save_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save" ] ~docv:"FILE"
+        ~doc:"Also write the (loaded or computed) snapshot to FILE")
+
+let tag_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tag" ] ~docv:"REF"
+        ~doc:"Also publish the snapshot into --store under this ref name")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "jeddd" ~version:Jedd_relation.Version.banner
+       ~doc:
+         "Persistent relation store daemon: load or compute an analysis \
+          snapshot once, answer concurrent queries over a Unix socket")
+    Term.(
+      const run $ socket_arg $ snapshot_arg $ store_arg $ name_arg
+      $ benchmark_arg $ backend_arg $ node_limit_arg $ save_arg $ tag_arg)
+
+let () = exit (Cmd.eval cmd)

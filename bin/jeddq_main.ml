@@ -1,0 +1,105 @@
+(* jeddq: command-line client for a running jeddd.
+
+     jeddq -s SOCK ping | version | stats | relations | shutdown
+     jeddq -s SOCK count REL
+     jeddq -s SOCK member REL O1 O2 ...
+     jeddq -s SOCK tuples REL [LIMIT]
+     jeddq -s SOCK pointsto VAR
+     jeddq -s SOCK resolve CALLSITE
+     jeddq -s SOCK raw '{"verb": ...}'
+
+   Every command prints the server's JSON response line verbatim, so
+   scripts can pipe it on; the exit code is 0 iff the response carries
+   "ok": true. *)
+
+open Cmdliner
+module Json = Jedd_server.Json
+module Client = Jedd_server.Client
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
+
+let int_arg what s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail "jeddq: %s must be an integer, got %S" what s
+
+let build_request args =
+  match args with
+  | [] -> fail "jeddq: no command (try: ping, count, pointsto, stats, ...)"
+  | [ "raw"; text ] -> (
+    match Json.of_string text with
+    | v -> v
+    | exception Json.Parse_error msg -> fail "jeddq: bad JSON: %s" msg)
+  | "raw" :: _ -> fail "jeddq: raw takes exactly one JSON argument"
+  | verb :: rest -> (
+    let simple fields = Json.Obj (("verb", Json.String verb) :: fields) in
+    match (verb, rest) with
+    | ("ping" | "version" | "stats" | "relations" | "shutdown"), [] ->
+      simple []
+    | ("ping" | "version" | "stats" | "relations" | "shutdown"), _ ->
+      fail "jeddq: %s takes no arguments" verb
+    | "count", [ rel ] -> simple [ ("rel", Json.String rel) ]
+    | "member", rel :: (_ :: _ as objs) ->
+      simple
+        [
+          ("rel", Json.String rel);
+          ( "tuple",
+            Json.List (List.map (fun o -> Json.Int (int_arg "object" o)) objs)
+          );
+        ]
+    | "tuples", [ rel ] -> simple [ ("rel", Json.String rel) ]
+    | "tuples", [ rel; limit ] ->
+      simple
+        [
+          ("rel", Json.String rel);
+          ("limit", Json.Int (int_arg "limit" limit));
+        ]
+    | "pointsto", [ var ] -> simple [ ("var", Json.Int (int_arg "var" var)) ]
+    | "resolve", [ cs ] ->
+      simple [ ("callsite", Json.Int (int_arg "callsite" cs)) ]
+    | _ -> fail "jeddq: bad arguments for %S" verb)
+
+let run socket timeout_ms args =
+  let request =
+    match (build_request args, timeout_ms) with
+    | Json.Obj kvs, Some ms -> Json.Obj (kvs @ [ ("timeout_ms", Json.Int ms) ])
+    | v, _ -> v
+  in
+  let c =
+    try Client.connect socket
+    with Unix.Unix_error (e, _, _) ->
+      fail "jeddq: cannot connect to %s: %s" socket (Unix.error_message e)
+  in
+  let resp =
+    try Client.request c request
+    with Client.Server_error msg | Json.Parse_error msg ->
+      Client.close c;
+      fail "jeddq: %s" msg
+  in
+  Client.close c;
+  print_endline (Json.to_string resp);
+  match Json.member "ok" resp with Some (Json.Bool true) -> 0 | _ -> 1
+
+let socket_arg =
+  Arg.(
+    value & opt string "jeddd.sock"
+    & info [ "s"; "socket" ] ~docv:"PATH" ~doc:"Unix socket of the jeddd server")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "timeout-ms" ] ~docv:"MS"
+        ~doc:"Per-request timeout enforced by the server")
+
+let args_arg =
+  Arg.(value & pos_all string [] & info [] ~docv:"CMD"
+         ~doc:"Command and its arguments")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "jeddq" ~version:Jedd_relation.Version.banner
+       ~doc:"Query a running jeddd analysis server")
+    Term.(const run $ socket_arg $ timeout_arg $ args_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -59,6 +59,53 @@ let receiver_types (p : P.t) pt_tuples =
     p.P.calls
   |> List.sort_uniq compare
 
+(* All five analyses in ONE universe (the paper's "All 5 combined"
+   compilation): one shared physical-domain assignment, every result
+   relation alive side by side at the end — the form the snapshot store
+   persists and the query server serves.  The analyses address their
+   fields by qualified name, so they run unchanged on the combined
+   instance. *)
+let run_combined ?(node_capacity = 1 lsl 16) ?node_limit ?backend
+    ?(reorder = false) (p : P.t) : Interp.t * results =
+  let compiled =
+    match Driver.compile [ ("Combined.jedd", combined_source p) ] with
+    | Ok c -> c
+    | Error e -> failwith ("combined: " ^ Driver.error_to_string e)
+  in
+  let inst =
+    Driver.instantiate ~node_capacity ?node_limit ?backend compiled
+  in
+  Hierarchy.load_facts inst p;
+  Hierarchy.run inst;
+  let subtypes = Hierarchy.results inst in
+  Pointsto.load_facts inst p;
+  Pointsto.run ~reorder inst;
+  let pt = Pointsto.results inst in
+  Vcall.load_facts inst p;
+  Vcall.run inst (receiver_types p pt);
+  let resolved = Vcall.results inst in
+  let call_edges = Vcall.call_edges inst in
+  Callgraph.load_facts inst p ~call_edges;
+  Callgraph.run ~reorder inst;
+  let reachable = Callgraph.results inst in
+  Sideeffect.load_facts inst p ~pt ~call_edges;
+  Sideeffect.run inst;
+  let side_effects = Sideeffect.results inst in
+  (inst, { subtypes; pt; resolved; call_edges; reachable; side_effects })
+
+(* Package a combined instance as a store snapshot: the instance's
+   registries plus every field relation, under its qualified name. *)
+let snapshot ?(meta = []) inst =
+  let domains, attrs, physdoms = Interp.registries inst in
+  {
+    Jedd_store.Snapshot.u = Interp.universe inst;
+    meta;
+    domains;
+    attrs;
+    physdoms;
+    relations = Interp.fields inst;
+  }
+
 let run_all ?(node_capacity = 1 lsl 16) ?node_limit ?backend
     ?(reorder = false) (p : P.t) : results =
   let instantiate c = Driver.instantiate ~node_capacity ?node_limit ?backend c in

@@ -53,3 +53,23 @@ val run_all :
     (default: [JEDD_BACKEND] or in-core); [node_limit] caps each
     in-core node table, turning runaway solves into a catchable
     [Jedd_bdd.Manager.Out_of_nodes]. *)
+
+val run_combined :
+  ?node_capacity:int ->
+  ?node_limit:int ->
+  ?backend:Jedd_relation.Backend.kind ->
+  ?reorder:bool ->
+  Jedd_minijava.Program.t ->
+  Jedd_lang.Interp.t * results
+(** The same pipeline compiled as ONE Jedd program in ONE universe
+    ("All 5 combined"), returning the live instance alongside the
+    results.  This is the form worth persisting: every result relation
+    ([Hierarchy.subtypes], [PointsTo.pt], [VirtualCalls.resolved],
+    [CallGraph.reachable], [SideEffects.modSet], ...) is a field of the
+    shared instance. *)
+
+val snapshot :
+  ?meta:(string * string) list -> Jedd_lang.Interp.t -> Jedd_store.Snapshot.t
+(** Package an instance (typically from {!run_combined}) as a store
+    snapshot: its declaration registries plus every field relation
+    under its qualified name. *)

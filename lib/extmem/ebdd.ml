@@ -344,6 +344,21 @@ let make_mem_nodefile blocks root =
       dig = chain_digest digs root total;
     }
 
+(* Serialization hooks: a node file in and out of plain (level, lo, hi)
+   blocks, the portable levelized-dump shape shared with the in-core
+   backend.  Terminal BDDs have no blocks, only a terminal root uid. *)
+let export_blocks st = function
+  | Term b -> ([], if b then t_true else t_false)
+  | N nf ->
+    let acc = ref [] in
+    iter_blocks st nf (fun l lo hi -> acc := (l, Array.copy lo, Array.copy hi) :: !acc);
+    (List.rev !acc, nf.root)
+
+let import_blocks blocks root =
+  match blocks with
+  | [] -> Term (root = t_true)
+  | _ -> make_mem_nodefile blocks root
+
 (* -- the shared bottom-up reduce ---------------------------------------- *)
 
 (* [rpq] records are [| -parent_level; parent_local; bit; child_uid |]:

@@ -500,6 +500,21 @@ let set_field t key rel =
 
 let call t q args = call_method t q args
 
+(* Declaration-order registry listings for the snapshot layer: the
+   program's declaration lists drive the order, the instance tables
+   supply the runtime values. *)
+let registries t =
+  ( List.map (fun (d : domain_info) -> (d.d_name, Hashtbl.find t.domains d.d_name))
+      t.prog.domains,
+    List.map (fun (a : attr_info) -> (a.a_name, Hashtbl.find t.attrs a.a_name))
+      t.prog.attrs,
+    List.map (fun (p : phys_info) -> (p.p_name, Hashtbl.find t.physdoms p.p_name))
+      t.prog.physdoms )
+
+let fields t =
+  Hashtbl.fold (fun key slot acc -> (key, !slot) :: acc) t.fields []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
 let instantiate ?node_capacity ?node_limit ?backend prog asg =
   let t = instantiate_base ?node_capacity ?node_limit ?backend prog asg in
   run_field_initialisers t;

@@ -41,6 +41,19 @@ val schema_of_var : t -> string -> Jedd_relation.Schema.t
 
 val is_field : t -> string -> bool
 
+val registries :
+  t ->
+  (string * Jedd_relation.Domain.t) list
+  * (string * Jedd_relation.Attribute.t) list
+  * (string * Jedd_relation.Physdom.t) list
+(** All declared (domains, attributes, physical domains) with their
+    qualified-free names, in declaration order — what the snapshot
+    layer persists. *)
+
+val fields : t -> (string * Jedd_relation.Relation.t) list
+(** Every field with its current relation, sorted by qualified name.
+    The relations are the live containers, not copies. *)
+
 val get_field : t -> string -> Jedd_relation.Relation.t
 val set_field : t -> string -> Jedd_relation.Relation.t -> unit
 (** The relation is coerced to the field's layout. *)

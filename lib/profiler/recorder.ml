@@ -111,3 +111,44 @@ let summaries t =
     t.events;
   Hashtbl.fold (fun _ s acc -> s :: acc) table []
   |> List.sort (fun a b -> compare b.total_millis a.total_millis)
+
+(* Lifetime counter snapshot of a universe's BDD layer, as flat
+   (name, value) pairs: the cache/GC/growth/reorder counters of the
+   manager plus the spill/I-O counters of an extmem backend.  This is
+   the payload of the query server's [stats] verb and of the bench
+   JSON reports, so the numbers users see in both places are the same
+   counters the profiler attributes per-operation above. *)
+let runtime_stats u =
+  let module U = Jedd_relation.Universe in
+  let module M = Jedd_bdd.Manager in
+  let m = U.manager u in
+  let hits, misses, evictions = M.cache_totals m in
+  let spill_runs, spilled_bytes, pq_peak_bytes, io_millis =
+    match Jedd_relation.Backend.store (U.backend u) with
+    | None -> (0, 0, 0, 0.0)
+    | Some st ->
+      ( Jedd_extmem.Store.spill_runs st,
+        Jedd_extmem.Store.spilled_bytes st,
+        Jedd_extmem.Store.pq_peak_bytes st,
+        Jedd_extmem.Store.io_millis st )
+  in
+  [
+    ("backend", float_of_int (match U.backend_kind u with `Incore -> 0 | `Extmem -> 1));
+    ("live_nodes", float_of_int (M.live_nodes m));
+    ("peak_nodes", float_of_int (M.peak_nodes m));
+    ("num_vars", float_of_int (M.num_vars m));
+    ("cache_hits", float_of_int hits);
+    ("cache_misses", float_of_int misses);
+    ("cache_evictions", float_of_int evictions);
+    ("gcs", float_of_int (M.gc_count m));
+    ("gc_millis", M.gc_millis m);
+    ("grows", float_of_int (M.grow_count m));
+    ("grow_millis", M.grow_millis m);
+    ("reorders", float_of_int (M.reorder_count m));
+    ("reorder_swaps", float_of_int (M.swap_count m));
+    ("reorder_millis", M.reorder_millis m);
+    ("spill_runs", float_of_int spill_runs);
+    ("spilled_bytes", float_of_int spilled_bytes);
+    ("pq_peak_bytes", float_of_int pq_peak_bytes);
+    ("io_millis", io_millis);
+  ]

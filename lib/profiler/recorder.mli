@@ -56,3 +56,11 @@ val summaries : t -> summary list
 
 val total_operations : t -> int
 val clear : t -> unit
+
+val runtime_stats : Jedd_relation.Universe.t -> (string * float) list
+(** Lifetime BDD-layer counters of a universe as flat (name, value)
+    pairs — cache hits/misses/evictions, GC and growth work, reorder
+    passes/swaps, and the extmem spill/I-O counters (zero on in-core).
+    Integer counters are widened to floats; [backend] is 0 for in-core,
+    1 for extmem.  Shared by the jeddd [stats] verb and the bench JSON
+    reports. *)

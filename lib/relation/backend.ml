@@ -269,3 +269,43 @@ let supports_reorder b =
   match b.knd with
   | `Incore -> Incore.supports_reorder
   | `Extmem -> Extmem.supports_reorder
+
+(* -- backend names ------------------------------------------------------ *)
+
+let known_backends = [ "incore"; "extmem" ]
+let kind_name = function `Incore -> "incore" | `Extmem -> "extmem"
+
+let kind_of_string s =
+  match s with
+  | "incore" -> `Incore
+  | "extmem" -> `Extmem
+  | _ ->
+    invalid_arg
+      (Printf.sprintf "unknown backend %S (known backends: %s)" s
+         (String.concat ", " known_backends))
+
+(* -- levelized serialization ------------------------------------------- *)
+
+module Lv = Jedd_bdd.Levelized
+
+let export_levelized b n =
+  match b.knd with
+  | `Incore -> Lv.of_manager b.mgr (in_node n)
+  | `Extmem ->
+    let blocks, root = E.export_blocks (ext b).xstore (ex_node n) in
+    { Lv.blocks = Array.of_list blocks; root }
+
+let import_levelized b (d : Lv.t) =
+  Lv.validate d;
+  match b.knd with
+  | `Incore -> In (Lv.to_manager b.mgr d)
+  | `Extmem ->
+    Array.iter
+      (fun (l, _, _) ->
+        if l >= M.num_vars b.mgr then
+          raise
+            (Lv.Malformed
+               (Printf.sprintf "dump level %d outside manager order (%d vars)"
+                  l (M.num_vars b.mgr))))
+      d.Lv.blocks;
+    Ex (E.import_blocks (Array.to_list d.Lv.blocks) d.Lv.root)

@@ -152,3 +152,32 @@ val equal : t -> node -> node -> bool
 val is_zero : t -> node -> bool
 val checkpoint : t -> unit
 val supports_reorder : t -> bool
+
+(** {2 Backend names}
+
+    The single authority for backend-name parsing, shared by
+    [JEDD_BACKEND], every [--backend] flag, and the version banners. *)
+
+val known_backends : string list
+(** In registration order: [["incore"; "extmem"]]. *)
+
+val kind_name : kind -> string
+
+val kind_of_string : string -> kind
+(** Raises [Invalid_argument] naming the known backends on anything
+    else — unknown names are never silently defaulted. *)
+
+(** {2 Levelized serialization}
+
+    Both engines dump a root to the portable {!Jedd_bdd.Levelized.t}
+    shape and rebuild one from it (the extmem node files already {e are}
+    levelized; the in-core store converts).  Levels in a dump are
+    current manager levels. *)
+
+val export_levelized : t -> node -> Jedd_bdd.Levelized.t
+
+val import_levelized : t -> Jedd_bdd.Levelized.t -> node
+(** Validates the dump first ({!Jedd_bdd.Levelized.Malformed} on
+    failure).  On the in-core backend the returned root carries one
+    external reference owned by the caller — wrap it in a relation (which
+    takes its own) and then {!delref} it. *)

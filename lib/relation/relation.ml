@@ -44,6 +44,8 @@ let make u sch rt =
   Gc.finalise release r;
   r
 
+let of_root u sch rt = make u sch rt
+
 let universe r = r.u
 let schema r = r.sch
 

@@ -47,6 +47,11 @@ val of_tuples : Universe.t -> Schema.t -> int list list -> t
 
 val tuple : Universe.t -> Schema.t -> int list -> t
 
+val of_root : Universe.t -> Schema.t -> Backend.node -> t
+(** Wrap an existing backend root (taking a fresh reference on it) —
+    the import half of the serialization layer.  The root's support
+    must lie within the schema's levels; no check is performed here. *)
+
 (** {2 Set operations and comparison (§2.2.1)} *)
 
 val union : ?label:string -> t -> t -> t

@@ -45,12 +45,11 @@ let counter = ref 0
 
 let backend_of_env () =
   match Sys.getenv_opt "JEDD_BACKEND" with
-  | Some "extmem" -> `Extmem
-  | Some ("incore" | "") | None -> `Incore
-  | Some other ->
-    invalid_arg
-      (Printf.sprintf "JEDD_BACKEND=%s: expected \"incore\" or \"extmem\""
-         other)
+  | None | Some "" -> `Incore
+  | Some s -> (
+    try Backend.kind_of_string s
+    with Invalid_argument msg ->
+      invalid_arg (Printf.sprintf "JEDD_BACKEND=%s: %s" s msg))
 
 let create ?(node_capacity = 1 lsl 16) ?node_limit ?backend () =
   incr counter;

@@ -1,0 +1,7 @@
+(* Package version, threaded into every CLI's --version output. *)
+
+let version = "0.5.0"
+
+let banner =
+  Printf.sprintf "jedd %s (backends: %s)" version
+    (String.concat ", " Backend.known_backends)

@@ -1,0 +1,64 @@
+(* Synchronous client for the jeddd socket protocol: one request line
+   out, one response line back.  Used by jeddq, the server tests, and
+   the query-latency benchmark. *)
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+exception Server_error of string
+(** Raised by {!request_ok} when the response carries [ok: false]. *)
+
+let connect socket_path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket_path)
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  {
+    fd;
+    ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr fd;
+  }
+
+let close c = try Unix.close c.fd with _ -> ()
+
+let request c (v : Json.t) : Json.t =
+  output_string c.oc (Json.to_string v);
+  output_char c.oc '\n';
+  flush c.oc;
+  match input_line c.ic with
+  | exception End_of_file -> raise (Server_error "connection closed by server")
+  | line -> Json.of_string line
+
+(* Build a request object; [verb] first so dumps read naturally. *)
+let req verb fields = Json.Obj (("verb", Json.String verb) :: fields)
+
+let request_ok c v =
+  let resp = request c v in
+  match Json.member "ok" resp with
+  | Some (Json.Bool true) -> resp
+  | _ ->
+    let msg =
+      match Json.member "error" resp with
+      | Some (Json.String m) -> m
+      | _ -> "request failed"
+    in
+    raise (Server_error msg)
+
+let ping c = ignore (request_ok c (req "ping" []))
+
+let count c rel =
+  match
+    Json.member "tuples" (request_ok c (req "count" [ ("rel", Json.String rel) ]))
+  with
+  | Some (Json.Int n) -> n
+  | _ -> raise (Server_error "malformed count response")
+
+let pointsto c var =
+  match
+    Json.member "heaps" (request_ok c (req "pointsto" [ ("var", Json.Int var) ]))
+  with
+  | Some (Json.List hs) ->
+    List.filter_map (function Json.Int h -> Some h | _ -> None) hs
+  | _ -> raise (Server_error "malformed pointsto response")
+
+let shutdown c = ignore (request_ok c (req "shutdown" []))

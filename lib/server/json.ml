@@ -1,0 +1,239 @@
+(* A small JSON value type with a strict parser and printer — the wire
+   format of the jeddd protocol.  Hand-rolled because the repository
+   deliberately depends only on the OCaml platform basics; covers the
+   full JSON grammar except that numbers with a fractional or exponent
+   part become [Float] and everything else [Int]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let parse_error fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+(* -- printing ----------------------------------------------------------- *)
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Buffer.add_string buf (Printf.sprintf "%.1f" f)
+    else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+  | String s -> escape buf s
+  | List l ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char buf ',';
+        write buf v)
+      l;
+    Buffer.add_char buf ']'
+  | Obj kvs ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        escape buf k;
+        Buffer.add_char buf ':';
+        write buf v)
+      kvs;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  write buf v;
+  Buffer.contents buf
+
+(* -- parsing ------------------------------------------------------------ *)
+
+type state = { s : string; mutable p : int }
+
+let peek st = if st.p < String.length st.s then Some st.s.[st.p] else None
+
+let skip_ws st =
+  while
+    st.p < String.length st.s
+    && (match st.s.[st.p] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    st.p <- st.p + 1
+  done
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> st.p <- st.p + 1
+  | Some c' -> parse_error "expected %C at offset %d, found %C" c st.p c'
+  | None -> parse_error "expected %C at offset %d, found end of input" c st.p
+
+let literal st word value =
+  if
+    st.p + String.length word <= String.length st.s
+    && String.sub st.s st.p (String.length word) = word
+  then begin
+    st.p <- st.p + String.length word;
+    value
+  end
+  else parse_error "bad literal at offset %d" st.p
+
+let parse_string_body st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if st.p >= String.length st.s then parse_error "unterminated string";
+    let c = st.s.[st.p] in
+    st.p <- st.p + 1;
+    match c with
+    | '"' -> Buffer.contents buf
+    | '\\' ->
+      (if st.p >= String.length st.s then parse_error "unterminated escape";
+       let e = st.s.[st.p] in
+       st.p <- st.p + 1;
+       match e with
+       | '"' -> Buffer.add_char buf '"'
+       | '\\' -> Buffer.add_char buf '\\'
+       | '/' -> Buffer.add_char buf '/'
+       | 'n' -> Buffer.add_char buf '\n'
+       | 'r' -> Buffer.add_char buf '\r'
+       | 't' -> Buffer.add_char buf '\t'
+       | 'b' -> Buffer.add_char buf '\b'
+       | 'f' -> Buffer.add_char buf '\012'
+       | 'u' ->
+         if st.p + 4 > String.length st.s then parse_error "bad \\u escape";
+         let hex = String.sub st.s st.p 4 in
+         st.p <- st.p + 4;
+         let code =
+           try int_of_string ("0x" ^ hex)
+           with Failure _ -> parse_error "bad \\u escape %S" hex
+         in
+         (* encode as UTF-8 (no surrogate-pair handling; the protocol
+            only carries names and numbers) *)
+         if code < 0x80 then Buffer.add_char buf (Char.chr code)
+         else if code < 0x800 then begin
+           Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
+           Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+         end
+         else begin
+           Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
+           Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+           Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+         end
+       | c -> parse_error "bad escape \\%C" c);
+      go ()
+    | c -> Buffer.add_char buf c; go ()
+  in
+  go ()
+
+let parse_number st =
+  let start = st.p in
+  let is_num c =
+    (c >= '0' && c <= '9')
+    || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+  in
+  while st.p < String.length st.s && is_num st.s.[st.p] do
+    st.p <- st.p + 1
+  done;
+  let text = String.sub st.s start (st.p - start) in
+  match int_of_string_opt text with
+  | Some i -> Int i
+  | None -> (
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> parse_error "bad number %S at offset %d" text start)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> parse_error "unexpected end of input"
+  | Some 'n' -> literal st "null" Null
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some '"' -> String (parse_string_body st)
+  | Some '[' ->
+    expect st '[';
+    skip_ws st;
+    if peek st = Some ']' then begin
+      expect st ']';
+      List []
+    end
+    else begin
+      let rec items acc =
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          expect st ',';
+          items (v :: acc)
+        | Some ']' ->
+          expect st ']';
+          List.rev (v :: acc)
+        | _ -> parse_error "expected ',' or ']' at offset %d" st.p
+      in
+      List (items [])
+    end
+  | Some '{' ->
+    expect st '{';
+    skip_ws st;
+    if peek st = Some '}' then begin
+      expect st '}';
+      Obj []
+    end
+    else begin
+      let rec members acc =
+        skip_ws st;
+        let k = parse_string_body st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          expect st ',';
+          members ((k, v) :: acc)
+        | Some '}' ->
+          expect st '}';
+          List.rev ((k, v) :: acc)
+        | _ -> parse_error "expected ',' or '}' at offset %d" st.p
+      in
+      Obj (members [])
+    end
+  | Some c when c = '-' || (c >= '0' && c <= '9') -> parse_number st
+  | Some c -> parse_error "unexpected %C at offset %d" c st.p
+
+let of_string s =
+  let st = { s; p = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.p <> String.length s then
+    parse_error "trailing input at offset %d" st.p;
+  v
+
+(* -- accessors ----------------------------------------------------------- *)
+
+let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+
+let to_int_opt = function Int i -> Some i | _ -> None
+let to_string_opt = function String s -> Some s | _ -> None
+let to_list_opt = function List l -> Some l | _ -> None

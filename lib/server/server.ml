@@ -1,0 +1,301 @@
+(* jeddd's concurrent core.
+
+   The BDD manager is single-threaded (shared hash-consing tables, GC
+   at safe points), so all relational work funnels through ONE worker
+   thread; client connections are handled by a thread each, which parse
+   lines, enqueue jobs, and wait on a per-job condition variable with
+   the request's deadline.
+
+   A job can be:
+     Pending    queued, not yet picked up
+     Running    the worker is evaluating it
+     Done       response ready
+     Abandoned  the waiting client timed out (or hung up)
+
+   On timeout the client thread marks the job Abandoned and answers the
+   client itself with a timeout error.  The worker skips Abandoned jobs
+   still in the queue, and discards the result of an Abandoned job it
+   had already started — BDD evaluation is not interruptible, so a
+   timed-out running job still finishes, it just answers nobody.  This
+   bounds client-visible latency without corrupting manager state. *)
+
+type job = {
+  request : Json.t;
+  mutable state : [ `Pending | `Running | `Done | `Abandoned ];
+  mutable result : Protocol.outcome option;
+  jm : Mutex.t;
+  jc : Condition.t;
+}
+
+type stats = {
+  mutable requests : int;  (** jobs evaluated to completion *)
+  mutable errors : int;  (** responses with ok:false *)
+  mutable timeouts : int;  (** jobs abandoned on deadline *)
+  mutable parse_errors : int;  (** lines that were not valid JSON objects *)
+  mutable connections : int;  (** accepted connections, lifetime *)
+}
+
+type t = {
+  world : Protocol.world;
+  socket_path : string;
+  listen_fd : Unix.file_descr;
+  queue : job Queue.t;
+  qm : Mutex.t;
+  qc : Condition.t;  (** signalled when a job is enqueued or on shutdown *)
+  mutable stopping : bool;
+  stats : stats;
+  started : float;
+  default_timeout_ms : int;
+}
+
+let default_timeout_ms = 30_000
+
+(* -- worker -------------------------------------------------------------- *)
+
+let rec worker_loop t =
+  let rec next () =
+    Mutex.lock t.qm;
+    let rec wait () =
+      if t.stopping && Queue.is_empty t.queue then begin
+        Mutex.unlock t.qm;
+        None
+      end
+      else if Queue.is_empty t.queue then begin
+        Condition.wait t.qc t.qm;
+        wait ()
+      end
+      else Some (Queue.pop t.queue)
+    in
+    match wait () with
+    | None -> ()
+    | Some job -> (
+      Mutex.unlock t.qm;
+      Mutex.lock job.jm;
+      let claimed = job.state = `Pending in
+      if claimed then job.state <- `Running;
+      Mutex.unlock job.jm;
+      if not claimed then next () (* abandoned while queued: skip *)
+      else begin
+        let outcome =
+          try Protocol.eval t.world job.request
+          with e ->
+            Protocol.Reply
+              (Protocol.err
+                 (Protocol.request_id job.request)
+                 (Printf.sprintf "internal error: %s" (Printexc.to_string e)))
+        in
+        Mutex.lock job.jm;
+        let wanted = job.state = `Running in
+        if wanted then begin
+          job.result <- Some outcome;
+          job.state <- `Done;
+          Condition.broadcast job.jc
+        end;
+        Mutex.unlock job.jm;
+        t.stats.requests <- t.stats.requests + 1;
+        (match outcome with
+        | Protocol.Reply (Json.Obj kvs) | Protocol.Quit (Json.Obj kvs)
+          when List.assoc_opt "ok" kvs = Some (Json.Bool false) ->
+          t.stats.errors <- t.stats.errors + 1
+        | _ -> ());
+        (* A delivered Quit is acted on by the client thread AFTER it
+           flushes the response (so the goodbye isn't lost in the
+           process exit); a shutdown whose requester already abandoned
+           it must still stop the server, and nobody else will. *)
+        (match outcome with
+        | Protocol.Quit _ when not wanted -> request_stop t
+        | _ -> ());
+        next ()
+      end)
+  in
+  next ()
+
+and request_stop t =
+  Mutex.lock t.qm;
+  if not t.stopping then begin
+    t.stopping <- true;
+    Condition.broadcast t.qc;
+    (* wake the accept loop; it treats the error as shutdown *)
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_RECEIVE with _ -> ());
+    (try Unix.close t.listen_fd with _ -> ())
+  end
+  else ();
+  Mutex.unlock t.qm
+
+(* -- per-client plumbing -------------------------------------------------- *)
+
+let submit t request =
+  let job =
+    {
+      request;
+      state = `Pending;
+      result = None;
+      jm = Mutex.create ();
+      jc = Condition.create ();
+    }
+  in
+  Mutex.lock t.qm;
+  if t.stopping then begin
+    Mutex.unlock t.qm;
+    None
+  end
+  else begin
+    Queue.push job t.queue;
+    Condition.signal t.qc;
+    Mutex.unlock t.qm;
+    Some job
+  end
+
+(* Wait until the job is Done or [deadline] (Unix time) passes; on
+   timeout mark it Abandoned so the worker drops the eventual result. *)
+let await job ~deadline =
+  Mutex.lock job.jm;
+  let rec loop delay =
+    match job.state with
+    | `Done ->
+      let r = job.result in
+      Mutex.unlock job.jm;
+      r
+    | `Abandoned ->
+      Mutex.unlock job.jm;
+      None
+    | `Pending | `Running ->
+      if Unix.gettimeofday () >= deadline then begin
+        job.state <- `Abandoned;
+        Mutex.unlock job.jm;
+        None
+      end
+      else begin
+        (* Condition.wait has no timeout in the stdlib; poll the state
+           with exponential backoff so the fast path (a lookup query
+           finishing in microseconds) answers in well under a
+           millisecond while long waits cost ~200 wakeups/s at most. *)
+        Mutex.unlock job.jm;
+        Thread.delay delay;
+        Mutex.lock job.jm;
+        loop (Float.min (delay *. 2.) 0.005)
+      end
+  in
+  loop 0.0001
+
+let timeout_of t request =
+  match Json.member "timeout_ms" request with
+  | Some (Json.Int ms) when ms > 0 -> float_of_int ms /. 1000.
+  | _ -> float_of_int t.default_timeout_ms /. 1000.
+
+let handle_line t line =
+  match Json.of_string line with
+  | exception Json.Parse_error msg ->
+    t.stats.parse_errors <- t.stats.parse_errors + 1;
+    `Reply (Protocol.err Json.Null (Printf.sprintf "parse error: %s" msg))
+  | (Json.Obj _) as request -> (
+    match submit t request with
+    | None -> `Reply (Protocol.err (Protocol.request_id request) "server is shutting down")
+    | Some job -> (
+      let deadline = Unix.gettimeofday () +. timeout_of t request in
+      match await job ~deadline with
+      | Some (Protocol.Reply r) -> `Reply r
+      | Some (Protocol.Quit r) -> `Quit r
+      | None ->
+        t.stats.timeouts <- t.stats.timeouts + 1;
+        `Reply (Protocol.err (Protocol.request_id request) "timeout")))
+  | _ ->
+    t.stats.parse_errors <- t.stats.parse_errors + 1;
+    `Reply (Protocol.err Json.Null "request must be a JSON object")
+
+let client_loop t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let send v =
+    output_string oc (Json.to_string v);
+    output_char oc '\n';
+    flush oc
+  in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | exception Sys_error _ -> ()
+    | "" -> loop ()
+    | line -> (
+      match handle_line t line with
+      | `Reply r ->
+        send r;
+        loop ()
+      | `Quit r ->
+        send r;
+        request_stop t (* after the flush: the goodbye must get out *))
+  in
+  (try loop () with _ -> ());
+  try Unix.close fd with _ -> ()
+
+(* -- lifecycle ------------------------------------------------------------ *)
+
+let server_stats t () =
+  [
+    ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started));
+    ("requests", Json.Int t.stats.requests);
+    ("errors", Json.Int t.stats.errors);
+    ("timeouts", Json.Int t.stats.timeouts);
+    ("parse_errors", Json.Int t.stats.parse_errors);
+    ("connections", Json.Int t.stats.connections);
+    ("queue_depth", Json.Int (Queue.length t.queue));
+  ]
+
+let create ?(default_timeout_ms = default_timeout_ms) ~socket_path snap =
+  (if Sys.file_exists socket_path then
+     try Unix.unlink socket_path with _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX socket_path);
+  Unix.listen listen_fd 64;
+  let rec t =
+    {
+      world =
+        { Protocol.snap; extra_stats = (fun () -> server_stats t ()) };
+      socket_path;
+      listen_fd;
+      queue = Queue.create ();
+      qm = Mutex.create ();
+      qc = Condition.create ();
+      stopping = false;
+      stats =
+        {
+          requests = 0;
+          errors = 0;
+          timeouts = 0;
+          parse_errors = 0;
+          connections = 0;
+        };
+      started = Unix.gettimeofday ();
+      default_timeout_ms;
+    }
+  in
+  t
+
+let stop = request_stop
+
+(* Accept connections until shutdown; blocks the calling thread.  The
+   worker thread is started here so [create] stays side-effect-light. *)
+let serve t =
+  let worker = Thread.create worker_loop t in
+  let rec accept_loop () =
+    match Unix.accept t.listen_fd with
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL | Unix.ECONNABORTED), _, _)
+      when t.stopping -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+    | exception _ when t.stopping -> ()
+    | fd, _ ->
+      t.stats.connections <- t.stats.connections + 1;
+      ignore (Thread.create (client_loop t) fd);
+      accept_loop ()
+  in
+  accept_loop ();
+  (* drain: let in-flight jobs finish, then join the worker.  Client
+     threads answering those jobs exit on their own once their peer
+     reads the response or hangs up; they are deliberately not joined
+     — an idle client holding its connection open must not block
+     shutdown. *)
+  Mutex.lock t.qm;
+  Condition.broadcast t.qc;
+  Mutex.unlock t.qm;
+  Thread.join worker;
+  (try Unix.unlink t.socket_path with _ -> ())

@@ -1,0 +1,116 @@
+(* A content-addressed snapshot store on the local filesystem:
+
+     <root>/objects/<md5-hex>.snap   immutable snapshot blobs
+     <root>/refs/<name>              mutable names -> hex digests
+
+   Objects are keyed by the MD5 of their full file contents, so
+   identical snapshots dedupe to one blob and a name update is a
+   one-line ref write.  All writes go through a temp file + rename in
+   the same directory, so a crashed writer can never leave a partial
+   object or ref behind. *)
+
+type t = { root : string }
+
+let ( / ) = Filename.concat
+
+let ensure_dir d =
+  if not (Sys.file_exists d) then Unix.mkdir d 0o755
+  else if not (Sys.is_directory d) then
+    invalid_arg (Printf.sprintf "Cas: %s exists and is not a directory" d)
+
+let open_ root =
+  ensure_dir root;
+  ensure_dir (root / "objects");
+  ensure_dir (root / "refs");
+  { root }
+
+let object_path t hex = t.root / "objects" / (hex ^ ".snap")
+let ref_path t name = t.root / "refs" / name
+
+let valid_name name =
+  name <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '-' || c = '_' || c = '.')
+       name
+
+let check_name name =
+  if not (valid_name name) then
+    invalid_arg (Printf.sprintf "Cas: invalid ref name %S" name)
+
+let atomic_write path data =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir ".cas" ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc data;
+  close_out oc;
+  Sys.rename tmp path
+
+let put t data =
+  let hex = Digest.to_hex (Digest.string data) in
+  let path = object_path t hex in
+  if not (Sys.file_exists path) then atomic_write path data;
+  hex
+
+let tag t name hex =
+  check_name name;
+  atomic_write (ref_path t name) (hex ^ "\n")
+
+let read_ref t name =
+  check_name name;
+  let path = ref_path t name in
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    let line = try input_line ic with End_of_file -> "" in
+    close_in ic;
+    Some (String.trim line)
+  end
+
+let objects t =
+  Sys.readdir (t.root / "objects")
+  |> Array.to_list
+  |> List.filter_map (fun f -> Filename.chop_suffix_opt ~suffix:".snap" f)
+  |> List.sort compare
+
+let refs t =
+  Sys.readdir (t.root / "refs")
+  |> Array.to_list |> List.sort compare
+  |> List.filter_map (fun name ->
+         Option.map (fun hex -> (name, hex)) (read_ref t name))
+
+(* [resolve] accepts a ref name, a full hex digest, or an unambiguous
+   digest prefix (>= 4 chars), and returns the object path. *)
+let resolve t key =
+  let by_ref =
+    if valid_name key then
+      Option.bind (read_ref t key) (fun hex ->
+          if Sys.file_exists (object_path t hex) then Some (object_path t hex)
+          else None)
+    else None
+  in
+  match by_ref with
+  | Some p -> Some p
+  | None ->
+    if String.length key >= 4 then begin
+      let matches =
+        List.filter
+          (fun hex -> String.starts_with ~prefix:key hex)
+          (objects t)
+      in
+      match matches with [ hex ] -> Some (object_path t hex) | _ -> None
+    end
+    else None
+
+let get t key =
+  match resolve t key with
+  | None -> None
+  | Some path ->
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let data = really_input_string ic n in
+    close_in ic;
+    Some data

@@ -1,0 +1,56 @@
+(** Whole-universe snapshots: persistent, backend-portable captures of
+    an analysis run — declarations, variable order, and every named
+    relation as a shared-structure levelized BDD dump — with format
+    versioning, an MD5 checksum over the body, and hard rejection of
+    anything that fails to round-trip.  See [snapshot.ml] for the file
+    layout. *)
+
+type t = {
+  u : Jedd_relation.Universe.t;
+  meta : (string * string) list;
+      (** Caller key/values; [to_bytes] appends [jedd.version] and
+          [jedd.backend]. *)
+  domains : (string * Jedd_relation.Domain.t) list;
+  attrs : (string * Jedd_relation.Attribute.t) list;
+  physdoms : (string * Jedd_relation.Physdom.t) list;
+      (** In declaration order — this fixes variable allocation. *)
+  relations : (string * Jedd_relation.Relation.t) list;
+}
+
+exception Corrupt of string
+(** Raised by every loading entry point on bad magic, version skew,
+    length/checksum mismatch, truncation, dangling names, malformed
+    dumps, or a tuple-count mismatch after reconstruction. *)
+
+val format_version : int
+
+val to_bytes : t -> string
+(** Serialize.  Raises [Invalid_argument] if a relation's support or
+    schema escapes the declared physical domains (scratch domains are
+    not persisted). *)
+
+val of_bytes :
+  ?node_capacity:int ->
+  ?node_limit:int ->
+  ?backend:Jedd_relation.Backend.kind ->
+  string ->
+  t
+(** Rebuild a fresh universe (any backend — snapshots are
+    backend-portable) and every relation.  Each relation's tuple count
+    is re-verified against the recorded one. *)
+
+val save_file : string -> t -> unit
+(** Atomic (temp file + rename). *)
+
+val load_file :
+  ?node_capacity:int ->
+  ?node_limit:int ->
+  ?backend:Jedd_relation.Backend.kind ->
+  string ->
+  t
+
+val meta_value : t -> string -> string option
+
+val find_relation : t -> string -> Jedd_relation.Relation.t option
+(** Exact name, or an unambiguous ["Class."]-stripped suffix (["pt"]
+    finds ["PointsTo.pt"]). *)

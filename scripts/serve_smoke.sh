@@ -1,0 +1,59 @@
+#!/bin/sh
+# Server smoke test: cold-start jeddd on the tiny workload, save a
+# snapshot, query it with jeddq over the socket, shut it down, then
+# warm-start from the snapshot and check the answers agree.  Exercises
+# the full analyze/serve/query/persist loop without the test harness.
+set -eu
+
+SOCK="$(mktemp -u /tmp/jeddd-smoke-XXXXXX.sock)"
+SNAP="$(mktemp /tmp/jeddd-smoke-XXXXXX.snap)"
+trap 'kill $JEDDD_PID 2>/dev/null || true; rm -f "$SOCK" "$SNAP"' EXIT
+
+JEDDD="dune exec bin/jeddd_main.exe --"
+JEDDQ="dune exec bin/jeddq_main.exe --"
+
+dune build bin/jeddd_main.exe bin/jeddq_main.exe
+
+wait_for_socket() {
+    for _ in $(seq 1 100); do
+        [ -S "$SOCK" ] && return 0
+        sleep 0.1
+    done
+    echo "serve_smoke: server did not come up" >&2
+    exit 1
+}
+
+echo "== cold start =="
+$JEDDD -s "$SOCK" -b tiny --save "$SNAP" &
+JEDDD_PID=$!
+wait_for_socket
+
+$JEDDQ -s "$SOCK" ping
+$JEDDQ -s "$SOCK" version
+COLD_COUNT=$($JEDDQ -s "$SOCK" count pt)
+COLD_PT=$($JEDDQ -s "$SOCK" pointsto 0)
+$JEDDQ -s "$SOCK" stats >/dev/null
+$JEDDQ -s "$SOCK" shutdown
+wait $JEDDD_PID
+
+echo "== warm start from snapshot =="
+[ -s "$SNAP" ] || { echo "serve_smoke: snapshot missing" >&2; exit 1; }
+$JEDDD -s "$SOCK" --snapshot "$SNAP" &
+JEDDD_PID=$!
+wait_for_socket
+
+WARM_COUNT=$($JEDDQ -s "$SOCK" count pt)
+WARM_PT=$($JEDDQ -s "$SOCK" pointsto 0)
+$JEDDQ -s "$SOCK" shutdown
+wait $JEDDD_PID
+
+[ "$COLD_COUNT" = "$WARM_COUNT" ] || {
+    echo "serve_smoke: count mismatch: cold=$COLD_COUNT warm=$WARM_COUNT" >&2
+    exit 1
+}
+[ "$COLD_PT" = "$WARM_PT" ] || {
+    echo "serve_smoke: pointsto mismatch: cold=$COLD_PT warm=$WARM_PT" >&2
+    exit 1
+}
+
+echo "serve_smoke: OK ($COLD_COUNT)"

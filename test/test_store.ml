@@ -1,0 +1,283 @@
+(* Tests for the persistent relation store: levelized dumps, the binary
+   snapshot format, the content-addressed store, and corrupt-file
+   rejection.  Round-trips are checked on BOTH backends and across
+   backends (a snapshot saved in-core must load on extmem and vice
+   versa), on random relations and on a real analysis fixed point. *)
+
+module M = Jedd_bdd.Manager
+module Lv = Jedd_bdd.Levelized
+module U = Jedd_relation.Universe
+module B = Jedd_relation.Backend
+module R = Jedd_relation.Relation
+module Dom = Jedd_relation.Domain
+module Attr = Jedd_relation.Attribute
+module Phys = Jedd_relation.Physdom
+module Schema = Jedd_relation.Schema
+module Snapshot = Jedd_store.Snapshot
+module Cas = Jedd_store.Cas
+module Suite = Jedd_analyses.Suite
+module Workload = Jedd_minijava.Workload
+
+let kinds = [ ("incore", `Incore); ("extmem", `Extmem) ]
+
+(* A small two-relation world over three domains, with tuples drawn
+   from a seeded PRNG so failures reproduce. *)
+let build_world ?(seed = 42) ?(n = 40) kind =
+  let u = U.create ~backend:kind () in
+  let d1 = Dom.declare ~name:"D1" ~size:13 () in
+  let d2 = Dom.declare ~name:"D2" ~size:7 () in
+  let a = Attr.declare ~name:"a" ~domain:d1 in
+  let b = Attr.declare ~name:"b" ~domain:d2 in
+  let c = Attr.declare ~name:"c" ~domain:d1 in
+  let p1 = Phys.declare u ~name:"P1" ~bits:4 in
+  let p2 = Phys.declare u ~name:"P2" ~bits:3 in
+  let p3 = Phys.declare u ~name:"P3" ~bits:5 in
+  let sch_ab = Schema.make [ { Schema.attr = a; phys = p1 }; { Schema.attr = b; phys = p2 } ] in
+  let sch_c = Schema.make [ { Schema.attr = c; phys = p3 } ] in
+  let rng = Random.State.make [| seed |] in
+  let tuples_ab =
+    List.init n (fun _ ->
+        [ Random.State.int rng 13; Random.State.int rng 7 ])
+    |> List.sort_uniq compare
+  in
+  let tuples_c =
+    List.init (n / 2) (fun _ -> [ Random.State.int rng 13 ])
+    |> List.sort_uniq compare
+  in
+  let r_ab = R.of_tuples u sch_ab tuples_ab in
+  let r_c = R.of_tuples u sch_c tuples_c in
+  {
+    Snapshot.u;
+    meta = [ ("kind", "test-world") ];
+    domains = [ ("D1", d1); ("D2", d2) ];
+    attrs = [ ("a", a); ("b", b); ("c", c) ];
+    physdoms = [ ("P1", p1); ("P2", p2); ("P3", p3) ];
+    relations = [ ("W.ab", r_ab); ("W.c", r_c) ];
+  }
+
+let check_same_relations snap snap' =
+  List.iter2
+    (fun (name, r) (name', r') ->
+      Alcotest.(check string) "relation name" name name';
+      Alcotest.(check int) (name ^ " size") (R.size r) (R.size r');
+      Alcotest.(check (list (list int))) (name ^ " tuples") (R.tuples r)
+        (R.tuples r'))
+    snap.Snapshot.relations snap'.Snapshot.relations
+
+(* -- levelized dumps ---------------------------------------------------- *)
+
+let test_levelized_roundtrip () =
+  List.iter
+    (fun (kname, kind) ->
+      let world = build_world kind in
+      let backend = U.backend world.Snapshot.u in
+      List.iter
+        (fun (name, r) ->
+          let dump = B.export_levelized backend (R.root r) in
+          Lv.validate dump;
+          let root = B.import_levelized backend dump in
+          let r' = R.of_root world.Snapshot.u (R.schema r) root in
+          B.delref backend root;
+          Alcotest.(check int)
+            (Printf.sprintf "%s/%s nodecount" kname name)
+            (B.nodecount backend (R.root r))
+            (B.nodecount backend (R.root r'));
+          Alcotest.(check (list (list int)))
+            (Printf.sprintf "%s/%s tuples" kname name)
+            (R.tuples r) (R.tuples r'))
+        world.Snapshot.relations)
+    kinds
+
+let test_levelized_terminal () =
+  let m = M.create () in
+  let d = Lv.of_manager m M.zero in
+  Alcotest.(check int) "zero root" Lv.t_false d.Lv.root;
+  let n = Lv.to_manager m d in
+  Alcotest.(check int) "zero back" M.zero n;
+  M.delref m n;
+  let d1 = Lv.of_manager m M.one in
+  Alcotest.(check int) "one root" Lv.t_true d1.Lv.root
+
+let test_levelized_malformed () =
+  let bad =
+    [
+      (* lo = hi: violates reducedness *)
+      { Lv.blocks = [| (0, [| Lv.t_false |], [| Lv.t_false |]) |]; root = Lv.pack 0 0 };
+      (* child above parent *)
+      {
+        Lv.blocks =
+          [|
+            (0, [| Lv.t_false |], [| Lv.pack 1 0 |]);
+            (1, [| Lv.pack 0 0 |], [| Lv.t_true |]);
+          |];
+        root = Lv.pack 0 0;
+      };
+      (* dangling child index *)
+      { Lv.blocks = [| (0, [| Lv.t_false |], [| Lv.pack 3 7 |]) |]; root = Lv.pack 0 0 };
+      (* root out of range *)
+      { Lv.blocks = [| (0, [| Lv.t_false |], [| Lv.t_true |]) |]; root = Lv.pack 0 9 };
+      (* unordered levels *)
+      {
+        Lv.blocks =
+          [|
+            (2, [| Lv.t_false |], [| Lv.t_true |]);
+            (1, [| Lv.t_false |], [| Lv.t_true |]);
+          |];
+        root = Lv.pack 2 0;
+      };
+    ]
+  in
+  List.iter
+    (fun d ->
+      match Lv.validate d with
+      | () -> Alcotest.fail "malformed dump accepted"
+      | exception Lv.Malformed _ -> ())
+    bad
+
+(* -- snapshot round-trips ------------------------------------------------ *)
+
+let test_snapshot_roundtrip () =
+  List.iter
+    (fun (save_name, save_kind) ->
+      List.iter
+        (fun (load_name, load_kind) ->
+          let world = build_world save_kind in
+          let bytes = Snapshot.to_bytes world in
+          let snap = Snapshot.of_bytes ~backend:load_kind bytes in
+          Alcotest.(check (option string))
+            (Printf.sprintf "%s->%s meta" save_name load_name)
+            (Some "test-world")
+            (Snapshot.meta_value snap "kind");
+          check_same_relations world snap)
+        kinds)
+    kinds
+
+let test_snapshot_reordered () =
+  (* a snapshot taken after heavy reordering must still round-trip *)
+  let world = build_world `Incore in
+  let u = world.Snapshot.u in
+  Jedd_reorder.Reorder.random_swaps ~seed:7 (U.reorder_engine u) 50;
+  let before = List.map (fun (n, r) -> (n, R.tuples r)) world.Snapshot.relations in
+  let snap = Snapshot.of_bytes (Snapshot.to_bytes world) in
+  List.iter2
+    (fun (n, tuples) (n', r') ->
+      Alcotest.(check string) "name" n n';
+      Alcotest.(check (list (list int))) (n ^ " tuples after reorder") tuples
+        (R.tuples r'))
+    before snap.Snapshot.relations
+
+let test_snapshot_analysis_fixed_point () =
+  let p = Workload.generate Workload.tiny in
+  let inst, res = Suite.run_combined p in
+  let world = Suite.snapshot ~meta:[ ("workload", "tiny") ] inst in
+  List.iter
+    (fun (_, kind) ->
+      let snap = Snapshot.of_bytes ~backend:kind (Snapshot.to_bytes world) in
+      let get name =
+        match Snapshot.find_relation snap name with
+        | Some r -> R.tuples r
+        | None -> Alcotest.fail ("missing relation " ^ name)
+      in
+      Alcotest.(check (list (list int))) "pt" res.Suite.pt (get "PointsTo.pt");
+      Alcotest.(check (list (list int)))
+        "subtypes" res.Suite.subtypes (get "Hierarchy.subtypes");
+      Alcotest.(check (list (list int)))
+        "resolved" res.Suite.resolved (get "VirtualCalls.resolved");
+      Alcotest.(check (list (list int)))
+        "reachable" res.Suite.reachable (get "CallGraph.reachable");
+      (* suffix lookup *)
+      Alcotest.(check bool) "suffix alias" true
+        (Snapshot.find_relation snap "pt" <> None))
+    kinds
+
+let test_snapshot_qcheck =
+  QCheck.Test.make ~count:25 ~name:"random tuple sets round-trip"
+    QCheck.(pair small_nat (pair small_nat bool))
+    (fun (seed, (n, extmem)) ->
+      let kind = if extmem then `Extmem else `Incore in
+      let world = build_world ~seed ~n:(1 + n) kind in
+      let snap = Snapshot.of_bytes (Snapshot.to_bytes world) in
+      List.for_all2
+        (fun (_, r) (_, r') ->
+          R.size r = R.size r' && R.tuples r = R.tuples r')
+        world.Snapshot.relations snap.Snapshot.relations)
+
+(* -- corrupt-file rejection ---------------------------------------------- *)
+
+let expect_corrupt what bytes =
+  match Snapshot.of_bytes bytes with
+  | _ -> Alcotest.fail (what ^ ": corrupt snapshot accepted")
+  | exception Snapshot.Corrupt _ -> ()
+
+let test_corrupt_rejection () =
+  let world = build_world `Incore in
+  let good = Snapshot.to_bytes world in
+  (* sanity: the pristine bytes load *)
+  ignore (Snapshot.of_bytes good);
+  expect_corrupt "empty" "";
+  expect_corrupt "bad magic" ("XXXXXXXX" ^ String.sub good 8 (String.length good - 8));
+  (* wrong version: bump byte 8 *)
+  let bv = Bytes.of_string good in
+  Bytes.set bv 8 (Char.chr (Char.code (Bytes.get bv 8) + 1));
+  expect_corrupt "version skew" (Bytes.to_string bv);
+  (* truncations at every region boundary and mid-payload *)
+  List.iter
+    (fun len -> expect_corrupt "truncated" (String.sub good 0 len))
+    [ 4; 8; 15; 23; 39; String.length good / 2; String.length good - 1 ];
+  (* flip one payload byte: must fail the checksum *)
+  let flip = Bytes.of_string good in
+  let pos = 40 + ((String.length good - 40) / 2) in
+  Bytes.set flip pos (Char.chr (Char.code (Bytes.get flip pos) lxor 0xff));
+  expect_corrupt "bit flip" (Bytes.to_string flip);
+  (* trailing garbage changes the length/digest relation *)
+  expect_corrupt "trailing bytes" (good ^ "garbage")
+
+let test_save_load_file () =
+  let world = build_world `Incore in
+  let path = Filename.temp_file "jedd_snap" ".snap" in
+  Snapshot.save_file path world;
+  let snap = Snapshot.load_file path in
+  check_same_relations world snap;
+  Sys.remove path
+
+(* -- content-addressed store --------------------------------------------- *)
+
+let test_cas () =
+  let root = Filename.temp_file "jedd_cas" "" in
+  Sys.remove root;
+  let cas = Cas.open_ root in
+  let world = build_world `Incore in
+  let bytes = Snapshot.to_bytes world in
+  let hex = Cas.put cas bytes in
+  Alcotest.(check string) "idempotent put" hex (Cas.put cas bytes);
+  Cas.tag cas "tiny" hex;
+  Alcotest.(check (option string)) "ref" (Some hex) (Cas.read_ref cas "tiny");
+  (* load through ref name, digest, and digest prefix *)
+  List.iter
+    (fun key ->
+      match Cas.get cas key with
+      | None -> Alcotest.fail ("unresolvable key " ^ key)
+      | Some data -> check_same_relations world (Snapshot.of_bytes data))
+    [ "tiny"; hex; String.sub hex 0 8 ];
+  Alcotest.(check (option string)) "missing ref" None (Cas.get cas "nope");
+  Alcotest.(check int) "one object" 1 (List.length (Cas.objects cas))
+
+let suite =
+  [
+    Alcotest.test_case "levelized round-trip (both backends)" `Quick
+      test_levelized_roundtrip;
+    Alcotest.test_case "levelized terminals" `Quick test_levelized_terminal;
+    Alcotest.test_case "levelized malformed dumps rejected" `Quick
+      test_levelized_malformed;
+    Alcotest.test_case "snapshot round-trip (backend matrix)" `Quick
+      test_snapshot_roundtrip;
+    Alcotest.test_case "snapshot after dynamic reordering" `Quick
+      test_snapshot_reordered;
+    Alcotest.test_case "analysis fixed point survives the store" `Quick
+      test_snapshot_analysis_fixed_point;
+    QCheck_alcotest.to_alcotest test_snapshot_qcheck;
+    Alcotest.test_case "corrupt and truncated files rejected" `Quick
+      test_corrupt_rejection;
+    Alcotest.test_case "save_file/load_file" `Quick test_save_load_file;
+    Alcotest.test_case "content-addressed store" `Quick test_cas;
+  ]
