@@ -1,5 +1,5 @@
 .PHONY: all check test smoke bench-smoke release bench-json bench-json3 \
-        bench-json5 serve-smoke lint clean
+        bench-json5 bench-json6 par-test serve-smoke lint clean
 
 all:
 	dune build
@@ -51,6 +51,20 @@ bench-json3:
 # server latency; fails if warm-start is not at least 5x faster.
 bench-json5:
 	dune exec --profile release bench/main.exe -- json5
+
+# Multi-core scaling curves (1/2/4/8 domains) for the points-to
+# join/compose hot path and the combined five-analysis suite; fails if
+# parallel results are not bit-identical to sequential, and (on hosts
+# with >= 4 cpus) if neither curve reaches 2x at 4 domains.
+bench-json6:
+	dune exec --profile release bench/main.exe -- json6
+
+# The parallel differential suite plus an end-to-end pipeline run at
+# --jobs 4 verified against the reference analyses.  Used by CI.
+par-test:
+	dune build test/test_main.exe bin/analyze_main.exe
+	dune exec test/test_main.exe -- test parallel
+	dune exec bin/analyze_main.exe -- -b compress --jobs 4 --verify
 
 # End-to-end daemon round trip: jeddd cold start, jeddq queries over
 # the socket, snapshot save, warm restart, answers compared.

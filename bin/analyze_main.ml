@@ -13,6 +13,19 @@ let backend_of_string s =
     Printf.eprintf "jedd-analyze: %s\n" msg;
     exit 2
 
+(* --jobs N, then JEDD_JOBS, then the recommended domain count. *)
+let resolve_jobs jobs =
+  let parse s =
+    try Jedd_bdd.Par.jobs_of_string s
+    with Invalid_argument msg ->
+      Printf.eprintf "jedd-analyze: %s\n" msg;
+      exit 2
+  in
+  match (jobs, Sys.getenv_opt "JEDD_JOBS") with
+  | Some s, _ -> parse s
+  | None, Some s -> parse s
+  | None, None -> Jedd_bdd.Par.default_jobs ()
+
 let lint_suite p =
   (* lint each of the Figure 2 analyses as jeddc --lint would *)
   let worst = ref 0 in
@@ -40,7 +53,8 @@ let print_results (r : Suite.results) =
     (List.length r.Suite.side_effects)
 
 let run benchmark file verify reorder backend node_limit lint save_snapshot
-    serve =
+    serve jobs =
+  let jobs = resolve_jobs jobs in
   let name, p =
     if file <> "" then (file, Jedd_minijava.Frontend.load_file file)
     else
@@ -61,7 +75,11 @@ let run benchmark file verify reorder backend node_limit lint save_snapshot
   | Some `Extmem -> Format.printf "backend: extmem (out-of-core streaming)@."
   | _ -> ());
   Format.printf "workload %s: %a@." name Program.pp_stats p;
-  let t0 = Sys.time () in
+  (* Stage-level parallelism lives in [Suite.run_combined]; the extmem
+     backend is single-domain, so parallel requests fall back there. *)
+  let parallel = jobs > 1 && backend <> Some `Extmem in
+  if parallel then Format.printf "parallel: %d domains@." jobs;
+  let t0 = Unix.gettimeofday () in
   let needs_instance = save_snapshot <> None || serve <> None in
   let oom () =
     Printf.eprintf
@@ -75,13 +93,15 @@ let run benchmark file verify reorder backend node_limit lint save_snapshot
     (* snapshotting and serving need the live combined instance; the
        plain report path keeps the historical per-analysis universes *)
     try
-      if needs_instance then
-        let inst, r = Suite.run_combined ?backend ?node_limit ~reorder p in
+      if needs_instance || parallel then
+        let inst, r =
+          Suite.run_combined ?backend ?node_limit ~reorder ~jobs p
+        in
         (Some inst, r)
       else (None, Suite.run_all ?backend ?node_limit ~reorder p)
     with Jedd_bdd.Manager.Out_of_nodes -> oom ()
   in
-  Printf.printf "pipeline completed in %.2f s\n" (Sys.time () -. t0);
+  Printf.printf "pipeline completed in %.2f s\n" (Unix.gettimeofday () -. t0);
   print_results r;
   let snap =
     Option.map
@@ -191,6 +211,18 @@ let serve_arg =
           "After the pipeline completes, serve the results over a Unix \
            socket speaking the jeddd line/JSON protocol (query with jeddq)")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Run the BDD engine and the analysis stages on $(docv) domains \
+           (1..64).  Falls back to the JEDD_JOBS environment variable, then \
+           to the machine's recommended domain count.  Results are \
+           bit-identical to --jobs=1; the extmem backend is single-domain \
+           and ignores this.")
+
 let cmd =
   Cmd.v
     (Cmd.info "jedd-analyze" ~version:Jedd_relation.Version.banner
@@ -198,6 +230,6 @@ let cmd =
     Term.(
       const run $ benchmark_arg $ file_arg $ verify_arg $ reorder_arg
       $ backend_arg $ node_limit_arg $ lint_arg $ save_snapshot_arg
-      $ serve_arg)
+      $ serve_arg $ jobs_arg)
 
 let () = exit (Cmd.eval cmd)

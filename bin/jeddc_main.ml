@@ -15,7 +15,25 @@ let read_file path =
   close_in ic;
   s
 
-let run files output stats dimacs dump_ir lint =
+(* --jobs N, then JEDD_JOBS, then the recommended domain count.  The
+   translator pipeline itself is single-domain — the flag is validated
+   here so the three CLIs agree on the interface, and generated-code
+   consumers can rely on jeddc rejecting the same values jedd-analyze
+   would. *)
+let resolve_jobs jobs =
+  let parse s =
+    try Jedd_bdd.Par.jobs_of_string s
+    with Invalid_argument msg ->
+      Printf.eprintf "jeddc: %s\n" msg;
+      exit 2
+  in
+  match (jobs, Sys.getenv_opt "JEDD_JOBS") with
+  | Some s, _ -> parse s
+  | None, Some s -> parse s
+  | None, None -> Jedd_bdd.Par.default_jobs ()
+
+let run files output stats dimacs dump_ir lint jobs =
+  ignore (resolve_jobs jobs : int);
   if files = [] then begin
     prerr_endline "jeddc: no input files";
     exit 2
@@ -130,12 +148,22 @@ let lint_arg =
            diagnostics as $(docv) (text or json).  Exits 2 on errors, 1 on \
            warnings, 0 otherwise.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Parallel width for the generated runtime (1..64); validated here, \
+           falls back to JEDD_JOBS then the recommended domain count.  The \
+           translator itself runs on one domain.")
+
 let cmd =
   Cmd.v
     (Cmd.info "jeddc" ~version:Jedd_relation.Version.banner
        ~doc:"Jedd to Java translator (PLDI 2004 reproduction)")
     Term.(
       const run $ files_arg $ output_arg $ stats_arg $ dimacs_arg $ dump_ir_arg
-      $ lint_arg)
+      $ lint_arg $ jobs_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -19,8 +19,19 @@ let backend_of_string s =
   try Jedd_relation.Backend.kind_of_string s
   with Invalid_argument msg -> fail "jeddd: %s" msg
 
+(* --jobs N, then JEDD_JOBS, then the recommended domain count. *)
+let resolve_jobs jobs =
+  let parse s =
+    try Jedd_bdd.Par.jobs_of_string s
+    with Invalid_argument msg -> fail "jeddd: %s" msg
+  in
+  match (jobs, Sys.getenv_opt "JEDD_JOBS") with
+  | Some s, _ -> parse s
+  | None, Some s -> parse s
+  | None, None -> Jedd_bdd.Par.default_jobs ()
+
 let load_or_compute ~snapshot_file ~store_dir ~store_name ~benchmark ~backend
-    ~node_limit ~save ~tag =
+    ~node_limit ~save ~tag ~jobs =
   let backend = Option.map backend_of_string backend in
   let t0 = Unix.gettimeofday () in
   let snap, origin =
@@ -45,7 +56,7 @@ let load_or_compute ~snapshot_file ~store_dir ~store_name ~benchmark ~backend
         else Workload.profile_named benchmark
       in
       let p = Workload.generate profile in
-      let inst, _ = Suite.run_combined ?backend ?node_limit p in
+      let inst, _ = Suite.run_combined ?backend ?node_limit ~jobs p in
       ( Suite.snapshot ~meta:[ ("workload", benchmark) ] inst,
         Printf.sprintf "cold run of %s" benchmark )
   in
@@ -68,11 +79,12 @@ let load_or_compute ~snapshot_file ~store_dir ~store_name ~benchmark ~backend
   snap
 
 let run socket snapshot_file store_dir store_name benchmark backend node_limit
-    save tag =
+    save tag jobs =
+  let jobs = resolve_jobs jobs in
   let snap =
     try
       load_or_compute ~snapshot_file ~store_dir ~store_name ~benchmark
-        ~backend ~node_limit ~save ~tag
+        ~backend ~node_limit ~save ~tag ~jobs
     with Snapshot.Corrupt msg -> fail "jeddd: corrupt snapshot: %s" msg
   in
   let server = Jedd_server.Server.create ~socket_path:socket snap in
@@ -143,6 +155,16 @@ let tag_arg =
     & info [ "tag" ] ~docv:"REF"
         ~doc:"Also publish the snapshot into --store under this ref name")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Domains for a cold analysis run (1..64); falls back to JEDD_JOBS, \
+           then to the recommended domain count.  Snapshot loads and query \
+           serving are unaffected.")
+
 let cmd =
   Cmd.v
     (Cmd.info "jeddd" ~version:Jedd_relation.Version.banner
@@ -151,6 +173,7 @@ let cmd =
           snapshot once, answer concurrent queries over a Unix socket")
     Term.(
       const run $ socket_arg $ snapshot_arg $ store_arg $ name_arg
-      $ benchmark_arg $ backend_arg $ node_limit_arg $ save_arg $ tag_arg)
+      $ benchmark_arg $ backend_arg $ node_limit_arg $ save_arg $ tag_arg
+      $ jobs_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -66,7 +66,7 @@ let receiver_types (p : P.t) pt_tuples =
    fields by qualified name, so they run unchanged on the combined
    instance. *)
 let run_combined ?(node_capacity = 1 lsl 16) ?node_limit ?backend
-    ?(reorder = false) (p : P.t) : Interp.t * results =
+    ?(reorder = false) ?(jobs = 1) (p : P.t) : Interp.t * results =
   let compiled =
     match Driver.compile [ ("Combined.jedd", combined_source p) ] with
     | Ok c -> c
@@ -75,23 +75,89 @@ let run_combined ?(node_capacity = 1 lsl 16) ?node_limit ?backend
   let inst =
     Driver.instantiate ~node_capacity ?node_limit ?backend compiled
   in
-  Hierarchy.load_facts inst p;
-  Hierarchy.run inst;
-  let subtypes = Hierarchy.results inst in
-  Pointsto.load_facts inst p;
-  Pointsto.run ~reorder inst;
-  let pt = Pointsto.results inst in
-  Vcall.load_facts inst p;
-  Vcall.run inst (receiver_types p pt);
-  let resolved = Vcall.results inst in
-  let call_edges = Vcall.call_edges inst in
-  Callgraph.load_facts inst p ~call_edges;
-  Callgraph.run ~reorder inst;
-  let reachable = Callgraph.results inst in
-  Sideeffect.load_facts inst p ~pt ~call_edges;
-  Sideeffect.run inst;
-  let side_effects = Sideeffect.results inst in
-  (inst, { subtypes; pt; resolved; call_edges; reachable; side_effects })
+  let u = Interp.universe inst in
+  let sequential () =
+    Hierarchy.load_facts inst p;
+    Hierarchy.run inst;
+    let subtypes = Hierarchy.results inst in
+    Pointsto.load_facts inst p;
+    Pointsto.run ~reorder inst;
+    let pt = Pointsto.results inst in
+    Vcall.load_facts inst p;
+    Vcall.run inst (receiver_types p pt);
+    let resolved = Vcall.results inst in
+    let call_edges = Vcall.call_edges inst in
+    Callgraph.load_facts inst p ~call_edges;
+    Callgraph.run ~reorder inst;
+    let reachable = Callgraph.results inst in
+    Sideeffect.load_facts inst p ~pt ~call_edges;
+    Sideeffect.run inst;
+    let side_effects = Sideeffect.results inst in
+    (inst, { subtypes; pt; resolved; call_edges; reachable; side_effects })
+  in
+  if jobs <= 1 || Jedd_relation.Universe.backend_kind u <> `Incore then
+    sequential ()
+  else begin
+    (* Stage-parallel schedule over Figure 2's dependency structure:
+       {Hierarchy ∥ Points-to} → Virtual Calls → {Call Graph ∥ Side
+       Effects}.  All domains share the one universe, whose declarations
+       are frozen after instantiation; the manager runs in parallel mode
+       so hash-consing is lock-striped and GC / reordering become
+       stop-the-world phases at safe points.  Every participating domain
+       registers with the rendezvous; the coordinating parent must NOT
+       stay registered while blocked in [Domain.join] (it would never
+       park, stalling any worker-triggered GC), so it steps out around
+       each barrier. *)
+    let module M = Jedd_bdd.Manager in
+    let m = Jedd_relation.Universe.manager u in
+    M.enter_parallel m;
+    Fun.protect ~finally:(fun () -> M.exit_parallel m) @@ fun () ->
+    M.stw_register m;
+    Fun.protect ~finally:(fun () -> M.stw_unregister m) @@ fun () ->
+    let spawn f =
+      Domain.spawn (fun () ->
+          M.stw_register m;
+          Fun.protect ~finally:(fun () -> M.stw_unregister m) f)
+    in
+    let join2 da db =
+      M.stw_unregister m;
+      let ra = try Ok (Domain.join da) with e -> Error e in
+      let rb = try Ok (Domain.join db) with e -> Error e in
+      M.stw_register m;
+      match (ra, rb) with
+      | Ok a, Ok b -> (a, b)
+      | Error e, _ | _, Error e -> raise e
+    in
+    Hierarchy.load_facts inst p;
+    Pointsto.load_facts inst p;
+    let dh =
+      spawn (fun () ->
+          Hierarchy.run inst;
+          Hierarchy.results inst)
+    and dp =
+      spawn (fun () ->
+          Pointsto.run ~reorder inst;
+          Pointsto.results inst)
+    in
+    let subtypes, pt = join2 dh dp in
+    Vcall.load_facts inst p;
+    Vcall.run inst (receiver_types p pt);
+    let resolved = Vcall.results inst in
+    let call_edges = Vcall.call_edges inst in
+    Callgraph.load_facts inst p ~call_edges;
+    Sideeffect.load_facts inst p ~pt ~call_edges;
+    let dc =
+      spawn (fun () ->
+          Callgraph.run ~reorder inst;
+          Callgraph.results inst)
+    and ds =
+      spawn (fun () ->
+          Sideeffect.run inst;
+          Sideeffect.results inst)
+    in
+    let reachable, side_effects = join2 dc ds in
+    (inst, { subtypes; pt; resolved; call_edges; reachable; side_effects })
+  end
 
 (* Package a combined instance as a store snapshot: the instance's
    registries plus every field relation, under its qualified name. *)

@@ -59,6 +59,7 @@ val run_combined :
   ?node_limit:int ->
   ?backend:Jedd_relation.Backend.kind ->
   ?reorder:bool ->
+  ?jobs:int ->
   Jedd_minijava.Program.t ->
   Jedd_lang.Interp.t * results
 (** The same pipeline compiled as ONE Jedd program in ONE universe
@@ -66,7 +67,14 @@ val run_combined :
     results.  This is the form worth persisting: every result relation
     ([Hierarchy.subtypes], [PointsTo.pt], [VirtualCalls.resolved],
     [CallGraph.reachable], [SideEffects.modSet], ...) is a field of the
-    shared instance. *)
+    shared instance.
+
+    With [jobs > 1] (in-core backend only — ignored on extmem), the
+    independent analyses of each pipeline stage run on separate OCaml 5
+    domains sharing the universe: Hierarchy with Points-to, then Virtual
+    Call Resolution, then Call Graph with Side Effects.  The manager is
+    switched into parallel mode for the duration; results are identical
+    to the sequential schedule. *)
 
 val snapshot :
   ?meta:(string * string) list -> Jedd_lang.Interp.t -> Jedd_store.Snapshot.t

@@ -1,0 +1,590 @@
+(* Work-stealing parallel BDD operations over OCaml 5 domains.
+
+   The pool follows the HermesBDD recipe: recursive apply forks its two
+   cofactor sub-problems near the top of the DAG and falls into the
+   plain sequential kernels ({!Ops}, {!Quant}, {!Replace}) below a depth
+   cutoff, where task granularity would no longer pay for itself.  Tasks
+   live in per-worker deques — owners push and pop LIFO at the tail
+   (locality), thieves steal FIFO from the head (big, old tasks).  A
+   [join] on an unfinished task does not block: the joiner claims the
+   task itself or helps by stealing others, so the pool never needs more
+   workers than domains.
+
+   The pool relies on the manager being in parallel mode
+   ({!Manager.enter_parallel}): [mk] hash-conses through striped bucket
+   locks and every domain memoises through its own cache, so the same
+   sequential recursions are safe from all workers.  Results are
+   bit-identical to the sequential engine because hash-consing keeps
+   BDDs canonical. *)
+
+type man = Manager.t
+type node = Manager.node
+
+(* -- Tasks and deques ---------------------------------------------------- *)
+
+(* state: 0 = pending (in a deque), 1 = claimed/running, 2 = done,
+   3 = raised.  [res]/[exn] are published before the state moves to 2/3;
+   the Atomic write/read pair orders them. *)
+type task = {
+  state : int Atomic.t;
+  work : unit -> int;
+  mutable res : int;
+  mutable exn : exn option;
+}
+
+type deque = {
+  dlock : Mutex.t;
+  mutable buf : task option array;
+  mutable head : int; (* steal end *)
+  mutable tail : int; (* owner end *)
+}
+
+let deque_make () =
+  { dlock = Mutex.create (); buf = Array.make 64 None; head = 0; tail = 0 }
+
+let deque_push dq t =
+  Mutex.lock dq.dlock;
+  let cap = Array.length dq.buf in
+  if dq.tail = cap then begin
+    let live = dq.tail - dq.head in
+    if live * 2 <= cap then begin
+      (* plenty of dead space at the front: compact in place *)
+      Array.blit dq.buf dq.head dq.buf 0 live;
+      Array.fill dq.buf live (cap - live) None
+    end
+    else begin
+      let buf = Array.make (cap * 2) None in
+      Array.blit dq.buf dq.head buf 0 live;
+      dq.buf <- buf
+    end;
+    dq.head <- 0;
+    dq.tail <- live
+  end;
+  dq.buf.(dq.tail) <- Some t;
+  dq.tail <- dq.tail + 1;
+  Mutex.unlock dq.dlock
+
+let deque_pop dq =
+  Mutex.lock dq.dlock;
+  let r =
+    if dq.tail > dq.head then begin
+      dq.tail <- dq.tail - 1;
+      let t = dq.buf.(dq.tail) in
+      dq.buf.(dq.tail) <- None;
+      t
+    end
+    else None
+  in
+  Mutex.unlock dq.dlock;
+  r
+
+let deque_steal dq =
+  Mutex.lock dq.dlock;
+  let r =
+    if dq.tail > dq.head then begin
+      let t = dq.buf.(dq.head) in
+      dq.buf.(dq.head) <- None;
+      dq.head <- dq.head + 1;
+      t
+    end
+    else None
+  in
+  Mutex.unlock dq.dlock;
+  r
+
+(* -- Pool ---------------------------------------------------------------- *)
+
+type pool = {
+  puid : int;
+  jobs : int;
+  cutoff : int;
+  deques : deque array;
+  mutable domains : unit Domain.t array;
+  run_lock : Mutex.t; (* serialises top-level [run] calls *)
+  gate_lock : Mutex.t;
+  gate_cond : Condition.t;
+  active : bool Atomic.t;
+  stop : bool Atomic.t;
+  mutable cur_mgr : man option; (* manager of the run in flight *)
+  mutable working : int; (* workers inside the current run *)
+  steals : int Atomic.t;
+  forks : int Atomic.t;
+}
+
+let next_puid = ref 0
+
+(* Which deque the current domain owns, per pool. *)
+let wid_key : (int * int) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let set_wid pool id =
+  let cell = Domain.DLS.get wid_key in
+  cell := (pool.puid, id) :: List.remove_assoc pool.puid !cell
+
+let clear_wid pool =
+  let cell = Domain.DLS.get wid_key in
+  cell := List.remove_assoc pool.puid !cell
+
+let my_wid pool =
+  match List.assoc_opt pool.puid !(Domain.DLS.get wid_key) with
+  | Some id -> id
+  | None -> invalid_arg "Par: fork/join outside a pool run"
+
+let exec_task (t : task) =
+  (try t.res <- t.work ()
+   with e ->
+     t.exn <- Some e;
+     Atomic.set t.state 3);
+  if t.exn = None then Atomic.set t.state 2
+
+(* Scan every other deque once, starting after our own. *)
+let try_steal pool me =
+  let n = Array.length pool.deques in
+  let rec go i =
+    if i >= n then None
+    else
+      let v = (me + i) mod n in
+      match deque_steal pool.deques.(v) with
+      | Some t ->
+        Atomic.incr pool.steals;
+        Some t
+      | None -> go (i + 1)
+  in
+  go 1
+
+(* The gate handshake: a worker may only enter a run while it is active,
+   and it announces itself in [pool.working] under the gate lock before
+   touching anything — [run] does not finish until [working] drops back
+   to zero, so a worker can never keep stealing into the next run (or
+   after the manager left parallel mode).  Workers join the apply region
+   the run's caller already holds ([region_join]), so a pending
+   stop-the-world phase can never deadlock a late worker against the
+   coordinator. *)
+let rec worker_loop pool id =
+  Mutex.lock pool.gate_lock;
+  while not (Atomic.get pool.active || Atomic.get pool.stop) do
+    Condition.wait pool.gate_cond pool.gate_lock
+  done;
+  if Atomic.get pool.stop then Mutex.unlock pool.gate_lock
+  else begin
+    let m = pool.cur_mgr in
+    pool.working <- pool.working + 1;
+    Mutex.unlock pool.gate_lock;
+    (match m with Some m -> Manager.region_join m | None -> ());
+    set_wid pool id;
+    while Atomic.get pool.active do
+      match deque_pop pool.deques.(id) with
+      | Some t -> if Atomic.compare_and_set t.state 0 1 then exec_task t
+      | None -> (
+        match try_steal pool id with
+        | Some t -> if Atomic.compare_and_set t.state 0 1 then exec_task t
+        | None -> Domain.cpu_relax ())
+    done;
+    clear_wid pool;
+    (match m with Some m -> Manager.region_end m | None -> ());
+    Mutex.lock pool.gate_lock;
+    pool.working <- pool.working - 1;
+    Condition.broadcast pool.gate_cond;
+    Mutex.unlock pool.gate_lock;
+    worker_loop pool id
+  end
+
+let create ?(cutoff = 6) ~jobs () =
+  if jobs < 1 || jobs > 64 then invalid_arg "Par.create: jobs must be in 1..64";
+  incr next_puid;
+  let pool =
+    {
+      puid = !next_puid;
+      jobs;
+      cutoff;
+      deques = Array.init jobs (fun _ -> deque_make ());
+      domains = [||];
+      run_lock = Mutex.create ();
+      gate_lock = Mutex.create ();
+      gate_cond = Condition.create ();
+      active = Atomic.make false;
+      stop = Atomic.make false;
+      cur_mgr = None;
+      working = 0;
+      steals = Atomic.make 0;
+      forks = Atomic.make 0;
+    }
+  in
+  pool.domains <-
+    Array.init (jobs - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop pool (i + 1)));
+  pool
+
+let jobs pool = pool.jobs
+let stats pool = (Atomic.get pool.forks, Atomic.get pool.steals)
+
+let shutdown pool =
+  Mutex.lock pool.gate_lock;
+  Atomic.set pool.stop true;
+  Condition.broadcast pool.gate_cond;
+  Mutex.unlock pool.gate_lock;
+  Array.iter Domain.join pool.domains;
+  pool.domains <- [||]
+
+(* [run pool m f] executes [f] with the pool's workers helping: the
+   calling domain becomes worker 0.  Top-level runs are serialised (one
+   parallel apply at a time per pool); the manager must already be in
+   parallel mode. *)
+let run pool m f =
+  if not (Manager.in_parallel m) then
+    invalid_arg "Par.run: manager not in parallel mode";
+  Mutex.lock pool.run_lock;
+  (* The caller's region spans the whole run and outlives every worker's
+     [region_join]; this acquisition is the one that waits out any
+     pending stop-the-world phase. *)
+  Manager.region_begin m;
+  set_wid pool 0;
+  Mutex.lock pool.gate_lock;
+  pool.cur_mgr <- Some m;
+  Atomic.set pool.active true;
+  Condition.broadcast pool.gate_cond;
+  Mutex.unlock pool.gate_lock;
+  let finish () =
+    (* when [f] returns every forked task has been joined, so workers
+       are only scanning empty deques: deactivate, then wait for each
+       one to leave the run before tearing the region down *)
+    Atomic.set pool.active false;
+    Mutex.lock pool.gate_lock;
+    while pool.working > 0 do
+      Condition.wait pool.gate_cond pool.gate_lock
+    done;
+    pool.cur_mgr <- None;
+    Mutex.unlock pool.gate_lock;
+    clear_wid pool;
+    Manager.region_end m;
+    Mutex.unlock pool.run_lock
+  in
+  Fun.protect ~finally:finish f
+
+let fork pool work =
+  let me = my_wid pool in
+  let t = { state = Atomic.make 0; work; res = 0; exn = None } in
+  deque_push pool.deques.(me) t;
+  Atomic.incr pool.forks;
+  t
+
+let rec join pool t =
+  match Atomic.get t.state with
+  | 2 -> t.res
+  | 3 -> (match t.exn with Some e -> raise e | None -> assert false)
+  | 0 when Atomic.compare_and_set t.state 0 1 ->
+    (* nobody picked it up yet: run it ourselves *)
+    exec_task t;
+    join pool t
+  | _ ->
+    (* someone is running it; help by draining other work *)
+    let me = my_wid pool in
+    (match deque_pop pool.deques.(me) with
+    | Some t' -> if Atomic.compare_and_set t'.state 0 1 then exec_task t'
+    | None -> (
+      match try_steal pool me with
+      | Some t' -> if Atomic.compare_and_set t'.state 0 1 then exec_task t'
+      | None -> Domain.cpu_relax ()));
+    join pool t
+
+(* -- Parallel recursions ------------------------------------------------- *)
+
+(* Each mirrors its sequential kernel exactly — same terminal cases, same
+   operand normalisation, same cache tags — and forks the two cofactor
+   sub-problems while [depth < cutoff].  Below the cutoff the sequential
+   kernel runs the whole subtree (memoising through the calling domain's
+   cache), so a sub-result computed on one worker is reused by that
+   worker's later sequential descents. *)
+
+let zero = Manager.zero
+let one = Manager.one
+
+let rec pband pool m depth f g =
+  if f = g then f
+  else if f = zero || g = zero then zero
+  else if f = one then g
+  else if g = one then f
+  else if depth >= pool.cutoff then Ops.band m f g
+  else begin
+    let f, g = if f < g then (f, g) else (g, f) in
+    let r = Manager.cache_lookup m Ops.tag_and f g 0 in
+    if r >= 0 then r
+    else begin
+      let lf = Manager.level m f and lg = Manager.level m g in
+      let lvl = min lf lg in
+      let f0, f1 =
+        if lf = lvl then (Manager.low m f, Manager.high m f) else (f, f)
+      in
+      let g0, g1 =
+        if lg = lvl then (Manager.low m g, Manager.high m g) else (g, g)
+      in
+      let t1 = fork pool (fun () -> pband pool m (depth + 1) f1 g1) in
+      let r0 = pband pool m (depth + 1) f0 g0 in
+      let r1 = join pool t1 in
+      let r = Manager.mk m lvl r0 r1 in
+      Manager.cache_store m Ops.tag_and f g 0 r;
+      r
+    end
+  end
+
+let rec pbor pool m depth f g =
+  if f = g then f
+  else if f = one || g = one then one
+  else if f = zero then g
+  else if g = zero then f
+  else if depth >= pool.cutoff then Ops.bor m f g
+  else begin
+    let f, g = if f < g then (f, g) else (g, f) in
+    let r = Manager.cache_lookup m Ops.tag_or f g 0 in
+    if r >= 0 then r
+    else begin
+      let lf = Manager.level m f and lg = Manager.level m g in
+      let lvl = min lf lg in
+      let f0, f1 =
+        if lf = lvl then (Manager.low m f, Manager.high m f) else (f, f)
+      in
+      let g0, g1 =
+        if lg = lvl then (Manager.low m g, Manager.high m g) else (g, g)
+      in
+      let t1 = fork pool (fun () -> pbor pool m (depth + 1) f1 g1) in
+      let r0 = pbor pool m (depth + 1) f0 g0 in
+      let r1 = join pool t1 in
+      let r = Manager.mk m lvl r0 r1 in
+      Manager.cache_store m Ops.tag_or f g 0 r;
+      r
+    end
+  end
+
+let rec pbdiff pool m depth f g =
+  if f = g || f = zero || g = one then zero
+  else if g = zero then f
+  else if f = one then Ops.bnot m g
+  else if depth >= pool.cutoff then Ops.bdiff m f g
+  else begin
+    let r = Manager.cache_lookup m Ops.tag_diff f g 0 in
+    if r >= 0 then r
+    else begin
+      let lf = Manager.level m f and lg = Manager.level m g in
+      let lvl = min lf lg in
+      let f0, f1 =
+        if lf = lvl then (Manager.low m f, Manager.high m f) else (f, f)
+      in
+      let g0, g1 =
+        if lg = lvl then (Manager.low m g, Manager.high m g) else (g, g)
+      in
+      let t1 = fork pool (fun () -> pbdiff pool m (depth + 1) f1 g1) in
+      let r0 = pbdiff pool m (depth + 1) f0 g0 in
+      let r1 = join pool t1 in
+      let r = Manager.mk m lvl r0 r1 in
+      Manager.cache_store m Ops.tag_diff f g 0 r;
+      r
+    end
+  end
+
+let rec pbxor pool m depth f g =
+  if f = g then zero
+  else if f = zero then g
+  else if g = zero then f
+  else if f = one then Ops.bnot m g
+  else if g = one then Ops.bnot m f
+  else if depth >= pool.cutoff then Ops.bxor m f g
+  else begin
+    let f, g = if f < g then (f, g) else (g, f) in
+    let r = Manager.cache_lookup m Ops.tag_xor f g 0 in
+    if r >= 0 then r
+    else begin
+      let lf = Manager.level m f and lg = Manager.level m g in
+      let lvl = min lf lg in
+      let f0, f1 =
+        if lf = lvl then (Manager.low m f, Manager.high m f) else (f, f)
+      in
+      let g0, g1 =
+        if lg = lvl then (Manager.low m g, Manager.high m g) else (g, g)
+      in
+      let t1 = fork pool (fun () -> pbxor pool m (depth + 1) f1 g1) in
+      let r0 = pbxor pool m (depth + 1) f0 g0 in
+      let r1 = join pool t1 in
+      let r = Manager.mk m lvl r0 r1 in
+      Manager.cache_store m Ops.tag_xor f g 0 r;
+      r
+    end
+  end
+
+let rec pexist pool m depth f cube =
+  if Manager.is_terminal f then f
+  else begin
+    let lvl = Manager.level m f in
+    let cube = Quant.cube_from m cube lvl in
+    if Manager.is_terminal cube then f
+    else if depth >= pool.cutoff then Quant.exist m f cube
+    else begin
+      let r = Manager.cache_lookup m Quant.tag_exist f cube 0 in
+      if r >= 0 then r
+      else begin
+        let t1 =
+          fork pool (fun () -> pexist pool m (depth + 1) (Manager.high m f) cube)
+        in
+        let r0 = pexist pool m (depth + 1) (Manager.low m f) cube in
+        let r1 = join pool t1 in
+        let r =
+          if Manager.level m cube = lvl then Ops.bor m r0 r1
+          else Manager.mk m lvl r0 r1
+        in
+        Manager.cache_store m Quant.tag_exist f cube 0 r;
+        r
+      end
+    end
+  end
+
+let rec prelprod pool m depth f g cube =
+  if f = zero || g = zero then zero
+  else if Manager.is_terminal f && Manager.is_terminal g then one
+  else if depth >= pool.cutoff then Quant.relprod m f g cube
+  else begin
+    let f, g = if f < g then (f, g) else (g, f) in
+    let lf = Manager.level m f and lg = Manager.level m g in
+    let lvl = min lf lg in
+    let cube = Quant.cube_from m cube lvl in
+    if Manager.is_terminal cube then pband pool m depth f g
+    else begin
+      let r = Manager.cache_lookup m Quant.tag_relprod f g cube in
+      if r >= 0 then r
+      else begin
+        let f0, f1 =
+          if lf = lvl then (Manager.low m f, Manager.high m f) else (f, f)
+        in
+        let g0, g1 =
+          if lg = lvl then (Manager.low m g, Manager.high m g) else (g, g)
+        in
+        let t1 = fork pool (fun () -> prelprod pool m (depth + 1) f1 g1 cube) in
+        let r0 = prelprod pool m (depth + 1) f0 g0 cube in
+        let r1 = join pool t1 in
+        let r =
+          if Manager.level m cube = lvl then Ops.bor m r0 r1
+          else Manager.mk m lvl r0 r1
+        in
+        Manager.cache_store m Quant.tag_relprod f g cube r;
+        r
+      end
+    end
+  end
+
+(* Parallel mirror of {!Replace.fused_relprod}.  The sequential kernel
+   short-circuits [bor one _]; forking both sides loses that cut but not
+   correctness (hash-consing keeps the result identical). *)
+let rec pfused_relprod pool m depth f g p cube =
+  if f = zero || g = zero then zero
+  else if Manager.is_terminal f && Manager.is_terminal g then one
+  else if g = one && Manager.is_terminal cube then f
+  else if
+    f = one && Manager.is_terminal cube
+    && Manager.level m g >= Replace.perm_map_len p
+  then g
+  else if depth >= pool.cutoff then Replace.fused_relprod m f g p cube
+  else begin
+    let lf = Manager.level m f in
+    let lg =
+      if Manager.is_terminal g then Manager.terminal_level
+      else Replace.apply_level p (Manager.level m g)
+    in
+    let lvl = if lf < lg then lf else lg in
+    let cube = Replace.cube_from m cube lvl in
+    let key_c = Replace.pack_key (Replace.perm_id p) cube in
+    let r = Manager.cache_lookup m Replace.tag_relprod_replace f g key_c in
+    if r >= 0 then r
+    else begin
+      let f0, f1 =
+        if lf = lvl then (Manager.low m f, Manager.high m f) else (f, f)
+      in
+      let g0, g1 =
+        if lg = lvl then (Manager.low m g, Manager.high m g) else (g, g)
+      in
+      let t1 =
+        fork pool (fun () -> pfused_relprod pool m (depth + 1) f1 g1 p cube)
+      in
+      let r0 = pfused_relprod pool m (depth + 1) f0 g0 p cube in
+      let r1 = join pool t1 in
+      let r =
+        if (not (Manager.is_terminal cube)) && Manager.level m cube = lvl then
+          Ops.bor m r0 r1
+        else Manager.mk m lvl r0 r1
+      in
+      Manager.cache_store m Replace.tag_relprod_replace f g key_c r;
+      r
+    end
+  end
+
+let rec pfused_replace_exist pool m depth f p cube =
+  if Manager.is_terminal f then f
+  else if
+    Manager.is_terminal cube && Manager.level m f >= Replace.perm_map_len p
+  then f
+  else if depth >= pool.cutoff then Replace.fused_replace_exist m f p cube
+  else begin
+    let lvl = Manager.level m f in
+    let cube = Replace.cube_from m cube lvl in
+    let key_c = Replace.pack_key (Replace.perm_id p) cube in
+    let r = Manager.cache_lookup m Replace.tag_replace_exist f key_c 0 in
+    if r >= 0 then r
+    else begin
+      let t1 =
+        fork pool (fun () ->
+            pfused_replace_exist pool m (depth + 1) (Manager.high m f) p cube)
+      in
+      let r0 = pfused_replace_exist pool m (depth + 1) (Manager.low m f) p cube in
+      let r1 = join pool t1 in
+      let r =
+        if (not (Manager.is_terminal cube)) && Manager.level m cube = lvl then
+          Ops.bor m r0 r1
+        else Manager.mk m (Replace.apply_level p lvl) r0 r1
+      in
+      Manager.cache_store m Replace.tag_replace_exist f key_c 0 r;
+      r
+    end
+  end
+
+(* -- Top-level entry points --------------------------------------------- *)
+
+let band pool m f g = run pool m (fun () -> pband pool m 0 f g)
+let bor pool m f g = run pool m (fun () -> pbor pool m 0 f g)
+let bdiff pool m f g = run pool m (fun () -> pbdiff pool m 0 f g)
+let bxor pool m f g = run pool m (fun () -> pbxor pool m 0 f g)
+let exist pool m f cube = run pool m (fun () -> pexist pool m 0 f cube)
+
+let relprod pool m f g cube =
+  run pool m (fun () -> prelprod pool m 0 f g cube)
+
+(* Fused kernels: same dispatch as the sequential top levels
+   ({!Replace.relprod_replace} / {!Replace.replace_exist}), with the
+   fused recursion parallelised.  The materialising fallback stays
+   sequential — it is rare and already an admission of defeat. *)
+let relprod_replace pool m f g p cube =
+  if Replace.is_identity p then
+    if Manager.is_terminal cube then band pool m f g
+    else relprod pool m f g cube
+  else if Replace.order_preserving_on m p g then
+    run pool m (fun () -> pfused_relprod pool m 0 f g p cube)
+  else
+    let g' = Replace.replace m g p in
+    if Manager.is_terminal cube then band pool m f g'
+    else relprod pool m f g' cube
+
+let replace_exist pool m f p cube =
+  if Replace.is_identity p then exist pool m f cube
+  else if Replace.order_preserving_on m p f then
+    run pool m (fun () -> pfused_replace_exist pool m 0 f p cube)
+  else Replace.replace m (exist pool m f cube) p
+
+(* -- Job-count parsing --------------------------------------------------- *)
+
+let default_jobs () = max 1 (min 64 (Domain.recommended_domain_count ()))
+
+let jobs_of_string s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 1 && n <= 64 -> n
+  | Some n ->
+    invalid_arg
+      (Printf.sprintf "invalid job count %d (expected 1 <= jobs <= 64)" n)
+  | None ->
+    invalid_arg
+      (Printf.sprintf "invalid job count %S (expected an integer, 1..64)" s)

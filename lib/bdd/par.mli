@@ -1,0 +1,80 @@
+(** Work-stealing parallel BDD operations over OCaml 5 domains.
+
+    A {!pool} owns [jobs - 1] worker domains; the domain calling a
+    top-level operation participates as worker 0.  Recursive apply forks
+    its two cofactor sub-problems into per-worker deques while the
+    recursion is within [cutoff] levels of the root and falls into the
+    plain sequential kernels below, memoising under the {e same} cache
+    tags so sequential and parallel runs share result vocabulary.
+    Joins never block: a joiner claims the task itself or helps by
+    stealing others.
+
+    The manager must be in parallel mode ({!Manager.enter_parallel})
+    whenever a pool operation runs.  Results are bit-identical to the
+    sequential kernels — hash-consing keeps BDDs canonical — which the
+    differential test suite checks across job counts. *)
+
+type man = Manager.t
+type node = Manager.node
+type pool
+
+val create : ?cutoff:int -> jobs:int -> unit -> pool
+(** [create ~jobs ()] spawns [jobs - 1] worker domains (so [jobs = 1]
+    spawns none and every operation degenerates to the sequential
+    kernel plus bookkeeping).  [cutoff] is the fork depth bound
+    (default 6: at most [2^6] top-of-DAG forks per operation plus
+    whatever the recursion re-forks).  [Invalid_argument] unless
+    [1 <= jobs <= 64]. *)
+
+val shutdown : pool -> unit
+(** Stop and join the worker domains.  Call at quiescence (no run in
+    flight). *)
+
+val jobs : pool -> int
+
+val stats : pool -> int * int
+(** [(forks, steals)] since pool creation. *)
+
+val run : pool -> man -> (unit -> 'a) -> 'a
+(** [run pool m f] executes [f] with the workers helping: use it to
+    wrap a custom parallel recursion built from {!fork}/{!join}.
+    Top-level runs on one pool are serialised.  Opens an apply region on
+    [m] spanning the run, so stop-the-world phases (GC, reordering) wait
+    for it. *)
+
+type task
+
+val fork : pool -> (unit -> int) -> task
+(** Push a sub-problem onto the calling worker's deque.  Only valid
+    inside {!run} (on the calling domain or from within another task). *)
+
+val join : pool -> task -> int
+(** Wait for a task's result, executing it directly if nobody has
+    claimed it and helping with other tasks otherwise.  Re-raises the
+    task's exception if it raised. *)
+
+(** {2 Parallel operations}
+
+    Drop-in parallel counterparts of {!Ops.band} / {!Ops.bor} /
+    {!Ops.bdiff} / {!Ops.bxor}, {!Quant.exist} / {!Quant.relprod} and
+    the fused {!Replace.relprod_replace} / {!Replace.replace_exist}.
+    Each wraps itself in {!run}. *)
+
+val band : pool -> man -> node -> node -> node
+val bor : pool -> man -> node -> node -> node
+val bdiff : pool -> man -> node -> node -> node
+val bxor : pool -> man -> node -> node -> node
+val exist : pool -> man -> node -> node -> node
+val relprod : pool -> man -> node -> node -> node -> node
+val relprod_replace : pool -> man -> node -> node -> Replace.perm -> node -> node
+val replace_exist : pool -> man -> node -> Replace.perm -> node -> node
+
+(** {2 Job-count plumbing} *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count], clamped to [1..64]. *)
+
+val jobs_of_string : string -> int
+(** Parse a [--jobs] / [JEDD_JOBS] value; [Invalid_argument] with a
+    clean message (same style as [Backend.kind_of_string]) unless it is
+    an integer in [1..64]. *)

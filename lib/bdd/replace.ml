@@ -18,14 +18,22 @@ type perm = {
 let intern_table : ((int * int) list, perm) Hashtbl.t = Hashtbl.create 32
 let next_perm_id = ref 1
 
+(* The intern table is global and may be hit from several domains when
+   analyses run in parallel; interning is rare (layout changes, not
+   per-operation), so one mutex is plenty. *)
+let intern_lock = Mutex.create ()
+
 let identity_perm = { id = 0; map = [||]; ident = true }
 
 let make_perm _m pairs =
   let pairs = List.filter (fun (s, d) -> s <> d) pairs in
   let pairs = List.sort (fun (a, _) (b, _) -> compare a b) pairs in
   if pairs = [] then identity_perm
-  else
-    match Hashtbl.find_opt intern_table pairs with
+  else begin
+    Mutex.lock intern_lock;
+    let found = Hashtbl.find_opt intern_table pairs in
+    Mutex.unlock intern_lock;
+    match found with
     | Some p -> p
     | None ->
       let targets = Hashtbl.create 16 in
@@ -47,13 +55,25 @@ let make_perm _m pairs =
             invalid_arg "Replace.make_perm: duplicate source level";
           map.(src) <- dst)
         pairs;
-      let p = { id = !next_perm_id; map; ident = false } in
-      incr next_perm_id;
-      Hashtbl.add intern_table pairs p;
+      Mutex.lock intern_lock;
+      let p =
+        (* re-check: another domain may have interned the same mapping *)
+        match Hashtbl.find_opt intern_table pairs with
+        | Some p -> p
+        | None ->
+          let p = { id = !next_perm_id; map; ident = false } in
+          incr next_perm_id;
+          Hashtbl.add intern_table pairs p;
+          p
+      in
+      Mutex.unlock intern_lock;
       p
+  end
 
 let identity _m = identity_perm
 let is_identity p = p.ident
+let perm_id p = p.id
+let perm_map_len p = Array.length p.map
 
 let apply_level p lvl =
   if lvl < Array.length p.map then Array.unsafe_get p.map lvl else lvl
@@ -91,9 +111,9 @@ let tag_replace_exist = Manager.register_tag "replace-exist"
 (* Counters exposed for tests and the benchmark JSON: how often the fused
    recursion ran vs. how often a non-order-preserving permutation forced
    the materialising fallback. *)
-let fused_hits = ref 0
-let fallback_hits = ref 0
-let fused_stats () = (!fused_hits, !fallback_hits)
+let fused_hits = Atomic.make 0
+let fallback_hits = Atomic.make 0
+let fused_stats () = (Atomic.get fused_hits, Atomic.get fallback_hits)
 
 (* The fused recursions relabel each node of the traversed operand in
    place, which is sound iff mapped levels still strictly increase along
@@ -107,10 +127,19 @@ let fused_stats () = (!fused_hits, !fallback_hits)
 let ok_memo : (int * int * int, (int * int) * bool) Hashtbl.t =
   Hashtbl.create 256
 
+(* The verdict memo is global (keyed by manager uid); parallel analyses
+   probe it concurrently, so its accesses are serialised.  The traversal
+   itself runs outside the lock — it only touches the manager's (already
+   domain-safe) cache. *)
+let ok_memo_lock = Mutex.create ()
+
 let order_preserving_on m p f =
   let key = (Manager.uid m, p.id, f) in
   let gcs = (Manager.gc_count m, Manager.order_gen m) in
-  match Hashtbl.find_opt ok_memo key with
+  Mutex.lock ok_memo_lock;
+  let cached = Hashtbl.find_opt ok_memo key in
+  Mutex.unlock ok_memo_lock;
+  match cached with
   | Some (stamp, ok) when stamp = gcs -> ok
   | _ ->
     let rec ok f =
@@ -130,8 +159,10 @@ let order_preserving_on m p f =
           r
     in
     let r = ok f in
+    Mutex.lock ok_memo_lock;
     if Hashtbl.length ok_memo > 65536 then Hashtbl.reset ok_memo;
     Hashtbl.replace ok_memo key (gcs, r);
+    Mutex.unlock ok_memo_lock;
     r
 
 (* Fold the permutation id and the quantification cube into one cache-key
@@ -198,14 +229,14 @@ let relprod_replace m f g p cube =
     if Manager.is_terminal cube then Ops.band m f g
     else Quant.relprod m f g cube
   else if order_preserving_on m p g then begin
-    incr fused_hits;
+    Atomic.incr fused_hits;
     fused_relprod m f g p cube
   end
   else begin
     (* Non-order-preserving move: materialise, as the unfused pipeline
        would.  Rare in practice — the runtime's block layouts keep bit
        order — but required for full generality. *)
-    incr fallback_hits;
+    Atomic.incr fallback_hits;
     let g' = replace m g p in
     if Manager.is_terminal cube then Ops.band m f g'
     else Quant.relprod m f g' cube
@@ -249,10 +280,10 @@ let rec fused_replace_exist m f p cube =
 let replace_exist m f p cube =
   if is_identity p then Quant.exist m f cube
   else if order_preserving_on m p f then begin
-    incr fused_hits;
+    Atomic.incr fused_hits;
     fused_replace_exist m f p cube
   end
   else begin
-    incr fallback_hits;
+    Atomic.incr fallback_hits;
     replace m (Quant.exist m f cube) p
   end

@@ -19,6 +19,10 @@ type t = {
   physdoms : (string, Phys.t) Hashtbl.t;
   fields : (var_key, R.t ref) Hashtbl.t;
   liveness : (string, Liveness.t) Hashtbl.t;  (* per qualified method *)
+  liveness_lock : Mutex.t;
+      (* the table fills lazily on first call of each method; interpreter
+         instances are shared read-mostly when analyses run on separate
+         domains, so the fill must be a critical section *)
   mutable print_hook : string -> unit;
 }
 
@@ -93,6 +97,7 @@ let instantiate_base ?(node_capacity = 1 lsl 16) ?node_limit ?backend
       physdoms;
       fields = Hashtbl.create 32;
       liveness = Hashtbl.create 16;
+      liveness_lock = Mutex.create ();
       print_hook = print_string;
     }
   in
@@ -328,7 +333,13 @@ and exec t frame (s : tstmt) : unit =
   exec_stmt t frame s;
   (* §4.2: release variables whose last use was this statement (the
      static liveness analysis ran at instantiation) *)
-  match Hashtbl.find_opt t.liveness frame.meth with
+  let lv_opt =
+    Mutex.lock t.liveness_lock;
+    let v = Hashtbl.find_opt t.liveness frame.meth in
+    Mutex.unlock t.liveness_lock;
+    v
+  in
+  match lv_opt with
   | Some lv ->
     List.iter
       (fun key ->
@@ -426,8 +437,19 @@ and call_method t q (args : value list) : R.t option =
     | Some m -> m
     | None -> fail "unknown method %s" q
   in
-  if not (Hashtbl.mem t.liveness q) then
-    Hashtbl.replace t.liveness q (Liveness.analyze m);
+  (let need =
+     Mutex.lock t.liveness_lock;
+     let n = not (Hashtbl.mem t.liveness q) in
+     Mutex.unlock t.liveness_lock;
+     n
+   in
+   if need then begin
+     (* analyze outside the lock; a racing duplicate is idempotent *)
+     let lv = Liveness.analyze m in
+     Mutex.lock t.liveness_lock;
+     if not (Hashtbl.mem t.liveness q) then Hashtbl.replace t.liveness q lv;
+     Mutex.unlock t.liveness_lock
+   end);
   let frame = { meth = q; locals = Hashtbl.create 8; objs = Hashtbl.create 4 } in
   if List.length args <> List.length m.tm_params then
     fail "method %s expects %d arguments" q (List.length m.tm_params);

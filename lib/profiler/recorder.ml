@@ -21,13 +21,17 @@ type summary = {
   io_millis : float;
 }
 
-type t = { mutable events : row list; mutable next_seq : int }
+(* One recorder may receive events from several domains at once (e.g.
+   [Suite.run_combined ~jobs]), so the event list is mutex-protected. *)
+type t = { lock : Mutex.t; mutable events : row list; mutable next_seq : int }
 
-let create () = { events = []; next_seq = 0 }
+let create () = { lock = Mutex.create (); events = []; next_seq = 0 }
 
 let record t event =
+  Mutex.lock t.lock;
   t.events <- { seq = t.next_seq; event } :: t.events;
-  t.next_seq <- t.next_seq + 1
+  t.next_seq <- t.next_seq + 1;
+  Mutex.unlock t.lock
 
 let attach t u ~level =
   U.set_profile_level u level;
@@ -37,14 +41,24 @@ let detach u =
   U.set_profile_level u U.Off;
   U.set_on_op u None
 
-let rows t = List.rev t.events
+let rows t =
+  Mutex.lock t.lock;
+  let r = List.rev t.events in
+  Mutex.unlock t.lock;
+  r
+
 let total_operations t = t.next_seq
 
 let clear t =
+  Mutex.lock t.lock;
   t.events <- [];
-  t.next_seq <- 0
+  t.next_seq <- 0;
+  Mutex.unlock t.lock
 
 let summaries t =
+  Mutex.lock t.lock;
+  let events = t.events in
+  Mutex.unlock t.lock;
   let table = Hashtbl.create 32 in
   List.iter
     (fun { event = e; _ } ->
@@ -108,9 +122,46 @@ let summaries t =
           spilled_bytes = current.spilled_bytes + sbytes;
           io_millis = current.io_millis +. io_ms;
         })
-    t.events;
+    events;
   Hashtbl.fold (fun _ s acc -> s :: acc) table []
   |> List.sort (fun a b -> compare b.total_millis a.total_millis)
+
+(* The [parallelism] counter section: pool width and fork/steal traffic
+   (zero when no pool is attached), plus the manager's multi-domain
+   bookkeeping — domains that have touched it in parallel mode,
+   stop-the-world phases, barrier waits, and allocation-chunk refills.
+   Per-domain operation-cache slots are reported individually while
+   parallel mode is active (they merge into the base counters on
+   [exit_parallel]). *)
+let parallelism_stats u =
+  let module U = Jedd_relation.Universe in
+  let module M = Jedd_bdd.Manager in
+  let m = U.manager u in
+  let s = M.par_stats m in
+  let forks, steals =
+    match Jedd_relation.Backend.pool (U.backend u) with
+    | None -> (0, 0)
+    | Some pool -> Jedd_bdd.Par.stats pool
+  in
+  [
+    ("parallel_active", if s.M.par_active then 1.0 else 0.0);
+    ("parallel_jobs", float_of_int (U.jobs u));
+    ("parallel_domains_used", float_of_int s.M.par_domains);
+    ("parallel_registered", float_of_int s.M.par_registered);
+    ("parallel_forks", float_of_int forks);
+    ("parallel_steals", float_of_int steals);
+    ("parallel_stw_sections", float_of_int s.M.par_stw_sections);
+    ("parallel_barrier_waits", float_of_int s.M.par_barrier_waits);
+    ("parallel_chunk_refills", float_of_int s.M.par_chunk_refills);
+  ]
+  @ (Array.to_list (M.slot_cache_stats m)
+    |> List.concat_map (fun (slot, h, ms, st, ev) ->
+           [
+             (Printf.sprintf "slot%d_cache_hits" slot, float_of_int h);
+             (Printf.sprintf "slot%d_cache_misses" slot, float_of_int ms);
+             (Printf.sprintf "slot%d_cache_stores" slot, float_of_int st);
+             (Printf.sprintf "slot%d_cache_evictions" slot, float_of_int ev);
+           ]))
 
 (* Lifetime counter snapshot of a universe's BDD layer, as flat
    (name, value) pairs: the cache/GC/growth/reorder counters of the
@@ -152,3 +203,4 @@ let runtime_stats u =
     ("pq_peak_bytes", float_of_int pq_peak_bytes);
     ("io_millis", io_millis);
   ]
+  @ parallelism_stats u

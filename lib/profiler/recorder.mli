@@ -60,7 +60,13 @@ val clear : t -> unit
 val runtime_stats : Jedd_relation.Universe.t -> (string * float) list
 (** Lifetime BDD-layer counters of a universe as flat (name, value)
     pairs — cache hits/misses/evictions, GC and growth work, reorder
-    passes/swaps, and the extmem spill/I-O counters (zero on in-core).
-    Integer counters are widened to floats; [backend] is 0 for in-core,
-    1 for extmem.  Shared by the jeddd [stats] verb and the bench JSON
-    reports. *)
+    passes/swaps, the extmem spill/I-O counters (zero on in-core), and
+    the [parallelism_stats] section.  Integer counters are widened to
+    floats; [backend] is 0 for in-core, 1 for extmem.  Shared by the
+    jeddd [stats] verb and the bench JSON reports. *)
+
+val parallelism_stats : Jedd_relation.Universe.t -> (string * float) list
+(** Just the parallelism section: pool width and fork/steal traffic,
+    domains used, stop-the-world sections, barrier waits, allocation
+    chunk refills, and — while parallel mode is active — the per-domain
+    operation-cache slot counters ([slot<i>_cache_hits], ...). *)

@@ -129,19 +129,41 @@ end
 
 (* dispatch layer *)
 
+module Par = Jedd_bdd.Par
+
 type kind = [ `Incore | `Extmem ]
 
-type t = { knd : kind; mgr : M.t; ext : extmem_state option }
+type t = {
+  knd : kind;
+  mgr : M.t;
+  ext : extmem_state option;
+  (* when set (in-core only), conjunction/disjunction/quantification and
+     the fused compose kernel run on the work-stealing pool; the extmem
+     backend stays single-domain (its page cache and file store are not
+     thread-safe, and it trades CPU for I/O anyway — see DESIGN.md) *)
+  mutable pool : Par.pool option;
+}
+
 type node = In of M.node | Ex of E.t
 
 let make knd mgr =
   match knd with
-  | `Incore -> { knd; mgr; ext = None }
-  | `Extmem -> { knd; mgr; ext = Some { xmgr = mgr; xstore = Store.create () } }
+  | `Incore -> { knd; mgr; ext = None; pool = None }
+  | `Extmem ->
+    { knd; mgr; ext = Some { xmgr = mgr; xstore = Store.create () }; pool = None }
 
 let kind b = b.knd
 let manager b = b.mgr
 let store b = Option.map (fun s -> s.xstore) b.ext
+
+let set_pool b p =
+  (match (p, b.knd) with
+  | Some _, `Extmem ->
+    invalid_arg "Backend.set_pool: extmem backend is single-domain"
+  | _ -> ());
+  b.pool <- p
+
+let pool b = b.pool
 
 let cleanup b =
   match b.ext with None -> () | Some s -> Store.cleanup s.xstore
@@ -184,9 +206,14 @@ let lift2 b fin fex x y =
   | `Incore -> In (fin b.mgr (in_node x) (in_node y))
   | `Extmem -> Ex (fex (ext b) (ex_node x) (ex_node y))
 
-let band b = lift2 b Incore.band Extmem.band
-let bor b = lift2 b Incore.bor Extmem.bor
-let bdiff b = lift2 b Incore.bdiff Extmem.bdiff
+let lift2_par b fpar fin fex x y =
+  match (b.knd, b.pool) with
+  | `Incore, Some p -> In (fpar p b.mgr (in_node x) (in_node y))
+  | _ -> lift2 b fin fex x y
+
+let band b = lift2_par b Par.band Incore.band Extmem.band
+let bor b = lift2_par b Par.bor Incore.bor Extmem.bor
+let bdiff b = lift2_par b Par.bdiff Incore.bdiff Extmem.bdiff
 
 let cube b assignment =
   match b.knd with
@@ -214,9 +241,11 @@ let restrict b n assignment =
   | `Extmem -> Ex (Extmem.restrict (ext b) (ex_node n) assignment)
 
 let exist b n levels =
-  match b.knd with
-  | `Incore -> In (Incore.exist b.mgr (in_node n) levels)
-  | `Extmem -> Ex (Extmem.exist (ext b) (ex_node n) levels)
+  match (b.knd, b.pool) with
+  | `Incore, Some p when levels <> [] ->
+    In (Par.exist p b.mgr (in_node n) (Quant.varset b.mgr levels))
+  | `Incore, _ -> In (Incore.exist b.mgr (in_node n) levels)
+  | `Extmem, _ -> Ex (Extmem.exist (ext b) (ex_node n) levels)
 
 let replace b n pairs =
   match b.knd with
@@ -224,10 +253,16 @@ let replace b n pairs =
   | `Extmem -> Ex (Extmem.replace (ext b) (ex_node n) pairs)
 
 let relprod_replace b f g pairs qlevels =
-  match b.knd with
-  | `Incore ->
+  match (b.knd, b.pool) with
+  | `Incore, Some p ->
+    let perm = Rep.make_perm b.mgr pairs in
+    let cube =
+      if qlevels = [] then M.one else Quant.varset b.mgr qlevels
+    in
+    In (Par.relprod_replace p b.mgr (in_node f) (in_node g) perm cube)
+  | `Incore, None ->
     In (Incore.relprod_replace b.mgr (in_node f) (in_node g) pairs qlevels)
-  | `Extmem ->
+  | `Extmem, _ ->
     Ex (Extmem.relprod_replace (ext b) (ex_node f) (ex_node g) pairs qlevels)
 
 let nodecount b n =

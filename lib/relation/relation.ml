@@ -9,36 +9,51 @@ type t = {
   u : Universe.t;
   sch : Schema.t;
   rt : B.node;
+  lc : int Atomic.t;  (** the universe's live-root counter, captured so
+                          [release] (a finaliser) never takes a lock *)
   mutable released : bool;
 }
 
 let backend r = Universe.backend r.u
 
-(* -- live-root accounting (per universe) -------------------------------- *)
+(* -- live-root accounting (per universe) --------------------------------
 
-let live_counts : (int, int ref) Hashtbl.t = Hashtbl.create 8
+   The table lookup is mutex-protected (relations are created from any
+   domain once a universe runs analyses in parallel), but the counter
+   itself is atomic and captured in the relation: [release] runs from GC
+   finalisers, which may fire while this very lock is held, so its path
+   must be lock-free. *)
+
+let live_lock = Mutex.create ()
+let live_counts : (int, int Atomic.t) Hashtbl.t = Hashtbl.create 8
 
 let live_counter u =
-  match Hashtbl.find_opt live_counts (Universe.uid u) with
-  | Some r -> r
-  | None ->
-    let r = ref 0 in
-    Hashtbl.add live_counts (Universe.uid u) r;
-    r
+  Mutex.lock live_lock;
+  let r =
+    match Hashtbl.find_opt live_counts (Universe.uid u) with
+    | Some r -> r
+    | None ->
+      let r = Atomic.make 0 in
+      Hashtbl.add live_counts (Universe.uid u) r;
+      r
+  in
+  Mutex.unlock live_lock;
+  r
 
-let live_root_count u = !(live_counter u)
+let live_root_count u = Atomic.get (live_counter u)
 
 let release r =
   if not r.released then begin
     r.released <- true;
-    decr (live_counter r.u);
+    Atomic.decr r.lc;
     B.delref (backend r) r.rt
   end
 
 let make u sch rt =
   B.addref (Universe.backend u) rt;
-  let r = { u; sch; rt; released = false } in
-  incr (live_counter u);
+  let lc = live_counter u in
+  let r = { u; sch; rt; lc; released = false } in
+  Atomic.incr lc;
   (* The finaliser is the safety net of §4.2: eager releases come from
      [release], called by the interpreter's liveness analysis. *)
   Gc.finalise release r;
@@ -95,26 +110,35 @@ let profiled u ~op ~label ~operands f =
 
 (* -- scratch physical domains ------------------------------------------- *)
 
+let scratch_lock = Mutex.create ()
 let scratch_pools : (int, Physdom.t list ref) Hashtbl.t = Hashtbl.create 8
 
+(* The whole allocate-or-reuse step is one critical section so two
+   domains cannot both miss and declare duplicate scratch physdoms. *)
 let scratch u ~bits ~avoid =
-  let pool =
-    match Hashtbl.find_opt scratch_pools (Universe.uid u) with
-    | Some p -> p
-    | None ->
-      let p = ref [] in
-      Hashtbl.add scratch_pools (Universe.uid u) p;
-      p
-  in
-  let usable p =
-    Physdom.width p >= bits && not (List.exists (Physdom.equal p) avoid)
-  in
-  match List.find_opt usable !pool with
-  | Some p -> p
-  | None ->
-    let p = Physdom.declare u ~name:(Universe.next_scratch_name u) ~bits in
-    pool := p :: !pool;
-    p
+  Mutex.lock scratch_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock scratch_lock)
+    (fun () ->
+      let pool =
+        match Hashtbl.find_opt scratch_pools (Universe.uid u) with
+        | Some p -> p
+        | None ->
+          let p = ref [] in
+          Hashtbl.add scratch_pools (Universe.uid u) p;
+          p
+      in
+      let usable p =
+        Physdom.width p >= bits && not (List.exists (Physdom.equal p) avoid)
+      in
+      match List.find_opt usable !pool with
+      | Some p -> p
+      | None ->
+        let p =
+          Physdom.declare u ~name:(Universe.next_scratch_name u) ~bits
+        in
+        pool := p :: !pool;
+        p)
 
 (* -- layout changes (replace at the BDD level, §3.2.2) ------------------- *)
 
