@@ -1,5 +1,6 @@
 .PHONY: all check test smoke bench-smoke release bench-json bench-json3 \
-        bench-json5 bench-json6 par-test serve-smoke lint clean
+        bench-json5 bench-json6 bench-json7 par-test serve-smoke \
+        load-smoke lint clean
 
 all:
 	dune build
@@ -70,6 +71,18 @@ par-test:
 # the socket, snapshot save, warm restart, answers compared.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# Serving under load, CI-sized: 50 concurrent TCP clients against a
+# frozen 2-worker server over a warm snapshot; fails on any transport
+# or application error, or if the result cache never hits.
+load-smoke:
+	dune exec bench/main.exe -- load
+
+# Full serving benchmark: worker sweep at 1/2/4/8 with p50/p95/p99 +
+# throughput + cache hit rate, frozen-vs-refcounted comparison, and a
+# three-transport bit-identity gate.  Writes BENCH_pr7.json.
+bench-json7:
+	dune exec --profile release bench/main.exe -- json7
 
 clean:
 	dune clean

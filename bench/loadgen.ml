@@ -1,0 +1,172 @@
+(* The jeddd load generator: many concurrent synchronous clients
+   hammering one server, with closed-loop (send, wait, repeat) or
+   open-loop (paced to a target rate, lateness absorbed by the
+   connection) arrival processes.  Each client is a thread owning one
+   connection over the chosen transport; latencies are recorded
+   per-request in microseconds and the harness reports wall-clock
+   throughput plus p50/p95/p99 over the merged sample.
+
+   Kept under bench/ rather than lib/ on purpose: it is measurement
+   harness, not product — but `bench load` (the CI smoke) and `bench
+   json7` (BENCH_pr7.json) both drive it, so its numbers are the PR's
+   acceptance evidence.
+
+   The serve front end multiplexes with select(), so keep
+   [clients] comfortably under FD_SETSIZE (~1024) per server. *)
+
+module Json = Jedd_server.Json
+module Client = Jedd_server.Client
+module Http = Jedd_serve.Http
+
+type transport =
+  | Unix_sock of string
+  | Tcp of string * int
+  | Http_t of string * int
+
+type spec = {
+  transport : transport;
+  clients : int;
+  requests_per_client : int;
+  (* open-loop pacing: target requests/second per client; None = closed
+     loop (next request leaves as soon as the previous answer lands) *)
+  rate_per_client : float option;
+  (* request factory: client index -> sequence number -> request *)
+  make_request : int -> int -> Json.t;
+}
+
+type result = {
+  sent : int;
+  ok : int;
+  app_errors : int; (* ok:false responses *)
+  transport_errors : int; (* connect/read/write failures *)
+  wall_s : float;
+  lat_us : int array; (* sorted, one entry per completed request *)
+}
+
+let percentile_us r q =
+  let n = Array.length r.lat_us in
+  if n = 0 then 0
+  else r.lat_us.(min (n - 1) (int_of_float (q *. float_of_int n)))
+
+let throughput_rps r =
+  if r.wall_s <= 0.0 then 0.0 else float_of_int r.ok /. r.wall_s
+
+type client_state = {
+  mutable c_sent : int;
+  mutable c_ok : int;
+  mutable c_app_errors : int;
+  mutable c_transport_errors : int;
+  mutable c_lat : int list;
+}
+
+let connect transport =
+  match transport with
+  | Unix_sock path -> (Client.connect ~retries:5 path, false)
+  | Tcp (host, port) -> (Client.connect_tcp ~retries:5 host port, false)
+  | Http_t (host, port) -> (Client.connect_tcp ~retries:5 host port, true)
+
+let run spec =
+  if spec.clients < 1 || spec.requests_per_client < 1 then
+    invalid_arg "Loadgen.run: clients and requests_per_client must be >= 1";
+  let states =
+    Array.init spec.clients (fun _ ->
+        {
+          c_sent = 0;
+          c_ok = 0;
+          c_app_errors = 0;
+          c_transport_errors = 0;
+          c_lat = [];
+        })
+  in
+  let barrier = Mutex.create () in
+  let ready = ref 0 in
+  let go = Condition.create () in
+  let started = ref false in
+  let client_body i =
+    let st = states.(i) in
+    match connect spec.transport with
+    | exception _ ->
+      (* the whole client's quota counts as transport errors: a refused
+         connection must never silently shrink the workload *)
+      st.c_transport_errors <- spec.requests_per_client;
+      Mutex.lock barrier;
+      incr ready;
+      Condition.broadcast go;
+      Mutex.unlock barrier
+    | c, is_http ->
+      Client.set_timeout c 30.0;
+      (* wait for every connection to be up, so the timed window
+         measures steady state, not connect storms *)
+      Mutex.lock barrier;
+      incr ready;
+      Condition.broadcast go;
+      while not !started do
+        Condition.wait go barrier
+      done;
+      Mutex.unlock barrier;
+      let interval =
+        match spec.rate_per_client with
+        | Some r when r > 0.0 -> Some (1.0 /. r)
+        | _ -> None
+      in
+      let t0 = Unix.gettimeofday () in
+      (try
+         for j = 0 to spec.requests_per_client - 1 do
+           (match interval with
+           | Some dt ->
+             (* open loop: fire at t0 + j*dt, never earlier *)
+             let due = t0 +. (float_of_int j *. dt) in
+             let now = Unix.gettimeofday () in
+             if due > now then Unix.sleepf (due -. now)
+           | None -> ());
+           let request = spec.make_request i j in
+           st.c_sent <- st.c_sent + 1;
+           let q0 = Unix.gettimeofday () in
+           let resp =
+             if is_http then
+               Http.client_request ~ic:c.Client.ic ~oc:c.Client.oc request
+             else Client.request c request
+           in
+           let dt_us =
+             int_of_float ((Unix.gettimeofday () -. q0) *. 1e6)
+           in
+           st.c_lat <- dt_us :: st.c_lat;
+           (match Json.member "ok" resp with
+           | Some (Json.Bool true) -> st.c_ok <- st.c_ok + 1
+           | _ -> st.c_app_errors <- st.c_app_errors + 1)
+         done
+       with _ ->
+         st.c_transport_errors <-
+           st.c_transport_errors
+           + (spec.requests_per_client - st.c_sent)
+           + 1);
+      Client.close c
+  in
+  let threads =
+    List.init spec.clients (fun i -> Thread.create client_body i)
+  in
+  (* release the herd once every connection is established *)
+  Mutex.lock barrier;
+  while !ready < spec.clients do
+    Condition.wait go barrier
+  done;
+  started := true;
+  Condition.broadcast go;
+  Mutex.unlock barrier;
+  let w0 = Unix.gettimeofday () in
+  List.iter Thread.join threads;
+  let wall_s = Unix.gettimeofday () -. w0 in
+  let lat =
+    Array.of_list
+      (Array.fold_left (fun acc st -> List.rev_append st.c_lat acc) [] states)
+  in
+  Array.sort compare lat;
+  {
+    sent = Array.fold_left (fun a st -> a + st.c_sent) 0 states;
+    ok = Array.fold_left (fun a st -> a + st.c_ok) 0 states;
+    app_errors = Array.fold_left (fun a st -> a + st.c_app_errors) 0 states;
+    transport_errors =
+      Array.fold_left (fun a st -> a + st.c_transport_errors) 0 states;
+    wall_s;
+    lat_us = lat;
+  }

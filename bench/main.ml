@@ -1344,6 +1344,342 @@ let bench_json6 ?(path = "BENCH_pr6.json") () =
   print_string (Buffer.contents buf);
   Printf.printf "wrote %s\n" path
 
+(* ----------------------------------------------------------------- *)
+(* BENCH_pr7.json: the serving story.  One snapshot on disk behind    *)
+(* the jeddd-serve front end; a frozen worker sweep at 1/2/4/8        *)
+(* domains under closed-loop multi-client load; a frozen-vs-          *)
+(* refcounted single-worker comparison on the same load; and a        *)
+(* three-transport differential gate (bit-identical responses over    *)
+(* Unix, TCP and HTTP, at every worker count, against workers=1).     *)
+(* ----------------------------------------------------------------- *)
+
+module Serve = Jedd_serve.Serve
+module SJson = Jedd_server.Json
+
+let serve_fixture () =
+  let bench_name =
+    match Sys.getenv_opt "JEDD_BENCH_WORKLOAD" with
+    | Some n -> n
+    | None -> "javac"
+  in
+  let p = Workload.generate (Workload.profile_named bench_name) in
+  let inst, r = Suite.run_combined p in
+  let snap = Suite.snapshot ~meta:[ ("workload", bench_name) ] inst in
+  let snap_path = Filename.temp_file "jedd-serve" ".snap" in
+  Jedd_store.Snapshot.save_file snap_path snap;
+  let hash = Digest.to_hex (Digest.file snap_path) in
+  (* distinct vars that actually point somewhere, so queries are real *)
+  let seen = Hashtbl.create 16 in
+  let vars =
+    List.filter_map
+      (function
+        | v :: _ when not (Hashtbl.mem seen v) ->
+          Hashtbl.add seen v ();
+          Some v
+        | _ -> None)
+      r.Suite.pt
+  in
+  let vars = if vars = [] then [ 0 ] else vars in
+  (bench_name, snap_path, hash, Array.of_list vars)
+
+(* Start a serve front end on all three transports, run [f], always
+   stop the server.  Each call loads its own universe from the
+   snapshot file, so freeze (which is one-way) never leaks between
+   runs. *)
+let with_server ~workers ~frozen snap_path hash f =
+  let snap = Jedd_store.Snapshot.load_file ~freeze:frozen snap_path in
+  let sock = Filename.temp_file "jedd-serve" ".sock" in
+  Sys.remove sock;
+  let config =
+    {
+      Serve.default_config with
+      unix_path = Some sock;
+      tcp = Some ("127.0.0.1", 0);
+      http = Some ("127.0.0.1", 0);
+      workers;
+    }
+  in
+  let server = Serve.create ~config ~universe_hash:hash snap in
+  let th = Thread.create Serve.run server in
+  let tcp_port =
+    match Serve.tcp_port server with Some p -> p | None -> 0
+  in
+  let http_port =
+    match Serve.http_port server with Some p -> p | None -> 0
+  in
+  let finally () =
+    Serve.stop server;
+    Thread.join th;
+    if Sys.file_exists sock then Sys.remove sock
+  in
+  match f ~sock ~tcp_port ~http_port with
+  | v ->
+    finally ();
+    v
+  | exception e ->
+    finally ();
+    raise e
+
+(* Deterministic read-only queries for the differential gate; stats is
+   deliberately excluded (uptime and counters vary). *)
+let differential_queries vars =
+  let q verb fields = SJson.Obj (("verb", SJson.String verb) :: fields) in
+  [ q "ping" []; q "version" []; q "relations" [] ]
+  @ (Array.to_list (Array.sub vars 0 (min 4 (Array.length vars)))
+    |> List.map (fun v -> q "pointsto" [ ("var", SJson.Int v) ]))
+  @ [ q "count" [ ("rel", SJson.String "PointsTo.pt") ] ]
+
+let transport_responses ~sock ~tcp_port ~http_port queries =
+  let module C = Jedd_server.Client in
+  let module H = Jedd_serve.Http in
+  let over connect is_http =
+    let c = connect () in
+    let rs =
+      List.map
+        (fun query ->
+          let r =
+            if is_http then
+              H.client_request ~ic:c.C.ic ~oc:c.C.oc query
+            else C.request c query
+          in
+          SJson.to_string r)
+        queries
+    in
+    C.close c;
+    rs
+  in
+  [
+    ("unix", over (fun () -> C.connect ~retries:10 sock) false);
+    ( "tcp",
+      over (fun () -> C.connect_tcp ~retries:10 "127.0.0.1" tcp_port) false );
+    ( "http",
+      over (fun () -> C.connect_tcp ~retries:10 "127.0.0.1" http_port) true );
+  ]
+
+let serve_cache_stats ~sock =
+  let module C = Jedd_server.Client in
+  let c = C.connect ~retries:10 sock in
+  let resp = C.request c (SJson.Obj [ ("verb", SJson.String "stats") ]) in
+  C.close c;
+  let field name =
+    match SJson.member "result_cache" resp with
+    | Some rc -> (
+      match SJson.member name rc with Some (SJson.Int n) -> n | _ -> 0)
+    | None -> 0
+  in
+  (field "hits", field "misses")
+
+(* The standing load: mostly pointsto over a rotating var set (so the
+   result cache sees repeats), one count in four. *)
+let serve_load ~transport ~clients ~requests vars =
+  let mk _i j =
+    if j mod 4 = 3 then
+      SJson.Obj
+        [
+          ("verb", SJson.String "count");
+          ("rel", SJson.String "PointsTo.pt");
+        ]
+    else
+      SJson.Obj
+        [
+          ("verb", SJson.String "pointsto");
+          ("var", SJson.Int vars.(j mod Array.length vars));
+        ]
+  in
+  Loadgen.run
+    {
+      Loadgen.transport;
+      clients;
+      requests_per_client = requests;
+      rate_per_client = None;
+      make_request = mk;
+    }
+
+let lat_ms r q = float_of_int (Loadgen.percentile_us r q) /. 1000.0
+
+let require_clean what (r : Loadgen.result) =
+  if r.Loadgen.transport_errors > 0 || r.Loadgen.app_errors > 0 then begin
+    Printf.eprintf
+      "%s: load run had errors (transport %d, application %d, ok %d/%d)\n"
+      what r.Loadgen.transport_errors r.Loadgen.app_errors r.Loadgen.ok
+      r.Loadgen.sent;
+    exit 1
+  end
+
+(* Small-scale CI smoke: a warm frozen snapshot, 2 workers, 50
+   concurrent TCP clients.  Zero errors and a warm result cache or the
+   job fails. *)
+let bench_load () =
+  let bench_name, snap_path, hash, vars = serve_fixture () in
+  let clients = 50 and requests = 20 in
+  let result, hits, misses =
+    with_server ~workers:2 ~frozen:true snap_path hash
+      (fun ~sock ~tcp_port ~http_port ->
+        ignore http_port;
+        let r =
+          serve_load
+            ~transport:(Loadgen.Tcp ("127.0.0.1", tcp_port))
+            ~clients ~requests vars
+        in
+        let hits, misses = serve_cache_stats ~sock in
+        (r, hits, misses))
+  in
+  Sys.remove snap_path;
+  require_clean "load-smoke" result;
+  if hits = 0 then begin
+    Printf.eprintf
+      "load-smoke: result cache never hit (misses %d) under a repeating \
+       workload\n"
+      misses;
+    exit 1
+  end;
+  Printf.printf
+    "load smoke: OK (%s, %d clients x %d reqs, %d ok, %.0f req/s, p50 \
+     %.2fms p99 %.2fms, cache %d/%d hits)\n"
+    bench_name clients requests result.Loadgen.ok
+    (Loadgen.throughput_rps result)
+    (lat_ms result 0.50) (lat_ms result 0.99) hits (hits + misses)
+
+let bench_json7 ?(path = "BENCH_pr7.json") () =
+  let bench_name, snap_path, hash, vars = serve_fixture () in
+  let cpus = host_cpus () in
+  let clients = 32 and requests = 50 in
+  let queries = differential_queries vars in
+  let reference = ref None in
+  let differential_ok = ref true in
+  let sweep =
+    List.map
+      (fun workers ->
+        with_server ~workers ~frozen:true snap_path hash
+          (fun ~sock ~tcp_port ~http_port ->
+            (* differential first, on an idle server *)
+            let by_transport =
+              transport_responses ~sock ~tcp_port ~http_port queries
+            in
+            (match !reference with
+            | None ->
+              reference := Some (List.assoc "unix" by_transport)
+            | Some _ -> ());
+            let expect = Option.get !reference in
+            List.iter
+              (fun (tname, rs) ->
+                if rs <> expect then begin
+                  Printf.eprintf
+                    "json7: %s responses at %d workers differ from the \
+                     single-worker reference\n"
+                    tname workers;
+                  differential_ok := false
+                end)
+              by_transport;
+            let r =
+              serve_load
+                ~transport:(Loadgen.Tcp ("127.0.0.1", tcp_port))
+                ~clients ~requests vars
+            in
+            require_clean (Printf.sprintf "json7 (workers=%d)" workers) r;
+            let hits, misses = serve_cache_stats ~sock in
+            (workers, r, hits, misses)))
+      par_jobs_curve
+  in
+  if not !differential_ok then exit 1;
+  (* frozen vs refcounted, single worker, same load over TCP *)
+  let mode_run frozen =
+    with_server ~workers:1 ~frozen snap_path hash
+      (fun ~sock ~tcp_port ~http_port ->
+        ignore sock;
+        ignore http_port;
+        let r =
+          serve_load
+            ~transport:(Loadgen.Tcp ("127.0.0.1", tcp_port))
+            ~clients ~requests vars
+        in
+        require_clean
+          (Printf.sprintf "json7 (%s)"
+             (if frozen then "frozen" else "refcounted"))
+          r;
+        r)
+  in
+  let frozen_r = mode_run true in
+  let refc_r = mode_run false in
+  (* one HTTP datapoint so BENCH_pr7 covers that front end too *)
+  let http_r =
+    with_server ~workers:2 ~frozen:true snap_path hash
+      (fun ~sock ~tcp_port ~http_port ->
+        ignore sock;
+        ignore tcp_port;
+        let r =
+          serve_load
+            ~transport:(Loadgen.Http_t ("127.0.0.1", http_port))
+            ~clients:16 ~requests:25 vars
+        in
+        require_clean "json7 (http)" r;
+        r)
+  in
+  Sys.remove snap_path;
+  let tput (r : Loadgen.result) = Loadgen.throughput_rps r in
+  let run_json (r : Loadgen.result) =
+    Printf.sprintf
+      "\"ok\": %d, \"sent\": %d, \"wall_s\": %.3f, \"throughput_rps\": \
+       %.1f, \"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f"
+      r.Loadgen.ok r.Loadgen.sent r.Loadgen.wall_s (tput r)
+      (lat_ms r 0.50) (lat_ms r 0.95) (lat_ms r 0.99)
+  in
+  let base_tput =
+    match sweep with (1, r, _, _) :: _ -> tput r | _ -> 0.0
+  in
+  let tput_at w =
+    match List.find_opt (fun (w', _, _, _) -> w' = w) sweep with
+    | Some (_, r, _, _) -> tput r
+    | None -> 0.0
+  in
+  let scale4 = if base_tput > 0.0 then tput_at 4 /. base_tput else 0.0 in
+  let gate_asserted = cpus >= 4 in
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "{\n";
+  out "  \"schema\": \"jedd-bench-v7\",\n";
+  out "  \"benchmark\": %S,\n" bench_name;
+  out "  \"host_cpus\": %d,\n" cpus;
+  out "  \"snapshot_hash\": %S,\n" hash;
+  out "  \"clients\": %d,\n" clients;
+  out "  \"requests_per_client\": %d,\n" requests;
+  out "  \"worker_sweep\": [\n";
+  List.iteri
+    (fun i (workers, r, hits, misses) ->
+      let total = hits + misses in
+      out
+        "    {\"workers\": %d, %s, \"cache_hits\": %d, \"cache_misses\": \
+         %d, \"cache_hit_rate\": %.3f}%s\n"
+        workers (run_json r) hits misses
+        (if total = 0 then 0.0 else float_of_int hits /. float_of_int total)
+        (if i = List.length sweep - 1 then "" else ","))
+    sweep;
+  out "  ],\n";
+  out "  \"frozen_single_worker\": {%s},\n" (run_json frozen_r);
+  out "  \"refcounted_single_worker\": {%s},\n" (run_json refc_r);
+  out "  \"frozen_vs_refcounted_speedup\": %.3f,\n"
+    (if tput refc_r > 0.0 then tput frozen_r /. tput refc_r else 0.0);
+  out "  \"http_two_workers\": {%s},\n" (run_json http_r);
+  out "  \"differential_identical\": true,\n";
+  out
+    "  \"scaling_gate\": {\"required_at_4_workers\": 1.2, \"asserted\": \
+     %b, \"throughput_ratio_at_4\": %.3f}\n"
+    gate_asserted scale4;
+  out "}\n";
+  (* more workers only help with real cores under them *)
+  if gate_asserted && scale4 < 1.2 then begin
+    Printf.eprintf
+      "json7: throughput at 4 workers is %.2fx of 1 worker on a %d-cpu \
+       host (bar: 1.2x)\n"
+      scale4 cpus;
+    exit 1
+  end;
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  print_string (Buffer.contents buf);
+  Printf.printf "wrote %s\n" path
+
 let smoke () =
   let failures = ref 0 in
   let check name ok =
@@ -1462,4 +1798,6 @@ let () =
   if List.mem "json3" cmds then bench_json3 ();
   if List.mem "json5" cmds then bench_json5 ();
   if List.mem "json6" cmds then bench_json6 ();
+  if List.mem "json7" cmds then bench_json7 ();
+  if List.mem "load" cmds then bench_load ();
   if List.mem "smoke" cmds then smoke ()

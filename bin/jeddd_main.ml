@@ -2,10 +2,13 @@
 
    Obtains an analysis snapshot — warm from a snapshot file or the
    content-addressed store, or cold by running the combined Figure 2
-   pipeline — then serves concurrent queries over a Unix socket in the
-   jeddd line/JSON protocol (see lib/server/protocol.ml).  The whole
-   point: the fixed-point computation happens at most once, queries
-   thereafter are BDD lookups. *)
+   pipeline — freezes the universe into a read-only arena (unless
+   --no-freeze), then serves concurrent queries in the jeddd line/JSON
+   protocol (see lib/server/protocol.ml) over any combination of a
+   Unix socket, a TCP port (--tcp) and an HTTP/1.1 port (--http),
+   with --workers query domains sharing the frozen node store.  The
+   whole point: the fixed-point computation happens at most once,
+   queries thereafter are BDD lookups. *)
 
 open Cmdliner
 module Workload = Jedd_minijava.Workload
@@ -30,14 +33,21 @@ let resolve_jobs jobs =
   | None, Some s -> parse s
   | None, None -> Jedd_bdd.Par.default_jobs ()
 
+(* Returns the snapshot plus its universe hash (the MD5 of the snapshot
+   bytes) — the cache key component that makes result-cache entries
+   snapshot-specific.  [freeze_at_load] lands a warm load directly in
+   frozen mode; it is requested only when no --save/--tag follows
+   (those re-serialize, which is cleaner before the final compaction). *)
 let load_or_compute ~snapshot_file ~store_dir ~store_name ~benchmark ~backend
-    ~node_limit ~save ~tag ~jobs =
+    ~node_limit ~save ~tag ~jobs ~freeze_at_load =
   let backend = Option.map backend_of_string backend in
   let t0 = Unix.gettimeofday () in
-  let snap, origin =
+  let snap, origin, hash =
     match (snapshot_file, store_dir, store_name) with
     | Some file, _, _ ->
-      (Snapshot.load_file ?backend file, Printf.sprintf "snapshot %s" file)
+      ( Snapshot.load_file ?backend ~freeze:freeze_at_load file,
+        Printf.sprintf "snapshot %s" file,
+        Digest.to_hex (Digest.file file) )
     | None, Some dir, Some name -> (
       let cas = Cas.open_ dir in
       match Cas.resolve cas name with
@@ -46,8 +56,9 @@ let load_or_compute ~snapshot_file ~store_dir ~store_name ~benchmark ~backend
         match Cas.get cas digest with
         | None -> fail "jeddd: store object %s is missing" digest
         | Some data ->
-          ( Snapshot.of_bytes ?backend data,
-            Printf.sprintf "store %s/%s" dir name )))
+          ( Snapshot.of_bytes ?backend ~freeze:freeze_at_load data,
+            Printf.sprintf "store %s/%s" dir name,
+            Digest.to_hex (Digest.string data) )))
     | None, Some _, None -> fail "jeddd: --store needs --name"
     | None, None, Some _ -> fail "jeddd: --name needs --store"
     | None, None, None ->
@@ -57,8 +68,10 @@ let load_or_compute ~snapshot_file ~store_dir ~store_name ~benchmark ~backend
       in
       let p = Workload.generate profile in
       let inst, _ = Suite.run_combined ?backend ?node_limit ~jobs p in
-      ( Suite.snapshot ~meta:[ ("workload", benchmark) ] inst,
-        Printf.sprintf "cold run of %s" benchmark )
+      let snap = Suite.snapshot ~meta:[ ("workload", benchmark) ] inst in
+      ( snap,
+        Printf.sprintf "cold run of %s" benchmark,
+        Digest.to_hex (Digest.string (Snapshot.to_bytes snap)) )
   in
   let elapsed = Unix.gettimeofday () -. t0 in
   Printf.printf "jeddd: ready from %s in %.3f s (%d relations)\n%!" origin
@@ -76,27 +89,149 @@ let load_or_compute ~snapshot_file ~store_dir ~store_name ~benchmark ~backend
     Printf.printf "jeddd: stored as %s (ref %s)\n%!" digest name
   | Some _, None -> fail "jeddd: --tag needs --store"
   | None, _ -> ());
-  snap
+  (snap, hash)
 
-let run socket snapshot_file store_dir store_name benchmark backend node_limit
-    save tag jobs =
+let parse_hostport ~what ~default_host s =
+  match String.rindex_opt s ':' with
+  | None -> (
+    match int_of_string_opt s with
+    | Some p when p >= 0 && p < 65536 -> (default_host, p)
+    | _ -> fail "jeddd: %s must be HOST:PORT or PORT, got %S" what s)
+  | Some i -> (
+    let host = String.sub s 0 i in
+    let port = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt port with
+    | Some p when p >= 0 && p < 65536 ->
+      ((if host = "" then default_host else host), p)
+    | _ -> fail "jeddd: %s has a bad port in %S" what s)
+
+let run socket no_socket tcp http workers no_freeze sweep_threshold
+    cache_capacity snapshot_file store_dir store_name benchmark backend
+    node_limit save tag jobs =
   let jobs = resolve_jobs jobs in
-  let snap =
+  if workers < 1 then fail "jeddd: --workers must be >= 1";
+  let is_extmem =
+    (match backend with Some "extmem" -> true | _ -> false)
+    || (backend = None && Sys.getenv_opt "JEDD_BACKEND" = Some "extmem")
+  in
+  let want_freeze = not (no_freeze || is_extmem) in
+  let workers =
+    if workers > 1 && not want_freeze then begin
+      Printf.eprintf
+        "jeddd: multi-worker serving needs a frozen in-core universe; \
+         falling back to --workers 1\n%!";
+      1
+    end
+    else workers
+  in
+  let freeze_at_load = want_freeze && save = None && tag = None in
+  let snap, universe_hash =
     try
       load_or_compute ~snapshot_file ~store_dir ~store_name ~benchmark
-        ~backend ~node_limit ~save ~tag ~jobs
+        ~backend ~node_limit ~save ~tag ~jobs ~freeze_at_load
     with Snapshot.Corrupt msg -> fail "jeddd: corrupt snapshot: %s" msg
   in
-  let server = Jedd_server.Server.create ~socket_path:socket snap in
-  Printf.printf "jeddd: listening on %s (send {\"verb\":\"shutdown\"} to stop)\n%!"
-    socket;
-  Jedd_server.Server.serve server;
+  if want_freeze && not (Jedd_relation.Universe.frozen snap.Snapshot.u) then
+    Jedd_relation.Universe.freeze snap.Snapshot.u;
+  if Jedd_relation.Universe.frozen snap.Snapshot.u then
+    Printf.printf "jeddd: universe frozen (%d nodes pinned, hash %s)\n%!"
+      (Jedd_bdd.Manager.frozen_live_nodes
+         (Jedd_relation.Universe.manager snap.Snapshot.u))
+      universe_hash;
+  let config =
+    {
+      Jedd_serve.Serve.unix_path = (if no_socket then None else Some socket);
+      tcp =
+        Option.map (parse_hostport ~what:"--tcp" ~default_host:"0.0.0.0") tcp;
+      http =
+        Option.map (parse_hostport ~what:"--http" ~default_host:"0.0.0.0") http;
+      workers;
+      default_timeout_ms = 30_000;
+      cache_capacity;
+      sweep_threshold;
+    }
+  in
+  let server = Jedd_serve.Serve.create ~config ~universe_hash snap in
+  List.iter print_string
+    (List.concat
+       [
+         (if no_socket then [] else [ Printf.sprintf "jeddd: listening on %s\n" socket ]);
+         (match config.tcp with
+         | Some (h, _) ->
+           [ Printf.sprintf "jeddd: listening on tcp %s:%d\n" h
+               (Option.value ~default:0 (Jedd_serve.Serve.tcp_port server)) ]
+         | None -> []);
+         (match config.http with
+         | Some (h, _) ->
+           [ Printf.sprintf "jeddd: listening on http %s:%d\n" h
+               (Option.value ~default:0 (Jedd_serve.Serve.http_port server)) ]
+         | None -> []);
+       ]);
+  Printf.printf
+    "jeddd: %d worker%s (send {\"verb\":\"shutdown\"} to stop)\n%!" workers
+    (if workers = 1 then "" else "s");
+  Jedd_serve.Serve.run server;
   Printf.printf "jeddd: stopped\n%!"
 
 let socket_arg =
   Arg.(
     value & opt string "jeddd.sock"
     & info [ "s"; "socket" ] ~docv:"PATH" ~doc:"Unix socket path to listen on")
+
+let no_socket_arg =
+  Arg.(
+    value & flag
+    & info [ "no-socket" ]
+        ~doc:"Do not listen on the Unix socket (TCP/HTTP only)")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tcp" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Also serve the line/JSON protocol on a TCP port (PORT alone \
+           binds 0.0.0.0; port 0 picks a free port)")
+
+let http_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "http" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Also serve HTTP/1.1 (POST /query with a protocol request body, \
+           GET /ping, GET /stats)")
+
+let workers_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Query worker domains sharing the frozen universe (requires the \
+           in-core backend and freezing)")
+
+let no_freeze_arg =
+  Arg.(
+    value & flag
+    & info [ "no-freeze" ]
+        ~doc:
+          "Keep the universe mutable (refcounted GC, reorder verb enabled); \
+           forces --workers 1")
+
+let sweep_threshold_arg =
+  Arg.(
+    value
+    & opt int (1 lsl 20)
+    & info [ "sweep-threshold" ] ~docv:"NODES"
+        ~doc:
+          "Frozen mode: reclaim query scratch once this many nodes \
+           accumulate beyond the pinned arena (0 disables sweeping)")
+
+let cache_capacity_arg =
+  Arg.(
+    value & opt int 4096
+    & info [ "cache-capacity" ] ~docv:"N"
+        ~doc:"Result-cache entries across all relations (0 disables)")
 
 let snapshot_arg =
   Arg.(
@@ -170,10 +305,12 @@ let cmd =
     (Cmd.info "jeddd" ~version:Jedd_relation.Version.banner
        ~doc:
          "Persistent relation store daemon: load or compute an analysis \
-          snapshot once, answer concurrent queries over a Unix socket")
+          snapshot once, freeze it read-only, answer concurrent queries \
+          over Unix socket, TCP and HTTP with a pool of worker domains")
     Term.(
-      const run $ socket_arg $ snapshot_arg $ store_arg $ name_arg
-      $ benchmark_arg $ backend_arg $ node_limit_arg $ save_arg $ tag_arg
-      $ jobs_arg)
+      const run $ socket_arg $ no_socket_arg $ tcp_arg $ http_arg
+      $ workers_arg $ no_freeze_arg $ sweep_threshold_arg $ cache_capacity_arg
+      $ snapshot_arg $ store_arg $ name_arg $ benchmark_arg $ backend_arg
+      $ node_limit_arg $ save_arg $ tag_arg $ jobs_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -8,15 +8,40 @@
      jeddq -s SOCK resolve CALLSITE
      jeddq -s SOCK raw '{"verb": ...}'
 
+   Transports: the default Unix socket (-s), --tcp HOST:PORT (line
+   protocol over TCP), or --http HOST:PORT (POST /query).  --retries N
+   retries a refused connection with exponential backoff; --timeout
+   bounds every socket read/write on the client side.
+
    Every command prints the server's JSON response line verbatim, so
-   scripts can pipe it on; the exit code is 0 iff the response carries
-   "ok": true. *)
+   scripts can pipe it on.  Exit codes: 0 for an ok:true response, 1
+   for ok:false, 2 for usage/protocol errors, 3 when the server cannot
+   be reached at all. *)
 
 open Cmdliner
 module Json = Jedd_server.Json
 module Client = Jedd_server.Client
+module Http = Jedd_serve.Http
 
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
+
+(* Distinct code for "nothing is listening": scripts (and the load
+   generator's warm-up) branch on it. *)
+let fail_refused fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 3) fmt
+
+let parse_hostport ~what s =
+  match String.rindex_opt s ':' with
+  | None -> (
+    match int_of_string_opt s with
+    | Some p when p >= 0 && p < 65536 -> ("127.0.0.1", p)
+    | _ -> fail "jeddq: %s must be HOST:PORT or PORT, got %S" what s)
+  | Some i -> (
+    let host = String.sub s 0 i in
+    let port = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt port with
+    | Some p when p >= 0 && p < 65536 ->
+      ((if host = "" then "127.0.0.1" else host), p)
+    | _ -> fail "jeddq: %s has a bad port in %S" what s)
 
 let int_arg what s =
   match int_of_string_opt s with
@@ -59,22 +84,45 @@ let build_request args =
       simple [ ("callsite", Json.Int (int_arg "callsite" cs)) ]
     | _ -> fail "jeddq: bad arguments for %S" verb)
 
-let run socket timeout_ms args =
+let run socket tcp http timeout_ms timeout retries args =
   let request =
     match (build_request args, timeout_ms) with
     | Json.Obj kvs, Some ms -> Json.Obj (kvs @ [ ("timeout_ms", Json.Int ms) ])
     | v, _ -> v
   in
-  let c =
-    try Client.connect socket
-    with Unix.Unix_error (e, _, _) ->
-      fail "jeddq: cannot connect to %s: %s" socket (Unix.error_message e)
+  let connect () =
+    match (tcp, http) with
+    | Some _, Some _ -> fail "jeddq: --tcp and --http are mutually exclusive"
+    | Some spec, None ->
+      let host, port = parse_hostport ~what:"--tcp" spec in
+      (Client.connect_tcp ~retries host port, false)
+    | None, Some spec ->
+      let host, port = parse_hostport ~what:"--http" spec in
+      (Client.connect_tcp ~retries host port, true)
+    | None, None -> (Client.connect ~retries socket, false)
   in
+  let c, is_http =
+    try connect () with
+    | Client.Connection_refused msg -> fail_refused "jeddq: %s" msg
+    | Unix.Unix_error (e, _, _) ->
+      fail_refused "jeddq: cannot connect to %s: %s" socket
+        (Unix.error_message e)
+  in
+  Option.iter (Client.set_timeout c) timeout;
   let resp =
-    try Client.request c request
-    with Client.Server_error msg | Json.Parse_error msg ->
+    try
+      if is_http then Http.client_request ~ic:c.Client.ic ~oc:c.Client.oc request
+      else Client.request c request
+    with
+    | Client.Server_error msg | Json.Parse_error msg | Failure msg ->
       Client.close c;
       fail "jeddq: %s" msg
+    | Unix.Unix_error (e, _, _) ->
+      Client.close c;
+      fail "jeddq: request failed: %s" (Unix.error_message e)
+    | End_of_file | Sys_error _ ->
+      Client.close c;
+      fail "jeddq: request failed: timed out or connection lost"
   in
   Client.close c;
   print_endline (Json.to_string resp);
@@ -85,12 +133,41 @@ let socket_arg =
     value & opt string "jeddd.sock"
     & info [ "s"; "socket" ] ~docv:"PATH" ~doc:"Unix socket of the jeddd server")
 
-let timeout_arg =
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tcp" ] ~docv:"HOST:PORT"
+        ~doc:"Connect over TCP instead of the Unix socket")
+
+let http_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "http" ] ~docv:"HOST:PORT"
+        ~doc:"Connect over HTTP/1.1 (POST /query) instead of the Unix socket")
+
+let timeout_ms_arg =
   Arg.(
     value
     & opt (some int) None
     & info [ "timeout-ms" ] ~docv:"MS"
         ~doc:"Per-request timeout enforced by the server")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:"Client-side bound on every socket read/write")
+
+let retries_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Retry a refused connection up to N times with exponential \
+           backoff (50ms, 100ms, ...)")
 
 let args_arg =
   Arg.(value & pos_all string [] & info [] ~docv:"CMD"
@@ -100,6 +177,8 @@ let cmd =
   Cmd.v
     (Cmd.info "jeddq" ~version:Jedd_relation.Version.banner
        ~doc:"Query a running jeddd analysis server")
-    Term.(const run $ socket_arg $ timeout_arg $ args_arg)
+    Term.(
+      const run $ socket_arg $ tcp_arg $ http_arg $ timeout_ms_arg
+      $ timeout_arg $ retries_arg $ args_arg)
 
 let () = exit (Cmd.eval' cmd)

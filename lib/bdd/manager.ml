@@ -161,6 +161,11 @@ type t = {
   (* Parallel mode: [Some p] between [enter_parallel]/[exit_parallel]. *)
   mutable par : par_state option;
   mutable par_epochs : int;
+  (* Frozen (read-only arena) mode: refcounts, GC, reordering and
+     variable allocation are all disabled; see [freeze]. *)
+  mutable frozen : bool;
+  mutable frozen_live : int; (* allocated nodes right after [freeze] *)
+  mutable frozen_sweeps : int;
   (* Cumulative parallel-mode statistics (survive [exit_parallel]). *)
   mutable stw_sections : int;
   mutable barrier_waits : int;
@@ -178,6 +183,15 @@ let hash3 a b c mask =
 let next_uid = ref 0
 
 exception Out_of_nodes
+
+exception Frozen of string
+(* Raised by every mutating entry point of a frozen manager. *)
+
+let frozen_error what =
+  raise
+    (Frozen
+       (Printf.sprintf
+          "%s: the universe is frozen (read-only serving mode)" what))
 
 let create ?(node_capacity = 1 lsl 15) ?(cache_bits = 14) ?(cache_ways = 4)
     ?(node_limit = 0) () =
@@ -241,6 +255,9 @@ let create ?(node_capacity = 1 lsl 15) ?(cache_bits = 14) ?(cache_ways = 4)
       level_index = None;
       par = None;
       par_epochs = 0;
+      frozen = false;
+      frozen_live = 0;
+      frozen_sweeps = 0;
       stw_sections = 0;
       barrier_waits = 0;
       chunk_refills = 0;
@@ -336,6 +353,7 @@ let slot_of m (p : par_state) =
   | None -> assert false
 
 let new_var m =
+  if m.frozen then frozen_error "Manager.new_var";
   match m.par with
   | None ->
     let v = m.nvars in
@@ -782,12 +800,15 @@ let gc_raw m =
    domain's allocation chunk returned first (chunk-held nodes are
    invisible to the sweep). *)
 let gc m =
-  match m.par with
-  | None -> gc_raw m
-  | Some p ->
-    exclusive m (fun () ->
-        flush_chunks m p;
-        gc_raw m)
+  if m.frozen then () (* frozen roots are pinned without refcounts; see
+                         [frozen_sweep] for the quiesced reclaim path *)
+  else
+    match m.par with
+    | None -> gc_raw m
+    | Some p ->
+      exclusive m (fun () ->
+          flush_chunks m p;
+          gc_raw m)
 
 let checkpoint_seq m =
   (* Auto-reorder trigger: safe points are the only places a reorder may
@@ -816,6 +837,11 @@ let checkpoint_seq m =
   end
 
 let checkpoint m =
+  if m.frozen then ()
+    (* The whole point of frozen mode: the query path crosses safe
+       points without GC, reorder triggers or cache-generation bumps.
+       Scratch nodes accumulate until [frozen_sweep]. *)
+  else
   match m.par with
   | None -> checkpoint_seq m
   | Some p ->
@@ -1000,6 +1026,7 @@ let relink m n =
    (a collision would equate two functions that were distinct before the
    swap). *)
 let swap_adjacent m l =
+  if m.frozen then frozen_error "Manager.swap_adjacent";
   if l < 0 || l + 1 >= m.nvars then invalid_arg "Manager.swap_adjacent";
   let standalone = m.level_index = None in
   if standalone then reorder_begin m;
@@ -1191,6 +1218,11 @@ let check_invariants m =
    lock array.  The critical sections allocate nothing, so an OCaml GC
    finaliser can never re-enter a lock its own domain already holds. *)
 let addref m n =
+  if m.frozen then n
+    (* Ref-count-free query path: roots pinned before the freeze keep
+       their counts; relations created by queries are scratch and are
+       reclaimed wholesale by [frozen_sweep]. *)
+  else
   match m.par with
   | None ->
     m.refc.(n) <- m.refc.(n) + 1;
@@ -1203,6 +1235,8 @@ let addref m n =
     n
 
 let delref m n =
+  if m.frozen then ()
+  else
   match m.par with
   | None ->
     assert (m.refc.(n) > 0);
@@ -1286,6 +1320,41 @@ let in_parallel m = m.par <> None
 let with_parallel m f =
   enter_parallel m;
   Fun.protect ~finally:(fun () -> exit_parallel m) f
+
+(* -- Frozen mode --------------------------------------------------------- *)
+
+(* [freeze] turns the manager into a read-only arena for serving: a
+   final mark/sweep compacts the live node set (everything unreachable
+   from a referenced root is dropped), then refcount traffic, GC,
+   auto-reordering, level swaps and variable allocation are all switched
+   off.  Queries may still build scratch nodes (select cubes,
+   quantification results); those accumulate — ref-count-free — until a
+   coordinator with the pool quiesced calls [frozen_sweep], which marks
+   from the pinned pre-freeze roots and reclaims everything else.
+   Freezing is one-way: a served universe never becomes mutable again. *)
+
+let freeze m =
+  if not m.frozen then begin
+    if m.par <> None then
+      invalid_arg "Manager.freeze: must be called outside parallel mode";
+    gc_raw m;
+    m.frozen <- true;
+    m.frozen_live <- m.allocated
+  end
+
+let frozen m = m.frozen
+let frozen_live_nodes m = m.frozen_live
+let frozen_sweep_count m = m.frozen_sweeps
+
+(* Reclaim query scratch: every node unreachable from a pinned
+   (pre-freeze, refc > 0) root dies.  The caller must guarantee
+   quiescence — no query evaluating on any domain — which the serve
+   pool does by parking its workers first. *)
+let frozen_sweep m =
+  if not m.frozen then invalid_arg "Manager.frozen_sweep: manager not frozen";
+  (match m.par with Some p -> flush_chunks m p | None -> ());
+  gc_raw m;
+  m.frozen_sweeps <- m.frozen_sweeps + 1
 
 type par_stats = {
   par_active : bool;

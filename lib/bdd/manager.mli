@@ -342,3 +342,41 @@ val slot_cache_stats : t -> (int * int * int * int * int) array
 (** Per-domain cache counters of the live parallel window:
     [(slot, hits, misses, stores, evictions)] summed over tags; [[||]]
     outside parallel mode. *)
+
+(** {2 Frozen (read-only serving) mode}
+
+    {!freeze} turns the manager into an immutable arena for the query
+    server: a final mark/sweep compacts the live node set, then the
+    mutating entry points are fenced off.  On a frozen manager
+    {!addref} / {!delref} return without touching memory (the query
+    path is ref-count-free), {!gc} and {!checkpoint} are no-ops (no
+    collections, no auto-reorder triggers, no cache-generation bumps
+    between queries), and {!new_var} / {!swap_adjacent} raise
+    {!Frozen}.  Queries may still hash-cons scratch nodes; a
+    coordinator reclaims them at quiescence with {!frozen_sweep}.
+    Freezing is one-way and composes with parallel mode: the serve
+    pool freezes first, then {!enter_parallel} for multi-domain
+    reads. *)
+
+exception Frozen of string
+(** Raised by mutating entry points ({!new_var}, {!swap_adjacent},
+    relation-layer writes) on a frozen manager. *)
+
+val freeze : t -> unit
+(** Compact the live node set and flip the manager read-only.  Must be
+    called at sequential quiescence (outside parallel mode);
+    idempotent.  One-way: there is no thaw. *)
+
+val frozen : t -> bool
+
+val frozen_sweep : t -> unit
+(** Reclaim query scratch: collect every node unreachable from the
+    pinned pre-freeze roots.  The caller must guarantee quiescence (no
+    query in flight on any domain).  [Invalid_argument] if the manager
+    is not frozen. *)
+
+val frozen_live_nodes : t -> int
+(** Node count right after {!freeze} (the pinned arena size). *)
+
+val frozen_sweep_count : t -> int
+(** Number of {!frozen_sweep} passes performed. *)

@@ -41,6 +41,8 @@ module type BACKEND = sig
   val is_zero : state -> node -> bool
   val checkpoint : state -> unit
   val supports_reorder : bool
+  val freeze : state -> unit
+  val frozen : state -> bool
 end
 
 module Incore = struct
@@ -78,6 +80,8 @@ module Incore = struct
   let is_zero (_ : state) n = n = M.zero
   let checkpoint = M.checkpoint
   let supports_reorder = true
+  let freeze = M.freeze
+  let frozen = M.frozen
 end
 
 type extmem_state = { xmgr : M.t; xstore : Store.t }
@@ -125,6 +129,14 @@ module Extmem = struct
   let is_zero (_ : state) n = E.equal n E.tfalse
   let checkpoint (_ : state) = ()
   let supports_reorder = false
+
+  (* The spill store appends node files per operation; there is no
+     read-only arena to pin, so serving must stay on the in-core
+     backend. *)
+  let freeze (_ : state) =
+    invalid_arg "Backend.freeze: extmem backend cannot be frozen"
+
+  let frozen (_ : state) = false
 end
 
 (* dispatch layer *)
@@ -304,6 +316,16 @@ let supports_reorder b =
   match b.knd with
   | `Incore -> Incore.supports_reorder
   | `Extmem -> Extmem.supports_reorder
+
+let freeze b =
+  match b.knd with
+  | `Incore -> Incore.freeze b.mgr
+  | `Extmem -> Extmem.freeze (ext b)
+
+let frozen b =
+  match b.knd with
+  | `Incore -> Incore.frozen b.mgr
+  | `Extmem -> Extmem.frozen (ext b)
 
 (* -- backend names ------------------------------------------------------ *)
 

@@ -86,6 +86,13 @@ module type BACKEND = sig
   (** A safe point: the engine may garbage-collect. *)
 
   val supports_reorder : bool
+
+  val freeze : state -> unit
+  (** Flip the engine into read-only serving mode (see
+      [Jedd_bdd.Manager.freeze]).  Engines with no immutable-arena
+      story ([Extmem]) raise [Invalid_argument]. *)
+
+  val frozen : state -> bool
 end
 
 type extmem_state = {
@@ -163,6 +170,12 @@ val equal : t -> node -> node -> bool
 val is_zero : t -> node -> bool
 val checkpoint : t -> unit
 val supports_reorder : t -> bool
+
+val freeze : t -> unit
+(** Freeze the backing engine read-only (one-way; see
+    [Jedd_bdd.Manager.freeze]).  [Invalid_argument] on [`Extmem]. *)
+
+val frozen : t -> bool
 
 (** {2 Backend names}
 

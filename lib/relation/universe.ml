@@ -82,6 +82,10 @@ let register_block u ~name ~vars =
    reordering is disabled there and both entry points degrade to
    no-ops. *)
 let reorder ?(trigger = "explicit") u =
+  if Backend.frozen u.backend then
+    raise
+      (Jedd_bdd.Manager.Frozen
+         "Universe.reorder: the universe is frozen (read-only serving mode)");
   if Backend.supports_reorder u.backend then
     Jedd_reorder.Reorder.sift ~trigger u.engine
 
@@ -185,6 +189,16 @@ let next_scratch_name u =
   Printf.sprintf "__scratch%d" u.scratch_counter
 
 let checkpoint u = Backend.checkpoint u.backend
+
+(* -- frozen (read-only serving) mode ------------------------------------ *)
+
+let freeze u =
+  if Backend.pool u.backend <> None then
+    invalid_arg "Universe.freeze: disable parallelism first";
+  Jedd_reorder.Reorder.disable_auto u.engine;
+  Backend.freeze u.backend
+
+let frozen u = Backend.frozen u.backend
 
 (* -- parallel execution ------------------------------------------------- *)
 

@@ -119,6 +119,16 @@ val next_scratch_name : t -> string
 val checkpoint : t -> unit
 (** Give the backend a safe point to garbage-collect. *)
 
+val freeze : t -> unit
+(** Flip the universe into read-only serving mode: disarms the
+    auto-reorder trigger and freezes the backend
+    ([Jedd_bdd.Manager.freeze] — compaction, then no refcount traffic,
+    GC or reordering; mutation raises [Jedd_bdd.Manager.Frozen]).
+    One-way; idempotent.  [Invalid_argument] while parallelism is
+    enabled or on an [`Extmem] universe. *)
+
+val frozen : t -> bool
+
 (** {2 Parallel execution}
 
     With parallelism enabled, relation joins, compositions, unions,

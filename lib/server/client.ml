@@ -1,25 +1,86 @@
 (* Synchronous client for the jeddd socket protocol: one request line
-   out, one response line back.  Used by jeddq, the server tests, and
-   the query-latency benchmark. *)
+   out, one response line back, over a Unix or TCP socket.  Used by
+   jeddq, the server tests, and the query-latency benchmarks. *)
 
 type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
 
 exception Server_error of string
 (** Raised by {!request_ok} when the response carries [ok: false]. *)
 
-let connect socket_path =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_UNIX socket_path)
-   with e ->
-     (try Unix.close fd with _ -> ());
-     raise e);
+exception Connection_refused of string
+(** Connect (after any retries) could not reach the server: refused,
+    no such socket, or unresolvable host.  Distinct from
+    {!Server_error} so callers can exit with a dedicated code. *)
+
+let of_fd fd =
   {
     fd;
     ic = Unix.in_channel_of_descr fd;
     oc = Unix.out_channel_of_descr fd;
   }
 
+let connect_once socket_path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket_path)
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  of_fd fd
+
+let resolve_inet host port =
+  match Unix.getaddrinfo host (string_of_int port)
+          [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+  with
+  | [] -> raise (Connection_refused (Printf.sprintf "cannot resolve %s" host))
+  | ai :: _ -> ai.Unix.ai_addr
+
+let connect_tcp_once host port =
+  let addr = resolve_inet host port in
+  let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  (try
+     Unix.connect fd addr;
+     Unix.setsockopt fd Unix.TCP_NODELAY true
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  of_fd fd
+
+(* Retry with exponential backoff: [retries] extra attempts after the
+   first, sleeping [delay], [2*delay], ... between them.  A connection
+   that cannot be established at all surfaces as Connection_refused. *)
+let with_retries ~retries ~delay what f =
+  let rec go attempt delay =
+    try f ()
+    with
+    | Unix.Unix_error ((ECONNREFUSED | ENOENT | ETIMEDOUT | EHOSTUNREACH), _, _)
+    | Connection_refused _
+    when attempt < retries
+    ->
+      Unix.sleepf delay;
+      go (attempt + 1) (delay *. 2.)
+    | Unix.Unix_error (e, _, _) ->
+      raise
+        (Connection_refused
+           (Printf.sprintf "cannot connect to %s: %s" what
+              (Unix.error_message e)))
+  in
+  go 0 delay
+
+let connect ?(retries = 0) ?(retry_delay = 0.05) socket_path =
+  with_retries ~retries ~delay:retry_delay socket_path (fun () ->
+      connect_once socket_path)
+
+let connect_tcp ?(retries = 0) ?(retry_delay = 0.05) host port =
+  with_retries ~retries ~delay:retry_delay
+    (Printf.sprintf "%s:%d" host port)
+    (fun () -> connect_tcp_once host port)
+
 let close c = try Unix.close c.fd with _ -> ()
+
+let set_timeout c seconds =
+  (* bounds every blocking read/write on the connection *)
+  Unix.setsockopt_float c.fd Unix.SO_RCVTIMEO seconds;
+  Unix.setsockopt_float c.fd Unix.SO_SNDTIMEO seconds
 
 let request c (v : Json.t) : Json.t =
   output_string c.oc (Json.to_string v);

@@ -40,7 +40,10 @@ let rec write buf = function
   | Bool b -> Buffer.add_string buf (if b then "true" else "false")
   | Int i -> Buffer.add_string buf (string_of_int i)
   | Float f ->
-    if Float.is_integer f && Float.abs f < 1e15 then
+    (* JSON has no nan/inf tokens; emit null rather than invalid output *)
+    if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then
+      Buffer.add_string buf "null"
+    else if Float.is_integer f && Float.abs f < 1e15 then
       Buffer.add_string buf (Printf.sprintf "%.1f" f)
     else Buffer.add_string buf (Printf.sprintf "%.17g" f)
   | String s -> escape buf s
@@ -70,7 +73,11 @@ let to_string v =
 
 (* -- parsing ------------------------------------------------------------ *)
 
-type state = { s : string; mutable p : int }
+type state = { s : string; mutable p : int; mutable depth : int }
+
+let max_depth = 512
+(* Nesting cap: without it adversarial input like ["[[[[..."] overflows
+   the parser's stack; 512 is far beyond anything the protocol emits. *)
 
 let peek st = if st.p < String.length st.s then Some st.s.[st.p] else None
 
@@ -163,6 +170,13 @@ let parse_number st =
     | Some f -> Float f
     | None -> parse_error "bad number %S at offset %d" text start)
 
+let enter st =
+  st.depth <- st.depth + 1;
+  if st.depth > max_depth then
+    parse_error "nesting deeper than %d at offset %d" max_depth st.p
+
+let leave st = st.depth <- st.depth - 1
+
 let rec parse_value st =
   skip_ws st;
   match peek st with
@@ -172,10 +186,12 @@ let rec parse_value st =
   | Some 'f' -> literal st "false" (Bool false)
   | Some '"' -> String (parse_string_body st)
   | Some '[' ->
+    enter st;
     expect st '[';
     skip_ws st;
     if peek st = Some ']' then begin
       expect st ']';
+      leave st;
       List []
     end
     else begin
@@ -191,13 +207,17 @@ let rec parse_value st =
           List.rev (v :: acc)
         | _ -> parse_error "expected ',' or ']' at offset %d" st.p
       in
-      List (items [])
+      let l = items [] in
+      leave st;
+      List l
     end
   | Some '{' ->
+    enter st;
     expect st '{';
     skip_ws st;
     if peek st = Some '}' then begin
       expect st '}';
+      leave st;
       Obj []
     end
     else begin
@@ -217,13 +237,15 @@ let rec parse_value st =
           List.rev ((k, v) :: acc)
         | _ -> parse_error "expected ',' or '}' at offset %d" st.p
       in
-      Obj (members [])
+      let kvs = members [] in
+      leave st;
+      Obj kvs
     end
   | Some c when c = '-' || (c >= '0' && c <= '9') -> parse_number st
   | Some c -> parse_error "unexpected %C at offset %d" c st.p
 
 let of_string s =
-  let st = { s; p = 0 } in
+  let st = { s; p = 0; depth = 0 } in
   let v = parse_value st in
   skip_ws st;
   if st.p <> String.length s then

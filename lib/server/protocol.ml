@@ -14,6 +14,7 @@
      pointsto  var:int                      heaps of PointsTo.pt at var
      resolve   callsite:int                 targets from VirtualCalls.resolved
      stats                                  server + BDD-layer counters
+     reorder                                sift the variable order now
      batch     requests:[req..]             evaluate in order, one round trip
      sleep     ms:int                       hold the worker (timeout testing)
      shutdown                               stop the server after replying
@@ -306,6 +307,11 @@ let rec eval w req : outcome =
     | "pointsto" -> Reply (ok id (obj_fields (do_pointsto w req)))
     | "resolve" -> Reply (ok id (obj_fields (do_resolve w req)))
     | "stats" -> Reply (ok id (obj_fields (do_stats w)))
+    | "reorder" ->
+      (* the protocol's one mutating verb; on a frozen (read-only
+         serving) universe it fails cleanly with Manager.Frozen *)
+      Jedd_relation.Universe.reorder ~trigger:"server" w.snap.Snapshot.u;
+      Reply (ok id [ ("reordered", Json.Bool true) ])
     | "batch" -> (
       match Json.member "requests" req with
       | Some (Json.List reqs) ->
@@ -337,5 +343,6 @@ let rec eval w req : outcome =
   | Bad_request msg -> Reply (err id msg)
   | R.Type_error msg -> Reply (err id msg)
   | Invalid_argument msg -> Reply (err id msg)
+  | Jedd_bdd.Manager.Frozen msg -> Reply (err id msg)
 
 and obj_fields = function Json.Obj kvs -> kvs | v -> [ ("result", v) ]

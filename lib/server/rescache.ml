@@ -1,0 +1,89 @@
+(* Bounded, sharded result cache for the query path.  Keys are canonical
+   request strings (verb + sorted args + universe hash — see Qeval);
+   values are the successful reply's payload fields.  Sharding by key
+   hash keeps lock contention negligible with many worker domains;
+   eviction is FIFO per shard, which is close enough to LRU for a
+   serving cache and needs no per-hit bookkeeping under the lock. *)
+
+type shard = {
+  lock : Mutex.t;
+  tbl : (string, (string * Json.t) list) Hashtbl.t;
+  order : string Queue.t; (* insertion order, for FIFO eviction *)
+}
+
+type t = {
+  shards : shard array;
+  per_shard_cap : int;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  evictions : int Atomic.t;
+}
+
+let nshards = 16
+
+let create ~capacity =
+  if capacity < nshards then invalid_arg "Rescache.create: capacity too small";
+  {
+    shards =
+      Array.init nshards (fun _ ->
+          {
+            lock = Mutex.create ();
+            tbl = Hashtbl.create 64;
+            order = Queue.create ();
+          });
+    per_shard_cap = capacity / nshards;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    evictions = Atomic.make 0;
+  }
+
+let shard_of t key = t.shards.(Hashtbl.hash key land (nshards - 1))
+
+let find t key =
+  let s = shard_of t key in
+  Mutex.lock s.lock;
+  let r = Hashtbl.find_opt s.tbl key in
+  Mutex.unlock s.lock;
+  (match r with
+  | Some _ -> Atomic.incr t.hits
+  | None -> Atomic.incr t.misses);
+  r
+
+let add t key fields =
+  let s = shard_of t key in
+  Mutex.lock s.lock;
+  if not (Hashtbl.mem s.tbl key) then begin
+    if Hashtbl.length s.tbl >= t.per_shard_cap then begin
+      (match Queue.take_opt s.order with
+      | Some victim ->
+        Hashtbl.remove s.tbl victim;
+        Atomic.incr t.evictions
+      | None -> ());
+      ()
+    end;
+    Hashtbl.add s.tbl key fields;
+    Queue.add key s.order
+  end;
+  Mutex.unlock s.lock
+
+let entries t =
+  Array.fold_left
+    (fun acc s ->
+      Mutex.lock s.lock;
+      let n = Hashtbl.length s.tbl in
+      Mutex.unlock s.lock;
+      acc + n)
+    0 t.shards
+
+let hits t = Atomic.get t.hits
+let misses t = Atomic.get t.misses
+let evictions t = Atomic.get t.evictions
+
+let stats_json t : Json.t =
+  Json.Obj
+    [
+      ("hits", Json.Int (hits t));
+      ("misses", Json.Int (misses t));
+      ("evictions", Json.Int (evictions t));
+      ("entries", Json.Int (entries t));
+    ]

@@ -37,6 +37,7 @@ type stats = {
 
 type t = {
   world : Protocol.world;
+  mutable qeval : Qeval.t option; (* set right after [create]'s knot-tying *)
   socket_path : string;
   listen_fd : Unix.file_descr;
   queue : job Queue.t;
@@ -77,7 +78,10 @@ let rec worker_loop t =
       if not claimed then next () (* abandoned while queued: skip *)
       else begin
         let outcome =
-          try Protocol.eval t.world job.request
+          try
+            match t.qeval with
+            | Some q -> Qeval.eval q job.request
+            | None -> Protocol.eval t.world job.request
           with e ->
             Protocol.Reply
               (Protocol.err
@@ -241,7 +245,8 @@ let server_stats t () =
     ("queue_depth", Json.Int (Queue.length t.queue));
   ]
 
-let create ?(default_timeout_ms = default_timeout_ms) ~socket_path snap =
+let create ?(default_timeout_ms = default_timeout_ms) ?(cache_capacity = 4096)
+    ?(universe_hash = "") ~socket_path snap =
   (if Sys.file_exists socket_path then
      try Unix.unlink socket_path with _ -> ());
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -250,7 +255,17 @@ let create ?(default_timeout_ms = default_timeout_ms) ~socket_path snap =
   let rec t =
     {
       world =
-        { Protocol.snap; extra_stats = (fun () -> server_stats t ()) };
+        {
+          Protocol.snap;
+          extra_stats =
+            (fun () ->
+              server_stats t ()
+              @
+              match t.qeval with
+              | Some q -> Qeval.stats_fields q
+              | None -> []);
+        };
+      qeval = None;
       socket_path;
       listen_fd;
       queue = Queue.create ();
@@ -269,6 +284,7 @@ let create ?(default_timeout_ms = default_timeout_ms) ~socket_path snap =
       default_timeout_ms;
     }
   in
+  t.qeval <- Some (Qeval.create ~cache_capacity ~universe_hash t.world);
   t
 
 let stop = request_stop

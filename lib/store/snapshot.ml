@@ -183,7 +183,8 @@ let impose_order m ~nvars ~vars_by_target =
     done
   done
 
-let of_bytes ?(node_capacity = 1 lsl 16) ?node_limit ?backend data =
+let of_bytes ?(node_capacity = 1 lsl 16) ?node_limit ?backend ?(freeze = false)
+    data =
   try
     (* header *)
     if String.length data < 8 || String.sub data 0 8 <> magic then
@@ -313,6 +314,10 @@ let of_bytes ?(node_capacity = 1 lsl 16) ?node_limit ?backend data =
           (name, rel))
     in
     if not (Binio.at_end r) then corrupt "trailing bytes after snapshot body";
+    (* Everything the snapshot pins is referenced by now; freezing here
+       compacts reconstruction garbage and lands the universe directly
+       in read-only serving mode. *)
+    if freeze then U.freeze u;
     { u; meta; domains; attrs; physdoms; relations }
   with Binio.Truncated -> corrupt "snapshot is truncated"
 
@@ -327,14 +332,14 @@ let save_file path s =
   close_out oc;
   Sys.rename tmp path
 
-let load_file ?node_capacity ?node_limit ?backend path =
+let load_file ?node_capacity ?node_limit ?backend ?freeze path =
   let ic =
     try open_in_bin path
     with Sys_error msg -> corrupt "cannot open snapshot: %s" msg
   in
   let data = really_input_string ic (in_channel_length ic) in
   close_in ic;
-  of_bytes ?node_capacity ?node_limit ?backend data
+  of_bytes ?node_capacity ?node_limit ?backend ?freeze data
 
 let meta_value s key = List.assoc_opt key s.meta
 

@@ -33,11 +33,15 @@ val of_bytes :
   ?node_capacity:int ->
   ?node_limit:int ->
   ?backend:Jedd_relation.Backend.kind ->
+  ?freeze:bool ->
   string ->
   t
 (** Rebuild a fresh universe (any backend — snapshots are
     backend-portable) and every relation.  Each relation's tuple count
-    is re-verified against the recorded one. *)
+    is re-verified against the recorded one.  [~freeze:true] lands the
+    rebuilt universe directly in read-only serving mode
+    ([Jedd_relation.Universe.freeze], in-core backend only): the final
+    act of loading compacts the node store and fences off mutation. *)
 
 val save_file : string -> t -> unit
 (** Atomic (temp file + rename). *)
@@ -46,6 +50,7 @@ val load_file :
   ?node_capacity:int ->
   ?node_limit:int ->
   ?backend:Jedd_relation.Backend.kind ->
+  ?freeze:bool ->
   string ->
   t
 

@@ -1,0 +1,179 @@
+(* Property and adversarial-input tests for the protocol JSON codec
+   (lib/server/json.ml): print/parse round-trips over random values,
+   escape handling, the nesting-depth cap, truncated documents, and
+   numbers at the edges of what int/float can hold. *)
+
+module Json = Jedd_server.Json
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+
+(* -- random value generator --------------------------------------------- *)
+
+(* Strings over the full byte range except that we keep them valid as
+   OCaml strings (any byte is); the printer escapes controls and
+   quotes, and bytes >= 0x20 pass through verbatim, so round-trips are
+   byte-faithful. *)
+let string_gen =
+  QCheck.Gen.(string_size ~gen:(map Char.chr (int_range 0 255)) (0 -- 12))
+
+(* Finite floats only: nan/inf deliberately print as null (JSON has no
+   tokens for them), which is a lossy and separately-tested path. *)
+let float_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map float_of_int (int_range (-1000) 1000);
+        float_range (-1e15) 1e15;
+        oneofl [ 0.5; -0.5; 1e-9; 1.7976931348623157e308; 5e-324 ];
+      ])
+
+let value_gen =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        let leaf =
+          oneof
+            [
+              return Json.Null;
+              map (fun b -> Json.Bool b) bool;
+              map (fun i -> Json.Int i) int;
+              map (fun f -> Json.Float f) float_gen;
+              map (fun s -> Json.String s) string_gen;
+            ]
+        in
+        if n <= 0 then leaf
+        else
+          frequency
+            [
+              (3, leaf);
+              ( 1,
+                map
+                  (fun l -> Json.List l)
+                  (list_size (0 -- 4) (self (n / 2))) );
+              ( 1,
+                map
+                  (fun kvs -> Json.Obj kvs)
+                  (list_size (0 -- 4)
+                     (pair string_gen (self (n / 2)))) );
+            ]))
+
+let arbitrary_value =
+  QCheck.make value_gen ~print:(fun v -> Json.to_string v)
+
+(* -- properties ---------------------------------------------------------- *)
+
+let prop_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"of_string (to_string v) = v"
+    arbitrary_value (fun v -> Json.of_string (Json.to_string v) = v)
+
+(* A second decode of a re-encoded document is a fixpoint even for
+   documents we did not produce (e.g. with \u escapes or odd spacing). *)
+let prop_reprint_stable =
+  QCheck.Test.make ~count:500 ~name:"to_string is a fixpoint under reparse"
+    arbitrary_value (fun v ->
+      let s = Json.to_string v in
+      Json.to_string (Json.of_string s) = s)
+
+(* Every proper prefix of a serialized container is rejected: the
+   parser never silently accepts a truncated request. *)
+let prop_truncation_rejected =
+  QCheck.Test.make ~count:200 ~name:"all proper prefixes fail to parse"
+    arbitrary_value (fun v ->
+      let s = Json.to_string (Json.List [ v ]) in
+      let ok = ref true in
+      for n = 0 to String.length s - 1 do
+        match Json.of_string (String.sub s 0 n) with
+        | _ -> ok := false
+        | exception Json.Parse_error _ -> ()
+      done;
+      !ok)
+
+(* -- directed edge cases ------------------------------------------------- *)
+
+let test_escapes () =
+  let cases =
+    [
+      ("\"a\\nb\"", Json.String "a\nb");
+      ("\"a\\tb\\rc\"", Json.String "a\tb\rc");
+      ("\"\\\"\\\\\\/\"", Json.String "\"\\/");
+      ("\"\\u0041\"", Json.String "A");
+      ("\"\\u00e9\"", Json.String "\xc3\xa9");
+      ("\"\\u20ac\"", Json.String "\xe2\x82\xac");
+      ("\"\\u0000\"", Json.String "\000");
+    ]
+  in
+  List.iter
+    (fun (s, expect) ->
+      checkb (Printf.sprintf "parse %s" s) true (Json.of_string s = expect))
+    cases;
+  (* control characters must come back out escaped *)
+  check Alcotest.string "controls re-escape" "\"\\u0001\\n\""
+    (Json.to_string (Json.String "\001\n"));
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | exception Json.Parse_error _ -> ()
+      | _ -> Alcotest.failf "accepted bad escape %S" s)
+    [ "\"\\x41\""; "\"\\u12\""; "\"\\u12zz\""; "\"\\"; "\"\\u\"" ]
+
+let nested n =
+  String.concat "" (List.init n (fun _ -> "["))
+  ^ "0"
+  ^ String.concat "" (List.init n (fun _ -> "]"))
+
+let test_depth_cap () =
+  (* just under the cap parses; just over raises *)
+  (match Json.of_string (nested 511) with
+  | _ -> ()
+  | exception Json.Parse_error m ->
+    Alcotest.failf "511 levels rejected: %s" m);
+  (match Json.of_string (nested 513) with
+  | exception Json.Parse_error _ -> ()
+  | _ -> Alcotest.fail "513 levels accepted");
+  (* mixed object/array nesting counts too, and over-deep input must
+     raise rather than blow the stack *)
+  let deep_mixed =
+    String.concat "" (List.init 5000 (fun _ -> "{\"a\":["))
+  in
+  match Json.of_string deep_mixed with
+  | exception Json.Parse_error _ -> ()
+  | _ -> Alcotest.fail "unterminated 10000-deep input accepted"
+
+let test_huge_numbers () =
+  (* ints beyond 63 bits degrade to Float, not to a parse error *)
+  (match Json.of_string "123456789012345678901234567890" with
+  | Json.Float _ -> ()
+  | v -> Alcotest.failf "got %s" (Json.to_string v));
+  (match Json.of_string "1e308" with
+  | Json.Float f -> checkb "1e308 finite" true (Float.is_finite f)
+  | v -> Alcotest.failf "got %s" (Json.to_string v));
+  (* overflow to infinity still parses; printing it degrades to null *)
+  (match Json.of_string "1e400" with
+  | Json.Float f ->
+    checkb "1e400 is inf" true (f = Float.infinity);
+    check Alcotest.string "inf prints as null" "null"
+      (Json.to_string (Json.Float f))
+  | v -> Alcotest.failf "got %s" (Json.to_string v));
+  check Alcotest.string "nan prints as null" "null"
+    (Json.to_string (Json.Float Float.nan));
+  checkb "max_int survives" true
+    (Json.of_string (string_of_int max_int) = Json.Int max_int);
+  checkb "min_int survives" true
+    (Json.of_string (string_of_int min_int) = Json.Int min_int);
+  (* malformed number spellings are rejected *)
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | exception Json.Parse_error _ -> ()
+      | _ -> Alcotest.failf "accepted bad number %S" s)
+    [ "1e"; "--3"; "1.2.3"; "+5"; "-"; "0x10" ]
+
+let suite =
+  [
+    Alcotest.test_case "escape handling" `Quick test_escapes;
+    Alcotest.test_case "nesting depth cap" `Quick test_depth_cap;
+    Alcotest.test_case "huge and malformed numbers" `Quick test_huge_numbers;
+  ]
+  @ List.map
+      (QCheck_alcotest.to_alcotest ~verbose:false)
+      [ prop_roundtrip; prop_reprint_stable; prop_truncation_rejected ]

@@ -1,0 +1,346 @@
+(* Tests for the async serving front end (lib/serve): HTTP/1.1 framing
+   edge cases against the parser directly, then end-to-end checks over
+   real sockets — the three transports answer bit-identically at any
+   worker count, a frozen universe rejects mutation cleanly, the
+   result cache warms up, and pipelined HTTP requests come back in
+   order. *)
+
+module Json = Jedd_server.Json
+module Client = Jedd_server.Client
+module Serve = Jedd_serve.Serve
+module Http = Jedd_serve.Http
+module Snapshot = Jedd_store.Snapshot
+module Suite = Jedd_analyses.Suite
+module Workload = Jedd_minijava.Workload
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* -- HTTP framing (no socket) -------------------------------------------- *)
+
+let post body =
+  Printf.sprintf
+    "POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: %d\r\n\r\n%s"
+    (String.length body) body
+
+let test_http_parse () =
+  (match Http.parse_request (post "{\"verb\":\"ping\"}") with
+  | Http.Complete (r, consumed) ->
+    check Alcotest.string "method" "POST" r.Http.meth;
+    check Alcotest.string "path" "/query" r.Http.path;
+    check Alcotest.string "body" "{\"verb\":\"ping\"}" r.Http.body;
+    checkb "1.1 defaults to keep-alive" true r.Http.keep_alive;
+    checki "whole request consumed" (String.length (post "{\"verb\":\"ping\"}"))
+      consumed
+  | _ -> Alcotest.fail "complete request did not parse");
+  (* header values are trimmed, names lowercased *)
+  (match
+     Http.parse_request "GET /ping HTTP/1.1\r\nX-Weird:   spaced \r\n\r\n"
+   with
+  | Http.Complete (r, _) ->
+    check
+      Alcotest.(option string)
+      "header access" (Some "spaced") (Http.header r "x-weird")
+  | _ -> Alcotest.fail "GET did not parse");
+  (* explicit Connection handling, and the 1.0 default *)
+  (match Http.parse_request (post "x" ^ "") with
+  | Http.Complete (r, _) -> checkb "keep-alive" true r.Http.keep_alive
+  | _ -> Alcotest.fail "parse");
+  (match
+     Http.parse_request
+       "POST / HTTP/1.1\r\nConnection: close\r\nContent-Length: 0\r\n\r\n"
+   with
+  | Http.Complete (r, _) -> checkb "close honoured" false r.Http.keep_alive
+  | _ -> Alcotest.fail "parse");
+  (match Http.parse_request "GET / HTTP/1.0\r\n\r\n" with
+  | Http.Complete (r, _) -> checkb "1.0 defaults to close" false r.Http.keep_alive
+  | _ -> Alcotest.fail "parse")
+
+let test_http_partial_and_pipelined () =
+  let full = post "{\"verb\":\"ping\"}" in
+  (* every proper prefix is Incomplete, never Invalid and never a
+     short Complete *)
+  for n = 0 to String.length full - 1 do
+    match Http.parse_request (String.sub full 0 n) with
+    | Http.Incomplete -> ()
+    | Http.Complete _ -> Alcotest.failf "prefix %d parsed as complete" n
+    | Http.Invalid m -> Alcotest.failf "prefix %d invalid: %s" n m
+  done;
+  (* two pipelined requests: the first parse consumes exactly the
+     first request, the remainder parses as the second *)
+  let second = post "{\"verb\":\"version\"}" in
+  let data = full ^ second in
+  match Http.parse_request data with
+  | Http.Complete (r1, consumed) ->
+    check Alcotest.string "first body" "{\"verb\":\"ping\"}" r1.Http.body;
+    let rest = String.sub data consumed (String.length data - consumed) in
+    (match Http.parse_request rest with
+    | Http.Complete (r2, consumed2) ->
+      check Alcotest.string "second body" "{\"verb\":\"version\"}" r2.Http.body;
+      checki "nothing left over" (String.length rest) consumed2
+    | _ -> Alcotest.fail "second pipelined request did not parse")
+  | _ -> Alcotest.fail "first pipelined request did not parse"
+
+let test_http_rejects () =
+  let invalid s =
+    match Http.parse_request s with
+    | Http.Invalid _ -> ()
+    | Http.Complete _ -> Alcotest.failf "accepted %S" s
+    | Http.Incomplete -> Alcotest.failf "%S treated as incomplete" s
+  in
+  invalid "NONSENSE\r\n\r\n";
+  invalid "GET / HTTP/2.0\r\n\r\n";
+  invalid "GET / HTTP/1.1\r\nno-colon-here\r\n\r\n";
+  invalid "POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n";
+  invalid "POST / HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n";
+  (* oversized headers are rejected even before the blank line shows up *)
+  invalid ("GET / HTTP/1.1\r\nX-Pad: " ^ String.make 9000 'a');
+  invalid ("GET / HTTP/1.1\r\nX-Pad: " ^ String.make 9000 'a' ^ "\r\n\r\n")
+
+(* -- live-server fixture -------------------------------------------------- *)
+
+let fixture_counter = ref 0
+
+(* Serialize the tiny-workload snapshot and reload it — the reload is
+   what jeddd does, and ~freeze lands the universe read-only. *)
+let with_serve ?(workers = 2) ?(frozen = true) f =
+  let p = Workload.generate Workload.tiny in
+  let inst, _ = Suite.run_combined p in
+  let bytes = Snapshot.to_bytes (Suite.snapshot inst) in
+  let snap = Snapshot.of_bytes ~freeze:frozen bytes in
+  let hash = Digest.to_hex (Digest.string bytes) in
+  incr fixture_counter;
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "jedd-serve-test-%d-%d.sock" (Unix.getpid ())
+         !fixture_counter)
+  in
+  if Sys.file_exists sock then Sys.remove sock;
+  let config =
+    {
+      Serve.default_config with
+      unix_path = Some sock;
+      tcp = Some ("127.0.0.1", 0);
+      http = Some ("127.0.0.1", 0);
+      workers;
+    }
+  in
+  let server = Serve.create ~config ~universe_hash:hash snap in
+  let th = Thread.create Serve.run server in
+  let tcp_port = Option.get (Serve.tcp_port server) in
+  let http_port = Option.get (Serve.http_port server) in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.stop server;
+      Thread.join th;
+      if Sys.file_exists sock then Sys.remove sock)
+    (fun () -> f ~sock ~tcp_port ~http_port)
+
+let q verb fields = Json.Obj (("verb", Json.String verb) :: fields)
+
+let probe_queries =
+  [
+    q "ping" [];
+    q "relations" [];
+    q "count" [ ("rel", Json.String "PointsTo.pt") ];
+    q "tuples" [ ("rel", Json.String "PointsTo.pt"); ("limit", Json.Int 5) ];
+  ]
+
+(* Responses (as strings) to the probe queries over each transport. *)
+let probe_all ~sock ~tcp_port ~http_port =
+  let over connect is_http =
+    let c = connect () in
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    List.map
+      (fun query ->
+        Json.to_string
+          (if is_http then
+             Http.client_request ~ic:c.Client.ic ~oc:c.Client.oc query
+           else Client.request c query))
+      probe_queries
+  in
+  [
+    over (fun () -> Client.connect ~retries:10 sock) false;
+    over (fun () -> Client.connect_tcp ~retries:10 "127.0.0.1" tcp_port) false;
+    over
+      (fun () -> Client.connect_tcp ~retries:10 "127.0.0.1" http_port)
+      true;
+  ]
+
+(* -- end-to-end ----------------------------------------------------------- *)
+
+let test_differential () =
+  let single =
+    with_serve ~workers:1 (fun ~sock ~tcp_port ~http_port ->
+        probe_all ~sock ~tcp_port ~http_port)
+  in
+  let multi =
+    with_serve ~workers:2 (fun ~sock ~tcp_port ~http_port ->
+        probe_all ~sock ~tcp_port ~http_port)
+  in
+  let reference = List.hd single in
+  List.iteri
+    (fun i rs ->
+      checkb
+        (Printf.sprintf "single-worker transport %d matches unix" i)
+        true (rs = reference))
+    single;
+  List.iteri
+    (fun i rs ->
+      checkb
+        (Printf.sprintf "two-worker transport %d matches single-worker" i)
+        true (rs = reference))
+    multi
+
+let test_frozen_rejects_mutation () =
+  with_serve ~workers:2 (fun ~sock ~tcp_port:_ ~http_port:_ ->
+      let c = Client.connect ~retries:10 sock in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      let resp = Client.request c (q "reorder" []) in
+      (match Json.member "ok" resp with
+      | Some (Json.Bool false) -> ()
+      | _ -> Alcotest.failf "reorder on a frozen universe succeeded: %s"
+               (Json.to_string resp));
+      match Json.member "error" resp with
+      | Some (Json.String msg) ->
+        checkb "error names the frozen state" true
+          (let lower = String.lowercase_ascii msg in
+           let rec find i =
+             i + 6 <= String.length lower
+             && (String.sub lower i 6 = "frozen" || find (i + 1))
+           in
+           find 0)
+      | _ -> Alcotest.fail "no error message");
+  (* and an unfrozen server accepts the same verb *)
+  with_serve ~workers:1 ~frozen:false (fun ~sock ~tcp_port:_ ~http_port:_ ->
+      let c = Client.connect ~retries:10 sock in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      let resp = Client.request c (q "reorder" []) in
+      match Json.member "ok" resp with
+      | Some (Json.Bool true) -> ()
+      | _ ->
+        Alcotest.failf "reorder on an unfrozen universe failed: %s"
+          (Json.to_string resp))
+
+let test_cache_and_stats () =
+  with_serve ~workers:2 (fun ~sock ~tcp_port:_ ~http_port:_ ->
+      let c = Client.connect ~retries:10 sock in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      let query = q "count" [ ("rel", Json.String "PointsTo.pt") ] in
+      let r1 = Client.request c query in
+      let r2 = Client.request c query in
+      checkb "repeat answers agree" true
+        (Json.to_string r1 = Json.to_string r2);
+      let stats = Client.request c (q "stats" []) in
+      let get path obj =
+        match Json.member path obj with
+        | Some v -> v
+        | None ->
+          Alcotest.failf "stats lacks %S: %s" path (Json.to_string stats)
+      in
+      (match get "result_cache" stats with
+      | Json.Obj _ as rc -> (
+        match Json.member "hits" rc with
+        | Some (Json.Int h) -> checkb "cache hit recorded" true (h >= 1)
+        | _ -> Alcotest.fail "result_cache lacks hits")
+      | _ -> Alcotest.fail "result_cache is not an object");
+      (match get "latency" stats with
+      | Json.Obj kvs -> checkb "per-verb latency present" true (kvs <> [])
+      | _ -> Alcotest.fail "latency is not an object");
+      (match get "workers" stats with
+      | Json.Int w -> checki "worker count reported" 2 w
+      | _ -> Alcotest.fail "workers is not an int");
+      match get "frozen" stats with
+      | Json.Bool b -> checkb "frozen reported" true b
+      | _ -> Alcotest.fail "frozen is not a bool")
+
+(* Two POSTs written back-to-back before reading anything: the server
+   must answer both, in order, on the one connection. *)
+let test_http_pipelining_live () =
+  with_serve ~workers:2 (fun ~sock:_ ~tcp_port:_ ~http_port ->
+      let c = Client.connect_tcp ~retries:10 "127.0.0.1" http_port in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      let body1 = Json.to_string (q "ping" []) in
+      let body2 =
+        Json.to_string (q "count" [ ("rel", Json.String "PointsTo.pt") ])
+      in
+      let raw body =
+        Printf.sprintf
+          "POST /query HTTP/1.1\r\nContent-Length: %d\r\n\r\n%s"
+          (String.length body) body
+      in
+      output_string c.Client.oc (raw body1 ^ raw body2);
+      flush c.Client.oc;
+      let read_response () =
+        let status = input_line c.Client.ic in
+        let code =
+          match String.split_on_char ' ' (String.trim status) with
+          | _ :: code :: _ -> int_of_string code
+          | _ -> Alcotest.failf "bad status line %S" status
+        in
+        let content_length = ref 0 in
+        let rec headers () =
+          let line = String.trim (input_line c.Client.ic) in
+          if line <> "" then begin
+            (match String.index_opt line ':' with
+            | Some i
+              when String.lowercase_ascii (String.sub line 0 i)
+                   = "content-length" ->
+              content_length :=
+                int_of_string
+                  (String.trim
+                     (String.sub line (i + 1) (String.length line - i - 1)))
+            | _ -> ());
+            headers ()
+          end
+        in
+        headers ();
+        let body = really_input_string c.Client.ic !content_length in
+        (code, Json.of_string body)
+      in
+      let code1, resp1 = read_response () in
+      let code2, resp2 = read_response () in
+      checki "first response 200" 200 code1;
+      checki "second response 200" 200 code2;
+      checkb "first is the ping reply" true
+        (Json.member "pong" resp1 <> None
+        || Json.member "ok" resp1 = Some (Json.Bool true));
+      (match Json.member "tuples" resp2 with
+      | Some (Json.Int n) -> checkb "second is the count reply" true (n > 0)
+      | _ ->
+        Alcotest.failf "second reply is not a count: %s"
+          (Json.to_string resp2)))
+
+let test_http_oversized_header_live () =
+  with_serve ~workers:1 (fun ~sock:_ ~tcp_port:_ ~http_port ->
+      let c = Client.connect_tcp ~retries:10 "127.0.0.1" http_port in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      output_string c.Client.oc
+        ("GET / HTTP/1.1\r\nX-Pad: " ^ String.make 10000 'a');
+      flush c.Client.oc;
+      let status = input_line c.Client.ic in
+      checkb "431 for oversized headers" true
+        (match String.split_on_char ' ' (String.trim status) with
+        | _ :: code :: _ -> code = "431"
+        | _ -> false))
+
+let suite =
+  [
+    Alcotest.test_case "http framing: complete requests" `Quick
+      test_http_parse;
+    Alcotest.test_case "http framing: partial and pipelined" `Quick
+      test_http_partial_and_pipelined;
+    Alcotest.test_case "http framing: rejects" `Quick test_http_rejects;
+    Alcotest.test_case "three transports, bit-identical answers" `Quick
+      test_differential;
+    Alcotest.test_case "frozen universe rejects mutation" `Quick
+      test_frozen_rejects_mutation;
+    Alcotest.test_case "result cache and stats shape" `Quick
+      test_cache_and_stats;
+    Alcotest.test_case "live http pipelining" `Quick
+      test_http_pipelining_live;
+    Alcotest.test_case "live http oversized header -> 431" `Quick
+      test_http_oversized_header_live;
+  ]
