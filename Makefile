@@ -1,6 +1,6 @@
 .PHONY: all check test smoke bench-smoke release bench-json bench-json3 \
-        bench-json5 bench-json6 bench-json7 par-test serve-smoke \
-        load-smoke lint clean
+        bench-json5 bench-json6 bench-json7 bench-json8 par-test \
+        serve-smoke load-smoke incr-smoke lint clean
 
 all:
 	dune build
@@ -83,6 +83,22 @@ load-smoke:
 # three-transport bit-identity gate.  Writes BENCH_pr7.json.
 bench-json7:
 	dune exec --profile release bench/main.exe -- json7
+
+# Incremental evaluation, CI-sized: the quick halves of the incr and
+# store suites — semi-naive vs naive differential, live-session edits
+# checked tuple-for-tuple against from-scratch solves, and the
+# differential-snapshot (delta) round trips.
+incr-smoke:
+	dune build test/test_main.exe
+	dune exec test/test_main.exe -- test incr -q
+	dune exec test/test_main.exe -- test store -q
+
+# Cost per edit for the live incremental path vs from-scratch solves at
+# 1/5/25 accumulated edits, plus the delta-size curve per generation;
+# fails unless a single added call site re-solves >= 10x faster than
+# from scratch with bit-identical relations.  Writes BENCH_pr8.json.
+bench-json8:
+	dune exec --profile release bench/main.exe -- json8
 
 clean:
 	dune clean

@@ -19,6 +19,8 @@
                                                  (cold vs warm-start jeddd)
      dune exec bench/main.exe -- json6        -- write BENCH_pr6.json
                                                  (multi-core scaling, PR 6)
+     dune exec bench/main.exe -- json8        -- write BENCH_pr8.json
+                                                 (incremental cost per edit)
      dune exec bench/main.exe -- smoke        -- seconds-scale sanity run
                                                  (also: dune build @bench-smoke)
 
@@ -1680,6 +1682,154 @@ let bench_json7 ?(path = "BENCH_pr7.json") () =
   print_string (Buffer.contents buf);
   Printf.printf "wrote %s\n" path
 
+(* ----------------------------------------------------------------- *)
+(* BENCH_pr8.json: incremental re-solve cost per edit (PR 8)          *)
+(* ----------------------------------------------------------------- *)
+
+(* A live session absorbs a stream of program edits; after every edit
+   the incremental fixed point must be tuple-for-tuple the one a
+   from-scratch solve of the edited program reaches.  The bench
+   measures the cost per edit against that from-scratch solve at 1, 5
+   and 25 accumulated edits, and the size of the differential snapshot
+   (Delta.diff against the previous generation) after each edit.
+
+   Gate (javac workload): a single added call site must re-solve at
+   least 10x faster than from scratch, with identical relations. *)
+
+let bench_json8 ?(path = "BENCH_pr8.json") () =
+  let module Live = Jedd_analyses.Live in
+  let module Edit = Jedd_incr.Edit in
+  let module Snapshot = Jedd_store.Snapshot in
+  let module Delta = Jedd_store.Delta in
+  let bench_name =
+    match Sys.getenv_opt "JEDD_BENCH_WORKLOAD" with
+    | Some n -> n
+    | None -> "javac"
+  in
+  let p0 = Workload.generate (Workload.profile_named bench_name) in
+  (* the live session: compile with headroom, load, cold solve *)
+  let session, cold_s = wall (fun () -> Live.create p0) in
+  let scratch_solve p =
+    let (inst, r), secs =
+      wall (fun () -> Suite.run_combined ~headroom:true p)
+    in
+    ignore inst;
+    (r, secs)
+  in
+  let snap_bytes () =
+    Snapshot.to_bytes (Suite.snapshot (Live.inst session))
+  in
+  let prev_bytes = ref (snap_bytes ()) in
+  let rng = Random.State.make [| 0x8edd; 8 |] in
+  (* edit #1 is the gate's single new call site; the rest of the
+     stream is deterministic random additions *)
+  let next_edit i =
+    if i = 1 then Edit.Add_callsite { recv = 0; signature = 0; in_method = 0 }
+    else Edit.random ~removals:false rng (Live.program session)
+  in
+  let batch_points = [ 1; 5; 25 ] in
+  let max_edits = List.fold_left max 0 batch_points in
+  let per_edit = ref [] in
+  let batches = ref [] in
+  let cum_incr_s = ref 0.0 in
+  let all_identical = ref true in
+  for i = 1 to max_edits do
+    let e = next_edit i in
+    let stats, secs = wall (fun () -> Live.update session e) in
+    cum_incr_s := !cum_incr_s +. secs;
+    (* differential snapshot against the previous generation *)
+    let bytes = snap_bytes () in
+    let d =
+      Delta.diff
+        ~meta:[ ("edit", Edit.describe e) ]
+        ~base:!prev_bytes ~next:bytes ()
+    in
+    let delta_bytes = String.length (Delta.to_bytes d) in
+    prev_bytes := bytes;
+    per_edit :=
+      ( i,
+        Edit.describe e,
+        Live.mode_to_string stats.Live.mode,
+        secs,
+        List.length d.Delta.changed,
+        delta_bytes,
+        String.length bytes )
+      :: !per_edit;
+    if List.mem i batch_points then begin
+      let r_scratch, scratch_s = scratch_solve (Live.program session) in
+      let identical = Live.results session = r_scratch in
+      if not identical then all_identical := false;
+      batches := (i, !cum_incr_s, scratch_s, identical) :: !batches
+    end
+  done;
+  let per_edit = List.rev !per_edit in
+  let batches = List.rev !batches in
+  let ms s = s *. 1000.0 in
+  (* gate: the single-callsite batch point *)
+  let gate_edits, gate_incr_s, gate_scratch_s, gate_identical =
+    match batches with b :: _ -> b | [] -> (0, 1.0, 0.0, false)
+  in
+  ignore gate_edits;
+  let gate_speedup =
+    if gate_incr_s > 0.0 then gate_scratch_s /. gate_incr_s else 0.0
+  in
+  let gate_asserted = bench_name = "javac" in
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "{\n";
+  out "  \"schema\": \"jedd-bench-v8\",\n";
+  out "  \"benchmark\": %S,\n" bench_name;
+  out "  \"host_cpus\": %d,\n" (host_cpus ());
+  out "  \"cold_solve_ms\": %.1f,\n" (ms cold_s);
+  out "  \"edits\": [\n";
+  List.iteri
+    (fun k (i, desc, mode, secs, changed, dbytes, fbytes) ->
+      out
+        "    {\"edit\": %d, \"op\": %S, \"mode\": %S, \"incr_ms\": %.2f, \
+         \"delta_changed_relations\": %d, \"delta_bytes\": %d, \
+         \"full_snapshot_bytes\": %d, \"delta_fraction\": %.4f}%s\n"
+        i desc mode (ms secs) changed dbytes fbytes
+        (float_of_int dbytes /. float_of_int fbytes)
+        (if k = List.length per_edit - 1 then "" else ","))
+    per_edit;
+  out "  ],\n";
+  out "  \"batches\": [\n";
+  List.iteri
+    (fun k (n, incr_s, scratch_s, identical) ->
+      let per = ms incr_s /. float_of_int n in
+      out
+        "    {\"edits\": %d, \"incr_total_ms\": %.1f, \
+         \"incr_per_edit_ms\": %.1f, \"scratch_ms\": %.1f, \
+         \"speedup_per_edit\": %.2f, \"identical\": %b}%s\n"
+        n (ms incr_s) per (ms scratch_s)
+        (if per > 0.0 then ms scratch_s /. per else 0.0)
+        identical
+        (if k = List.length batches - 1 then "" else ","))
+    batches;
+  out "  ],\n";
+  out
+    "  \"single_edit_gate\": {\"required_speedup\": 10.0, \"asserted\": \
+     %b, \"speedup\": %.2f, \"identical\": %b}\n"
+    gate_asserted gate_speedup gate_identical;
+  out "}\n";
+  if not !all_identical then begin
+    Printf.eprintf
+      "json8: incremental relations diverged from a from-scratch solve\n";
+    exit 1
+  end;
+  if gate_asserted && gate_speedup < 10.0 then begin
+    Printf.eprintf
+      "json8: single-callsite re-solve is %.2fx from-scratch on %s (bar: \
+       10x)\n"
+      gate_speedup bench_name;
+    exit 1
+  end;
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  print_string (Buffer.contents buf);
+  Printf.printf "wrote %s\n" path
+
 let smoke () =
   let failures = ref 0 in
   let check name ok =
@@ -1799,5 +1949,6 @@ let () =
   if List.mem "json5" cmds then bench_json5 ();
   if List.mem "json6" cmds then bench_json6 ();
   if List.mem "json7" cmds then bench_json7 ();
+  if List.mem "json8" cmds then bench_json8 ();
   if List.mem "load" cmds then bench_load ();
   if List.mem "smoke" cmds then smoke ()

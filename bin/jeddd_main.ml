@@ -48,17 +48,15 @@ let load_or_compute ~snapshot_file ~store_dir ~store_name ~benchmark ~backend
       ( Snapshot.load_file ?backend ~freeze:freeze_at_load file,
         Printf.sprintf "snapshot %s" file,
         Digest.to_hex (Digest.file file) )
-    | None, Some dir, Some name -> (
+    | None, Some dir, Some name ->
       let cas = Cas.open_ dir in
-      match Cas.resolve cas name with
-      | None -> fail "jeddd: %S does not name a snapshot in store %s" name dir
-      | Some digest -> (
-        match Cas.get cas digest with
-        | None -> fail "jeddd: store object %s is missing" digest
-        | Some data ->
-          ( Snapshot.of_bytes ?backend ~freeze:freeze_at_load data,
-            Printf.sprintf "store %s/%s" dir name,
-            Digest.to_hex (Digest.string data) )))
+      if Cas.resolve cas name = None then
+        fail "jeddd: %S does not name a snapshot in store %s" name dir;
+      (* the ref may point at a differential snapshot: replay the chain *)
+      let data = Jedd_store.Delta.load_chain cas name in
+      ( Snapshot.of_bytes ?backend ~freeze:freeze_at_load data,
+        Printf.sprintf "store %s/%s" dir name,
+        Digest.to_hex (Digest.string data) )
     | None, Some _, None -> fail "jeddd: --store needs --name"
     | None, None, Some _ -> fail "jeddd: --name needs --store"
     | None, None, None ->
@@ -105,9 +103,55 @@ let parse_hostport ~what ~default_host s =
       ((if host = "" then default_host else host), p)
     | _ -> fail "jeddd: %s has a bad port in %S" what s)
 
+(* --live: run the combined analysis cold through a Live session (the
+   mutable shadow universe), then serve a frozen copy of it.  The
+   daemon then accepts the "update" verb: each edit is re-solved
+   incrementally on the shadow and swapped in as a new frozen
+   generation; with --store/--tag, each generation is published under
+   the ref as a differential snapshot. *)
+let make_live ~benchmark ~want_freeze ~save ~tag ~store_dir =
+  let profile =
+    if benchmark = "tiny" then Workload.tiny
+    else Workload.profile_named benchmark
+  in
+  let p = Workload.generate profile in
+  let t0 = Unix.gettimeofday () in
+  let session = Jedd_analyses.Live.create p in
+  let snap_live =
+    Suite.snapshot
+      ~meta:[ ("workload", benchmark); ("jedd.generation", "0") ]
+      (Jedd_analyses.Live.inst session)
+  in
+  let bytes = Snapshot.to_bytes snap_live in
+  let hash = Digest.to_hex (Digest.string bytes) in
+  Printf.printf "jeddd: live session ready from cold run of %s in %.3f s\n%!"
+    benchmark
+    (Unix.gettimeofday () -. t0);
+  (match save with
+  | Some path ->
+    let oc = open_out_bin path in
+    output_string oc bytes;
+    close_out oc;
+    Printf.printf "jeddd: saved snapshot to %s\n%!" path
+  | None -> ());
+  let publish =
+    match (tag, store_dir) with
+    | Some name, Some dir ->
+      let cas = Cas.open_ dir in
+      let digest = Cas.put cas bytes in
+      Cas.tag cas name digest;
+      Printf.printf "jeddd: stored as %s (ref %s)\n%!" digest name;
+      Some (cas, name)
+    | Some _, None -> fail "jeddd: --tag needs --store"
+    | None, _ -> None
+  in
+  let snap = Snapshot.of_bytes ~freeze:want_freeze bytes in
+  ( Some { Jedd_serve.Serve.session; initial_bytes = bytes; publish },
+    (snap, hash) )
+
 let run socket no_socket tcp http workers no_freeze sweep_threshold
     cache_capacity snapshot_file store_dir store_name benchmark backend
-    node_limit save tag jobs =
+    node_limit save tag jobs live =
   let jobs = resolve_jobs jobs in
   if workers < 1 then fail "jeddd: --workers must be >= 1";
   let is_extmem =
@@ -125,11 +169,22 @@ let run socket no_socket tcp http workers no_freeze sweep_threshold
     else workers
   in
   let freeze_at_load = want_freeze && save = None && tag = None in
-  let snap, universe_hash =
+  if live && (snapshot_file <> None || store_name <> None) then
+    fail
+      "jeddd: --live re-solves edits, so it needs the program and always \
+       runs a cold analysis; drop --snapshot/--name";
+  if live && is_extmem then
+    fail "jeddd: --live needs the in-core backend";
+  let live_cfg, (snap, universe_hash) =
     try
-      load_or_compute ~snapshot_file ~store_dir ~store_name ~benchmark
-        ~backend ~node_limit ~save ~tag ~jobs ~freeze_at_load
-    with Snapshot.Corrupt msg -> fail "jeddd: corrupt snapshot: %s" msg
+      if live then make_live ~benchmark ~want_freeze ~save ~tag ~store_dir
+      else
+        ( None,
+          load_or_compute ~snapshot_file ~store_dir ~store_name ~benchmark
+            ~backend ~node_limit ~save ~tag ~jobs ~freeze_at_load )
+    with
+    | Snapshot.Corrupt msg -> fail "jeddd: corrupt snapshot: %s" msg
+    | Cas.Corrupt_object msg -> fail "jeddd: %s" msg
   in
   if want_freeze && not (Jedd_relation.Universe.frozen snap.Snapshot.u) then
     Jedd_relation.Universe.freeze snap.Snapshot.u;
@@ -151,7 +206,9 @@ let run socket no_socket tcp http workers no_freeze sweep_threshold
       sweep_threshold;
     }
   in
-  let server = Jedd_serve.Serve.create ~config ~universe_hash snap in
+  let server =
+    Jedd_serve.Serve.create ~config ?live:live_cfg ~universe_hash snap
+  in
   List.iter print_string
     (List.concat
        [
@@ -170,6 +227,10 @@ let run socket no_socket tcp http workers no_freeze sweep_threshold
   Printf.printf
     "jeddd: %d worker%s (send {\"verb\":\"shutdown\"} to stop)\n%!" workers
     (if workers = 1 then "" else "s");
+  if live then
+    Printf.printf
+      "jeddd: live updates enabled (send {\"verb\":\"update\", \
+       \"edit\":{\"op\":...}})\n%!";
   Jedd_serve.Serve.run server;
   Printf.printf "jeddd: stopped\n%!"
 
@@ -290,6 +351,18 @@ let tag_arg =
     & info [ "tag" ] ~docv:"REF"
         ~doc:"Also publish the snapshot into --store under this ref name")
 
+let live_arg =
+  Arg.(
+    value & flag
+    & info [ "live" ]
+        ~doc:
+          "Keep a mutable shadow of the analysis and accept the \
+           $(b,update) verb: program edits are re-solved incrementally \
+           and swapped in as new frozen generations without restarting. \
+           Implies a cold analysis run of --benchmark (in-core only); \
+           with --store and --tag, every generation is published under \
+           the ref, as a differential snapshot when smaller.")
+
 let jobs_arg =
   Arg.(
     value
@@ -311,6 +384,6 @@ let cmd =
       const run $ socket_arg $ no_socket_arg $ tcp_arg $ http_arg
       $ workers_arg $ no_freeze_arg $ sweep_threshold_arg $ cache_capacity_arg
       $ snapshot_arg $ store_arg $ name_arg $ benchmark_arg $ backend_arg
-      $ node_limit_arg $ save_arg $ tag_arg $ jobs_arg)
+      $ node_limit_arg $ save_arg $ tag_arg $ jobs_arg $ live_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -15,8 +15,25 @@ module P = Jedd_minijava.Program
 let default_physdom_order =
   [ "T1"; "T2"; "T3"; "S1"; "M1"; "M2"; "V1"; "V2"; "H1"; "H2"; "F1"; "C1" ]
 
-let preamble ?(physdom_order = default_physdom_order) (p : P.t) =
-  let d name size = Printf.sprintf "domain %s %d;\n" name (max 2 size) in
+(* Call-site ids of removed sites stay allocated (Incr.Edit tombstone
+   semantics), so the CallSite domain is sized by the largest id, not
+   the list length.  For freshly generated programs the two agree. *)
+let n_callsites (p : P.t) =
+  List.fold_left (fun a (c : P.call_site) -> max a (c.P.cs_id + 1)) 0 p.P.calls
+
+(* [~headroom:true] pads every domain so a live universe can absorb a
+   run of edits (new classes/vars/heap sites/call sites) without
+   outgrowing its compiled bit widths.  The analyses never complement a
+   relation (no 1B), so spare domain values cannot appear in any result:
+   padded and unpadded universes compute identical tuple sets. *)
+let pad_for_headroom n = n + max 8 (n / 4)
+
+let preamble ?(physdom_order = default_physdom_order) ?(headroom = false)
+    (p : P.t) =
+  let d name size =
+    let size = if headroom then pad_for_headroom size else size in
+    Printf.sprintf "domain %s %d;\n" name (max 2 size)
+  in
   let a name dom = Printf.sprintf "attribute %s : %s;\n" name dom in
   String.concat ""
     ([
@@ -26,7 +43,7 @@ let preamble ?(physdom_order = default_physdom_order) (p : P.t) =
       d "Var" p.P.n_vars;
       d "Heap" p.P.n_heap;
       d "Field" p.P.n_fields;
-      d "CallSite" (List.length p.P.calls);
+      d "CallSite" (n_callsites p);
       (* type-domain attributes *)
       a "type" "Type";
       a "tgttype" "Type";
@@ -58,3 +75,20 @@ let set_fact inst field tuples =
 
 let get_tuples inst field =
   Jedd_relation.Relation.tuples (Jedd_lang.Interp.get_field inst field)
+
+(* -- helpers for the semi-naive drivers -------------------------------- *)
+
+(* Call a relation-returning Jedd method; the result is owned. *)
+let call_rel inst meth args =
+  match Jedd_lang.Interp.call inst meth args with
+  | Some r -> r
+  | None -> failwith (meth ^ ": expected a relation result")
+
+(* An owned argument for Interp.call (which consumes its relation
+   arguments when the callee's frame dies). *)
+let arg r = Jedd_lang.Interp.VRel (Jedd_relation.Relation.dup r)
+
+let empty_rel inst field =
+  Jedd_relation.Relation.empty
+    (Jedd_lang.Interp.universe inst)
+    (Jedd_lang.Interp.schema_of_var inst field)

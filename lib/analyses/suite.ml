@@ -21,8 +21,8 @@ let analyses =
     ("Side-effect Analysis", Sideeffect.source);
   ]
 
-let combined_source (p : P.t) =
-  Common.preamble p ^ String.concat "\n" (List.map snd analyses)
+let combined_source ?headroom (p : P.t) =
+  Common.preamble ?headroom p ^ String.concat "\n" (List.map snd analyses)
 
 let source_for (p : P.t) name =
   Common.preamble p ^ List.assoc name analyses
@@ -66,9 +66,10 @@ let receiver_types (p : P.t) pt_tuples =
    fields by qualified name, so they run unchanged on the combined
    instance. *)
 let run_combined ?(node_capacity = 1 lsl 16) ?node_limit ?backend
-    ?(reorder = false) ?(jobs = 1) (p : P.t) : Interp.t * results =
+    ?(reorder = false) ?(jobs = 1) ?headroom ?(naive = false) (p : P.t) :
+    Interp.t * results =
   let compiled =
-    match Driver.compile [ ("Combined.jedd", combined_source p) ] with
+    match Driver.compile [ ("Combined.jedd", combined_source ?headroom p) ] with
     | Ok c -> c
     | Error e -> failwith ("combined: " ^ Driver.error_to_string e)
   in
@@ -78,25 +79,28 @@ let run_combined ?(node_capacity = 1 lsl 16) ?node_limit ?backend
   let u = Interp.universe inst in
   let sequential () =
     Hierarchy.load_facts inst p;
-    Hierarchy.run inst;
+    if naive then Hierarchy.run_naive inst else Hierarchy.run inst;
     let subtypes = Hierarchy.results inst in
     Pointsto.load_facts inst p;
-    Pointsto.run ~reorder inst;
+    if naive then Pointsto.run_naive ~reorder inst
+    else Pointsto.run ~reorder inst;
     let pt = Pointsto.results inst in
     Vcall.load_facts inst p;
-    Vcall.run inst (receiver_types p pt);
+    (if naive then Vcall.run_naive inst (receiver_types p pt)
+     else Vcall.run inst (receiver_types p pt));
     let resolved = Vcall.results inst in
     let call_edges = Vcall.call_edges inst in
     Callgraph.load_facts inst p ~call_edges;
-    Callgraph.run ~reorder inst;
+    if naive then Callgraph.run_naive ~reorder inst
+    else Callgraph.run ~reorder inst;
     let reachable = Callgraph.results inst in
     Sideeffect.load_facts inst p ~pt ~call_edges;
-    Sideeffect.run inst;
+    if naive then Sideeffect.run_naive inst else Sideeffect.run inst;
     let side_effects = Sideeffect.results inst in
     (inst, { subtypes; pt; resolved; call_edges; reachable; side_effects })
   in
-  if jobs <= 1 || Jedd_relation.Universe.backend_kind u <> `Incore then
-    sequential ()
+  if naive || jobs <= 1 || Jedd_relation.Universe.backend_kind u <> `Incore
+  then sequential ()
   else begin
     (* Stage-parallel schedule over Figure 2's dependency structure:
        {Hierarchy ∥ Points-to} → Virtual Calls → {Call Graph ∥ Side

@@ -16,9 +16,12 @@ val analyses : (string * string) list
 (** The five (display name, Jedd class source) pairs, in Figure 2
     order. *)
 
-val combined_source : Jedd_minijava.Program.t -> string
+val combined_source : ?headroom:bool -> Jedd_minijava.Program.t -> string
 (** All five classes in one compilation unit ("All 5 combined" in
-    Table 1), with the shared preamble sized to the program. *)
+    Table 1), with the shared preamble sized to the program.
+    [~headroom:true] pads the domain sizes so a live universe can absorb
+    program edits without outgrowing its bit widths (results are
+    unaffected: the analyses never complement a relation). *)
 
 val source_for : Jedd_minijava.Program.t -> string -> string
 (** One analysis with its preamble, by display name. *)
@@ -60,6 +63,8 @@ val run_combined :
   ?backend:Jedd_relation.Backend.kind ->
   ?reorder:bool ->
   ?jobs:int ->
+  ?headroom:bool ->
+  ?naive:bool ->
   Jedd_minijava.Program.t ->
   Jedd_lang.Interp.t * results
 (** The same pipeline compiled as ONE Jedd program in ONE universe
@@ -74,7 +79,12 @@ val run_combined :
     domains sharing the universe: Hierarchy with Points-to, then Virtual
     Call Resolution, then Call Graph with Side Effects.  The manager is
     switched into parallel mode for the duration; results are identical
-    to the sequential schedule. *)
+    to the sequential schedule.
+
+    The fixed points run semi-naively (through {!Jedd_incr.Fixpoint});
+    [~naive:true] switches to the original full-relation do-while loops
+    (sequential only) — the differential suite checks the two agree
+    tuple-for-tuple. *)
 
 val snapshot :
   ?meta:(string * string) list -> Jedd_lang.Interp.t -> Jedd_store.Snapshot.t

@@ -1,16 +1,36 @@
 (* Virtual call resolution: the Figure 4 algorithm lifted to call sites.
    Given the possible receiver types at each call site (from points-to)
    and the declares-method relation, walk up the class hierarchy to find
-   each call's target method. *)
+   each call's target method.
+
+   Unlike the closure analyses this is not a plain monotone fixed point
+   — work retires as it resolves — so it runs on Incr.Fixpoint's
+   frontier-driven [worklist].  The frontier-at-a-time form also gives
+   the incremental path its entry point: after an edit, only the *new*
+   (callsite, receiver type, signature) triples are resolved, seeded
+   into the same accumulator.  [resolve] keeps the original one-shot
+   loop for the differential suite. *)
 
 module P = Jedd_minijava.Program
 module Interp = Jedd_lang.Interp
+module R = Jedd_relation.Relation
+module Fixpoint = Jedd_incr.Fixpoint
 
 let source =
   "class VirtualCalls {\n\
   \  <type, signature, method> declaresMethod;\n\
   \  <subtype, supertype:T3> extendV;\n\
   \  <callsite:C1, signature:S1, tgttype:T2, method:M1> resolved = 0B;\n\
+  \  public <callsite:C1, signature:S1, tgttype:T2, method:M1> findTargets(\n\
+  \      <callsite, tgttype, signature> frontier ) {\n\
+  \    return frontier{tgttype, signature} >< declaresMethod{type, signature};\n\
+  \  }\n\
+  \  public <callsite:C1, tgttype:T2, signature:S1> stepUp(\n\
+  \      <callsite, tgttype, signature> frontier,\n\
+  \      <callsite:C1, signature:S1, tgttype:T2, method:M1> found ) {\n\
+  \    <callsite:C1, tgttype:T2, signature:S1> rest = frontier - (method=>) found;\n\
+  \    return (supertype=>tgttype) (rest{tgttype} <> extendV{subtype});\n\
+  \  }\n\
   \  public void resolve( <callsite, tgttype, signature> receiverTypes ) {\n\
   \    <callsite:C1, tgttype:T2, signature:S1> toResolve = receiverTypes;\n\
   \    do {\n\
@@ -29,15 +49,42 @@ let load_facts inst (p : P.t) =
   Common.set_fact inst "VirtualCalls.extendV"
     (List.map (fun (sub, sup) -> [ sub; sup ]) p.P.extend)
 
-(* receiver types: (callsite, type, signature) triples *)
-let run inst receiver_types =
+let frontier_schema inst =
+  Interp.schema_of_var inst "VirtualCalls.resolve.receiverTypes"
+
+(* Resolve the given (callsite, type, signature) triples into the
+   [resolved] accumulator, leaving previously resolved triples alone:
+   the full receiver set cold, only the newly appeared triples warm. *)
+let solve_frontier ?on_iter inst receiver_types =
   let u = Interp.universe inst in
-  let schema =
-    Interp.schema_of_var inst "VirtualCalls.resolve.receiverTypes"
+  let frontier = R.of_tuples u (frontier_schema inst) receiver_types in
+  let acc0 = Interp.get_field inst "VirtualCalls.resolved" in
+  let step ~frontier ~accs =
+    Interp.set_field inst "VirtualCalls.resolved" accs.(0);
+    let found =
+      Common.call_rel inst "VirtualCalls.findTargets" [ Common.arg frontier ]
+    in
+    let next =
+      Common.call_rel inst "VirtualCalls.stepUp"
+        [ Common.arg frontier; Common.arg found ]
+    in
+    ([| found |], next)
   in
-  let r = Jedd_relation.Relation.of_tuples u schema receiver_types in
-  ignore (Interp.call inst "VirtualCalls.resolve" [ Interp.VRel r ]);
-  Jedd_relation.Relation.release r
+  let final, stats =
+    Fixpoint.worklist ?on_iter ~accs:[| acc0 |] ~frontier ~step ()
+  in
+  R.release frontier;
+  Interp.set_field inst "VirtualCalls.resolved" final.(0);
+  R.release final.(0);
+  stats
+
+(* receiver types: (callsite, type, signature) triples *)
+let run inst receiver_types = ignore (solve_frontier inst receiver_types)
+
+let run_naive inst receiver_types =
+  let u = Interp.universe inst in
+  let r = R.of_tuples u (frontier_schema inst) receiver_types in
+  ignore (Interp.call inst "VirtualCalls.resolve" [ Interp.VRel r ])
 
 (* (callsite, signature, declaring type, method) *)
 let results inst = Common.get_tuples inst "VirtualCalls.resolved"

@@ -1,0 +1,270 @@
+(* Program edits: see edit.mli for the tombstone semantics. *)
+
+module P = Jedd_minijava.Program
+
+type t =
+  | Add_class of { superclass : int option }
+  | Add_method of { cls : int; signature : int; n_vars : int; entry : bool }
+  | Add_field
+  | Add_alloc of { var : int; cls : int }
+  | Add_assign of { src : int; dst : int }
+  | Add_store of { src : int; base : int; field : int }
+  | Add_load of { base : int; field : int; dst : int }
+  | Add_callsite of { recv : int; signature : int; in_method : int }
+  | Remove_assign of { src : int; dst : int }
+  | Remove_store of { src : int; base : int; field : int }
+  | Remove_load of { base : int; field : int; dst : int }
+  | Remove_callsite of { callsite : int }
+  | Remove_method of { meth : int }
+  | Remove_class of { cls : int }
+
+exception Invalid_edit of string
+
+let invalid fmt = Printf.ksprintf (fun s -> raise (Invalid_edit s)) fmt
+
+let check what id n =
+  if id < 0 || id >= n then invalid "%s %d out of range [0,%d)" what id n
+
+let next_callsite_id (p : P.t) =
+  List.fold_left (fun a (c : P.call_site) -> max a (c.P.cs_id + 1)) 0 p.P.calls
+
+let is_addition = function
+  | Add_class _ | Add_method _ | Add_field | Add_alloc _ | Add_assign _
+  | Add_store _ | Add_load _ | Add_callsite _ ->
+    true
+  | _ -> false
+
+let describe = function
+  | Add_class { superclass } ->
+    Printf.sprintf "add-class super=%s"
+      (match superclass with None -> "none" | Some c -> string_of_int c)
+  | Add_method { cls; signature; n_vars; entry } ->
+    Printf.sprintf "add-method cls=%d sig=%d vars=%d%s" cls signature n_vars
+      (if entry then " entry" else "")
+  | Add_field -> "add-field"
+  | Add_alloc { var; cls } -> Printf.sprintf "add-alloc var=%d cls=%d" var cls
+  | Add_assign { src; dst } -> Printf.sprintf "add-assign %d->%d" src dst
+  | Add_store { src; base; field } ->
+    Printf.sprintf "add-store %d.%d=%d" base field src
+  | Add_load { base; field; dst } ->
+    Printf.sprintf "add-load %d=%d.%d" dst base field
+  | Add_callsite { recv; signature; in_method } ->
+    Printf.sprintf "add-callsite recv=%d sig=%d in=%d" recv signature in_method
+  | Remove_assign { src; dst } -> Printf.sprintf "rm-assign %d->%d" src dst
+  | Remove_store { src; base; field } ->
+    Printf.sprintf "rm-store %d.%d=%d" base field src
+  | Remove_load { base; field; dst } ->
+    Printf.sprintf "rm-load %d=%d.%d" dst base field
+  | Remove_callsite { callsite } -> Printf.sprintf "rm-callsite %d" callsite
+  | Remove_method { meth } -> Printf.sprintf "rm-method %d" meth
+  | Remove_class { cls } -> Printf.sprintf "rm-class %d" cls
+
+let remove_one what eq l =
+  let rec go acc = function
+    | [] -> invalid "%s: fact not present" what
+    | x :: rest when eq x -> List.rev_append acc rest
+    | x :: rest -> go (x :: acc) rest
+  in
+  go [] l
+
+let apply (p : P.t) edit : P.t =
+  match edit with
+  | Add_class { superclass } ->
+    (match superclass with
+    | Some s -> check "superclass" s p.P.n_classes
+    | None -> ());
+    let id = p.P.n_classes in
+    {
+      p with
+      P.n_classes = id + 1;
+      extend =
+        (match superclass with
+        | Some s -> p.P.extend @ [ (id, s) ]
+        | None -> p.P.extend);
+    }
+  | Add_method { cls; signature; n_vars; entry } ->
+    check "class" cls p.P.n_classes;
+    check "signature" signature p.P.n_sigs;
+    if n_vars < 0 then invalid "add-method: negative var count";
+    if List.exists (fun (c, s, _) -> c = cls && s = signature) p.P.declares
+    then invalid "add-method: class %d already declares signature %d" cls
+        signature;
+    let m = p.P.n_methods in
+    {
+      p with
+      P.n_methods = m + 1;
+      n_vars = p.P.n_vars + n_vars;
+      declares = p.P.declares @ [ (cls, signature, m) ];
+      method_class = Array.append p.P.method_class [| cls |];
+      method_sig = Array.append p.P.method_sig [| signature |];
+      var_method =
+        Array.append p.P.var_method (Array.make n_vars m);
+      entry_methods =
+        (if entry then p.P.entry_methods @ [ m ] else p.P.entry_methods);
+    }
+  | Add_field -> { p with P.n_fields = p.P.n_fields + 1 }
+  | Add_alloc { var; cls } ->
+    check "var" var p.P.n_vars;
+    check "class" cls p.P.n_classes;
+    let h = p.P.n_heap in
+    {
+      p with
+      P.n_heap = h + 1;
+      heap_type = Array.append p.P.heap_type [| cls |];
+      allocs = p.P.allocs @ [ (var, h) ];
+    }
+  | Add_assign { src; dst } ->
+    check "src" src p.P.n_vars;
+    check "dst" dst p.P.n_vars;
+    { p with P.assigns = p.P.assigns @ [ (src, dst) ] }
+  | Add_store { src; base; field } ->
+    check "src" src p.P.n_vars;
+    check "base" base p.P.n_vars;
+    check "field" field p.P.n_fields;
+    { p with P.stores = p.P.stores @ [ (src, base, field) ] }
+  | Add_load { base; field; dst } ->
+    check "base" base p.P.n_vars;
+    check "field" field p.P.n_fields;
+    check "dst" dst p.P.n_vars;
+    { p with P.loads = p.P.loads @ [ (base, field, dst) ] }
+  | Add_callsite { recv; signature; in_method } ->
+    check "recv" recv p.P.n_vars;
+    check "signature" signature p.P.n_sigs;
+    check "method" in_method p.P.n_methods;
+    let cs =
+      {
+        P.cs_id = next_callsite_id p;
+        cs_recv = recv;
+        cs_sig = signature;
+        cs_in_method = in_method;
+      }
+    in
+    { p with P.calls = p.P.calls @ [ cs ] }
+  | Remove_assign { src; dst } ->
+    {
+      p with
+      P.assigns =
+        remove_one "rm-assign" (fun e -> e = (src, dst)) p.P.assigns;
+    }
+  | Remove_store { src; base; field } ->
+    {
+      p with
+      P.stores =
+        remove_one "rm-store" (fun e -> e = (src, base, field)) p.P.stores;
+    }
+  | Remove_load { base; field; dst } ->
+    {
+      p with
+      P.loads =
+        remove_one "rm-load" (fun e -> e = (base, field, dst)) p.P.loads;
+    }
+  | Remove_callsite { callsite } ->
+    if not (List.exists (fun (c : P.call_site) -> c.P.cs_id = callsite) p.P.calls)
+    then invalid "rm-callsite: no call site %d" callsite;
+    {
+      p with
+      P.calls =
+        List.filter (fun (c : P.call_site) -> c.P.cs_id <> callsite) p.P.calls;
+    }
+  | Remove_method { meth } ->
+    check "method" meth p.P.n_methods;
+    {
+      p with
+      P.declares = List.filter (fun (_, _, m) -> m <> meth) p.P.declares;
+      calls =
+        List.filter
+          (fun (c : P.call_site) -> c.P.cs_in_method <> meth)
+          p.P.calls;
+      entry_methods = List.filter (fun m -> m <> meth) p.P.entry_methods;
+    }
+  | Remove_class { cls } ->
+    check "class" cls p.P.n_classes;
+    {
+      p with
+      P.extend =
+        List.filter (fun (sub, sup) -> sub <> cls && sup <> cls) p.P.extend;
+      declares = List.filter (fun (c, _, _) -> c <> cls) p.P.declares;
+    }
+
+(* Random valid edits for the differential tests and the bench: weighted
+   towards statement/call-site additions, the common IDE operations. *)
+let random ?(removals = true) rng (p : P.t) : t =
+  let ri n = Random.State.int rng n in
+  let var () = ri (max 1 p.P.n_vars) in
+  let pick_weighted choices =
+    let total = List.fold_left (fun a (w, _) -> a + w) 0 choices in
+    let rec go n = function
+      | [] -> assert false
+      | (w, c) :: rest -> if n < w then c else go (n - w) rest
+    in
+    go (ri total) choices
+  in
+  let additions =
+    [
+      (3, fun () -> Add_assign { src = var (); dst = var () });
+      ( 3,
+        fun () ->
+          Add_store
+            { src = var (); base = var (); field = ri (max 1 p.P.n_fields) }
+      );
+      ( 3,
+        fun () ->
+          Add_load
+            { base = var (); field = ri (max 1 p.P.n_fields); dst = var () }
+      );
+      ( 4,
+        fun () ->
+          Add_callsite
+            {
+              recv = var ();
+              signature = ri (max 1 p.P.n_sigs);
+              in_method = ri (max 1 p.P.n_methods);
+            } );
+      (2, fun () -> Add_alloc { var = var (); cls = ri (max 1 p.P.n_classes) });
+      ( 1,
+        fun () ->
+          Add_class
+            {
+              superclass =
+                (if p.P.n_classes > 0 && ri 2 = 0 then Some (ri p.P.n_classes)
+                 else None);
+            } );
+      (1, fun () -> Add_field);
+    ]
+  in
+  let removal_candidates =
+    List.concat
+      [
+        (match p.P.assigns with
+        | [] -> []
+        | l ->
+          [
+            ( 1,
+              fun () ->
+                let src, dst = List.nth l (ri (List.length l)) in
+                Remove_assign { src; dst } );
+          ]);
+        (match p.P.loads with
+        | [] -> []
+        | l ->
+          [
+            ( 1,
+              fun () ->
+                let base, field, dst = List.nth l (ri (List.length l)) in
+                Remove_load { base; field; dst } );
+          ]);
+        (match p.P.calls with
+        | [] -> []
+        | l ->
+          [
+            ( 1,
+              fun () ->
+                let c = List.nth l (ri (List.length l)) in
+                Remove_callsite { callsite = c.P.cs_id } );
+          ]);
+      ]
+  in
+  let choices =
+    if removals then additions @ removal_candidates else additions
+  in
+  (pick_weighted choices) ()

@@ -1,0 +1,52 @@
+(** A program-edit model over the minijava substrate: the IDE-style
+    mutations jeddd's live-update path replays onto an analysed program.
+
+    Entity ids are dense integers (they are Jedd domain values), so the
+    model never renumbers: additions append fresh ids at the top of the
+    relevant id space, and removals are fact tombstones — the entity's
+    id remains allocated, only the input facts mentioning it disappear.
+    [Remove_method] drops the declares entry and the call sites textually
+    inside the method (its statements must be removed by separate
+    edits); [Remove_class] drops the extend edges and declares entries
+    touching the class. *)
+
+module P = Jedd_minijava.Program
+
+type t =
+  | Add_class of { superclass : int option }
+  | Add_method of { cls : int; signature : int; n_vars : int; entry : bool }
+  | Add_field
+  | Add_alloc of { var : int; cls : int }
+  | Add_assign of { src : int; dst : int }
+  | Add_store of { src : int; base : int; field : int }
+  | Add_load of { base : int; field : int; dst : int }
+  | Add_callsite of { recv : int; signature : int; in_method : int }
+  | Remove_assign of { src : int; dst : int }
+  | Remove_store of { src : int; base : int; field : int }
+  | Remove_load of { base : int; field : int; dst : int }
+  | Remove_callsite of { callsite : int }
+  | Remove_method of { meth : int }
+  | Remove_class of { cls : int }
+
+exception Invalid_edit of string
+
+val apply : P.t -> t -> P.t
+(** Validates ids against the program and returns the edited program.
+    @raise Invalid_edit on out-of-range ids, duplicate declarations, or
+    removal of facts that are not present. *)
+
+val describe : t -> string
+
+val is_addition : t -> bool
+(** Additions only ever grow the input fact relations, so every
+    analysis can be resumed semi-naively from its previous fixed
+    point. *)
+
+val next_callsite_id : P.t -> int
+(** One past the largest allocated call-site id (ids of removed call
+    sites stay allocated, so this can exceed [List.length p.calls]). *)
+
+val random : ?removals:bool -> Random.State.t -> P.t -> t
+(** A random valid edit, weighted towards the common IDE operations
+    (new statements and call sites).  [removals] (default true) allows
+    tombstone edits; pass [false] for addition-only sequences. *)

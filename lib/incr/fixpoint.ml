@@ -1,0 +1,113 @@
+(* Semi-naive fixed-point engine: see fixpoint.mli for the contract. *)
+
+module R = Jedd_relation.Relation
+
+type stats = {
+  iterations : int;
+  delta_sizes : int array array;
+  millis : float;
+}
+
+let total_delta st =
+  Array.fold_left
+    (fun acc row -> Array.fold_left ( + ) acc row)
+    0 st.delta_sizes
+
+let now_ms () = Unix.gettimeofday () *. 1000.0
+
+let solve ?on_iter ~accs ~seed ~step () =
+  let n = Array.length accs in
+  if Array.length seed <> n then
+    invalid_arg "Fixpoint.solve: seed/accs length mismatch";
+  let t0 = now_ms () in
+  let acc = Array.map R.dup accs in
+  (* iteration 0: full-width step over the current accumulators plus the
+     re-derived non-recursive seed — the naive first iteration cold, the
+     input-change re-fire warm *)
+  let cand0 = step ~deltas:acc ~accs:acc in
+  if Array.length cand0 <> n then
+    invalid_arg "Fixpoint.solve: step arity mismatch";
+  let deltas =
+    Array.init n (fun i ->
+        let u = R.union seed.(i) cand0.(i) in
+        R.release cand0.(i);
+        let d = R.diff u acc.(i) in
+        R.release u;
+        d)
+  in
+  let sizes = ref [] in
+  let iters = ref 0 in
+  let record () =
+    let s = Array.map R.size deltas in
+    sizes := s :: !sizes;
+    (match on_iter with Some f -> f ~iter:!iters ~sizes:s | None -> ());
+    incr iters;
+    Array.exists (fun x -> x > 0) s
+  in
+  let absorb () =
+    Array.iteri
+      (fun i d ->
+        let u = R.union acc.(i) d in
+        R.release acc.(i);
+        acc.(i) <- u)
+      deltas
+  in
+  let live = ref (record ()) in
+  absorb ();
+  while !live do
+    let cand = step ~deltas ~accs:acc in
+    if Array.length cand <> n then
+      invalid_arg "Fixpoint.solve: step arity mismatch";
+    Array.iteri
+      (fun i c ->
+        let d = R.diff c acc.(i) in
+        R.release c;
+        R.release deltas.(i);
+        deltas.(i) <- d)
+      cand;
+    live := record ();
+    absorb ()
+  done;
+  Array.iter R.release deltas;
+  let st =
+    {
+      iterations = !iters;
+      delta_sizes = Array.of_list (List.rev !sizes);
+      millis = now_ms () -. t0;
+    }
+  in
+  (acc, st)
+
+let worklist ?on_iter ~accs ~frontier ~step () =
+  let t0 = now_ms () in
+  let acc = Array.map R.dup accs in
+  let fr = ref (R.dup frontier) in
+  let sizes = ref [] in
+  let iters = ref 0 in
+  while not (R.is_empty !fr) do
+    let s = [| R.size !fr |] in
+    sizes := s :: !sizes;
+    (match on_iter with Some f -> f ~iter:!iters ~sizes:s | None -> ());
+    incr iters;
+    let cands, next = step ~frontier:!fr ~accs:acc in
+    if Array.length cands <> Array.length acc then
+      invalid_arg "Fixpoint.worklist: step arity mismatch";
+    Array.iteri
+      (fun i c ->
+        let u = R.union acc.(i) c in
+        R.release c;
+        R.release acc.(i);
+        acc.(i) <- u)
+      cands;
+    R.release !fr;
+    fr := next
+  done;
+  R.release !fr;
+  let st =
+    {
+      iterations = !iters;
+      delta_sizes = Array.of_list (List.rev !sizes);
+      millis = now_ms () -. t0;
+    }
+  in
+  (acc, st)

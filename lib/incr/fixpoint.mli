@@ -1,0 +1,66 @@
+(** Generic semi-naive fixed-point combinators over relations.
+
+    A Datalog-style recursive definition [acc = seed ∪ step(acc)] with
+    monotone [step] has a unique least fixed point; since relations are
+    canonical BDDs, evaluating it naively (iterate on the full
+    accumulator) or semi-naively (iterate only on the newly derived
+    delta, the standard BDD-Datalog trick) yields bit-identical results.
+    These combinators drive the semi-naive schedule and record
+    per-iteration delta sizes, so every analysis loop in
+    [Jedd_analyses] shares one engine — and the same engine restarts a
+    *warm* accumulator after an input change (incremental re-solve).
+
+    Ownership: inputs are borrowed (never released); every relation
+    handed to [step] is borrowed by the callback; relations returned by
+    [step] are owned by the combinator; the final accumulator array is
+    owned by the caller. *)
+
+module R = Jedd_relation.Relation
+
+type stats = {
+  iterations : int;
+  delta_sizes : int array array;
+      (** [delta_sizes.(i)] = tuple count of each delta (or of the
+          worklist frontier) at iteration [i]. *)
+  millis : float;
+}
+
+val total_delta : stats -> int
+(** Sum of every recorded delta size — the work the run actually did. *)
+
+val solve :
+  ?on_iter:(iter:int -> sizes:int array -> unit) ->
+  accs:R.t array ->
+  seed:R.t array ->
+  step:(deltas:R.t array -> accs:R.t array -> R.t array) ->
+  unit ->
+  R.t array * stats
+(** [solve ~accs ~seed ~step ()] computes the least fixed point
+    containing [accs] of [x = x ∪ seed ∪ step(x)], semi-naively.
+
+    Iteration 0 derives [delta.(i) = (seed.(i) ∪ step(accs).(i)) −
+    accs.(i)]: with empty accumulators this is exactly the first naive
+    iteration (a cold solve); with [accs] holding a previous fixed
+    point whose *inputs* have since grown, the full-width step re-fires
+    every rule against the changed inputs, so the warm resume reaches
+    the same fixed point as a cold solve from scratch.  Subsequent
+    iterations are pure delta steps: [delta' = step(delta) − acc].
+
+    [step ~deltas ~accs] must return one candidate relation per
+    accumulator, where occurrences of a recursive relation in rule
+    bodies are replaced by its delta (one delta-variant per occurrence,
+    unioned); [accs] always already absorbs [deltas]. *)
+
+val worklist :
+  ?on_iter:(iter:int -> sizes:int array -> unit) ->
+  accs:R.t array ->
+  frontier:R.t ->
+  step:(frontier:R.t -> accs:R.t array -> R.t array * R.t) ->
+  unit ->
+  R.t array * stats
+(** [worklist ~accs ~frontier ~step ()] runs a frontier-driven loop for
+    algorithms that are not plain monotone closures (virtual-call
+    resolution walks *up* the hierarchy, retiring work as it resolves):
+    while the frontier is non-empty, [step ~frontier ~accs] returns
+    (candidates to union into the accumulators, the next frontier).
+    Stats record the frontier size per iteration. *)

@@ -21,10 +21,30 @@
    generator defaults stay under that, and heavier fan-in belongs
    behind multiple processes. *)
 
+(* Live updates: when created with a [live_config], the front end also
+   accepts the "update" verb.  Edits are applied to the mutable shadow
+   universe (Jedd_analyses.Live) on a dedicated updater thread, the
+   re-solved universe is serialized and reloaded as a fresh frozen
+   generation, a new worker pool is attached to it, and the generation
+   pointer is swapped atomically — in-flight queries finish against the
+   old generation, which is retired once its pool reaches quiescence
+   ([Pool.stop] drains and joins).  The result cache is shared across
+   generations (keys embed the universe hash) and the retired hash's
+   entries are evicted at swap.  With a store configured, each new
+   generation is published under its CAS ref — as a differential
+   snapshot against the previous generation when that is smaller. *)
+
 module Json = Jedd_server.Json
 module Protocol = Jedd_server.Protocol
 module Qeval = Jedd_server.Qeval
+module Rescache = Jedd_server.Rescache
 module Snapshot = Jedd_store.Snapshot
+module Cas = Jedd_store.Cas
+module Delta = Jedd_store.Delta
+module Live = Jedd_analyses.Live
+module Suite = Jedd_analyses.Suite
+module Edit = Jedd_incr.Edit
+module U = Jedd_relation.Universe
 
 type config = {
   unix_path : string option;
@@ -73,10 +93,39 @@ type stats = {
   mutable parse_errors : int;
 }
 
+(* One serving generation: a (usually frozen) snapshot universe, its
+   evaluator, and the worker pool bound to it.  [hash] is the hex MD5
+   of the snapshot bytes — the cache-key component. *)
+type generation = {
+  snap : Snapshot.t;
+  hash : string;
+  qeval : Qeval.t;
+  gpool : Pool.t;
+  gen_no : int;
+}
+
+type live_config = {
+  session : Live.t;
+  initial_bytes : string;  (** generation 0's full snapshot bytes *)
+  publish : (Cas.t * string) option;  (** store + ref for new generations *)
+}
+
+type live_state = {
+  session : Live.t;
+  publish : (Cas.t * string) option;
+  mutable last_bytes : string;  (* previous generation's snapshot bytes *)
+  updates : (Json.t * (Protocol.outcome -> unit)) Queue.t;
+  um : Mutex.t;
+  uc : Condition.t;
+  mutable ustop : bool;
+  mutable uthread : Thread.t option;
+}
+
 type t = {
   config : config;
-  qeval : Qeval.t;
-  pool : Pool.t;
+  mutable gen : generation;  (* swapped whole by the updater thread *)
+  cache : Rescache.t option;  (* shared across generations *)
+  live : live_state option;
   listeners : (Unix.file_descr * kind) list;
   tcp_fd : Unix.file_descr option;
   http_fd : Unix.file_descr option;
@@ -127,29 +176,34 @@ let bound_port fd =
 (* -- construction -------------------------------------------------------- *)
 
 let server_stats t () =
+  let gen = t.gen in
   [
     ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started));
-    ("requests", Json.Int (Pool.requests t.pool));
-    ("errors", Json.Int (Pool.errors t.pool));
+    ("generation", Json.Int gen.gen_no);
+    ("requests", Json.Int (Pool.requests gen.gpool));
+    ("errors", Json.Int (Pool.errors gen.gpool));
     ("timeouts", Json.Int t.stats.timeouts);
     ("parse_errors", Json.Int t.stats.parse_errors);
     ("connections", Json.Int t.stats.connections);
-    ("queue_depth", Json.Int (Pool.queue_depth t.pool));
+    ("queue_depth", Json.Int (Pool.queue_depth gen.gpool));
     ("active_connections", Json.Int (Hashtbl.length t.conns));
   ]
-  @ Pool.stats_fields t.pool
-  @ Qeval.stats_fields t.qeval
+  @ Pool.stats_fields gen.gpool
+  @ Qeval.stats_fields gen.qeval
 
-let create ?(config = default_config) ~universe_hash snap =
+let create ?(config = default_config) ?live ~universe_hash snap =
   if config.unix_path = None && config.tcp = None && config.http = None then
     invalid_arg "Serve.create: no listener configured";
   let stats_hook = ref (fun () -> []) in
   let world =
     { Protocol.snap; extra_stats = (fun () -> !stats_hook ()) }
   in
-  let qeval =
-    Qeval.create ~cache_capacity:config.cache_capacity ~universe_hash world
+  let cache =
+    if config.cache_capacity > 0 then
+      Some (Rescache.create ~capacity:config.cache_capacity)
+    else None
   in
+  let qeval = Qeval.create ?cache ~cache_capacity:0 ~universe_hash world in
   let pool =
     Pool.create ~workers:config.workers
       ~sweep_threshold:config.sweep_threshold qeval
@@ -168,11 +222,27 @@ let create ?(config = default_config) ~universe_hash snap =
   let wake_rd, wake_wr = Unix.pipe () in
   Unix.set_nonblock wake_rd;
   Unix.set_nonblock wake_wr;
+  let live_state =
+    Option.map
+      (fun (lc : live_config) ->
+        {
+          session = lc.session;
+          publish = lc.publish;
+          last_bytes = lc.initial_bytes;
+          updates = Queue.create ();
+          um = Mutex.create ();
+          uc = Condition.create ();
+          ustop = false;
+          uthread = None;
+        })
+      live
+  in
   let t =
     {
       config;
-      qeval;
-      pool;
+      gen = { snap; hash = universe_hash; qeval; gpool = pool; gen_no = 0 };
+      cache;
+      live = live_state;
       listeners;
       tcp_fd;
       http_fd;
@@ -196,6 +266,234 @@ let http_port t = Option.map bound_port t.http_fd
 
 let wake t = try ignore (Unix.write t.wake_wr (Bytes.of_string "x") 0 1) with _ -> ()
 
+(* -- live updates -------------------------------------------------------- *)
+
+let bad fmt = Format.kasprintf (fun s -> raise (Protocol.Bad_request s)) fmt
+
+(* {"verb":"update", "edit":{"op":"add_assign","src":1,"dst":2}} *)
+let edit_of_json request : Edit.t =
+  let e =
+    match Json.member "edit" request with
+    | Some (Json.Obj _ as o) -> o
+    | Some _ -> bad "\"edit\" must be an object"
+    | None -> bad "missing \"edit\""
+  in
+  let int k =
+    match Json.member k e with
+    | Some (Json.Int v) -> v
+    | Some _ -> bad "edit field %S must be an integer" k
+    | None -> bad "edit is missing field %S" k
+  in
+  let opt_int k =
+    match Json.member k e with
+    | Some (Json.Int v) -> Some v
+    | Some Json.Null | None -> None
+    | Some _ -> bad "edit field %S must be an integer" k
+  in
+  let flag k default =
+    match Json.member k e with
+    | Some (Json.Bool b) -> b
+    | None -> default
+    | Some _ -> bad "edit field %S must be a boolean" k
+  in
+  match Json.member "op" e with
+  | Some (Json.String op) -> (
+    match op with
+    | "add_class" -> Edit.Add_class { superclass = opt_int "superclass" }
+    | "add_method" ->
+      Edit.Add_method
+        {
+          cls = int "cls";
+          signature = int "signature";
+          n_vars = Option.value (opt_int "n_vars") ~default:2;
+          entry = flag "entry" false;
+        }
+    | "add_field" -> Edit.Add_field
+    | "add_alloc" -> Edit.Add_alloc { var = int "var"; cls = int "cls" }
+    | "add_assign" -> Edit.Add_assign { src = int "src"; dst = int "dst" }
+    | "add_store" ->
+      Edit.Add_store { src = int "src"; base = int "base"; field = int "field" }
+    | "add_load" ->
+      Edit.Add_load { base = int "base"; field = int "field"; dst = int "dst" }
+    | "add_callsite" ->
+      Edit.Add_callsite
+        { recv = int "recv"; signature = int "signature"; in_method = int "in_method" }
+    | "remove_assign" -> Edit.Remove_assign { src = int "src"; dst = int "dst" }
+    | "remove_store" ->
+      Edit.Remove_store
+        { src = int "src"; base = int "base"; field = int "field" }
+    | "remove_load" ->
+      Edit.Remove_load
+        { base = int "base"; field = int "field"; dst = int "dst" }
+    | "remove_callsite" -> Edit.Remove_callsite { callsite = int "callsite" }
+    | "remove_method" -> Edit.Remove_method { meth = int "meth" }
+    | "remove_class" -> Edit.Remove_class { cls = int "cls" }
+    | op -> bad "unknown edit op %S" op)
+  | Some _ -> bad "edit \"op\" must be a string"
+  | None -> bad "edit is missing \"op\""
+
+(* Publish the new generation's bytes under the configured CAS ref — as
+   a delta against the previous generation when that is smaller. *)
+let publish_generation ls ~gen_no ~edit bytes =
+  match ls.publish with
+  | None -> []
+  | Some (cas, ref_name) ->
+    (* the base must exist in the store for the chain to replay *)
+    let base_hex = Cas.put cas ls.last_bytes in
+    let d =
+      Delta.diff
+        ~meta:
+          [
+            ("jedd.generation", string_of_int gen_no);
+            ("jedd.edit", Edit.describe edit);
+          ]
+        ~base:ls.last_bytes ~next:bytes ()
+    in
+    let dbytes = Delta.to_bytes d in
+    let obj, kind =
+      if String.length dbytes < String.length bytes then (dbytes, "delta")
+      else (bytes, "snapshot")
+    in
+    let hex = Cas.put cas obj in
+    Cas.tag cas ref_name hex;
+    [
+      ( "published",
+        Json.Obj
+          [
+            ("ref", Json.String ref_name);
+            ("object", Json.String hex);
+            ("kind", Json.String kind);
+            ("base", Json.String base_hex);
+            ("bytes", Json.Int (String.length obj));
+            ("changed_relations", Json.Int (List.length d.Delta.changed));
+          ] );
+    ]
+
+(* Runs on the updater thread.  Applies the edit to the shadow
+   universe, re-solves incrementally, loads the result as a fresh
+   (frozen iff the current generation is) universe with its own worker
+   pool, swaps the generation pointer, then retires the old pool at
+   quiescence and evicts its cache entries. *)
+let perform_update t ls request : Protocol.outcome =
+  let id = Protocol.request_id request in
+  try
+    let t0 = Unix.gettimeofday () in
+    let edit = edit_of_json request in
+    let ustats = Live.update ls.session edit in
+    let old = t.gen in
+    let gen_no = old.gen_no + 1 in
+    let snap_live =
+      Suite.snapshot
+        ~meta:
+          [
+            ("jedd.generation", string_of_int gen_no);
+            ("jedd.edit", Edit.describe edit);
+          ]
+        (Live.inst ls.session)
+    in
+    let bytes = Snapshot.to_bytes snap_live in
+    let hash = Digest.to_hex (Digest.string bytes) in
+    let snap = Snapshot.of_bytes ~freeze:(U.frozen old.snap.Snapshot.u) bytes in
+    let world =
+      { Protocol.snap; extra_stats = (fun () -> server_stats t ()) }
+    in
+    let qeval =
+      Qeval.create ?cache:t.cache ~cache_capacity:0 ~universe_hash:hash world
+    in
+    let gpool =
+      Pool.create ~workers:t.config.workers
+        ~sweep_threshold:t.config.sweep_threshold qeval
+    in
+    let published = publish_generation ls ~gen_no ~edit bytes in
+    ls.last_bytes <- bytes;
+    (* the swap: new submissions route to the new pool from here on *)
+    t.gen <- { snap; hash; qeval; gpool; gen_no };
+    (* retire the old generation: drain its queue, join its workers,
+       then drop the last references so the old universe can be
+       collected, and flush its answers from the shared cache *)
+    Pool.stop old.gpool;
+    let evicted =
+      match t.cache with
+      | Some c -> Rescache.evict_suffix c ("#" ^ old.hash)
+      | None -> 0
+    in
+    let millis = (Unix.gettimeofday () -. t0) *. 1000. in
+    Protocol.Reply
+      (Protocol.ok id
+         ([
+            ("updated", Json.Bool true);
+            ("edit", Json.String (Edit.describe edit));
+            ("mode", Json.String (Live.mode_to_string ustats.Live.mode));
+            ("generation", Json.Int gen_no);
+            ("universe_hash", Json.String hash);
+            ("solve_millis", Json.Float ustats.Live.millis);
+            ("total_millis", Json.Float millis);
+            ("evicted_cache_entries", Json.Int evicted);
+            ( "stages",
+              Json.List
+                (List.map
+                   (fun (s : Live.stage_stats) ->
+                     Json.Obj
+                       [
+                         ("stage", Json.String s.Live.stage);
+                         ("action", Json.String s.Live.action);
+                         ("iterations", Json.Int s.Live.iterations);
+                         ("delta_tuples", Json.Int s.Live.delta_tuples);
+                         ("millis", Json.Float s.Live.stage_millis);
+                       ])
+                   ustats.Live.stages) );
+          ]
+         @ published))
+  with
+  | Protocol.Bad_request msg -> Protocol.Reply (Protocol.err id msg)
+  | Edit.Invalid_edit msg ->
+    Protocol.Reply (Protocol.err id (Printf.sprintf "invalid edit: %s" msg))
+  | e ->
+    Protocol.Reply
+      (Protocol.err id
+         (Printf.sprintf "update failed: %s" (Printexc.to_string e)))
+
+let updater_loop t ls =
+  let rec next () =
+    Mutex.lock ls.um;
+    let rec wait () =
+      if ls.ustop then None
+      else if Queue.is_empty ls.updates then begin
+        Condition.wait ls.uc ls.um;
+        wait ()
+      end
+      else Some (Queue.pop ls.updates)
+    in
+    let job = wait () in
+    Mutex.unlock ls.um;
+    match job with
+    | None -> ()
+    | Some (request, deliver) ->
+      deliver (perform_update t ls request);
+      next ()
+  in
+  next ()
+
+let start_updater t =
+  match t.live with
+  | Some ls when ls.uthread = None ->
+    ls.uthread <- Some (Thread.create (fun () -> updater_loop t ls) ())
+  | _ -> ()
+
+let stop_updater t =
+  match t.live with
+  | Some ls -> (
+    Mutex.lock ls.um;
+    ls.ustop <- true;
+    Condition.broadcast ls.uc;
+    Mutex.unlock ls.um;
+    match ls.uthread with
+    | Some th ->
+      Thread.join th;
+      ls.uthread <- None
+    | None -> ())
+  | None -> ()
+
 (* -- request intake ------------------------------------------------------ *)
 
 let timeout_of t request =
@@ -215,6 +513,15 @@ let immediate conn render v =
       close_conn = false;
     }
 
+(* A generation swap stops the old pool after the pointer flips; a
+   submit that raced the flip sees [false] and retries against the
+   current pool. *)
+let rec pool_submit t ~retries ~request ~cancelled ~deliver =
+  let pool = t.gen.gpool in
+  Pool.submit pool ~request ~cancelled ~deliver
+  || (retries > 0 && not t.stopping
+     && pool_submit t ~retries:(retries - 1) ~request ~cancelled ~deliver)
+
 (* Submit one protocol request read from [conn]; the response lands in
    an ordered slot. *)
 let submit t conn render ~close_conn request =
@@ -229,20 +536,39 @@ let submit t conn render ~close_conn request =
   in
   push_slot conn slot;
   let id = conn.id in
-  let accepted =
-    Pool.submit t.pool ~request ~cancelled:slot.cancelled
-      ~deliver:(fun outcome ->
-        let resp, quit =
-          match outcome with
-          | Protocol.Reply r -> (r, false)
-          | Protocol.Quit r -> (r, true)
-        in
-        Mutex.lock t.cm;
-        Queue.push (id, slot, resp, quit) t.completions;
-        Mutex.unlock t.cm;
-        wake t)
+  let deliver outcome =
+    let resp, quit =
+      match outcome with
+      | Protocol.Reply r -> (r, false)
+      | Protocol.Quit r -> (r, true)
+    in
+    Mutex.lock t.cm;
+    Queue.push (id, slot, resp, quit) t.completions;
+    Mutex.unlock t.cm;
+    wake t
   in
-  if not accepted then
+  let is_update =
+    match Json.member "verb" request with
+    | Some (Json.String "update") -> true
+    | _ -> false
+  in
+  if is_update then
+    match t.live with
+    | None ->
+      slot.out <-
+        Some
+          (render
+             (Protocol.err (Protocol.request_id request)
+                "server is not running a live session (start jeddd with \
+                 --live)"))
+    | Some ls ->
+      Mutex.lock ls.um;
+      Queue.push (request, deliver) ls.updates;
+      Condition.signal ls.uc;
+      Mutex.unlock ls.um
+  else if
+    not (pool_submit t ~retries:4 ~request ~cancelled:slot.cancelled ~deliver)
+  then
     slot.out <-
       Some
         (render
@@ -471,6 +797,7 @@ let stop t =
   wake t
 
 let run t =
+  start_updater t;
   let drainbuf = Bytes.create 256 in
   let rec loop () =
     let conn_fds = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
@@ -548,12 +875,14 @@ let run t =
   (try loop ()
    with e ->
      t.stopping <- true;
-     Pool.stop t.pool;
+     stop_updater t;
+     Pool.stop t.gen.gpool;
      raise e);
   List.iter (fun (fd, _) -> try Unix.close fd with _ -> ()) t.listeners;
   Hashtbl.iter (fun _ c -> try Unix.close c.fd with _ -> ()) t.conns;
   Hashtbl.reset t.conns;
-  Pool.stop t.pool;
+  stop_updater t;
+  Pool.stop t.gen.gpool;
   (try Unix.close t.wake_rd with _ -> ());
   (try Unix.close t.wake_wr with _ -> ());
   match t.config.unix_path with

@@ -18,6 +18,10 @@
      batch     requests:[req..]             evaluate in order, one round trip
      sleep     ms:int                       hold the worker (timeout testing)
      shutdown                               stop the server after replying
+     update    edit:{op,...}                apply a program edit and swap in
+                                            the re-solved generation (only
+                                            on jeddd --live; handled by the
+                                            Jedd_serve front end, not here)
 
    Relation names are snapshot names ("PointsTo.pt"); an unambiguous
    "pt" works too (Snapshot.find_relation).  This module is the pure

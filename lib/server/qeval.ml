@@ -17,16 +17,26 @@ type t = {
   hist_lock : Mutex.t;
 }
 
-let create ?(cache_capacity = 4096) ~universe_hash world =
+(* [?cache] shares an existing Rescache across evaluators — the
+   generation-swap path hands each new generation's Qeval the same
+   cache, then evicts the retired universe hash's entries from it.
+   Keys embed the universe hash, so sharing can never mix answers. *)
+let create ?cache ?(cache_capacity = 4096) ~universe_hash world =
   {
     world;
     cache =
-      (if cache_capacity > 0 then Some (Rescache.create ~capacity:cache_capacity)
-       else None);
+      (match cache with
+      | Some _ -> cache
+      | None ->
+        if cache_capacity > 0 then
+          Some (Rescache.create ~capacity:cache_capacity)
+        else None);
     universe_hash;
     hists = Hashtbl.create 16;
     hist_lock = Mutex.create ();
   }
+
+let cache t = t.cache
 
 let world t = t.world
 let universe_hash t = t.universe_hash

@@ -66,6 +66,34 @@ let add t key fields =
   end;
   Mutex.unlock s.lock
 
+(* Drop every entry whose key ends with [suffix].  Keys embed the
+   universe hash as a "#<hex>" suffix (see Qeval.cache_key), so this is
+   how a generation swap retires the old snapshot's answers from a
+   cache shared across generations.  Returns the number evicted. *)
+let evict_suffix t suffix =
+  Array.fold_left
+    (fun evicted s ->
+      Mutex.lock s.lock;
+      let victims =
+        Hashtbl.fold
+          (fun k _ acc -> if String.ends_with ~suffix k then k :: acc else acc)
+          s.tbl []
+      in
+      List.iter (Hashtbl.remove s.tbl) victims;
+      if victims <> [] then begin
+        let keep = Queue.create () in
+        Queue.iter
+          (fun k -> if Hashtbl.mem s.tbl k then Queue.add k keep)
+          s.order;
+        Queue.clear s.order;
+        Queue.transfer keep s.order
+      end;
+      Mutex.unlock s.lock;
+      let n = List.length victims in
+      if n > 0 then ignore (Atomic.fetch_and_add t.evictions n);
+      evicted + n)
+    0 t.shards
+
 let entries t =
   Array.fold_left
     (fun acc s ->

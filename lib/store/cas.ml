@@ -11,6 +11,8 @@
 
 type t = { root : string }
 
+exception Corrupt_object of string
+
 let ( / ) = Filename.concat
 
 let ensure_dir d =
@@ -113,4 +115,17 @@ let get t key =
     let n = in_channel_length ic in
     let data = really_input_string ic n in
     close_in ic;
+    (* Objects are named by their content digest; a mismatch means the
+       blob was damaged on disk and must not be served. *)
+    (match Filename.chop_suffix_opt ~suffix:".snap" (Filename.basename path) with
+    | Some expected ->
+      let found = Digest.to_hex (Digest.string data) in
+      if found <> expected then
+        raise
+          (Corrupt_object
+             (Printf.sprintf
+                "Cas: object %s is damaged: name says digest %s, contents \
+                 hash to %s"
+                path expected found))
+    | None -> ());
     Some data

@@ -5,6 +5,11 @@
 
 type t
 
+exception Corrupt_object of string
+(** Raised by [get] when an object's contents no longer hash to the
+    digest in its filename (on-disk damage).  The message carries the
+    offending path and the expected vs. found digests. *)
+
 val open_ : string -> t
 (** Open (creating directories as needed) a store rooted at a path. *)
 
@@ -23,7 +28,9 @@ val resolve : t -> string -> string option
     prefix (at least 4 characters). *)
 
 val get : t -> string -> string option
-(** Blob contents for a ref name or digest (prefix). *)
+(** Blob contents for a ref name or digest (prefix).  Re-hashes the
+    blob against its filename digest and raises {!Corrupt_object} on a
+    mismatch. *)
 
 val objects : t -> string list
 (** All object digests, sorted. *)

@@ -1,0 +1,67 @@
+(** Differential snapshots: the persistent form of an incremental
+    re-solve.
+
+    A delta records everything needed to reconstruct a full snapshot
+    from an earlier one: the digest of the base snapshot object, the
+    result snapshot's header sections (declarations, variable order,
+    meta) verbatim, the result's relation ordering, and the raw encoded
+    entries of only the relations whose bytes changed.  Applying a
+    delta splices unchanged entries out of the base payload, so the
+    output is byte-identical to the full snapshot the producer had —
+    and is verified against the recorded result digest before being
+    returned.
+
+    Deltas chain: a delta's base may itself be a delta object in the
+    same content-addressed store.  [load_chain] walks the chain down to
+    a full snapshot and replays it forward. *)
+
+type t = {
+  meta : (string * string) list;
+      (** Caller key/values (e.g. the edit description, generation). *)
+  base : string;  (** Hex digest of the base object (snapshot or delta). *)
+  result : string;
+      (** Hex digest of the full snapshot bytes that applying produces. *)
+  prefix : string;
+      (** The result payload's header sections (meta, domains, attrs,
+          physdoms), verbatim. *)
+  order : string list;  (** Relation names, in result payload order. *)
+  changed : (string * string) list;
+      (** Relation name -> raw encoded entry, for entries that differ
+          from the base (or are new). *)
+}
+
+val format_version : int
+
+val diff :
+  ?meta:(string * string) list -> base:string -> next:string -> unit -> t
+(** [diff ~base ~next ()] — both full snapshot {e file} bytes — records
+    the entries of [next] that are absent from or byte-different in
+    [base].  Raises [Snapshot.Corrupt] if either input fails framing
+    verification. *)
+
+val apply : base:string -> t -> string
+(** Replay a delta onto the base snapshot's file bytes, returning the
+    full result snapshot's file bytes.  Verifies that [base] hashes to
+    the recorded base digest and that the output hashes to the recorded
+    result digest; raises [Snapshot.Corrupt] (with expected vs. found
+    digests) otherwise. *)
+
+val to_bytes : t -> string
+(** Serialize with the same framing discipline as snapshots:
+    ["JEDDDELT"] magic, format version, payload length, MD5 checksum. *)
+
+val of_bytes : string -> t
+(** Raises [Snapshot.Corrupt] on bad magic, version skew, length or
+    checksum mismatch, or truncation. *)
+
+val kind : string -> [ `Snapshot | `Delta | `Unknown ]
+(** Classify object bytes by magic, for dispatch when reading from a
+    {!Cas} store that holds both. *)
+
+val load_chain : ?max_depth:int -> Cas.t -> string -> string
+(** [load_chain cas key] fetches an object (ref name or digest), and if
+    it is a delta, recursively loads its base and replays forward,
+    returning full snapshot file bytes ready for [Snapshot.of_bytes].
+    Raises [Snapshot.Corrupt] on a dangling base, an over-deep chain
+    ([max_depth], default 64), or an unrecognized object; propagates
+    {!Cas.Corrupt_object} from damaged blobs. *)

@@ -157,10 +157,7 @@ let write_payload w s =
       write_dump w (Lv.map_levels (remap_level name) dump))
     s.relations
 
-let to_bytes s =
-  let body = Binio.writer () in
-  write_payload body s;
-  let payload = Binio.contents body in
+let bytes_of_payload payload =
   let w = Binio.writer () in
   Buffer.add_string w magic;
   Binio.int_ w format_version;
@@ -168,6 +165,11 @@ let to_bytes s =
   Buffer.add_string w (Digest.string payload);
   Buffer.add_string w payload;
   Binio.contents w
+
+let to_bytes s =
+  let body = Binio.writer () in
+  write_payload body s;
+  bytes_of_payload (Binio.contents body)
 
 (* -- loading ------------------------------------------------------------ *)
 
@@ -183,10 +185,11 @@ let impose_order m ~nvars ~vars_by_target =
     done
   done
 
-let of_bytes ?(node_capacity = 1 lsl 16) ?node_limit ?backend ?(freeze = false)
-    data =
+(* Verify the framing (magic, version, length, checksum) and return the
+   raw payload.  Shared by [of_bytes] and the differential-snapshot
+   machinery in [Delta], which splices payloads byte-for-byte. *)
+let payload_of_bytes data =
   try
-    (* header *)
     if String.length data < 8 || String.sub data 0 8 <> magic then
       corrupt "bad magic (not a jedd snapshot)";
     let r = Binio.reader ~pos:8 data in
@@ -205,8 +208,19 @@ let of_bytes ?(node_capacity = 1 lsl 16) ?node_limit ?backend ?(freeze = false)
       corrupt "payload length mismatch (header says %d bytes, file has %d)"
         payload_len (Binio.remaining r);
     let payload = String.sub data r.Binio.pos payload_len in
-    if Digest.string payload <> digest then
-      corrupt "checksum mismatch (snapshot body is damaged)";
+    let found = Digest.string payload in
+    if found <> digest then
+      corrupt
+        "checksum mismatch (snapshot body is damaged): header records %s, \
+         body hashes to %s"
+        (Digest.to_hex digest) (Digest.to_hex found);
+    payload
+  with Binio.Truncated -> corrupt "snapshot is truncated"
+
+let of_bytes ?(node_capacity = 1 lsl 16) ?node_limit ?backend ?(freeze = false)
+    data =
+  try
+    let payload = payload_of_bytes data in
     let r = Binio.reader payload in
     (* payload *)
     let meta =
@@ -335,11 +349,12 @@ let save_file path s =
 let load_file ?node_capacity ?node_limit ?backend ?freeze path =
   let ic =
     try open_in_bin path
-    with Sys_error msg -> corrupt "cannot open snapshot: %s" msg
+    with Sys_error msg -> corrupt "cannot open snapshot %s: %s" path msg
   in
   let data = really_input_string ic (in_channel_length ic) in
   close_in ic;
-  of_bytes ?node_capacity ?node_limit ?backend ?freeze data
+  try of_bytes ?node_capacity ?node_limit ?backend ?freeze data
+  with Corrupt msg -> corrupt "%s: %s" path msg
 
 let meta_value s key = List.assoc_opt key s.meta
 

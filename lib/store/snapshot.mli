@@ -29,6 +29,19 @@ val to_bytes : t -> string
     schema escapes the declared physical domains (scratch domains are
     not persisted). *)
 
+(** {2 Framing internals}
+
+    Used by {!Delta} to splice snapshot payloads byte-for-byte; most
+    callers want [to_bytes] / [of_bytes]. *)
+
+val payload_of_bytes : string -> string
+(** Verify the framing (magic, version, length, checksum) of snapshot
+    file bytes and return the raw payload.  Raises [Corrupt]. *)
+
+val bytes_of_payload : string -> string
+(** Wrap a payload in the checksummed file framing (the inverse of
+    [payload_of_bytes]). *)
+
 val of_bytes :
   ?node_capacity:int ->
   ?node_limit:int ->

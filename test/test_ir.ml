@@ -199,7 +199,7 @@ let test_pointsto_via_ir () =
   let inst = Driver.instantiate c in
   let ir = Ir_interp.create c inst in
   Jedd_analyses.Pointsto.load_facts inst p;
-  ignore (Ir_interp.call ir "PointsTo.run" []);
+  ignore (Ir_interp.call ir "PointsTo.runNaive" []);
   let got = R.tuples (Interp.get_field inst "PointsTo.pt") in
   let ref_pt, _ = Jedd_minijava.Reference.points_to p in
   Alcotest.(check (list (list int)))

@@ -6,4 +6,4 @@ let () =
       ("reorder", Test_reorder.suite); ("extmem", Test_extmem.suite);
       ("lint", Test_lint.suite); ("store", Test_store.suite);
       ("server", Test_server.suite); ("json-fuzz", Test_json_fuzz.suite);
-      ("serve", Test_serve.suite) ]
+      ("serve", Test_serve.suite); ("incr", Test_incr.suite) ]

@@ -10,7 +10,10 @@ module Client = Jedd_server.Client
 module Serve = Jedd_serve.Serve
 module Http = Jedd_serve.Http
 module Snapshot = Jedd_store.Snapshot
+module Cas = Jedd_store.Cas
+module Delta = Jedd_store.Delta
 module Suite = Jedd_analyses.Suite
+module Live = Jedd_analyses.Live
 module Workload = Jedd_minijava.Workload
 
 let check = Alcotest.check
@@ -326,6 +329,155 @@ let test_http_oversized_header_live () =
         | _ :: code :: _ -> code = "431"
         | _ -> false))
 
+(* -- live updates and generation swaps ------------------------------------ *)
+
+(* A serving stack around a mutable Live session: frozen generation-0
+   copy of the shadow universe, a CAS store publishing under ref
+   "live", and the updater thread enabled. *)
+let with_live_serve ?(workers = 2) f =
+  let p = Workload.generate Workload.tiny in
+  let session = Live.create p in
+  let bytes = Snapshot.to_bytes (Suite.snapshot (Live.inst session)) in
+  let hash = Digest.to_hex (Digest.string bytes) in
+  let snap = Snapshot.of_bytes ~freeze:true bytes in
+  let root = Filename.temp_file "jedd_cas" "" in
+  Sys.remove root;
+  let cas = Cas.open_ root in
+  Cas.tag cas "live" (Cas.put cas bytes);
+  incr fixture_counter;
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "jedd-serve-live-%d-%d.sock" (Unix.getpid ())
+         !fixture_counter)
+  in
+  if Sys.file_exists sock then Sys.remove sock;
+  let config = { Serve.default_config with unix_path = Some sock; workers } in
+  let live_cfg =
+    { Serve.session; initial_bytes = bytes; publish = Some (cas, "live") }
+  in
+  let server = Serve.create ~config ~live:live_cfg ~universe_hash:hash snap in
+  let th = Thread.create Serve.run server in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.stop server;
+      Thread.join th;
+      if Sys.file_exists sock then Sys.remove sock)
+    (fun () -> f ~sock ~cas ~session)
+
+let int_member what key obj =
+  match Json.member key obj with
+  | Some (Json.Int n) -> n
+  | _ -> Alcotest.failf "%s: no integer %S in %s" what key (Json.to_string obj)
+
+let test_live_update_swaps_generation () =
+  with_live_serve (fun ~sock ~cas ~session ->
+      let c = Client.connect ~retries:10 sock in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      let count () =
+        int_member "count" "tuples"
+          (Client.request c (q "count" [ ("rel", Json.String "PointsTo.pt") ]))
+      in
+      let generation () =
+        int_member "stats" "generation" (Client.request c (q "stats" []))
+      in
+      checki "starts at generation 0" 0 (generation ());
+      let before = count () in
+      (* a fresh allocation must add at least one points-to tuple *)
+      let update edit_fields =
+        Client.request c
+          (Json.Obj
+             [
+               ("verb", Json.String "update");
+               ("edit", Json.Obj edit_fields);
+               ("timeout_ms", Json.Int 120_000);
+             ])
+      in
+      let resp =
+        update
+          [
+            ("op", Json.String "add_alloc");
+            ("var", Json.Int 0);
+            ("cls", Json.Int 0);
+          ]
+      in
+      checkb "update succeeded" true
+        (Json.member "ok" resp = Some (Json.Bool true));
+      checki "reply names generation 1" 1 (int_member "update" "generation" resp);
+      (match Json.member "mode" resp with
+      | Some (Json.String m) ->
+        checkb "additions stay incremental" true (m = "incremental")
+      | _ -> Alcotest.fail "update reply lacks mode");
+      checki "queries see the new generation" 1 (generation ());
+      checkb "points-to grew" true (count () > before);
+      (* answers match a from-scratch solve of the edited program *)
+      let _, fresh = Suite.run_combined (Live.program session) in
+      checki "tuple count matches from-scratch" (List.length fresh.Suite.pt)
+        (count ());
+      (* the new generation was published under the CAS ref (delta or
+         full), and replaying the chain reproduces the served bytes *)
+      (match Json.member "published" resp with
+      | Some (Json.Obj _ as pub) -> (
+        match (Json.member "ref" pub, Json.member "object" pub) with
+        | Some (Json.String "live"), Some (Json.String obj_hex) ->
+          checkb "ref points at the published object" true
+            (Cas.read_ref cas "live" = Some obj_hex);
+          let replayed = Delta.load_chain cas "live" in
+          (match Json.member "universe_hash" resp with
+          | Some (Json.String h) ->
+            check Alcotest.string "chain replays to the served snapshot" h
+              (Digest.to_hex (Digest.string replayed))
+          | _ -> Alcotest.fail "update reply lacks universe_hash")
+        | _ -> Alcotest.failf "bad published payload: %s" (Json.to_string pub))
+      | _ -> Alcotest.fail "update reply lacks published");
+      (* a second update moves to generation 2 and keeps serving *)
+      let resp2 =
+        update
+          [
+            ("op", Json.String "add_assign");
+            ("src", Json.Int 0);
+            ("dst", Json.Int 1);
+          ]
+      in
+      checkb "second update succeeded" true
+        (Json.member "ok" resp2 = Some (Json.Bool true));
+      checki "generation 2" 2 (int_member "update" "generation" resp2);
+      checkb "still answering" true (count () > 0);
+      (* invalid edits are rejected without killing the session *)
+      let bad =
+        update
+          [
+            ("op", Json.String "add_alloc");
+            ("var", Json.Int 999_999);
+            ("cls", Json.Int 0);
+          ]
+      in
+      checkb "invalid edit rejected" true
+        (Json.member "ok" bad = Some (Json.Bool false));
+      checki "generation unchanged after rejection" 2 (generation ()))
+
+let test_update_without_live_session () =
+  with_serve ~workers:1 (fun ~sock ~tcp_port:_ ~http_port:_ ->
+      let c = Client.connect ~retries:10 sock in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      let resp =
+        Client.request c
+          (q "update"
+             [ ("edit", Json.Obj [ ("op", Json.String "add_field") ]) ])
+      in
+      checkb "update refused" true
+        (Json.member "ok" resp = Some (Json.Bool false));
+      match Json.member "error" resp with
+      | Some (Json.String msg) ->
+        checkb "error mentions --live" true
+          (let needle = "--live" in
+           let nl = String.length needle and hl = String.length msg in
+           let rec go i =
+             i + nl <= hl && (String.sub msg i nl = needle || go (i + 1))
+           in
+           go 0)
+      | _ -> Alcotest.fail "no error message")
+
 let suite =
   [
     Alcotest.test_case "http framing: complete requests" `Quick
@@ -343,4 +495,8 @@ let suite =
       test_http_pipelining_live;
     Alcotest.test_case "live http oversized header -> 431" `Quick
       test_http_oversized_header_live;
+    Alcotest.test_case "update verb swaps generations" `Quick
+      test_live_update_swaps_generation;
+    Alcotest.test_case "update without --live is refused" `Quick
+      test_update_without_live_session;
   ]

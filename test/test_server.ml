@@ -237,9 +237,31 @@ let test_shutdown () =
       in
       checkb "server is down after shutdown" true (gone 40))
 
+(* -- result-cache eviction (no socket) ----------------------------------- *)
+
+let test_rescache_evict_suffix () =
+  let module Rescache = Jedd_server.Rescache in
+  let c = Rescache.create ~capacity:64 in
+  Rescache.add c "count-pt#gen0" [ ("tuples", Json.Int 1) ];
+  Rescache.add c "count-subtypes#gen0" [ ("tuples", Json.Int 2) ];
+  Rescache.add c "count-pt#gen1" [ ("tuples", Json.Int 3) ];
+  checki "three entries cached" 3 (Rescache.entries c);
+  checki "retired generation evicted" 2
+    (Rescache.evict_suffix c "#gen0");
+  checki "one entry survives" 1 (Rescache.entries c);
+  checkb "retired keys miss" true (Rescache.find c "count-pt#gen0" = None);
+  checkb "live generation still hits" true
+    (Rescache.find c "count-pt#gen1" <> None);
+  checki "re-evicting is a no-op" 0 (Rescache.evict_suffix c "#gen0");
+  (* eviction keeps the FIFO order queue consistent: capacity-driven
+     eviction afterwards must not drop phantom keys *)
+  checkb "evictions counted" true (Rescache.evictions c >= 2)
+
 let suite =
   [
     Alcotest.test_case "json roundtrip and strictness" `Quick test_json_roundtrip;
+    Alcotest.test_case "result-cache suffix eviction" `Quick
+      test_rescache_evict_suffix;
     Alcotest.test_case "queries over a live socket" `Quick test_queries;
     Alcotest.test_case "batch and stats" `Quick test_batch_and_stats;
     Alcotest.test_case "per-request timeout" `Quick test_timeout;

@@ -15,6 +15,7 @@ module Phys = Jedd_relation.Physdom
 module Schema = Jedd_relation.Schema
 module Snapshot = Jedd_store.Snapshot
 module Cas = Jedd_store.Cas
+module Delta = Jedd_store.Delta
 module Suite = Jedd_analyses.Suite
 module Workload = Jedd_minijava.Workload
 
@@ -262,6 +263,131 @@ let test_cas () =
   Alcotest.(check (option string)) "missing ref" None (Cas.get cas "nope");
   Alcotest.(check int) "one object" 1 (List.length (Cas.objects cas))
 
+(* -- differential snapshots ---------------------------------------------- *)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let hex_of s = Digest.to_hex (Digest.string s)
+let checkb = Alcotest.(check bool)
+
+let test_delta_diff_apply () =
+  let base = Snapshot.to_bytes (build_world ~seed:5 `Incore) in
+  (* serialization is deterministic, so identical worlds diff empty *)
+  let same = Snapshot.to_bytes (build_world ~seed:5 `Incore) in
+  Alcotest.(check string) "deterministic serialization" (hex_of base)
+    (hex_of same);
+  let d0 = Delta.diff ~base ~next:same () in
+  Alcotest.(check int) "no changes between identical snapshots" 0
+    (List.length d0.Delta.changed);
+  Alcotest.(check string) "empty delta applies to identity" (hex_of base)
+    (hex_of (Delta.apply ~base d0));
+  (* drop one relation's tuples: exactly that entry is recorded *)
+  let w2 = build_world ~seed:5 `Incore in
+  let rc = List.assoc "W.c" w2.Snapshot.relations in
+  let rc' = R.empty w2.Snapshot.u (R.schema rc) in
+  let w2 =
+    {
+      w2 with
+      Snapshot.relations =
+        [ ("W.ab", List.assoc "W.ab" w2.Snapshot.relations); ("W.c", rc') ];
+    }
+  in
+  let next = Snapshot.to_bytes w2 in
+  let d = Delta.diff ~meta:[ ("edit", "clear W.c") ] ~base ~next () in
+  Alcotest.(check (list string)) "only W.c changed" [ "W.c" ]
+    (List.map fst d.Delta.changed);
+  Alcotest.(check (list string)) "order covers every relation"
+    [ "W.ab"; "W.c" ] d.Delta.order;
+  (* file round-trip, then replay: byte-identical to the real next *)
+  let d' = Delta.of_bytes (Delta.to_bytes d) in
+  checkb "delta round-trips" true (d = d');
+  let out = Delta.apply ~base d' in
+  Alcotest.(check string) "replay is byte-identical" (hex_of next)
+    (hex_of out);
+  check_same_relations w2 (Snapshot.of_bytes out);
+  (* replaying onto the wrong base fails with both digests named *)
+  match Delta.apply ~base:next d' with
+  | _ -> Alcotest.fail "wrong base accepted"
+  | exception Snapshot.Corrupt msg ->
+    checkb "recorded base digest in message" true (contains msg d.Delta.base);
+    checkb "found digest in message" true (contains msg (hex_of next))
+
+let test_delta_chain () =
+  let root = Filename.temp_file "jedd_cas" "" in
+  Sys.remove root;
+  let cas = Cas.open_ root in
+  let mk seed = Snapshot.to_bytes (build_world ~seed `Incore) in
+  let a = mk 1 and b = mk 2 and c = mk 3 in
+  ignore (Cas.put cas a);
+  Cas.tag cas "main" (Cas.put cas (Delta.to_bytes (Delta.diff ~base:a ~next:b ())));
+  Alcotest.(check string) "delta ref replays to the next generation"
+    (hex_of b)
+    (hex_of (Delta.load_chain cas "main"));
+  ignore (Cas.put cas b);
+  Cas.tag cas "main" (Cas.put cas (Delta.to_bytes (Delta.diff ~base:b ~next:c ())));
+  Alcotest.(check string) "second publish replays too" (hex_of c)
+    (hex_of (Delta.load_chain cas "main"));
+  (* full snapshot objects pass through the same entry point *)
+  Alcotest.(check string) "full object loads unchanged" (hex_of a)
+    (hex_of (Delta.load_chain cas (hex_of a)));
+  checkb "replayed bytes rebuild a universe" true
+    (Snapshot.of_bytes (Delta.load_chain cas "main") |> fun s ->
+     List.length s.Snapshot.relations = 2);
+  (* a dangling base fails cleanly *)
+  Cas.tag cas "orphan"
+    (Cas.put cas (Delta.to_bytes (Delta.diff ~base:c ~next:a ())));
+  match Delta.load_chain cas "orphan" with
+  | _ -> Alcotest.fail "dangling base accepted"
+  | exception Snapshot.Corrupt _ -> ()
+
+let test_corruption_messages () =
+  let good = Snapshot.to_bytes (build_world `Incore) in
+  (* checksum failure reports expected vs found digests *)
+  let flip = Bytes.of_string good in
+  let pos = 40 + ((String.length good - 40) / 2) in
+  Bytes.set flip pos (Char.chr (Char.code (Bytes.get flip pos) lxor 0xff));
+  let flipped = Bytes.to_string flip in
+  (match Snapshot.of_bytes flipped with
+  | _ -> Alcotest.fail "bit flip accepted"
+  | exception Snapshot.Corrupt msg ->
+    checkb "checksum message carries both digests" true
+      (contains msg "hashes to"));
+  (* load_file errors carry the offending path *)
+  let path = Filename.temp_file "jedd_snap" ".snap" in
+  let oc = open_out_bin path in
+  output_string oc flipped;
+  close_out oc;
+  (match Snapshot.load_file path with
+  | _ -> Alcotest.fail "bit flip accepted from file"
+  | exception Snapshot.Corrupt msg ->
+    checkb "path in checksum message" true (contains msg path));
+  Sys.remove path;
+  (match Snapshot.load_file path with
+  | _ -> Alcotest.fail "loaded a missing file"
+  | exception Snapshot.Corrupt msg ->
+    checkb "path in open error" true (contains msg path));
+  (* a damaged CAS object names its path and both digests *)
+  let root = Filename.temp_file "jedd_cas" "" in
+  Sys.remove root;
+  let cas = Cas.open_ root in
+  let hex = Cas.put cas good in
+  let obj_path =
+    Filename.concat (Filename.concat root "objects") (hex ^ ".snap")
+  in
+  let oc = open_out_bin obj_path in
+  output_string oc "damaged bytes";
+  close_out oc;
+  match Cas.get cas hex with
+  | _ -> Alcotest.fail "damaged object served"
+  | exception Cas.Corrupt_object msg ->
+    checkb "object path named" true (contains msg obj_path);
+    checkb "expected digest named" true (contains msg hex);
+    checkb "found digest named" true
+      (contains msg (hex_of "damaged bytes"))
+
 let suite =
   [
     Alcotest.test_case "levelized round-trip (both backends)" `Quick
@@ -280,4 +406,10 @@ let suite =
       test_corrupt_rejection;
     Alcotest.test_case "save_file/load_file" `Quick test_save_load_file;
     Alcotest.test_case "content-addressed store" `Quick test_cas;
+    Alcotest.test_case "delta diff/apply round-trip" `Quick
+      test_delta_diff_apply;
+    Alcotest.test_case "delta chains through the store" `Quick
+      test_delta_chain;
+    Alcotest.test_case "corruption errors name path and digests" `Quick
+      test_corruption_messages;
   ]
