@@ -1,6 +1,6 @@
 .PHONY: all check test smoke bench-smoke release bench-json bench-json3 \
-        bench-json5 bench-json6 bench-json7 bench-json8 par-test \
-        serve-smoke load-smoke incr-smoke lint clean
+        bench-json5 bench-json6 bench-json7 bench-json8 bench-json9 \
+        par-test serve-smoke load-smoke incr-smoke cost-smoke lint clean
 
 all:
 	dune build
@@ -99,6 +99,26 @@ incr-smoke:
 # from scratch with bit-identical relations.  Writes BENCH_pr8.json.
 bench-json8:
 	dune exec --profile release bench/main.exe -- json8
+
+# Static cost model, CI-sized: the cost/lint unit suite (loop nesting,
+# frequency weights, shape estimates, the JL201/JL202 golden snapshot,
+# the weighted-assignment and hybrid-backend differentials) plus a tiny
+# json9 run whose gates require bit-identical weighted results, a
+# strict dynamic-replace reduction on the hoist microbenchmark, and a
+# hybrid run that completes and beats extmem under the node cap.
+cost-smoke:
+	dune build test/test_main.exe bench/main.exe bin/jeddc_main.exe
+	dune exec test/test_main.exe -- test cost -q
+	! dune exec bin/jeddc_main.exe -- --lint=text examples/cost_defects.jedd
+	JEDD_COST_BENCH=tiny JEDD_BACKEND_BENCH=tiny \
+	  JEDD_BENCH_JSON9_PATH=_build/BENCH_pr9.smoke.json \
+	  dune exec bench/main.exe -- json9
+
+# Weighted domain assignment vs the unweighted CDCL baseline on the
+# five analyses (bit-identical results required) plus the hybrid
+# backend on the capped points-to workload.  Writes BENCH_pr9.json.
+bench-json9:
+	dune exec --profile release bench/main.exe -- json9
 
 clean:
 	dune clean

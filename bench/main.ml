@@ -21,6 +21,9 @@
                                                  (multi-core scaling, PR 6)
      dune exec bench/main.exe -- json8        -- write BENCH_pr8.json
                                                  (incremental cost per edit)
+     dune exec bench/main.exe -- json9        -- write BENCH_pr9.json
+                                                 (weighted assignment +
+                                                 hybrid backend, PR 9)
      dune exec bench/main.exe -- smoke        -- seconds-scale sanity run
                                                  (also: dune build @bench-smoke)
 
@@ -1830,6 +1833,343 @@ let bench_json8 ?(path = "BENCH_pr8.json") () =
   print_string (Buffer.contents buf);
   Printf.printf "wrote %s\n" path
 
+(* ----------------------------------------------------------------- *)
+(* BENCH_pr9.json: the static cost model (PR 9).  Half 1: the        *)
+(* weighted domain assignment must leave the five analyses' results  *)
+(* bit-identical on javac while the generated programs execute       *)
+(* strictly fewer dynamic replaces than the unweighted solve.        *)
+(* Half 2: the hybrid backend on the capped points-to workload of    *)
+(* json3 — must complete via its per-operation extmem fallback,      *)
+(* reproduce the in-core relation, and beat pure extmem wall-clock.  *)
+(* ----------------------------------------------------------------- *)
+
+type cost_run = {
+  cr_config : string;
+  cr_seconds : float;  (* the five analyses, excluding compilation *)
+  cr_solve_seconds : float;  (* the SAT solve(s) *)
+  cr_static_replaces : int;  (* IReplace instructions emitted *)
+  cr_static_weight : int;  (* emitted sites weighted by Freq — the
+                              objective the weighted solve minimises *)
+  cr_dyn_replaces : int;  (* replace executions during the pipeline *)
+  cr_replace_millis : float;  (* wall time inside those replaces *)
+  cr_results : Suite.results;
+  cr_weighted : E.weighted_stats option;
+}
+
+(* The five analyses exactly as [Suite.run_all] compiles them — one
+   Jedd program per analysis, the form the paper benchmarks — with a
+   profiler hook on every universe counting executed replaces. *)
+let cost_suite_run ~config ~optimize profile =
+  let module U = Jedd_relation.Universe in
+  let p = Workload.generate profile in
+  Printf.eprintf "[cost] %s: compiling + running the five analyses...\n%!"
+    config;
+  let dyn = ref 0 and rep_ms = ref 0.0 in
+  let static_replaces = ref 0 in
+  let static_weight = ref 0 in
+  let solve_seconds = ref 0.0 in
+  let weighted = ref None in
+  let stage name run =
+    let compiled = Suite.compile_one ~optimize p name in
+    let _, prov = Jedd_lang.Lower.lower_program_ex compiled in
+    let freq = Jedd_cost.Freq.analyze compiled.Driver.tprog in
+    let sites = prov.Jedd_lang.Lower.pp_replaces in
+    static_replaces := !static_replaces + List.length sites;
+    static_weight :=
+      !static_weight
+      + List.fold_left
+          (fun a (s : Jedd_lang.Lower.replace_site) ->
+            a + Jedd_cost.Freq.weight freq s.Jedd_lang.Lower.rs_eid)
+          0 sites;
+    solve_seconds :=
+      !solve_seconds +. compiled.Driver.assignment.E.stats.E.solve_seconds;
+    (match (compiled.Driver.weighted_stats, !weighted) with
+    | Some w, None -> weighted := Some w
+    | Some w, Some acc ->
+      weighted :=
+        Some
+          {
+            E.w_sites = acc.E.w_sites + w.E.w_sites;
+            w_kept = acc.E.w_kept + w.E.w_kept;
+            w_broken = acc.E.w_broken + w.E.w_broken;
+            w_cost = acc.E.w_cost + w.E.w_cost;
+            w_solves = acc.E.w_solves + w.E.w_solves;
+          }
+    | None, _ -> ());
+    let inst = Driver.instantiate ~node_capacity:(1 lsl 18) compiled in
+    let u = Interp.universe inst in
+    U.set_profile_level u U.Counts;
+    U.set_on_op u
+      (Some
+         (fun (e : U.op_event) ->
+           if e.U.op = "replace" then begin
+             incr dyn;
+             rep_ms := !rep_ms +. e.U.millis
+           end));
+    let r = run inst in
+    U.set_on_op u None;
+    U.set_profile_level u U.Off;
+    U.cleanup u;
+    r
+  in
+  let t0 = Unix.gettimeofday () in
+  let subtypes =
+    stage "Hierarchy" (fun inst ->
+        Jedd_analyses.Hierarchy.load_facts inst p;
+        Jedd_analyses.Hierarchy.run inst;
+        Jedd_analyses.Hierarchy.results inst)
+  in
+  let pt =
+    stage "Points-to Analysis" (fun inst ->
+        Jedd_analyses.Pointsto.load_facts inst p;
+        Jedd_analyses.Pointsto.run inst;
+        Jedd_analyses.Pointsto.results inst)
+  in
+  let resolved, call_edges =
+    stage "Virtual Call Resolution" (fun inst ->
+        Jedd_analyses.Vcall.load_facts inst p;
+        Jedd_analyses.Vcall.run inst (Suite.receiver_types p pt);
+        (Jedd_analyses.Vcall.results inst, Jedd_analyses.Vcall.call_edges inst))
+  in
+  let reachable =
+    stage "Call Graph" (fun inst ->
+        Jedd_analyses.Callgraph.load_facts inst p ~call_edges;
+        Jedd_analyses.Callgraph.run inst;
+        Jedd_analyses.Callgraph.results inst)
+  in
+  let side_effects =
+    stage "Side-effect Analysis" (fun inst ->
+        Jedd_analyses.Sideeffect.load_facts inst p ~pt ~call_edges;
+        Jedd_analyses.Sideeffect.run inst;
+        Jedd_analyses.Sideeffect.results inst)
+  in
+  let secs = Unix.gettimeofday () -. t0 in
+  (match !weighted with
+  | Some w ->
+    Printf.eprintf
+      "[cost]   weighted objective: kept %d of %d sites (broken cost %d, %d \
+       solves)\n%!"
+      w.E.w_kept w.E.w_sites w.E.w_cost w.E.w_solves
+  | None -> ());
+  Printf.eprintf
+    "[cost]   ... %d static sites (weight %d), %d dynamic replaces (%.1f \
+     ms) in %.2fs\n%!"
+    !static_replaces !static_weight !dyn !rep_ms secs;
+  {
+    cr_config = config;
+    cr_seconds = secs;
+    cr_solve_seconds = !solve_seconds;
+    cr_static_replaces = !static_replaces;
+    cr_static_weight = !static_weight;
+    cr_dyn_replaces = !dyn;
+    cr_replace_millis = !rep_ms;
+    cr_results =
+      { Suite.subtypes; pt; resolved; call_edges; reachable; side_effects };
+    cr_weighted = !weighted;
+  }
+
+let cost_benchmark_profile () =
+  match Sys.getenv_opt "JEDD_COST_BENCH" with
+  | Some "tiny" -> Workload.tiny
+  | Some s -> Workload.profile_named s
+  | None -> Workload.profile_named "javac"
+
+(* The loop-hoist microbenchmark: 'x' flows from a P1-pinned field and
+   is consumed three times inside a fixed-point loop at P2.  Both
+   placements of the unavoidable copy satisfy the constraints — the
+   unweighted solver's tie-break lands it inside the loop (one replace
+   per use per iteration), the weighted objective hoists it to the
+   initializer (one replace, ever).  This is the §3.3.2 "minimize the
+   number of attributes represented in different physical domains"
+   refinement made loop-aware. *)
+let hoist_src =
+  "domain D 8;\n\
+   physdom P1;\n\
+   physdom P2;\n\
+   attribute a : D;\n\
+   class Hoist {\n\
+  \  <a:P1> src;\n\
+  \  <a:P2> acc;\n\
+  \  public void run() {\n\
+  \    src = 1B;\n\
+  \    <a> x = src;\n\
+  \    <a> old;\n\
+  \    do {\n\
+  \      old = acc;\n\
+  \      acc = acc | x;\n\
+  \      acc = acc | x;\n\
+  \      acc = acc | x;\n\
+  \    } while (old != acc);\n\
+  \    print acc;\n\
+  \  }\n\
+   }\n"
+
+(* Compile and execute the microbenchmark, counting replace executions. *)
+let hoist_run ~optimize =
+  let module U = Jedd_relation.Universe in
+  let weight =
+    if optimize then
+      Some
+        (fun tprog ->
+          let f = Jedd_cost.Freq.analyze tprog in
+          Jedd_cost.Freq.weight f)
+    else None
+  in
+  let compiled =
+    match Driver.compile ?weight [ ("hoist.jedd", hoist_src) ] with
+    | Ok c -> c
+    | Error e -> failwith (Driver.error_to_string e)
+  in
+  let _, prov = Jedd_lang.Lower.lower_program_ex compiled in
+  let static_sites = List.length prov.Jedd_lang.Lower.pp_replaces in
+  let inst = Driver.instantiate compiled in
+  let u = Interp.universe inst in
+  let dyn = ref 0 in
+  U.set_profile_level u U.Counts;
+  U.set_on_op u
+    (Some (fun (e : U.op_event) -> if e.U.op = "replace" then incr dyn));
+  let ir = Jedd_lang.Ir_interp.create compiled inst in
+  Jedd_lang.Ir_interp.set_print_hook ir (fun _ -> ());
+  ignore (Jedd_lang.Ir_interp.call ir "Hoist.run" []);
+  U.set_on_op u None;
+  U.cleanup u;
+  (static_sites, !dyn)
+
+let bench_json9 ?(path = "BENCH_pr9.json") () =
+  let profile = cost_benchmark_profile () in
+  let base = cost_suite_run ~config:"unweighted" ~optimize:false profile in
+  let opt = cost_suite_run ~config:"weighted" ~optimize:true profile in
+  let identical =
+    base.cr_results.Suite.subtypes = opt.cr_results.Suite.subtypes
+    && base.cr_results.Suite.pt = opt.cr_results.Suite.pt
+    && base.cr_results.Suite.resolved = opt.cr_results.Suite.resolved
+    && base.cr_results.Suite.call_edges = opt.cr_results.Suite.call_edges
+    && base.cr_results.Suite.reachable = opt.cr_results.Suite.reachable
+    && base.cr_results.Suite.side_effects = opt.cr_results.Suite.side_effects
+  in
+  (* the loop-hoist microbenchmark, executed on both assignments *)
+  let hoist_base_sites, hoist_base_dyn = hoist_run ~optimize:false in
+  let hoist_opt_sites, hoist_opt_dyn = hoist_run ~optimize:true in
+  Printf.eprintf
+    "[cost] hoist microbenchmark: %d -> %d dynamic replaces (%d/%d static \
+     sites)\n%!"
+    hoist_base_dyn hoist_opt_dyn hoist_base_sites hoist_opt_sites;
+  (* half 2: the json3 capped workload, plus a hybrid run under the
+     same node cap and extmem budgets *)
+  let bk_profile = backend_benchmark_profile () in
+  let bk_name, node_limit, _, incore, capped, extmem = backend_runs () in
+  let hybrid =
+    backend_pointsto ~config:"hybrid/capped" ~backend:`Hybrid ~node_limit
+      ~pq_bytes:16384 ~mem_nodes:2048 bk_profile
+  in
+  let bk_runs = [ incore; capped; extmem; hybrid ] in
+  let buf = Buffer.create 2048 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "{\n";
+  out "  \"schema\": \"jedd-bench-v9\",\n";
+  out "  \"benchmark\": %S,\n" profile.Workload.name;
+  out "  \"weighted_assignment\": {\n";
+  out "    \"runs\": [\n";
+  List.iteri
+    (fun i r ->
+      out
+        "      {\"config\": %S, \"seconds\": %.4f, \"solve_seconds\": %.4f, \
+         \"static_replace_sites\": %d, \"static_replace_weight\": %d, \
+         \"dynamic_replaces\": %d, \"replace_millis\": %.1f}%s\n"
+        r.cr_config r.cr_seconds r.cr_solve_seconds r.cr_static_replaces
+        r.cr_static_weight r.cr_dyn_replaces r.cr_replace_millis
+        (if i = 1 then "" else ","))
+    [ base; opt ];
+  out "    ],\n";
+  (match opt.cr_weighted with
+  | Some w ->
+    out
+      "    \"weighted\": {\"sites\": %d, \"kept\": %d, \"broken\": %d, \
+       \"cost\": %d, \"solves\": %d},\n"
+      w.E.w_sites w.E.w_kept w.E.w_broken w.E.w_cost w.E.w_solves
+  | None -> out "    \"weighted\": null,\n");
+  out "    \"identical_results\": %b,\n" identical;
+  out "    \"dynamic_replaces_removed\": %d,\n"
+    (base.cr_dyn_replaces - opt.cr_dyn_replaces);
+  out
+    "    \"hoist_microbenchmark\": {\"unweighted_dynamic_replaces\": %d, \
+     \"weighted_dynamic_replaces\": %d, \"unweighted_static_sites\": %d, \
+     \"weighted_static_sites\": %d}\n"
+    hoist_base_dyn hoist_opt_dyn hoist_base_sites hoist_opt_sites;
+  out "  },\n";
+  out "  \"hybrid_backend\": {\n";
+  out "    \"benchmark\": %S,\n" bk_name;
+  out "    \"node_limit\": %d,\n" node_limit;
+  out "    \"runs\": [\n";
+  List.iteri
+    (fun i r ->
+      out
+        "      {\"config\": %S, \"completed\": %b, \"seconds\": %.4f, \
+         \"tuples\": %d, \"peak_nodes\": %d, \"spill_runs\": %d, \
+         \"spilled_bytes\": %d, \"io_millis\": %.1f}%s\n"
+        r.bk_config r.bk_completed r.bk_seconds r.bk_tuples r.bk_peak_nodes
+        r.bk_spill_runs r.bk_spilled_bytes r.bk_io_millis
+        (if i = List.length bk_runs - 1 then "" else ","))
+    bk_runs;
+  out "    ],\n";
+  out "    \"capped_incore_aborted\": %b,\n" (not capped.bk_completed);
+  out "    \"hybrid_completed\": %b,\n" hybrid.bk_completed;
+  out "    \"hybrid_matches_incore\": %b,\n"
+    (hybrid.bk_completed && hybrid.bk_tuples = incore.bk_tuples);
+  out "    \"hybrid_speedup_vs_extmem\": %.2f\n"
+    (if hybrid.bk_seconds > 0.0 then extmem.bk_seconds /. hybrid.bk_seconds
+     else 0.0);
+  out "  }\n";
+  out "}\n";
+  (* gates *)
+  if not identical then begin
+    Printf.eprintf
+      "json9: weighted assignment changed the analysis results\n";
+    exit 1
+  end;
+  if opt.cr_dyn_replaces > base.cr_dyn_replaces then begin
+    Printf.eprintf
+      "json9: weighted assignment increased dynamic replaces (%d -> %d)\n"
+      base.cr_dyn_replaces opt.cr_dyn_replaces;
+    exit 1
+  end;
+  if opt.cr_static_weight > base.cr_static_weight then begin
+    Printf.eprintf
+      "json9: weighted assignment worsened the replace-weight objective \
+       (%d -> %d)\n"
+      base.cr_static_weight opt.cr_static_weight;
+    exit 1
+  end;
+  if hoist_opt_dyn >= hoist_base_dyn then begin
+    Printf.eprintf
+      "json9: weighted assignment failed to hoist the loop copy (%d -> %d \
+       dynamic replaces)\n"
+      hoist_base_dyn hoist_opt_dyn;
+    exit 1
+  end;
+  if not hybrid.bk_completed then begin
+    Printf.eprintf
+      "json9: hybrid backend aborted on the capped workload that extmem \
+       completes\n";
+    exit 1
+  end;
+  if hybrid.bk_tuples <> incore.bk_tuples then begin
+    Printf.eprintf "json9: hybrid run did not reproduce the in-core result\n";
+    exit 1
+  end;
+  if extmem.bk_completed && hybrid.bk_seconds >= extmem.bk_seconds then begin
+    Printf.eprintf
+      "json9: hybrid (%.2fs) did not beat pure extmem (%.2fs) on the capped \
+       workload\n"
+      hybrid.bk_seconds extmem.bk_seconds;
+    exit 1
+  end;
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  print_string (Buffer.contents buf);
+  Printf.printf "wrote %s\n" path
+
 let smoke () =
   let failures = ref 0 in
   let check name ok =
@@ -1950,5 +2290,9 @@ let () =
   if List.mem "json6" cmds then bench_json6 ();
   if List.mem "json7" cmds then bench_json7 ();
   if List.mem "json8" cmds then bench_json8 ();
+  (* cost-smoke runs json9 on the tiny profiles; JEDD_BENCH_JSON9_PATH
+     keeps those numbers out of the committed default-profile JSON *)
+  if List.mem "json9" cmds then
+    bench_json9 ?path:(Sys.getenv_opt "JEDD_BENCH_JSON9_PATH") ();
   if List.mem "load" cmds then bench_load ();
   if List.mem "smoke" cmds then smoke ()

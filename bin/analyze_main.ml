@@ -53,7 +53,7 @@ let print_results (r : Suite.results) =
     (List.length r.Suite.side_effects)
 
 let run benchmark file verify reorder backend node_limit lint save_snapshot
-    serve jobs =
+    serve optimize jobs =
   let jobs = resolve_jobs jobs in
   let name, p =
     if file <> "" then (file, Jedd_minijava.Frontend.load_file file)
@@ -73,11 +73,18 @@ let run benchmark file verify reorder backend node_limit lint save_snapshot
   in
   (match backend with
   | Some `Extmem -> Format.printf "backend: extmem (out-of-core streaming)@."
+  | Some `Hybrid ->
+    Format.printf
+      "backend: hybrid (per-operation incore/extmem dispatch from predicted \
+       node counts)@."
   | _ -> ());
   Format.printf "workload %s: %a@." name Program.pp_stats p;
   (* Stage-level parallelism lives in [Suite.run_combined]; the extmem
-     backend is single-domain, so parallel requests fall back there. *)
-  let parallel = jobs > 1 && backend <> Some `Extmem in
+     and hybrid backends are single-domain, so parallel requests fall
+     back there. *)
+  let parallel =
+    jobs > 1 && (backend = None || backend = Some `Incore)
+  in
   if parallel then Format.printf "parallel: %d domains@." jobs;
   let t0 = Unix.gettimeofday () in
   let needs_instance = save_snapshot <> None || serve <> None in
@@ -95,10 +102,10 @@ let run benchmark file verify reorder backend node_limit lint save_snapshot
     try
       if needs_instance || parallel then
         let inst, r =
-          Suite.run_combined ?backend ?node_limit ~reorder ~jobs p
+          Suite.run_combined ?backend ?node_limit ~reorder ~jobs ~optimize p
         in
         (Some inst, r)
-      else (None, Suite.run_all ?backend ?node_limit ~reorder p)
+      else (None, Suite.run_all ?backend ?node_limit ~reorder ~optimize p)
     with Jedd_bdd.Manager.Out_of_nodes -> oom ()
   in
   Printf.printf "pipeline completed in %.2f s\n" (Unix.gettimeofday () -. t0);
@@ -211,6 +218,17 @@ let serve_arg =
           "After the pipeline completes, serve the results over a Unix \
            socket speaking the jeddd line/JSON protocol (query with jeddq)")
 
+let optimize_arg =
+  Arg.(
+    value & flag
+    & info [ "optimize-domains" ]
+        ~doc:
+          "Solve each physical-domain assignment with the weighted \
+           objective: the static cost analysis weights every candidate \
+           replace site by loop nesting and call-graph frequency, and the \
+           SAT solve minimises the summed weight of the copies it keeps.  \
+           Results are bit-identical; dynamic replace executions drop.")
+
 let jobs_arg =
   Arg.(
     value
@@ -230,6 +248,6 @@ let cmd =
     Term.(
       const run $ benchmark_arg $ file_arg $ verify_arg $ reorder_arg
       $ backend_arg $ node_limit_arg $ lint_arg $ save_snapshot_arg
-      $ serve_arg $ jobs_arg)
+      $ serve_arg $ optimize_arg $ jobs_arg)
 
 let () = exit (Cmd.eval cmd)

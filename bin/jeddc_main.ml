@@ -32,7 +32,79 @@ let resolve_jobs jobs =
   | None, Some s -> parse s
   | None, None -> Jedd_bdd.Par.default_jobs ()
 
-let run files output stats dimacs dump_ir lint jobs =
+(* --domain-report=json: machine-readable dump of the constraint-graph
+   statistics, the computed widths, the weighted-assignment outcome (if
+   any), and every candidate replace site with its static weight. *)
+let domain_report_json (compiled : Jedd_lang.Driver.compiled) =
+  let module D = Jedd_lang.Driver in
+  let module C = Jedd_lang.Constraints in
+  let module E = Jedd_lang.Encode in
+  let js = Jedd_lint.Diag.json_string in
+  let st = compiled.D.constraint_stats in
+  let sat = compiled.D.assignment.E.stats in
+  let freq = Jedd_cost.Freq.analyze compiled.D.tprog in
+  let buf = Buffer.create 1024 in
+  let add = Buffer.add_string buf in
+  add "{\n";
+  add
+    (Printf.sprintf
+       "  \"constraints\": { \"rel_exprs\": %d, \"attrs\": %d, \"physdoms\": \
+        %d, \"conflict\": %d, \"equality\": %d, \"assignment\": %d },\n"
+       st.C.n_rel_exprs st.C.n_attrs st.C.n_physdoms st.C.n_conflict
+       st.C.n_equality st.C.n_assignment);
+  add
+    (Printf.sprintf
+       "  \"sat\": { \"vars\": %d, \"clauses\": %d, \"literals\": %d, \
+        \"solve_seconds\": %.4f },\n"
+       sat.E.sat_vars sat.E.sat_clauses sat.E.sat_literals
+       sat.E.solve_seconds);
+  (match compiled.D.weighted_stats with
+  | Some w ->
+    add
+      (Printf.sprintf
+         "  \"weighted\": { \"sites\": %d, \"kept\": %d, \"broken\": %d, \
+          \"cost\": %d, \"solves\": %d },\n"
+         w.E.w_sites w.E.w_kept w.E.w_broken w.E.w_cost w.E.w_solves)
+  | None -> add "  \"weighted\": null,\n");
+  add "  \"widths\": { ";
+  add
+    (String.concat ", "
+       (List.map
+          (fun (name, bits) -> Printf.sprintf "%s: %d" (js name) bits)
+          (List.sort compare compiled.D.assignment.E.widths)));
+  add " },\n";
+  (* one entry per candidate replace site (dummy replace wrapper) *)
+  let wrap_eids =
+    Array.fold_left
+      (fun acc (n : C.node) ->
+        match n.C.site with C.S_wrap e -> e :: acc | _ -> acc)
+      []
+      compiled.D.graph.C.nodes
+    |> List.sort_uniq compare
+  in
+  add "  \"sites\": [\n";
+  add
+    (String.concat ",\n"
+       (List.map
+          (fun eid ->
+            let p = compiled.D.graph.C.site_pos (C.S_wrap eid) in
+            Printf.sprintf
+              "    { \"eid\": %d, \"kind\": %s, \"file\": %s, \"line\": %d, \
+               \"col\": %d, \"weight\": %d, \"depth\": %d, \"fixpoint\": %b }"
+              eid
+              (js (compiled.D.graph.C.site_kind (C.S_expr eid)))
+              (js p.Jedd_lang.Ast.file)
+              p.Jedd_lang.Ast.line p.Jedd_lang.Ast.col
+              (Jedd_cost.Freq.weight freq eid)
+              (Jedd_cost.Freq.depth freq eid)
+              (Jedd_cost.Freq.in_fixpoint freq eid))
+          wrap_eids));
+  if wrap_eids <> [] then add "\n";
+  add "  ]\n";
+  add "}";
+  Buffer.contents buf
+
+let run files output stats dimacs dump_ir lint optimize domain_report jobs =
   ignore (resolve_jobs jobs : int);
   if files = [] then begin
     prerr_endline "jeddc: no input files";
@@ -61,11 +133,27 @@ let run files output stats dimacs dump_ir lint jobs =
        close_out oc;
        Printf.printf "jeddc: SAT instance summary written to %s\n" dimacs
      with _ -> ());
-  match Jedd_lang.Driver.compile sources with
+  let weight =
+    if optimize then
+      Some
+        (fun tprog ->
+          let f = Jedd_cost.Freq.analyze tprog in
+          Jedd_cost.Freq.weight f)
+    else None
+  in
+  match Jedd_lang.Driver.compile ?weight sources with
   | Error e ->
     prerr_endline (Jedd_lang.Driver.error_to_string e);
     exit 1
   | Ok compiled ->
+    (match domain_report with
+    | Some "json" ->
+      print_endline (domain_report_json compiled);
+      exit 0
+    | Some other ->
+      Printf.eprintf "jeddc: unknown domain-report format %s (json)\n" other;
+      exit 2
+    | None -> ());
     (match lint with
     | Some format ->
       (* lint mode: diagnostics only, CI-friendly exit code *)
@@ -82,6 +170,14 @@ let run files output stats dimacs dump_ir lint jobs =
     let sat = compiled.Jedd_lang.Driver.assignment.Jedd_lang.Encode.stats in
     Printf.printf "jeddc: physical domain assignment complete (%.4f s)\n"
       sat.Jedd_lang.Encode.solve_seconds;
+    (match compiled.Jedd_lang.Driver.weighted_stats with
+    | Some w ->
+      Printf.printf
+        "jeddc: weighted objective kept %d of %d replace sites (broken cost \
+         %d, %d SAT solves)\n"
+        w.Jedd_lang.Encode.w_kept w.Jedd_lang.Encode.w_sites
+        w.Jedd_lang.Encode.w_cost w.Jedd_lang.Encode.w_solves
+    | None -> ());
     if stats then begin
       Printf.printf "  relational expressions : %d\n"
         st.Jedd_lang.Constraints.n_rel_exprs;
@@ -148,6 +244,30 @@ let lint_arg =
            diagnostics as $(docv) (text or json).  Exits 2 on errors, 1 on \
            warnings, 0 otherwise.")
 
+let optimize_arg =
+  Arg.(
+    value & flag
+    & info [ "optimize-domains" ]
+        ~doc:
+          "Solve the physical-domain assignment with the weighted objective: \
+           minimise the summed static execution-weight (interprocedural \
+           frequency analysis, loop nesting, fixed-point loops) of the \
+           replace instructions the assignment emits, instead of accepting \
+           an arbitrary satisfying model.  Analysis results are unchanged; \
+           only where the copies happen moves.")
+
+let domain_report_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "json") (some string) None
+    & info [ "domain-report" ] ~docv:"FORMAT"
+        ~doc:
+          "Print a machine-readable report of the physical-domain \
+           assignment (constraint-graph statistics, SAT instance sizes, \
+           computed widths, and every candidate replace site with its \
+           static weight, loop depth and fixed-point flag) and exit.  Only \
+           $(b,json) is supported.")
+
 let jobs_arg =
   Arg.(
     value
@@ -164,6 +284,6 @@ let cmd =
        ~doc:"Jedd to Java translator (PLDI 2004 reproduction)")
     Term.(
       const run $ files_arg $ output_arg $ stats_arg $ dimacs_arg $ dump_ir_arg
-      $ lint_arg $ jobs_arg)
+      $ lint_arg $ optimize_arg $ domain_report_arg $ jobs_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -26,8 +26,17 @@ val combined_source : ?headroom:bool -> Jedd_minijava.Program.t -> string
 val source_for : Jedd_minijava.Program.t -> string -> string
 (** One analysis with its preamble, by display name. *)
 
-val compile_one : Jedd_minijava.Program.t -> string -> Jedd_lang.Driver.compiled
-(** Compile one analysis; fails loudly on any jeddc error. *)
+val compile_one :
+  ?optimize:bool ->
+  Jedd_minijava.Program.t ->
+  string ->
+  Jedd_lang.Driver.compiled
+(** Compile one analysis; fails loudly on any jeddc error.
+    [~optimize:true] solves the physical-domain assignment with the
+    weighted objective (the jeddc [--optimize-domains] flag): the
+    summed static execution-weight of the emitted replace instructions
+    is minimised, so copies move out of fixed-point loops where the
+    constraints allow.  Analysis results are unchanged either way. *)
 
 type results = {
   subtypes : int list list;  (** (sub, super), strict transitive closure *)
@@ -47,6 +56,7 @@ val run_all :
   ?node_limit:int ->
   ?backend:Jedd_relation.Backend.kind ->
   ?reorder:bool ->
+  ?optimize:bool ->
   Jedd_minijava.Program.t ->
   results
 (** Compile and run the full pipeline.  [~reorder:true] enables the
@@ -65,6 +75,7 @@ val run_combined :
   ?jobs:int ->
   ?headroom:bool ->
   ?naive:bool ->
+  ?optimize:bool ->
   Jedd_minijava.Program.t ->
   Jedd_lang.Interp.t * results
 (** The same pipeline compiled as ONE Jedd program in ONE universe

@@ -55,6 +55,16 @@ val set_node_limit : t -> int option -> unit
 
 val node_limit : t -> int option
 
+val set_gc_on_exhaustion : t -> bool -> unit
+(** Whether hitting the node budget may garbage-collect before raising
+    {!Out_of_nodes} (default [true]).  Clear it when the handler
+    {e resumes} the surrounding computation instead of abandoning it
+    (the hybrid backend's per-operation out-of-core fallback): a
+    collection at the point of exhaustion recycles the caller's
+    unreferenced in-flight intermediates, so a resumed computation
+    would read stale handles.  With the flag off, garbage is reclaimed
+    only at the next checkpoint. *)
+
 val uid : t -> int
 (** A process-unique id for this manager, for keying external memo
     tables that span managers. *)

@@ -1,0 +1,112 @@
+module G = Jedd_dataflow.Graph
+
+type loop = {
+  header : int;
+  back_edges : (int * int) list;
+  body : int list;
+}
+
+let reachable g ~entry =
+  let n = G.size g in
+  let seen = Array.make n false in
+  let rec go i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      List.iter go (G.succs g i)
+    end
+  in
+  if n > 0 then go entry;
+  seen
+
+(* Dominators as a forward dataflow problem on the monotone solver: the
+   lattice is node sets ordered by reverse inclusion, [All] (= the full
+   set) at the bottom, join = intersection, transfer n S = S ∪ {n}.
+   The fixpoint at a reachable node is exactly its dominator set. *)
+module IS = Set.Make (Int)
+
+module Dom_lattice = struct
+  type t = All | S of IS.t
+
+  let bottom = All
+
+  let join a b =
+    match (a, b) with
+    | All, x | x, All -> x
+    | S a, S b -> S (IS.inter a b)
+
+  let equal a b =
+    match (a, b) with
+    | All, All -> true
+    | S a, S b -> IS.equal a b
+    | _ -> false
+end
+
+module Dom_solver = Jedd_dataflow.Solver (Dom_lattice)
+
+let dominators g ~entry =
+  let n = G.size g in
+  let res =
+    Dom_solver.run g Jedd_dataflow.Forward
+      ~init:(fun i ->
+        if i = entry then Dom_lattice.S IS.empty else Dom_lattice.All)
+      ~transfer:(fun i fact ->
+        match fact with
+        | Dom_lattice.All -> Dom_lattice.All
+        | Dom_lattice.S s -> Dom_lattice.S (IS.add i s))
+  in
+  let live = reachable g ~entry in
+  Array.init n (fun i ->
+      let row = Array.make n false in
+      (if live.(i) then
+         match res.Dom_solver.after i with
+         | Dom_lattice.S s -> IS.iter (fun m -> row.(m) <- true) s
+         | Dom_lattice.All -> ());
+      row)
+
+let natural_loops g ~entry =
+  let n = G.size g in
+  let live = reachable g ~entry in
+  let dom = dominators g ~entry in
+  (* back edge: t -> h with h dominating t (both reachable) *)
+  let back = ref [] in
+  for t = 0 to n - 1 do
+    if live.(t) then
+      List.iter (fun h -> if live.(h) && dom.(t).(h) then back := (t, h) :: !back) (G.succs g t)
+  done;
+  let by_header = Hashtbl.create 8 in
+  List.iter
+    (fun (t, h) ->
+      Hashtbl.replace by_header h (t :: (Option.value (Hashtbl.find_opt by_header h) ~default:[])))
+    !back;
+  let headers = List.sort_uniq compare (Hashtbl.fold (fun h _ acc -> h :: acc) by_header []) in
+  List.map
+    (fun h ->
+      let tails = List.sort_uniq compare (Hashtbl.find by_header h) in
+      (* body: h plus everything reaching a tail without passing h,
+         found by reverse search from the tails stopping at h *)
+      let in_body = Array.make n false in
+      in_body.(h) <- true;
+      let rec up i =
+        if not in_body.(i) then begin
+          in_body.(i) <- true;
+          List.iter up (G.preds g i)
+        end
+      in
+      List.iter up tails;
+      let body = ref [] in
+      for i = n - 1 downto 0 do
+        if in_body.(i) then body := i :: !body
+      done;
+      {
+        header = h;
+        back_edges = List.map (fun t -> (t, h)) tails;
+        body = !body;
+      })
+    headers
+
+let nest_depth g loops =
+  let depth = Array.make (G.size g) 0 in
+  List.iter
+    (fun l -> List.iter (fun i -> depth.(i) <- depth.(i) + 1) l.body)
+    loops;
+  depth

@@ -1,0 +1,33 @@
+(** Natural-loop detection over [Jedd_dataflow.Graph] control-flow
+    graphs: reachability, dominators (computed with the monotone
+    worklist solver — the lattice is sets under intersection), back
+    edges, natural loop bodies, and nesting depth.
+
+    Works on both CFG flavours [Jedd_lang.Cfg] builds (typed-AST and
+    lowered-IR); the frequency analysis ({!Freq}) runs it on every
+    method. *)
+
+type loop = {
+  header : int;  (** the back edges' common target *)
+  back_edges : (int * int) list;
+      (** every [(tail, header)] back edge of this loop — loops sharing
+          a header are merged, so multi-back-edge loops are one entry *)
+  body : int list;  (** sorted node ids, header included *)
+}
+
+val reachable : Jedd_dataflow.Graph.t -> entry:int -> bool array
+(** Nodes reachable from [entry] along forward edges.  Unreachable
+    nodes take no part in loop detection and get depth 0. *)
+
+val dominators : Jedd_dataflow.Graph.t -> entry:int -> bool array array
+(** [d.(n).(m)] iff [m] dominates [n] (reflexive).  Rows of unreachable
+    nodes are all-false. *)
+
+val natural_loops : Jedd_dataflow.Graph.t -> entry:int -> loop list
+(** All natural loops: one per distinct header, body = the union over
+    that header's back edges [(t, h)] of [{h} ∪ {n reaching t without
+    passing through h}].  Sorted by header id. *)
+
+val nest_depth : Jedd_dataflow.Graph.t -> loop list -> int array
+(** Per-node loop-nesting depth: the number of loop bodies containing
+    the node (0 outside all loops). *)

@@ -3,6 +3,7 @@ type compiled = {
   graph : Constraints.t;
   assignment : Encode.assignment;
   constraint_stats : Constraints.stats;
+  weighted_stats : Encode.weighted_stats option;
 }
 
 type error = { message : string; pos : Ast.pos option; phase : string }
@@ -12,7 +13,7 @@ let error_to_string e =
   | Some p -> Format.asprintf "%s error at %a: %s" e.phase Ast.pp_pos p e.message
   | None -> Printf.sprintf "%s error: %s" e.phase e.message
 
-let compile ?max_paths_per_class sources =
+let compile ?max_paths_per_class ?weight sources =
   try
     let decls =
       List.concat_map
@@ -21,13 +22,26 @@ let compile ?max_paths_per_class sources =
     in
     let tprog = Typecheck.check decls in
     let graph = Constraints.build tprog in
-    let assignment = Encode.solve ?max_paths_per_class tprog graph in
+    (* [weight] receives the typed program and returns an eid-keyed
+       weight (callers plug in [Jedd_cost.Freq]; this module stays
+       ignorant of the cost library) *)
+    let assignment, weighted_stats =
+      match weight with
+      | None -> (Encode.solve ?max_paths_per_class tprog graph, None)
+      | Some mk ->
+        let asg, ws =
+          Encode.solve_weighted ?max_paths_per_class ~weight:(mk tprog)
+            tprog graph
+        in
+        (asg, Some ws)
+    in
     Ok
       {
         tprog;
         graph;
         assignment;
         constraint_stats = Constraints.stats tprog graph;
+        weighted_stats;
       }
   with
   | Lexer.Lex_error (msg, pos) -> Error { message = msg; pos = Some pos; phase = "parse" }
@@ -40,8 +54,8 @@ let compile ?max_paths_per_class sources =
   | Encode.Assignment_conflict msg ->
     Error { message = msg; pos = None; phase = "assignment" }
 
-let compile_exn ?max_paths_per_class ~file src =
-  match compile ?max_paths_per_class [ (file, src) ] with
+let compile_exn ?max_paths_per_class ?weight ~file src =
+  match compile ?max_paths_per_class ?weight [ (file, src) ] with
   | Ok c -> c
   | Error e -> failwith (error_to_string e)
 

@@ -355,6 +355,60 @@ let probe_wrap_equal ?max_paths_per_class (prog : Tast.tprogram)
     in
     Forced msgs
 
+(* Decode a satisfied instance's model into an [assignment]. *)
+let decode inst ~solve_seconds : assignment =
+  let np = Array.length inst.physdoms in
+  let n = Constraints.node_count inst.g in
+  let node_phys = Array.make n inst.physdoms.(0) in
+  for i = 0 to n - 1 do
+    let rec pick p =
+      if p >= np then
+        invalid_arg "Encode.solve: model assigns no physical domain"
+      else if Solver.value inst.solver ((i * np) + p + 1) then
+        inst.physdoms.(p)
+      else pick (p + 1)
+    in
+    node_phys.(i) <- pick 0
+  done;
+  let phys_of site attr_name =
+    match Hashtbl.find_opt inst.g.Constraints.node_index (site, attr_name) with
+    | Some i -> node_phys.(i)
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Encode.phys_of: unknown attribute %s" attr_name)
+  in
+  (* computed widths: every physical domain must hold the widest
+     domain of any attribute assigned to it (§3.2.1) *)
+  let widths = Hashtbl.create 16 in
+  Array.iter
+    (fun (p : Tast.phys_info) ->
+      Hashtbl.replace widths p.p_name
+        (max 1 (Option.value p.p_min_bits ~default:1)))
+    inst.physdoms;
+  let domain_bits (d : Tast.domain_info) =
+    let rec go n acc = if n >= d.d_size then acc else go (n * 2) (acc + 1) in
+    max 1 (go 1 0)
+  in
+  Array.iteri
+    (fun i (node : Constraints.node) ->
+      let p = node_phys.(i) in
+      let need = domain_bits node.attr.a_domain in
+      if need > Hashtbl.find widths p.p_name then
+        Hashtbl.replace widths p.p_name need)
+    inst.g.Constraints.nodes;
+  {
+    phys_of;
+    widths = Hashtbl.fold (fun name w acc -> (name, w) :: acc) widths [];
+    stats =
+      {
+        sat_vars = Solver.num_vars inst.solver;
+        sat_clauses = Solver.num_clauses inst.solver;
+        sat_literals = Solver.num_literals inst.solver;
+        solve_seconds;
+        paths_truncated = inst.truncated;
+      };
+  }
+
 let solve ?max_paths_per_class (prog : Tast.tprogram) (g : Constraints.t) :
     assignment =
   let inst = build ?max_paths_per_class prog g in
@@ -364,55 +418,141 @@ let solve ?max_paths_per_class (prog : Tast.tprogram) (g : Constraints.t) :
   match result with
   | Solver.Unsat ->
     raise (Assignment_conflict (diagnose inst (Solver.unsat_core inst.solver)))
-  | Solver.Sat ->
-    let np = Array.length inst.physdoms in
-    let n = Constraints.node_count inst.g in
-    let node_phys = Array.make n inst.physdoms.(0) in
-    for i = 0 to n - 1 do
-      let rec pick p =
-        if p >= np then
-          invalid_arg "Encode.solve: model assigns no physical domain"
-        else if Solver.value inst.solver ((i * np) + p + 1) then
-          inst.physdoms.(p)
-        else pick (p + 1)
+  | Solver.Sat -> decode inst ~solve_seconds
+
+(* -- weighted assignment (minimise the cost of broken edges) --------------- *)
+
+type weighted_stats = {
+  w_sites : int;
+  w_kept : int;
+  w_broken : int;
+  w_cost : int;
+  w_solves : int;
+}
+
+let solve_weighted ?max_paths_per_class ?(budget = 64) ~weight
+    (prog : Tast.tprogram) (g : Constraints.t) : assignment * weighted_stats
+    =
+  let t0 = Sys.time () in
+  (* candidate groups: the assignment edges of one dummy replace
+     wrapper stand or fall together (a single IReplace covers all of a
+     wrap site's attributes), so they are kept or broken as a unit *)
+  let by_eid = Hashtbl.create 32 in
+  List.iter
+    (fun (i, j) ->
+      let eid_of k =
+        match g.Constraints.nodes.(k).Constraints.site with
+        | Constraints.S_wrap e -> Some e
+        | _ -> None
       in
-      node_phys.(i) <- pick 0
-    done;
-    let phys_of site attr_name =
-      match Hashtbl.find_opt inst.g.Constraints.node_index (site, attr_name) with
-      | Some i -> node_phys.(i)
-      | None ->
-        invalid_arg
-          (Printf.sprintf "Encode.phys_of: unknown attribute %s" attr_name)
-    in
-    (* computed widths: every physical domain must hold the widest
-       domain of any attribute assigned to it (§3.2.1) *)
-    let widths = Hashtbl.create 16 in
-    Array.iter
-      (fun (p : Tast.phys_info) ->
-        Hashtbl.replace widths p.p_name
-          (max 1 (Option.value p.p_min_bits ~default:1)))
-      inst.physdoms;
-    let domain_bits (d : Tast.domain_info) =
-      let rec go n acc = if n >= d.d_size then acc else go (n * 2) (acc + 1) in
-      max 1 (go 1 0)
-    in
+      match (eid_of j, eid_of i) with
+      | Some e, _ | None, Some e ->
+        Hashtbl.replace by_eid e
+          ((i, j) :: Option.value (Hashtbl.find_opt by_eid e) ~default:[])
+      | None, None -> ())
+    g.Constraints.assignment;
+  let groups =
+    Hashtbl.fold (fun e pairs acc -> (e, weight e, pairs) :: acc) by_eid []
+    |> List.sort (fun (e1, w1, _) (e2, w2, _) ->
+           if w1 <> w2 then compare w2 w1 else compare e1 e2)
+    |> Array.of_list
+  in
+  let ng = Array.length groups in
+  let solves = ref 0 in
+  (* one probe = a fresh clause-1-7 instance plus hard equalities over
+     every kept group's edges, exactly the [probe_wrap_equal] shape but
+     for a set of wrappers at once *)
+  let probe kept_mask =
+    incr solves;
+    let inst = build ?max_paths_per_class prog g in
+    let np = Array.length inst.physdoms in
+    let var node p = (node * np) + p + 1 in
     Array.iteri
-      (fun i (node : Constraints.node) ->
-        let p = node_phys.(i) in
-        let need = domain_bits node.attr.a_domain in
-        if need > Hashtbl.find widths p.p_name then
-          Hashtbl.replace widths p.p_name need)
-      inst.g.Constraints.nodes;
-    {
-      phys_of;
-      widths = Hashtbl.fold (fun name w acc -> (name, w) :: acc) widths [];
-      stats =
-        {
-          sat_vars = Solver.num_vars inst.solver;
-          sat_clauses = Solver.num_clauses inst.solver;
-          sat_literals = Solver.num_literals inst.solver;
-          solve_seconds;
-          paths_truncated = inst.truncated;
-        };
-    }
+      (fun gi (_, _, pairs) ->
+        if kept_mask.(gi) then
+          List.iter
+            (fun (i, j) ->
+              for p = 0 to np - 1 do
+                ignore (Solver.add_clause inst.solver [ -var i p; var j p ]);
+                ignore (Solver.add_clause inst.solver [ -var j p; var i p ])
+              done)
+            pairs)
+      groups;
+    if Solver.solve inst.solver = Solver.Sat then Some inst else None
+  in
+  (* greedy: walk the groups by descending weight, keeping each one
+     whose equalities remain satisfiable on top of what is already
+     kept — heavy sites get first claim on the solver's freedom *)
+  let kept = Array.make ng false in
+  for gi = 0 to ng - 1 do
+    kept.(gi) <- true;
+    match probe kept with
+    | Some _ -> ()
+    | None -> kept.(gi) <- false
+  done;
+  let cost_of mask =
+    let c = ref 0 in
+    Array.iteri
+      (fun gi (_, w, _) -> if not mask.(gi) then c := !c + w)
+      groups;
+    !c
+  in
+  let best_mask = ref (Array.copy kept) in
+  let best_cost = ref (cost_of kept) in
+  (* bounded branch-and-bound refinement: revisit the decision order,
+     branching keep/break with the incumbent cost as the bound and a
+     budget on extra solver calls.  The greedy order can be beaten when
+     keeping one heavy site blocked two lighter ones it outweighs
+     individually but not together. *)
+  if !best_cost > 0 then begin
+    let base_solves = !solves in
+    let budget_left () = !solves - base_solves < budget in
+    let rec bb gi mask cost =
+      if cost < !best_cost && budget_left () then
+        if gi >= ng then begin
+          (* mask was verified satisfiable when its last kept group was
+             added, so it is a genuine incumbent *)
+          best_cost := cost;
+          best_mask := Array.copy mask
+        end
+        else begin
+          let _, w, _ = groups.(gi) in
+          mask.(gi) <- true;
+          (match probe mask with
+          | Some _ -> bb (gi + 1) mask cost
+          | None -> ());
+          mask.(gi) <- false;
+          bb (gi + 1) mask (cost + w)
+        end
+    in
+    bb 0 (Array.make ng false) 0
+  end;
+  (* final decode from the winning kept set *)
+  match probe !best_mask with
+  | None ->
+    (* every incumbent with kept groups was produced by a satisfiable
+       probe and rebuilds are deterministic, so this is only reachable
+       when the base instance itself is unsatisfiable (the greedy pass
+       rejected everything); report it exactly as [solve] would *)
+    let inst = build ?max_paths_per_class prog g in
+    (match Solver.solve inst.solver with
+    | Solver.Unsat ->
+      raise
+        (Assignment_conflict (diagnose inst (Solver.unsat_core inst.solver)))
+    | Solver.Sat ->
+      raise
+        (Assignment_conflict
+           "Encode.solve_weighted: winning kept set became unsatisfiable"))
+  | Some inst ->
+    let asg = decode inst ~solve_seconds:(Sys.time () -. t0) in
+    let n_kept =
+      Array.fold_left (fun a k -> if k then a + 1 else a) 0 !best_mask
+    in
+    ( asg,
+      {
+        w_sites = ng;
+        w_kept = n_kept;
+        w_broken = ng - n_kept;
+        w_cost = !best_cost;
+        w_solves = !solves;
+      } )

@@ -8,7 +8,7 @@ type report = {
   replace_audit : Check_replace.audit_entry list;
 }
 
-let lint ?(replace_audit = true) ?max_paths_per_class
+let lint ?(replace_audit = true) ?max_paths_per_class ?hints
     (compiled : JDriver.compiled) : report =
   let prog = compiled.JDriver.tprog in
   let methods, prov = Lower.lower_program_ex compiled in
@@ -30,13 +30,15 @@ let lint ?(replace_audit = true) ?max_paths_per_class
       Check_replace.audit ?max_paths_per_class compiled prov
     else ([], [])
   in
+  let cost_diags = Check_cost.check ?hints compiled audit in
   let refcount_diags, methods_verified, refcount_violations =
     Refcount.check prog methods
   in
   {
     diagnostics =
       List.stable_sort Diag.compare_diag
-        (source_diags @ chain_diags @ replace_diags @ refcount_diags);
+        (source_diags @ chain_diags @ replace_diags @ cost_diags
+       @ refcount_diags);
     methods_verified;
     refcount_violations;
     replace_audit = audit;

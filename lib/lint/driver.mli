@@ -15,10 +15,14 @@ type report = {
 val lint :
   ?replace_audit:bool ->
   ?max_paths_per_class:int ->
+  ?hints:(string -> int option) ->
   Jedd_lang.Driver.compiled ->
   report
 (** Run all checkers.  [replace_audit] (default [true]) controls the
-    per-site SAT probes of JL007/JL008, the only non-linear part. *)
+    per-site SAT probes of JL007/JL008, the only non-linear part.
+    [hints] feeds observed node counts (keyed by "file:line,col"
+    profiler labels, see [Jedd_cost.Shape.hints_of_csv]) into the
+    JL202 blowup predictor. *)
 
 val exit_code : report -> int
 (** 2 if any error, 1 if any warning, 0 otherwise — CI-friendly. *)

@@ -184,7 +184,12 @@ let runtime_stats u =
         Jedd_extmem.Store.io_millis st )
   in
   [
-    ("backend", float_of_int (match U.backend_kind u with `Incore -> 0 | `Extmem -> 1));
+    ( "backend",
+      float_of_int
+        (match U.backend_kind u with
+        | `Incore -> 0
+        | `Extmem -> 1
+        | `Hybrid -> 2) );
     ("live_nodes", float_of_int (M.live_nodes m));
     ("peak_nodes", float_of_int (M.peak_nodes m));
     ("num_vars", float_of_int (M.num_vars m));

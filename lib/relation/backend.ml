@@ -142,8 +142,9 @@ end
 (* dispatch layer *)
 
 module Par = Jedd_bdd.Par
+module Lv = Jedd_bdd.Levelized
 
-type kind = [ `Incore | `Extmem ]
+type kind = [ `Incore | `Extmem | `Hybrid ]
 
 type t = {
   knd : kind;
@@ -154,15 +155,28 @@ type t = {
      backend stays single-domain (its page cache and file store are not
      thread-safe, and it trades CPU for I/O anyway — see DESIGN.md) *)
   mutable pool : Par.pool option;
+  (* hybrid only: number of upcoming operations for which optimistic
+     in-core attempts are suppressed after a node-table exhaustion; see
+     [hyb_prefer_incore] *)
+  mutable hyb_backoff : int;
 }
 
 type node = In of M.node | Ex of E.t
 
 let make knd mgr =
   match knd with
-  | `Incore -> { knd; mgr; ext = None; pool = None }
-  | `Extmem ->
-    { knd; mgr; ext = Some { xmgr = mgr; xstore = Store.create () }; pool = None }
+  | `Incore -> { knd; mgr; ext = None; pool = None; hyb_backoff = 0 }
+  | `Extmem | `Hybrid ->
+    (* The hybrid fallback *resumes* the surrounding computation after
+       catching [Out_of_nodes], so exhaustion must not collect: the
+       caller's unreferenced intermediates (e.g. a fold accumulator in
+       [Relation.of_tuples]) would be recycled under it and the
+       resumed operation would export stale handles.  Garbage then
+       waits for the next checkpoint, the designated safe point. *)
+    if knd = `Hybrid then M.set_gc_on_exhaustion mgr false;
+    { knd; mgr;
+      ext = Some { xmgr = mgr; xstore = Store.create () };
+      pool = None; hyb_backoff = 0 }
 
 let kind b = b.knd
 let manager b = b.mgr
@@ -172,6 +186,8 @@ let set_pool b p =
   (match (p, b.knd) with
   | Some _, `Extmem ->
     invalid_arg "Backend.set_pool: extmem backend is single-domain"
+  | Some _, `Hybrid ->
+    invalid_arg "Backend.set_pool: hybrid backend is single-domain"
   | _ -> ());
   b.pool <- p
 
@@ -193,34 +209,160 @@ let ex_node = function
   | Ex n -> n
   | In _ -> invalid_arg "Backend: in-core node passed to extmem backend"
 
+(* -- hybrid engine choice (ROADMAP item 3) ------------------------------
+
+   A hybrid backend holds both engines and picks one per operation.  The
+   costs are asymmetric: a wrong in-core attempt wastes at most one table
+   fill before [Manager.Out_of_nodes] aborts it (the operation then
+   re-runs on the external engine, so a hybrid universe never aborts
+   where pure extmem would complete), while a wrong extmem dispatch pays
+   the full file-backed sweep — typically 1-2 orders of magnitude
+   slower.  And the [Predict] bounds are saturating worst cases (operand
+   products, bit-width caps) that real apply results undercut by orders
+   of magnitude.  So dispatch is optimistic first: attempt in-core
+   whenever the guaranteed allocation — importing external operands —
+   fits in half the remaining headroom.  Only after an attempt has
+   actually exhausted the table does the prediction gate engage: for the
+   next [hyb_backoff_len] operations only sure fits (prediction plus
+   import within half the headroom) run in-core, everything else
+   streams.  A success costs nothing; repeated failures degrade to the
+   conservative prediction-gated regime instead of thrashing the
+   table. *)
+
+let hyb_nodecount b = function
+  | In n -> Incore.nodecount b.mgr n
+  | Ex n -> E.nodecount n
+
+let hyb_headroom b =
+  match M.node_limit b.mgr with
+  | None -> max_int
+  | Some limit -> max 0 (limit - M.live_nodes b.mgr)
+
+let hyb_backoff_len = 16
+
+(* keep half the headroom in reserve for the operation's intermediates *)
+let hyb_prefer_incore b ~predicted ~import_nodes =
+  let h = hyb_headroom b in
+  h = max_int
+  || Predict.add predicted import_nodes <= h / 2
+  ||
+  if b.hyb_backoff > 0 then begin
+    b.hyb_backoff <- b.hyb_backoff - 1;
+    false
+  end
+  else import_nodes <= h / 2
+
+(* move a root across engines; the in-core root returned by [to_in]
+   carries one external reference the caller must drop after the op *)
+let hyb_to_ex b = function
+  | Ex n -> n
+  | In n ->
+    let d = Lv.of_manager b.mgr n in
+    E.import_blocks (Array.to_list d.Lv.blocks) d.Lv.root
+
+let hyb_to_in b = function
+  | In n ->
+    ignore (M.addref b.mgr n);
+    n
+  | Ex n ->
+    let blocks, root = E.export_blocks (ext b).xstore n in
+    Lv.to_manager b.mgr { Lv.blocks = Array.of_list blocks; root }
+
+let hyb_import_cost = function In _ -> 0 | Ex n -> E.nodecount n
+
+(* Run [fin] in-core over imported operands, falling back to [fex] on
+   node-table exhaustion.  The temporary refs balance [hyb_to_in]'s
+   addref/import after the op; the result itself is safe unreferenced —
+   no safe point runs before the caller's addref.  Resuming after a
+   failed attempt is sound only because the hybrid manager raises
+   [Out_of_nodes] without collecting ([set_gc_on_exhaustion false] in
+   [make]): the caller's unreferenced in-flight operands survive the
+   failure intact, so the fallback exports live nodes. *)
+let hyb_run b ~prefer_incore fin fex operands =
+  if prefer_incore then begin
+    let temps = ref [] in
+    let attempt =
+      try
+        let ins =
+          List.map
+            (fun v ->
+              let n = hyb_to_in b v in
+              temps := n :: !temps;
+              n)
+            operands
+        in
+        Some (fin ins)
+      with M.Out_of_nodes -> None
+    in
+    List.iter (M.delref b.mgr) !temps;
+    match attempt with
+    | Some r -> In r
+    | None ->
+      b.hyb_backoff <- hyb_backoff_len;
+      Ex (fex (List.map (hyb_to_ex b) operands))
+  end
+  else Ex (fex (List.map (hyb_to_ex b) operands))
+
+let hyb2 b ~predicted fin fex x y =
+  let prefer_incore =
+    hyb_prefer_incore b ~predicted
+      ~import_nodes:(hyb_import_cost x + hyb_import_cost y)
+  in
+  hyb_run b ~prefer_incore
+    (function [ a; c ] -> fin b.mgr a c | _ -> assert false)
+    (function [ a; c ] -> fex (ext b) a c | _ -> assert false)
+    [ x; y ]
+
+let hyb1 b ~predicted fin fex x =
+  let prefer_incore =
+    hyb_prefer_incore b ~predicted ~import_nodes:(hyb_import_cost x)
+  in
+  hyb_run b ~prefer_incore
+    (function [ a ] -> fin b.mgr a | _ -> assert false)
+    (function [ a ] -> fex (ext b) a | _ -> assert false)
+    [ x ]
+
+(* constructors build tiny BDDs: prefer the in-core engine unless the
+   table is nearly full, in which case the pure-data external form is
+   free of allocation pressure *)
+let hyb_constructor b fin fex =
+  if hyb_headroom b > 1024 then
+    try In (fin b.mgr) with M.Out_of_nodes -> Ex (fex (ext b))
+  else Ex (fex (ext b))
+
 let zero b =
   match b.knd with
-  | `Incore -> In (Incore.zero b.mgr)
+  | `Incore | `Hybrid -> In (Incore.zero b.mgr)
   | `Extmem -> Ex (Extmem.zero (ext b))
 
 let one b =
   match b.knd with
-  | `Incore -> In (Incore.one b.mgr)
+  | `Incore | `Hybrid -> In (Incore.one b.mgr)
   | `Extmem -> Ex (Extmem.one (ext b))
 
 let addref b n =
-  match b.knd with
-  | `Incore -> Incore.addref b.mgr (in_node n)
-  | `Extmem -> Extmem.addref (ext b) (ex_node n)
+  match (b.knd, n) with
+  | `Incore, _ | `Hybrid, In _ -> Incore.addref b.mgr (in_node n)
+  | `Extmem, _ | `Hybrid, Ex _ -> Extmem.addref (ext b) (ex_node n)
 
 let delref b n =
-  match b.knd with
-  | `Incore -> Incore.delref b.mgr (in_node n)
-  | `Extmem -> Extmem.delref (ext b) (ex_node n)
+  match (b.knd, n) with
+  | `Incore, _ | `Hybrid, In _ -> Incore.delref b.mgr (in_node n)
+  | `Extmem, _ | `Hybrid, Ex _ -> Extmem.delref (ext b) (ex_node n)
 
 let lift2 b fin fex x y =
   match b.knd with
   | `Incore -> In (fin b.mgr (in_node x) (in_node y))
-  | `Extmem -> Ex (fex (ext b) (ex_node x) (ex_node y))
+  | `Extmem | `Hybrid -> Ex (fex (ext b) (ex_node x) (ex_node y))
 
 let lift2_par b fpar fin fex x y =
   match (b.knd, b.pool) with
   | `Incore, Some p -> In (fpar p b.mgr (in_node x) (in_node y))
+  | `Hybrid, _ ->
+    let predicted =
+      Predict.apply ~left:(hyb_nodecount b x) ~right:(hyb_nodecount b y)
+    in
+    hyb2 b ~predicted fin fex x y
   | _ -> lift2 b fin fex x y
 
 let band b = lift2_par b Par.band Incore.band Extmem.band
@@ -231,26 +373,48 @@ let cube b assignment =
   match b.knd with
   | `Incore -> In (Incore.cube b.mgr assignment)
   | `Extmem -> Ex (Extmem.cube (ext b) assignment)
+  | `Hybrid ->
+    hyb_constructor b
+      (fun m -> Incore.cube m assignment)
+      (fun s -> Extmem.cube s assignment)
 
 let biimp_vars b l1 l2 =
   match b.knd with
   | `Incore -> In (Incore.biimp_vars b.mgr l1 l2)
   | `Extmem -> Ex (Extmem.biimp_vars (ext b) l1 l2)
+  | `Hybrid ->
+    hyb_constructor b
+      (fun m -> Incore.biimp_vars m l1 l2)
+      (fun s -> Extmem.biimp_vars s l1 l2)
 
 let ithval b block v =
   match b.knd with
   | `Incore -> In (Incore.ithval b.mgr block v)
   | `Extmem -> Ex (Extmem.ithval (ext b) block v)
+  | `Hybrid ->
+    hyb_constructor b
+      (fun m -> Incore.ithval m block v)
+      (fun s -> Extmem.ithval s block v)
 
 let less_than b block k =
   match b.knd with
   | `Incore -> In (Incore.less_than b.mgr block k)
   | `Extmem -> Ex (Extmem.less_than (ext b) block k)
+  | `Hybrid ->
+    hyb_constructor b
+      (fun m -> Incore.less_than m block k)
+      (fun s -> Extmem.less_than s block k)
 
 let restrict b n assignment =
   match b.knd with
   | `Incore -> In (Incore.restrict b.mgr (in_node n) assignment)
   | `Extmem -> Ex (Extmem.restrict (ext b) (ex_node n) assignment)
+  | `Hybrid ->
+    hyb1 b
+      ~predicted:(Predict.replace ~nodes:(hyb_nodecount b n))
+      (fun m x -> Incore.restrict m x assignment)
+      (fun s x -> Extmem.restrict s x assignment)
+      n
 
 let exist b n levels =
   match (b.knd, b.pool) with
@@ -258,11 +422,23 @@ let exist b n levels =
     In (Par.exist p b.mgr (in_node n) (Quant.varset b.mgr levels))
   | `Incore, _ -> In (Incore.exist b.mgr (in_node n) levels)
   | `Extmem, _ -> Ex (Extmem.exist (ext b) (ex_node n) levels)
+  | `Hybrid, _ ->
+    hyb1 b
+      ~predicted:(Predict.replace ~nodes:(hyb_nodecount b n))
+      (fun m x -> Incore.exist m x levels)
+      (fun s x -> Extmem.exist s x levels)
+      n
 
 let replace b n pairs =
   match b.knd with
   | `Incore -> In (Incore.replace b.mgr (in_node n) pairs)
   | `Extmem -> Ex (Extmem.replace (ext b) (ex_node n) pairs)
+  | `Hybrid ->
+    hyb1 b
+      ~predicted:(Predict.replace ~nodes:(hyb_nodecount b n))
+      (fun m x -> Incore.replace m x pairs)
+      (fun s x -> Extmem.replace s x pairs)
+      n
 
 let relprod_replace b f g pairs qlevels =
   match (b.knd, b.pool) with
@@ -276,66 +452,92 @@ let relprod_replace b f g pairs qlevels =
     In (Incore.relprod_replace b.mgr (in_node f) (in_node g) pairs qlevels)
   | `Extmem, _ ->
     Ex (Extmem.relprod_replace (ext b) (ex_node f) (ex_node g) pairs qlevels)
+  | `Hybrid, _ ->
+    let predicted =
+      Predict.product
+        ~left:(hyb_nodecount b f)
+        ~right:(hyb_nodecount b g)
+        ~result_bits:(M.num_vars b.mgr)
+    in
+    hyb2 b ~predicted
+      (fun m x y -> Incore.relprod_replace m x y pairs qlevels)
+      (fun s x y -> Extmem.relprod_replace s x y pairs qlevels)
+      f g
 
 let nodecount b n =
-  match b.knd with
-  | `Incore -> Incore.nodecount b.mgr (in_node n)
-  | `Extmem -> Extmem.nodecount (ext b) (ex_node n)
+  match (b.knd, n) with
+  | `Incore, _ | `Hybrid, In _ -> Incore.nodecount b.mgr (in_node n)
+  | `Extmem, _ | `Hybrid, Ex _ -> Extmem.nodecount (ext b) (ex_node n)
 
 let satcount b n ~over =
-  match b.knd with
-  | `Incore -> Incore.satcount b.mgr (in_node n) ~over
-  | `Extmem -> Extmem.satcount (ext b) (ex_node n) ~over
+  match (b.knd, n) with
+  | `Incore, _ | `Hybrid, In _ -> Incore.satcount b.mgr (in_node n) ~over
+  | `Extmem, _ | `Hybrid, Ex _ -> Extmem.satcount (ext b) (ex_node n) ~over
 
 let shape b n =
-  match b.knd with
-  | `Incore -> Incore.shape b.mgr (in_node n)
-  | `Extmem -> Extmem.shape (ext b) (ex_node n)
+  match (b.knd, n) with
+  | `Incore, _ | `Hybrid, In _ -> Incore.shape b.mgr (in_node n)
+  | `Extmem, _ | `Hybrid, Ex _ -> Extmem.shape (ext b) (ex_node n)
 
 let iter_assignments b n ~levels k =
-  match b.knd with
-  | `Incore -> Incore.iter_assignments b.mgr (in_node n) ~levels k
-  | `Extmem -> Extmem.iter_assignments (ext b) (ex_node n) ~levels k
+  match (b.knd, n) with
+  | `Incore, _ | `Hybrid, In _ ->
+    Incore.iter_assignments b.mgr (in_node n) ~levels k
+  | `Extmem, _ | `Hybrid, Ex _ ->
+    Extmem.iter_assignments (ext b) (ex_node n) ~levels k
 
 let equal b x y =
-  match b.knd with
-  | `Incore -> Incore.equal b.mgr (in_node x) (in_node y)
-  | `Extmem -> Extmem.equal (ext b) (ex_node x) (ex_node y)
+  match (b.knd, x, y) with
+  | `Incore, _, _ | `Hybrid, In _, In _ ->
+    Incore.equal b.mgr (in_node x) (in_node y)
+  | `Extmem, _, _ -> Extmem.equal (ext b) (ex_node x) (ex_node y)
+  | `Hybrid, _, _ ->
+    (* mixed-engine comparison: export the in-core side (pure, no
+       allocation) and compare levelized forms structurally *)
+    E.equal (hyb_to_ex b x) (hyb_to_ex b y)
 
 let is_zero b n =
-  match b.knd with
-  | `Incore -> Incore.is_zero b.mgr (in_node n)
-  | `Extmem -> Extmem.is_zero (ext b) (ex_node n)
+  match (b.knd, n) with
+  | `Incore, _ | `Hybrid, In _ -> Incore.is_zero b.mgr (in_node n)
+  | `Extmem, _ | `Hybrid, Ex _ -> Extmem.is_zero (ext b) (ex_node n)
 
 let checkpoint b =
   match b.knd with
-  | `Incore -> Incore.checkpoint b.mgr
+  | `Incore | `Hybrid -> Incore.checkpoint b.mgr
   | `Extmem -> Extmem.checkpoint (ext b)
 
 let supports_reorder b =
   match b.knd with
   | `Incore -> Incore.supports_reorder
-  | `Extmem -> Extmem.supports_reorder
+  (* hybrid roots may live as levelized node files: levels are baked *)
+  | `Extmem | `Hybrid -> Extmem.supports_reorder
 
 let freeze b =
   match b.knd with
   | `Incore -> Incore.freeze b.mgr
   | `Extmem -> Extmem.freeze (ext b)
+  | `Hybrid ->
+    invalid_arg "Backend.freeze: hybrid backend cannot be frozen"
 
 let frozen b =
   match b.knd with
-  | `Incore -> Incore.frozen b.mgr
+  | `Incore | `Hybrid -> Incore.frozen b.mgr
   | `Extmem -> Extmem.frozen (ext b)
 
 (* -- backend names ------------------------------------------------------ *)
 
-let known_backends = [ "incore"; "extmem" ]
-let kind_name = function `Incore -> "incore" | `Extmem -> "extmem"
+let known_backends = [ "incore"; "extmem"; "hybrid" ]
+
+let kind_name = function
+  | `Incore -> "incore"
+  | `Extmem -> "extmem"
+  | `Hybrid -> "hybrid"
 
 let kind_of_string s =
   match s with
   | "incore" -> `Incore
   | "extmem" -> `Extmem
+  | "hybrid" -> `Hybrid
   | _ ->
     invalid_arg
       (Printf.sprintf "unknown backend %S (known backends: %s)" s
@@ -343,12 +545,10 @@ let kind_of_string s =
 
 (* -- levelized serialization ------------------------------------------- *)
 
-module Lv = Jedd_bdd.Levelized
-
 let export_levelized b n =
-  match b.knd with
-  | `Incore -> Lv.of_manager b.mgr (in_node n)
-  | `Extmem ->
+  match (b.knd, n) with
+  | `Incore, _ | `Hybrid, In _ -> Lv.of_manager b.mgr (in_node n)
+  | (`Extmem | `Hybrid), _ ->
     let blocks, root = E.export_blocks (ext b).xstore (ex_node n) in
     { Lv.blocks = Array.of_list blocks; root }
 
@@ -356,7 +556,9 @@ let import_levelized b (d : Lv.t) =
   Lv.validate d;
   match b.knd with
   | `Incore -> In (Lv.to_manager b.mgr d)
-  | `Extmem ->
+  | `Extmem | `Hybrid ->
+    (* hybrid imports to the allocation-free external form; ops pull
+       roots in-core later if the headroom allows *)
     Array.iter
       (fun (l, _, _) ->
         if l >= M.num_vars b.mgr then

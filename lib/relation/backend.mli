@@ -110,7 +110,21 @@ module Extmem :
 
 (** {2 Dispatch layer} *)
 
-type kind = [ `Incore | `Extmem ]
+type kind = [ `Incore | `Extmem | `Hybrid ]
+(** [`Hybrid] holds both engines and picks one per operation,
+    optimistic first: attempt in-core whenever the guaranteed
+    allocation — importing external operands — fits in half the node
+    table's remaining headroom.  An attempt that exhausts the table
+    ([Jedd_bdd.Manager.Out_of_nodes]) transparently re-runs on the
+    external engine, so hybrid universes never abort where pure extmem
+    completes; it also arms a short backoff during which only sure fits
+    (predicted result size ({!Predict}) plus import cost within half
+    the headroom) run in-core and everything else streams, so repeated
+    mispredictions degrade to the conservative prediction-gated regime
+    instead of thrashing the table.  Roots migrate across engines
+    through the levelized dump format.  Like [`Extmem], a hybrid
+    backend is single-domain, keeps a fixed variable order, and cannot
+    be frozen. *)
 
 type t
 (** A backend instance: which engine, plus its state. *)
@@ -118,10 +132,14 @@ type t
 type node = In of Jedd_bdd.Manager.node | Ex of Jedd_extmem.Ebdd.t
 
 val make : kind -> Jedd_bdd.Manager.t -> t
-(** Build a backend over the given manager.  [`Extmem] creates a fresh
-    spill store (unique temp directory, cleaned up on finalisation and
-    at exit) whose budgets come from [JEDD_EXTMEM_PQ_BYTES] /
-    [JEDD_EXTMEM_MEM_NODES]. *)
+(** Build a backend over the given manager.  [`Extmem] and [`Hybrid]
+    create a fresh spill store (unique temp directory, cleaned up on
+    finalisation and at exit) whose budgets come from
+    [JEDD_EXTMEM_PQ_BYTES] / [JEDD_EXTMEM_MEM_NODES].  [`Hybrid]
+    additionally clears the manager's gc-on-exhaustion flag
+    ({!Jedd_bdd.Manager.set_gc_on_exhaustion}): the fallback resumes
+    the surrounding computation, so a failed in-core attempt must not
+    recycle the caller's unreferenced in-flight intermediates. *)
 
 val kind : t -> kind
 val manager : t -> Jedd_bdd.Manager.t
@@ -183,7 +201,7 @@ val frozen : t -> bool
     [JEDD_BACKEND], every [--backend] flag, and the version banners. *)
 
 val known_backends : string list
-(** In registration order: [["incore"; "extmem"]]. *)
+(** In registration order: [["incore"; "extmem"; "hybrid"]]. *)
 
 val kind_name : kind -> string
 

@@ -1,0 +1,27 @@
+(* Shared cost formulas for static shape analysis and hybrid dispatch.
+   Everything saturates at [cap] so arithmetic never wraps and "huge"
+   compares stably against any threshold. *)
+
+let cap = 1 lsl 52
+
+let clamp n = if n < 0 then cap else min n cap
+
+let pow2 n = if n >= 52 then cap else clamp (1 lsl n)
+
+let mul a b =
+  let a = clamp a and b = clamp b in
+  if a = 0 || b = 0 then 0
+  else if a > cap / b then cap
+  else a * b
+
+let add a b = clamp (clamp a + clamp b)
+
+let unknown ~bits = pow2 bits
+
+let apply ~left ~right = mul left right
+
+let product ~left ~right ~result_bits = min (mul left right) (pow2 result_bits)
+
+let project ~nodes ~result_bits = min (clamp nodes) (pow2 result_bits)
+
+let replace ~nodes = clamp nodes

@@ -1,0 +1,46 @@
+(** Node-count prediction for BDD operations: the cost formulas shared
+    by the static shape analysis ([Jedd_cost.Shape]) and the hybrid
+    backend's per-operation engine dispatch ({!Backend}).
+
+    All predictions are saturating upper-bound heuristics in the style
+    of Adiar's levelized cost predictors (arXiv:2104.12101): an apply is
+    bounded by the product of its operand sizes, any relation is bounded
+    by [2^bits] over its layout's total bit width, and quantification
+    and substitution never grow beyond their input by more than the
+    blowup the remaining levels admit.  Exact sizes are unknowable
+    statically; the point is a monotone, cheap estimate that is
+    comparable against a node-table headroom or a lint threshold. *)
+
+val cap : int
+(** Saturation bound for every estimate (2{^52}); [cap] means "too big
+    to matter". *)
+
+val pow2 : int -> int
+(** [2^n], saturating at {!cap}. *)
+
+val mul : int -> int -> int
+(** Saturating product. *)
+
+val add : int -> int -> int
+(** Saturating sum. *)
+
+val unknown : bits:int -> int
+(** A relation about which nothing is known beyond its layout width:
+    [min (pow2 bits) cap]. *)
+
+val apply : left:int -> right:int -> int
+(** Binary boolean combination (and/or/diff): the classic [n_l * n_r]
+    worst case, saturating. *)
+
+val product : left:int -> right:int -> result_bits:int -> int
+(** Join/compose: the apply bound further capped by the result layout's
+    capacity [2^result_bits]. *)
+
+val project : nodes:int -> result_bits:int -> int
+(** Existential quantification: never above the input, never above the
+    remaining levels' capacity. *)
+
+val replace : nodes:int -> int
+(** Level substitution.  Monotone substitutions preserve node count;
+    order-crossing ones can blow up, but Jedd's attribute moves are
+    block moves that mostly preserve shape — we predict identity. *)

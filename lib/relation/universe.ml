@@ -206,6 +206,8 @@ let enable_parallel ?(jobs = Jedd_bdd.Par.default_jobs ()) u =
   (match Backend.kind u.backend with
   | `Extmem ->
     invalid_arg "Universe.enable_parallel: extmem backend is single-domain"
+  | `Hybrid ->
+    invalid_arg "Universe.enable_parallel: hybrid backend is single-domain"
   | `Incore -> ());
   if Backend.pool u.backend <> None then
     invalid_arg "Universe.enable_parallel: already enabled";
