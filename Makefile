@@ -1,6 +1,7 @@
 .PHONY: all check test smoke bench-smoke release bench-json bench-json3 \
         bench-json5 bench-json6 bench-json7 bench-json8 bench-json9 \
-        par-test serve-smoke load-smoke incr-smoke cost-smoke lint clean
+        bench-json10 par-test serve-smoke load-smoke incr-smoke cost-smoke \
+        mtbdd-smoke lint clean
 
 all:
 	dune build
@@ -119,6 +120,30 @@ cost-smoke:
 # backend on the capped points-to workload.  Writes BENCH_pr9.json.
 bench-json9:
 	dune exec --profile release bench/main.exe -- json9
+
+# Terminal-valued (mtbdd) backend, CI-sized: the mtbdd unit/property
+# suite (apply/exist/replace brute-force differentials, bool round
+# trips, weighted relations, weighted analyses), the extmem suite whose
+# storm and 3-way differential now cover the mtbdd backend, an
+# end-to-end mtbdd pipeline run, and a tiny json10 run whose gates
+# require the mtbdd points-to support to be tuple-identical to the
+# in-core result and the counting projection to match a boolean
+# recount.
+mtbdd-smoke:
+	dune build test/test_main.exe bench/main.exe bin/analyze_main.exe
+	dune exec test/test_main.exe -- test mtbdd -q
+	dune exec test/test_main.exe -- test extmem -q
+	dune exec bin/analyze_main.exe -- -b tiny --backend=mtbdd
+	JEDD_MTBDD_BENCH=tiny \
+	  JEDD_BENCH_JSON10_PATH=_build/BENCH_pr10.smoke.json \
+	  dune exec bench/main.exe -- json10
+
+# Weighted points-to (allocation counts) and the call-frequency
+# weighted call graph on the mtbdd backend vs the boolean in-core
+# baseline plus recount; projection bit-identity gated.  Writes
+# BENCH_pr10.json.
+bench-json10:
+	dune exec --profile release bench/main.exe -- json10
 
 clean:
 	dune clean

@@ -24,11 +24,15 @@
      dune exec bench/main.exe -- json9        -- write BENCH_pr9.json
                                                  (weighted assignment +
                                                  hybrid backend, PR 9)
+     dune exec bench/main.exe -- json10       -- write BENCH_pr10.json
+                                                 (mtbdd weighted analyses
+                                                 vs boolean recount, PR 10)
      dune exec bench/main.exe -- smoke        -- seconds-scale sanity run
                                                  (also: dune build @bench-smoke)
 
-   --backend=incore|extmem (any command) selects the relation backend
-   for every universe the benchmarks create, via JEDD_BACKEND. *)
+   --backend=incore|extmem|hybrid|mtbdd (any command) selects the
+   relation backend for every universe the benchmarks create, via
+   JEDD_BACKEND. *)
 
 module Workload = Jedd_minijava.Workload
 module Program = Jedd_minijava.Program
@@ -2170,6 +2174,109 @@ let bench_json9 ?(path = "BENCH_pr9.json") () =
   print_string (Buffer.contents buf);
   Printf.printf "wrote %s\n" path
 
+(* ----------------------------------------------------------------- *)
+(* PR 10: terminal-valued (mtbdd) backend and weighted analyses       *)
+(* ----------------------------------------------------------------- *)
+
+(* Weighted points-to on the mtbdd backend against the boolean in-core
+   suite plus an explicit recount of its tuples.  Two gates make this a
+   correctness benchmark as much as a timing one: the 0/1 support of
+   the mtbdd fixed point must be tuple-identical to the in-core result,
+   and the counting projection must equal the recount. *)
+let bench_json10 ?(path = "BENCH_pr10.json") () =
+  let module W = Jedd_analyses.Weighted in
+  let module R = Jedd_relation.Relation in
+  let module U = Jedd_relation.Universe in
+  let profile =
+    match Sys.getenv_opt "JEDD_MTBDD_BENCH" with
+    | Some "tiny" -> Workload.tiny
+    | Some s -> Workload.profile_named s
+    | None -> Workload.profile_named "javac"
+  in
+  let p = Workload.generate profile in
+  (* boolean baseline: in-core suite, then recount its tuples by var *)
+  let ri, bool_secs = wall (fun () -> Suite.run_all ~backend:`Incore p) in
+  let recount, recount_secs =
+    wall (fun () -> W.recount_by_first ri.Suite.pt)
+  in
+  (* weighted run: same points-to class, terminal-valued universe *)
+  let ac, weighted_secs = wall (fun () -> W.run_alloc_counts p) in
+  let pt_tuples = R.tuples ac.W.ac_pt in
+  let projection_identical = pt_tuples = ri.Suite.pt in
+  let counts = W.alloc_counts_list ac in
+  let counts_match = counts = recount in
+  let max_count = List.fold_left (fun m (_, c) -> max m c) 0 counts in
+  let mu = Interp.universe ac.W.ac_inst in
+  let mt_hits, mt_misses, mt_terminals, mt_live, mt_peak =
+    match Jedd_relation.Backend.mt_store (U.backend mu) with
+    | None -> (0, 0, 0, 0, 0)
+    | Some st ->
+      let module Mt = Jedd_mtbdd.Mtbdd in
+      let h, ms, _ = Mt.cache_totals st in
+      (h, ms, Mt.distinct_terminals st, Mt.live_nodes st, Mt.peak_nodes st)
+  in
+  (* call-frequency weighted call graph on the resolved edges *)
+  let cf, freq_secs =
+    wall (fun () -> W.run_call_freqs p ~call_edges:ri.Suite.call_edges)
+  in
+  let edges = W.edge_freqs_list cf in
+  let hot = W.method_hotness_list cf in
+  let max_hot = List.fold_left (fun m (_, h) -> max m h) 0 hot in
+  let buf = Buffer.create 2048 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "{\n";
+  out "  \"schema\": \"jedd-bench-v10\",\n";
+  out "  \"benchmark\": %S,\n" profile.Workload.name;
+  out "  \"weighted_pointsto\": {\n";
+  (* the boolean baseline runs the full five-analysis suite (the
+     frequency half needs its call edges); the mtbdd timing is the
+     points-to class alone, so the two are context, not a ratio *)
+  out "    \"boolean_suite_seconds\": %.4f,\n" bool_secs;
+  out "    \"recount_seconds\": %.4f,\n" recount_secs;
+  out "    \"mtbdd_seconds\": %.4f,\n" weighted_secs;
+  out "    \"pt_tuples\": %d,\n" (List.length pt_tuples);
+  out "    \"vars_counted\": %d,\n" (List.length counts);
+  out "    \"max_alloc_count\": %d,\n" max_count;
+  out "    \"projection_identical\": %b,\n" projection_identical;
+  out "    \"counts_match_recount\": %b\n" counts_match;
+  out "  },\n";
+  out "  \"call_frequencies\": {\n";
+  out "    \"seconds\": %.4f,\n" freq_secs;
+  out "    \"reachable_edges\": %d,\n" (List.length edges);
+  out "    \"methods_ranked\": %d,\n" (List.length hot);
+  out "    \"max_hotness\": %d\n" max_hot;
+  out "  },\n";
+  out "  \"mtbdd\": {\n";
+  out "    \"live_nodes\": %d,\n" mt_live;
+  out "    \"peak_nodes\": %d,\n" mt_peak;
+  out "    \"distinct_terminals\": %d,\n" mt_terminals;
+  out "    \"cache_hits\": %d,\n" mt_hits;
+  out "    \"cache_misses\": %d\n" mt_misses;
+  out "  }\n";
+  out "}\n";
+  (* gates *)
+  if not projection_identical then begin
+    Printf.eprintf
+      "json10: mtbdd points-to support differs from the in-core result\n";
+    exit 1
+  end;
+  if not counts_match then begin
+    Printf.eprintf
+      "json10: counting projection disagrees with the boolean recount\n";
+    exit 1
+  end;
+  if edges = [] || hot = [] then begin
+    Printf.eprintf "json10: call-frequency analysis produced no edges\n";
+    exit 1
+  end;
+  U.cleanup mu;
+  U.cleanup (Interp.universe cf.W.cf_inst);
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  print_string (Buffer.contents buf);
+  Printf.printf "wrote %s\n" path
+
 let smoke () =
   let failures = ref 0 in
   let check name ok =
@@ -2260,11 +2367,13 @@ let () =
         match String.index_opt a '=' with
         | Some i when String.sub a 0 i = "--backend" ->
           let v = String.sub a (i + 1) (String.length a - i - 1) in
-          (match v with
-          | "incore" | "extmem" -> Unix.putenv "JEDD_BACKEND" v
-          | _ ->
-            Printf.eprintf "unknown backend %S (incore|extmem)\n" v;
-            exit 2);
+          (if List.mem v Jedd_relation.Backend.known_backends then
+             Unix.putenv "JEDD_BACKEND" v
+           else begin
+             Printf.eprintf "unknown backend %S (%s)\n" v
+               (String.concat "|" Jedd_relation.Backend.known_backends);
+             exit 2
+           end);
           false
         | _ -> true)
       args
@@ -2294,5 +2403,9 @@ let () =
      keeps those numbers out of the committed default-profile JSON *)
   if List.mem "json9" cmds then
     bench_json9 ?path:(Sys.getenv_opt "JEDD_BENCH_JSON9_PATH") ();
+  (* mtbdd-smoke runs json10 on the tiny profile via JEDD_MTBDD_BENCH;
+     JEDD_BENCH_JSON10_PATH keeps its numbers out of the committed JSON *)
+  if List.mem "json10" cmds then
+    bench_json10 ?path:(Sys.getenv_opt "JEDD_BENCH_JSON10_PATH") ();
   if List.mem "load" cmds then bench_load ();
   if List.mem "smoke" cmds then smoke ()

@@ -77,6 +77,10 @@ let run benchmark file verify reorder backend node_limit lint save_snapshot
     Format.printf
       "backend: hybrid (per-operation incore/extmem dispatch from predicted \
        node counts)@."
+  | Some `Mtbdd ->
+    Format.printf
+      "backend: mtbdd (terminal-valued BDDs; boolean analyses run as \
+       0/1-weighted relations)@."
   | _ -> ());
   Format.printf "workload %s: %a@." name Program.pp_stats p;
   (* Stage-level parallelism lives in [Suite.run_combined]; the extmem
@@ -176,10 +180,14 @@ let backend_arg =
     & info [ "backend" ] ~docv:"NAME"
         ~doc:
           "Relation backend: $(b,incore) (default; hash-consed shared node \
-           table) or $(b,extmem) (out-of-core streaming BDDs: levelized \
+           table), $(b,extmem) (out-of-core streaming BDDs: levelized \
            node files + priority-queue sweeps under the \
-           JEDD_EXTMEM_PQ_BYTES / JEDD_EXTMEM_MEM_NODES byte budgets).  \
-           Falls back to the JEDD_BACKEND environment variable.")
+           JEDD_EXTMEM_PQ_BYTES / JEDD_EXTMEM_MEM_NODES byte budgets), \
+           $(b,hybrid) (per-operation incore/extmem dispatch from \
+           predicted node counts), or $(b,mtbdd) (terminal-valued BDDs: \
+           boolean analyses run unchanged as 0/1-weighted relations and \
+           support counting projections).  Falls back to the JEDD_BACKEND \
+           environment variable.")
 
 let node_limit_arg =
   Arg.(

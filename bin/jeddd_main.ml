@@ -154,11 +154,21 @@ let run socket no_socket tcp http workers no_freeze sweep_threshold
     node_limit save tag jobs live =
   let jobs = resolve_jobs jobs in
   if workers < 1 then fail "jeddd: --workers must be >= 1";
-  let is_extmem =
-    (match backend with Some "extmem" -> true | _ -> false)
-    || (backend = None && Sys.getenv_opt "JEDD_BACKEND" = Some "extmem")
+  let backend_name =
+    match backend with Some b -> Some b | None -> Sys.getenv_opt "JEDD_BACKEND"
   in
-  let want_freeze = not (no_freeze || is_extmem) in
+  (* serving revolves around levelized snapshots, which the
+     terminal-valued backend cannot export or import *)
+  if backend_name = Some "mtbdd" then
+    fail
+      "jeddd: the mtbdd backend has no levelized snapshot format; use \
+       jedd-analyze --backend=mtbdd (or bench json10) for weighted runs";
+  (* only the in-core backend has an immutable arena to freeze into;
+     extmem, hybrid and mtbdd all raise on [Universe.freeze] *)
+  let is_incore =
+    match backend_name with None | Some "incore" -> true | Some _ -> false
+  in
+  let want_freeze = (not no_freeze) && is_incore in
   let workers =
     if workers > 1 && not want_freeze then begin
       Printf.eprintf
@@ -173,7 +183,7 @@ let run socket no_socket tcp http workers no_freeze sweep_threshold
     fail
       "jeddd: --live re-solves edits, so it needs the program and always \
        runs a cold analysis; drop --snapshot/--name";
-  if live && is_extmem then
+  if live && not is_incore then
     fail "jeddd: --live needs the in-core backend";
   let live_cfg, (snap, universe_hash) =
     try
@@ -328,8 +338,9 @@ let backend_arg =
     value
     & opt (some string) None
     & info [ "backend" ] ~docv:"NAME"
-        ~doc:"Relation backend: $(b,incore) or $(b,extmem); falls back to \
-              JEDD_BACKEND")
+        ~doc:"Relation backend: $(b,incore), $(b,extmem), $(b,hybrid) or \
+              $(b,mtbdd); falls back to JEDD_BACKEND.  Only $(b,incore) \
+              supports frozen multi-worker serving")
 
 let node_limit_arg =
   Arg.(

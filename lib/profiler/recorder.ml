@@ -19,6 +19,10 @@ type summary = {
   spill_runs : int;
   spilled_bytes : int;
   io_millis : float;
+  mt_cache_hits : int;
+  mt_cache_misses : int;
+  mt_terminals : int;
+      (* high-water mark of distinct terminal values over the executions *)
 }
 
 (* One recorder may receive events from several domains at once (e.g.
@@ -84,6 +88,9 @@ let summaries t =
             spill_runs = 0;
             spilled_bytes = 0;
             io_millis = 0.0;
+            mt_cache_hits = 0;
+            mt_cache_misses = 0;
+            mt_terminals = 0;
           }
       in
       let hits, misses, gcs, gc_millis, reorders, rswaps, rmillis =
@@ -103,6 +110,11 @@ let summaries t =
         | Some d -> (d.U.spill_runs, d.U.spilled_bytes, d.U.io_millis)
         | None -> (0, 0, 0.0)
       in
+      let mt_hits, mt_misses, mt_terms =
+        match e.U.bdd with
+        | Some d -> (d.U.mt_cache_hits, d.U.mt_cache_misses, d.U.mt_terminals)
+        | None -> (0, 0, 0)
+      in
       Hashtbl.replace table key
         {
           current with
@@ -121,6 +133,9 @@ let summaries t =
           spill_runs = current.spill_runs + sruns;
           spilled_bytes = current.spilled_bytes + sbytes;
           io_millis = current.io_millis +. io_ms;
+          mt_cache_hits = current.mt_cache_hits + mt_hits;
+          mt_cache_misses = current.mt_cache_misses + mt_misses;
+          mt_terminals = max current.mt_terminals mt_terms;
         })
     events;
   Hashtbl.fold (fun _ s acc -> s :: acc) table []
@@ -183,13 +198,22 @@ let runtime_stats u =
         Jedd_extmem.Store.pq_peak_bytes st,
         Jedd_extmem.Store.io_millis st )
   in
+  let mt_hits, mt_misses, mt_terminals, mt_live, mt_peak =
+    match Jedd_relation.Backend.mt_store (U.backend u) with
+    | None -> (0, 0, 0, 0, 0)
+    | Some st ->
+      let module Mt = Jedd_mtbdd.Mtbdd in
+      let h, ms, _ev = Mt.cache_totals st in
+      (h, ms, Mt.distinct_terminals st, Mt.live_nodes st, Mt.peak_nodes st)
+  in
   [
     ( "backend",
       float_of_int
         (match U.backend_kind u with
         | `Incore -> 0
         | `Extmem -> 1
-        | `Hybrid -> 2) );
+        | `Hybrid -> 2
+        | `Mtbdd -> 3) );
     ("live_nodes", float_of_int (M.live_nodes m));
     ("peak_nodes", float_of_int (M.peak_nodes m));
     ("num_vars", float_of_int (M.num_vars m));
@@ -207,5 +231,10 @@ let runtime_stats u =
     ("spilled_bytes", float_of_int spilled_bytes);
     ("pq_peak_bytes", float_of_int pq_peak_bytes);
     ("io_millis", io_millis);
+    ("mt_cache_hits", float_of_int mt_hits);
+    ("mt_cache_misses", float_of_int mt_misses);
+    ("mt_distinct_terminals", float_of_int mt_terminals);
+    ("mt_live_nodes", float_of_int mt_live);
+    ("mt_peak_nodes", float_of_int mt_peak);
   ]
   @ parallelism_stats u

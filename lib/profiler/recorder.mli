@@ -34,6 +34,11 @@ type summary = {
   spill_runs : int;  (** extmem backend: sorted runs written to disk *)
   spilled_bytes : int;  (** extmem backend: bytes spilled *)
   io_millis : float;  (** extmem backend: time inside spill-file I/O *)
+  mt_cache_hits : int;  (** mtbdd backend: terminal-apply cache hits *)
+  mt_cache_misses : int;
+  mt_terminals : int;
+      (** mtbdd backend: high-water mark of distinct terminal values
+          observed across the executions (a gauge) *)
 }
 
 val create : unit -> t
@@ -60,10 +65,12 @@ val clear : t -> unit
 val runtime_stats : Jedd_relation.Universe.t -> (string * float) list
 (** Lifetime BDD-layer counters of a universe as flat (name, value)
     pairs — cache hits/misses/evictions, GC and growth work, reorder
-    passes/swaps, the extmem spill/I-O counters (zero on in-core), and
-    the [parallelism_stats] section.  Integer counters are widened to
-    floats; [backend] is 0 for in-core, 1 for extmem.  Shared by the
-    jeddd [stats] verb and the bench JSON reports. *)
+    passes/swaps, the extmem spill/I-O counters (zero on in-core), the
+    mtbdd terminal-store counters ([mt_cache_*], [mt_distinct_terminals],
+    [mt_live_nodes]; zero on boolean backends), and the
+    [parallelism_stats] section.  Integer counters are widened to
+    floats; [backend] is 0 in-core, 1 extmem, 2 hybrid, 3 mtbdd.
+    Shared by the jeddd [stats] verb and the bench JSON reports. *)
 
 val parallelism_stats : Jedd_relation.Universe.t -> (string * float) list
 (** Just the parallelism section: pool width and fork/steal traffic,

@@ -7,6 +7,7 @@ module Enum = Jedd_bdd.Enum
 module Fdd = Jedd_bdd.Fdd
 module Store = Jedd_extmem.Store
 module E = Jedd_extmem.Ebdd
+module Mtb = Jedd_mtbdd.Mtbdd
 
 module type BACKEND = sig
   type state
@@ -139,17 +140,102 @@ module Extmem = struct
   let frozen (_ : state) = false
 end
 
+type mtbdd_state = { mmgr : M.t; mstore : Mtb.t }
+
+(* Boolean relations in a terminal-valued store are the 0/1 embedding:
+   conjunction is pointwise [Mul] (so intersecting with a 0/1 mask
+   preserves weights instead of clamping them), disjunction is [Max],
+   difference is [Diff], and quantification aggregates terminals with
+   [Max].  Under that reading every BACKEND operation below is
+   bit-identical to the in-core engine on 0/1 diagrams — the
+   cross-backend differential tests lean on exactly this. *)
+module Mtbdd_b = struct
+  type state = mtbdd_state
+  type node = Mtb.node
+
+  let zero s = Mtb.zero s.mstore
+  let one s = Mtb.one s.mstore
+  let addref s n = Mtb.addref s.mstore n
+  let delref s n = Mtb.delref s.mstore n
+  let band s = Mtb.apply s.mstore Mtb.Mul
+  let bor s = Mtb.apply s.mstore Mtb.Max
+  let bdiff s = Mtb.apply s.mstore Mtb.Diff
+
+  let cube s assignment =
+    let sorted =
+      List.sort (fun (a, _) (b, _) -> compare b a) assignment
+    in
+    List.fold_left
+      (fun acc (lvl, sign) ->
+        if sign then Mtb.mk s.mstore lvl (Mtb.zero s.mstore) acc
+        else Mtb.mk s.mstore lvl acc (Mtb.zero s.mstore))
+      (Mtb.one s.mstore) sorted
+
+  let biimp_vars s l1 l2 =
+    let st = s.mstore in
+    let lo_l = Int.min l1 l2 and hi_l = Int.max l1 l2 in
+    let eq_hi = Mtb.mk st hi_l (Mtb.zero st) (Mtb.one st) in
+    let eq_lo = Mtb.mk st hi_l (Mtb.one st) (Mtb.zero st) in
+    Mtb.mk st lo_l eq_lo eq_hi
+
+  let block_levels s block = Fdd.levels s.mmgr block (* msb first *)
+
+  let ithval s block v =
+    let levels = block_levels s block in
+    let w = Array.length levels in
+    cube s
+      (List.init w (fun i -> (levels.(i), (v lsr (w - 1 - i)) land 1 = 1)))
+
+  let less_than s block k =
+    (* build on the shared boolean manager and lift the 0/1 diagram *)
+    let bn = M.addref s.mmgr (Fdd.less_than_const s.mmgr block k) in
+    let r = Mtb.of_bool s.mstore s.mmgr bn in
+    M.delref s.mmgr bn;
+    r
+
+  let restrict s n assignment = Mtb.restrict s.mstore n assignment
+  let exist s n levels = Mtb.exist s.mstore Mtb.Max_agg n levels
+  let replace s n pairs = Mtb.replace s.mstore n pairs
+
+  let relprod_replace s f g pairs qlevels =
+    Mtb.relprod_replace s.mstore f g pairs qlevels
+
+  let nodecount s n = Mtb.nodecount s.mstore n
+  let satcount s n ~over = Mtb.satcount s.mstore n ~over
+  let shape s n = Mtb.shape s.mstore n ~num_vars:(M.num_vars s.mmgr)
+
+  let iter_assignments s n ~levels k =
+    Mtb.iter_assignments s.mstore n ~levels k
+
+  let equal (_ : state) a b = a = b
+  let is_zero s n = n = Mtb.zero s.mstore
+
+  let checkpoint s =
+    (* the boolean manager holds constructor scratch (less_than) *)
+    Mtb.checkpoint s.mstore;
+    M.checkpoint s.mmgr
+
+  let supports_reorder = false
+
+  (* terminal-valued stores have no read-only arena form *)
+  let freeze (_ : state) =
+    invalid_arg "Backend.freeze: mtbdd backend cannot be frozen"
+
+  let frozen (_ : state) = false
+end
+
 (* dispatch layer *)
 
 module Par = Jedd_bdd.Par
 module Lv = Jedd_bdd.Levelized
 
-type kind = [ `Incore | `Extmem | `Hybrid ]
+type kind = [ `Incore | `Extmem | `Hybrid | `Mtbdd ]
 
 type t = {
   knd : kind;
   mgr : M.t;
   ext : extmem_state option;
+  mt : mtbdd_state option;
   (* when set (in-core only), conjunction/disjunction/quantification and
      the fused compose kernel run on the work-stealing pool; the extmem
      backend stays single-domain (its page cache and file store are not
@@ -161,11 +247,16 @@ type t = {
   mutable hyb_backoff : int;
 }
 
-type node = In of M.node | Ex of E.t
+type node = In of M.node | Ex of E.t | Mt of Mtb.node
 
 let make knd mgr =
   match knd with
-  | `Incore -> { knd; mgr; ext = None; pool = None; hyb_backoff = 0 }
+  | `Incore ->
+    { knd; mgr; ext = None; mt = None; pool = None; hyb_backoff = 0 }
+  | `Mtbdd ->
+    { knd; mgr; ext = None;
+      mt = Some { mmgr = mgr; mstore = Mtb.create () };
+      pool = None; hyb_backoff = 0 }
   | `Extmem | `Hybrid ->
     (* The hybrid fallback *resumes* the surrounding computation after
        catching [Out_of_nodes], so exhaustion must not collect: the
@@ -176,11 +267,12 @@ let make knd mgr =
     if knd = `Hybrid then M.set_gc_on_exhaustion mgr false;
     { knd; mgr;
       ext = Some { xmgr = mgr; xstore = Store.create () };
-      pool = None; hyb_backoff = 0 }
+      mt = None; pool = None; hyb_backoff = 0 }
 
 let kind b = b.knd
 let manager b = b.mgr
 let store b = Option.map (fun s -> s.xstore) b.ext
+let mt_store b = Option.map (fun s -> s.mstore) b.mt
 
 let set_pool b p =
   (match (p, b.knd) with
@@ -188,6 +280,8 @@ let set_pool b p =
     invalid_arg "Backend.set_pool: extmem backend is single-domain"
   | Some _, `Hybrid ->
     invalid_arg "Backend.set_pool: hybrid backend is single-domain"
+  | Some _, `Mtbdd ->
+    invalid_arg "Backend.set_pool: mtbdd backend is single-domain"
   | _ -> ());
   b.pool <- p
 
@@ -201,13 +295,22 @@ let ext b =
   | Some s -> s
   | None -> invalid_arg "Backend: extmem state on an in-core backend"
 
+let mts b =
+  match b.mt with
+  | Some s -> s
+  | None -> invalid_arg "Backend: mtbdd state on a non-mtbdd backend"
+
 let in_node = function
   | In n -> n
-  | Ex _ -> invalid_arg "Backend: extmem node passed to in-core backend"
+  | Ex _ | Mt _ -> invalid_arg "Backend: foreign node passed to in-core backend"
 
 let ex_node = function
   | Ex n -> n
-  | In _ -> invalid_arg "Backend: in-core node passed to extmem backend"
+  | In _ | Mt _ -> invalid_arg "Backend: foreign node passed to extmem backend"
+
+let mt_node = function
+  | Mt n -> n
+  | In _ | Ex _ -> invalid_arg "Backend: foreign node passed to mtbdd backend"
 
 (* -- hybrid engine choice (ROADMAP item 3) ------------------------------
 
@@ -232,6 +335,7 @@ let ex_node = function
 let hyb_nodecount b = function
   | In n -> Incore.nodecount b.mgr n
   | Ex n -> E.nodecount n
+  | Mt _ -> invalid_arg "Backend: mtbdd node passed to hybrid backend"
 
 let hyb_headroom b =
   match M.node_limit b.mgr with
@@ -259,6 +363,7 @@ let hyb_to_ex b = function
   | In n ->
     let d = Lv.of_manager b.mgr n in
     E.import_blocks (Array.to_list d.Lv.blocks) d.Lv.root
+  | Mt _ -> invalid_arg "Backend: mtbdd node passed to hybrid backend"
 
 let hyb_to_in b = function
   | In n ->
@@ -267,8 +372,12 @@ let hyb_to_in b = function
   | Ex n ->
     let blocks, root = E.export_blocks (ext b).xstore n in
     Lv.to_manager b.mgr { Lv.blocks = Array.of_list blocks; root }
+  | Mt _ -> invalid_arg "Backend: mtbdd node passed to hybrid backend"
 
-let hyb_import_cost = function In _ -> 0 | Ex n -> E.nodecount n
+let hyb_import_cost = function
+  | In _ -> 0
+  | Ex n -> E.nodecount n
+  | Mt _ -> invalid_arg "Backend: mtbdd node passed to hybrid backend"
 
 (* Run [fin] in-core over imported operands, falling back to [fex] on
    node-table exhaustion.  The temporary refs balance [hyb_to_in]'s
@@ -334,28 +443,33 @@ let zero b =
   match b.knd with
   | `Incore | `Hybrid -> In (Incore.zero b.mgr)
   | `Extmem -> Ex (Extmem.zero (ext b))
+  | `Mtbdd -> Mt (Mtbdd_b.zero (mts b))
 
 let one b =
   match b.knd with
   | `Incore | `Hybrid -> In (Incore.one b.mgr)
   | `Extmem -> Ex (Extmem.one (ext b))
+  | `Mtbdd -> Mt (Mtbdd_b.one (mts b))
 
 let addref b n =
   match (b.knd, n) with
   | `Incore, _ | `Hybrid, In _ -> Incore.addref b.mgr (in_node n)
-  | `Extmem, _ | `Hybrid, Ex _ -> Extmem.addref (ext b) (ex_node n)
+  | `Extmem, _ | `Hybrid, _ -> Extmem.addref (ext b) (ex_node n)
+  | `Mtbdd, _ -> Mtbdd_b.addref (mts b) (mt_node n)
 
 let delref b n =
   match (b.knd, n) with
   | `Incore, _ | `Hybrid, In _ -> Incore.delref b.mgr (in_node n)
-  | `Extmem, _ | `Hybrid, Ex _ -> Extmem.delref (ext b) (ex_node n)
+  | `Extmem, _ | `Hybrid, _ -> Extmem.delref (ext b) (ex_node n)
+  | `Mtbdd, _ -> Mtbdd_b.delref (mts b) (mt_node n)
 
-let lift2 b fin fex x y =
+let lift2 b fin fex fmt x y =
   match b.knd with
   | `Incore -> In (fin b.mgr (in_node x) (in_node y))
   | `Extmem | `Hybrid -> Ex (fex (ext b) (ex_node x) (ex_node y))
+  | `Mtbdd -> Mt (fmt (mts b) (mt_node x) (mt_node y))
 
-let lift2_par b fpar fin fex x y =
+let lift2_par b fpar fin fex fmt x y =
   match (b.knd, b.pool) with
   | `Incore, Some p -> In (fpar p b.mgr (in_node x) (in_node y))
   | `Hybrid, _ ->
@@ -363,16 +477,17 @@ let lift2_par b fpar fin fex x y =
       Predict.apply ~left:(hyb_nodecount b x) ~right:(hyb_nodecount b y)
     in
     hyb2 b ~predicted fin fex x y
-  | _ -> lift2 b fin fex x y
+  | _ -> lift2 b fin fex fmt x y
 
-let band b = lift2_par b Par.band Incore.band Extmem.band
-let bor b = lift2_par b Par.bor Incore.bor Extmem.bor
-let bdiff b = lift2_par b Par.bdiff Incore.bdiff Extmem.bdiff
+let band b = lift2_par b Par.band Incore.band Extmem.band Mtbdd_b.band
+let bor b = lift2_par b Par.bor Incore.bor Extmem.bor Mtbdd_b.bor
+let bdiff b = lift2_par b Par.bdiff Incore.bdiff Extmem.bdiff Mtbdd_b.bdiff
 
 let cube b assignment =
   match b.knd with
   | `Incore -> In (Incore.cube b.mgr assignment)
   | `Extmem -> Ex (Extmem.cube (ext b) assignment)
+  | `Mtbdd -> Mt (Mtbdd_b.cube (mts b) assignment)
   | `Hybrid ->
     hyb_constructor b
       (fun m -> Incore.cube m assignment)
@@ -382,6 +497,7 @@ let biimp_vars b l1 l2 =
   match b.knd with
   | `Incore -> In (Incore.biimp_vars b.mgr l1 l2)
   | `Extmem -> Ex (Extmem.biimp_vars (ext b) l1 l2)
+  | `Mtbdd -> Mt (Mtbdd_b.biimp_vars (mts b) l1 l2)
   | `Hybrid ->
     hyb_constructor b
       (fun m -> Incore.biimp_vars m l1 l2)
@@ -391,6 +507,7 @@ let ithval b block v =
   match b.knd with
   | `Incore -> In (Incore.ithval b.mgr block v)
   | `Extmem -> Ex (Extmem.ithval (ext b) block v)
+  | `Mtbdd -> Mt (Mtbdd_b.ithval (mts b) block v)
   | `Hybrid ->
     hyb_constructor b
       (fun m -> Incore.ithval m block v)
@@ -400,6 +517,7 @@ let less_than b block k =
   match b.knd with
   | `Incore -> In (Incore.less_than b.mgr block k)
   | `Extmem -> Ex (Extmem.less_than (ext b) block k)
+  | `Mtbdd -> Mt (Mtbdd_b.less_than (mts b) block k)
   | `Hybrid ->
     hyb_constructor b
       (fun m -> Incore.less_than m block k)
@@ -409,6 +527,7 @@ let restrict b n assignment =
   match b.knd with
   | `Incore -> In (Incore.restrict b.mgr (in_node n) assignment)
   | `Extmem -> Ex (Extmem.restrict (ext b) (ex_node n) assignment)
+  | `Mtbdd -> Mt (Mtbdd_b.restrict (mts b) (mt_node n) assignment)
   | `Hybrid ->
     hyb1 b
       ~predicted:(Predict.replace ~nodes:(hyb_nodecount b n))
@@ -422,6 +541,7 @@ let exist b n levels =
     In (Par.exist p b.mgr (in_node n) (Quant.varset b.mgr levels))
   | `Incore, _ -> In (Incore.exist b.mgr (in_node n) levels)
   | `Extmem, _ -> Ex (Extmem.exist (ext b) (ex_node n) levels)
+  | `Mtbdd, _ -> Mt (Mtbdd_b.exist (mts b) (mt_node n) levels)
   | `Hybrid, _ ->
     hyb1 b
       ~predicted:(Predict.replace ~nodes:(hyb_nodecount b n))
@@ -433,6 +553,7 @@ let replace b n pairs =
   match b.knd with
   | `Incore -> In (Incore.replace b.mgr (in_node n) pairs)
   | `Extmem -> Ex (Extmem.replace (ext b) (ex_node n) pairs)
+  | `Mtbdd -> Mt (Mtbdd_b.replace (mts b) (mt_node n) pairs)
   | `Hybrid ->
     hyb1 b
       ~predicted:(Predict.replace ~nodes:(hyb_nodecount b n))
@@ -452,6 +573,8 @@ let relprod_replace b f g pairs qlevels =
     In (Incore.relprod_replace b.mgr (in_node f) (in_node g) pairs qlevels)
   | `Extmem, _ ->
     Ex (Extmem.relprod_replace (ext b) (ex_node f) (ex_node g) pairs qlevels)
+  | `Mtbdd, _ ->
+    Mt (Mtbdd_b.relprod_replace (mts b) (mt_node f) (mt_node g) pairs qlevels)
   | `Hybrid, _ ->
     let predicted =
       Predict.product
@@ -467,30 +590,35 @@ let relprod_replace b f g pairs qlevels =
 let nodecount b n =
   match (b.knd, n) with
   | `Incore, _ | `Hybrid, In _ -> Incore.nodecount b.mgr (in_node n)
-  | `Extmem, _ | `Hybrid, Ex _ -> Extmem.nodecount (ext b) (ex_node n)
+  | `Extmem, _ | `Hybrid, _ -> Extmem.nodecount (ext b) (ex_node n)
+  | `Mtbdd, _ -> Mtbdd_b.nodecount (mts b) (mt_node n)
 
 let satcount b n ~over =
   match (b.knd, n) with
   | `Incore, _ | `Hybrid, In _ -> Incore.satcount b.mgr (in_node n) ~over
-  | `Extmem, _ | `Hybrid, Ex _ -> Extmem.satcount (ext b) (ex_node n) ~over
+  | `Extmem, _ | `Hybrid, _ -> Extmem.satcount (ext b) (ex_node n) ~over
+  | `Mtbdd, _ -> Mtbdd_b.satcount (mts b) (mt_node n) ~over
 
 let shape b n =
   match (b.knd, n) with
   | `Incore, _ | `Hybrid, In _ -> Incore.shape b.mgr (in_node n)
-  | `Extmem, _ | `Hybrid, Ex _ -> Extmem.shape (ext b) (ex_node n)
+  | `Extmem, _ | `Hybrid, _ -> Extmem.shape (ext b) (ex_node n)
+  | `Mtbdd, _ -> Mtbdd_b.shape (mts b) (mt_node n)
 
 let iter_assignments b n ~levels k =
   match (b.knd, n) with
   | `Incore, _ | `Hybrid, In _ ->
     Incore.iter_assignments b.mgr (in_node n) ~levels k
-  | `Extmem, _ | `Hybrid, Ex _ ->
+  | `Extmem, _ | `Hybrid, _ ->
     Extmem.iter_assignments (ext b) (ex_node n) ~levels k
+  | `Mtbdd, _ -> Mtbdd_b.iter_assignments (mts b) (mt_node n) ~levels k
 
 let equal b x y =
   match (b.knd, x, y) with
   | `Incore, _, _ | `Hybrid, In _, In _ ->
     Incore.equal b.mgr (in_node x) (in_node y)
   | `Extmem, _, _ -> Extmem.equal (ext b) (ex_node x) (ex_node y)
+  | `Mtbdd, _, _ -> Mtbdd_b.equal (mts b) (mt_node x) (mt_node y)
   | `Hybrid, _, _ ->
     (* mixed-engine comparison: export the in-core side (pure, no
        allocation) and compare levelized forms structurally *)
@@ -499,23 +627,28 @@ let equal b x y =
 let is_zero b n =
   match (b.knd, n) with
   | `Incore, _ | `Hybrid, In _ -> Incore.is_zero b.mgr (in_node n)
-  | `Extmem, _ | `Hybrid, Ex _ -> Extmem.is_zero (ext b) (ex_node n)
+  | `Extmem, _ | `Hybrid, _ -> Extmem.is_zero (ext b) (ex_node n)
+  | `Mtbdd, _ -> Mtbdd_b.is_zero (mts b) (mt_node n)
 
 let checkpoint b =
   match b.knd with
   | `Incore | `Hybrid -> Incore.checkpoint b.mgr
   | `Extmem -> Extmem.checkpoint (ext b)
+  | `Mtbdd -> Mtbdd_b.checkpoint (mts b)
 
 let supports_reorder b =
   match b.knd with
   | `Incore -> Incore.supports_reorder
-  (* hybrid roots may live as levelized node files: levels are baked *)
+  (* hybrid roots may live as levelized node files, and mtbdd stores
+     bake manager levels into their own node table: levels are fixed *)
   | `Extmem | `Hybrid -> Extmem.supports_reorder
+  | `Mtbdd -> Mtbdd_b.supports_reorder
 
 let freeze b =
   match b.knd with
   | `Incore -> Incore.freeze b.mgr
   | `Extmem -> Extmem.freeze (ext b)
+  | `Mtbdd -> Mtbdd_b.freeze (mts b)
   | `Hybrid ->
     invalid_arg "Backend.freeze: hybrid backend cannot be frozen"
 
@@ -523,21 +656,24 @@ let frozen b =
   match b.knd with
   | `Incore | `Hybrid -> Incore.frozen b.mgr
   | `Extmem -> Extmem.frozen (ext b)
+  | `Mtbdd -> Mtbdd_b.frozen (mts b)
 
 (* -- backend names ------------------------------------------------------ *)
 
-let known_backends = [ "incore"; "extmem"; "hybrid" ]
+let known_backends = [ "incore"; "extmem"; "hybrid"; "mtbdd" ]
 
 let kind_name = function
   | `Incore -> "incore"
   | `Extmem -> "extmem"
   | `Hybrid -> "hybrid"
+  | `Mtbdd -> "mtbdd"
 
 let kind_of_string s =
   match s with
   | "incore" -> `Incore
   | "extmem" -> `Extmem
   | "hybrid" -> `Hybrid
+  | "mtbdd" -> `Mtbdd
   | _ ->
     invalid_arg
       (Printf.sprintf "unknown backend %S (known backends: %s)" s
@@ -548,6 +684,10 @@ let kind_of_string s =
 let export_levelized b n =
   match (b.knd, n) with
   | `Incore, _ | `Hybrid, In _ -> Lv.of_manager b.mgr (in_node n)
+  | `Mtbdd, _ ->
+    invalid_arg
+      "Backend.export_levelized: mtbdd relations carry terminal weights \
+       not representable in the boolean node-file format"
   | (`Extmem | `Hybrid), _ ->
     let blocks, root = E.export_blocks (ext b).xstore (ex_node n) in
     { Lv.blocks = Array.of_list blocks; root }
@@ -556,6 +696,10 @@ let import_levelized b (d : Lv.t) =
   Lv.validate d;
   match b.knd with
   | `Incore -> In (Lv.to_manager b.mgr d)
+  | `Mtbdd ->
+    invalid_arg
+      "Backend.import_levelized: mtbdd relations carry terminal weights \
+       not representable in the boolean node-file format"
   | `Extmem | `Hybrid ->
     (* hybrid imports to the allocation-free external form; ops pull
        roots in-core later if the headroom allows *)
@@ -568,3 +712,30 @@ let import_levelized b (d : Lv.t) =
                   l (M.num_vars b.mgr))))
       d.Lv.blocks;
     Ex (E.import_blocks (Array.to_list d.Lv.blocks) d.Lv.root)
+
+(* -- weighted (terminal-valued) entry points ---------------------------- *)
+
+(* All of these require an [`Mtbdd] backend ([Invalid_argument]
+   otherwise): they are the only operations whose semantics cannot be
+   expressed through the boolean BACKEND signature. *)
+
+let wmt b = (mts b).mstore
+let wterminal b v = Mt (Mtb.terminal (wmt b) v)
+let wvalue_cap = Mtb.value_cap
+
+let wapply b op x y = Mt (Mtb.apply (wmt b) op (mt_node x) (mt_node y))
+let wadd b = wapply b Mtb.Add
+let wmin b = wapply b Mtb.Min
+let wmax b = wapply b Mtb.Max
+let wmul b = wapply b Mtb.Mul
+
+let wscale b x k =
+  Mt (Mtb.apply (wmt b) Mtb.Mul (mt_node x) (Mtb.terminal (wmt b) k))
+
+(* Sum-aggregated quantification: project levels away adding up the
+   per-assignment weights — the counting projection. *)
+let wsum_exist b x levels = Mt (Mtb.exist (wmt b) Mtb.Sum (mt_node x) levels)
+let wthreshold b x k = Mt (Mtb.threshold (wmt b) (mt_node x) k)
+
+let iter_weighted b n ~levels k =
+  Mtb.iter_weighted (wmt b) (mt_node n) ~levels k

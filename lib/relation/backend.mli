@@ -2,7 +2,7 @@
     ({!Universe}, {!Relation}) needs from a BDD engine, carved out as a
     first-class signature so the engine is pluggable per-universe.
 
-    Two implementations are provided:
+    Three base implementations are provided:
 
     - {!Incore} — the default, backed by the shared hash-consed node
       store of [Jedd_bdd.Manager] with its fused kernels and operation
@@ -11,17 +11,24 @@
       [Jedd_extmem.Ebdd] (Adiar-style, arXiv:2104.12101): BDDs as
       level-ordered node files, operations as priority-queue sweeps
       whose memory is bounded by a byte budget, spilling sorted runs to
-      a per-universe temp directory.
+      a per-universe temp directory;
+    - {!Mtbdd_b} — the terminal-valued engine of [Jedd_mtbdd.Mtbdd]:
+      relations carry a non-negative integer weight per tuple, boolean
+      connectives become pointwise terminal arithmetic under the 0/1
+      embedding (conjunction = multiply, disjunction = max), and the
+      weighted entry points below expose the genuinely quantitative
+      operations (sum-projection, scaling, thresholding).
 
-    The relation layer is dispatch-routed over the two through {!t} and
+    The relation layer is dispatch-routed over them through {!t} and
     {!node}: a universe carries one {!t} and every relation root is a
     {!node} of the matching implementation.
 
-    In both cases the in-core manager remains the variable-order
+    In all cases the in-core manager remains the variable-order
     authority — domains and physical domains allocate their bit blocks
-    through it, and the external engine addresses variables by level.
-    Consequently extmem universes keep a fixed order (dynamic
-    reordering is disabled: levels are baked into node files). *)
+    through it, and the other engines address variables by level.
+    Consequently extmem and mtbdd universes keep a fixed order (dynamic
+    reordering is disabled: levels are baked into node files / the
+    terminal-valued store). *)
 
 (** Operations a backend must provide.  [state] is the engine instance
     (node store, caches, spill store); [node] the engine's BDD values.
@@ -108,9 +115,17 @@ module Incore :
 module Extmem :
   BACKEND with type state = extmem_state and type node = Jedd_extmem.Ebdd.t
 
+type mtbdd_state = {
+  mmgr : Jedd_bdd.Manager.t;  (** variable-order authority *)
+  mstore : Jedd_mtbdd.Mtbdd.t;  (** terminal-valued node store *)
+}
+
+module Mtbdd_b :
+  BACKEND with type state = mtbdd_state and type node = Jedd_mtbdd.Mtbdd.node
+
 (** {2 Dispatch layer} *)
 
-type kind = [ `Incore | `Extmem | `Hybrid ]
+type kind = [ `Incore | `Extmem | `Hybrid | `Mtbdd ]
 (** [`Hybrid] holds both engines and picks one per operation,
     optimistic first: attempt in-core whenever the guaranteed
     allocation — importing external operands — fits in half the node
@@ -124,12 +139,19 @@ type kind = [ `Incore | `Extmem | `Hybrid ]
     instead of thrashing the table.  Roots migrate across engines
     through the levelized dump format.  Like [`Extmem], a hybrid
     backend is single-domain, keeps a fixed variable order, and cannot
-    be frozen. *)
+    be frozen.
+
+    [`Mtbdd] computes on the terminal-valued store; boolean operations
+    use the 0/1 embedding and are bit-identical to the in-core engine
+    after projection. *)
 
 type t
 (** A backend instance: which engine, plus its state. *)
 
-type node = In of Jedd_bdd.Manager.node | Ex of Jedd_extmem.Ebdd.t
+type node =
+  | In of Jedd_bdd.Manager.node
+  | Ex of Jedd_extmem.Ebdd.t
+  | Mt of Jedd_mtbdd.Mtbdd.node
 
 val make : kind -> Jedd_bdd.Manager.t -> t
 (** Build a backend over the given manager.  [`Extmem] and [`Hybrid]
@@ -147,6 +169,11 @@ val manager : t -> Jedd_bdd.Manager.t
 val store : t -> Jedd_extmem.Store.t option
 (** The spill store of an [`Extmem] backend ([None] for [`Incore]);
     source of the spill/I/O counters in [Universe.bdd_delta]. *)
+
+val mt_store : t -> Jedd_mtbdd.Mtbdd.t option
+(** The terminal-valued store of an [`Mtbdd] backend ([None]
+    otherwise); source of the per-tag apply-cache and
+    distinct-terminal counters in [Universe.bdd_delta]. *)
 
 val cleanup : t -> unit
 (** Release backend resources eagerly (removes the spill directory). *)
@@ -201,7 +228,8 @@ val frozen : t -> bool
     [JEDD_BACKEND], every [--backend] flag, and the version banners. *)
 
 val known_backends : string list
-(** In registration order: [["incore"; "extmem"; "hybrid"]]. *)
+(** In registration order:
+    [["incore"; "extmem"; "hybrid"; "mtbdd"]]. *)
 
 val kind_name : kind -> string
 
@@ -222,4 +250,43 @@ val import_levelized : t -> Jedd_bdd.Levelized.t -> node
 (** Validates the dump first ({!Jedd_bdd.Levelized.Malformed} on
     failure).  On the in-core backend the returned root carries one
     external reference owned by the caller — wrap it in a relation (which
-    takes its own) and then {!delref} it. *)
+    takes its own) and then {!delref} it.
+
+    Both directions raise [Invalid_argument] on an [`Mtbdd] backend:
+    terminal weights are not representable in the boolean node-file
+    format. *)
+
+(** {2 Weighted (terminal-valued) entry points}
+
+    Only meaningful on an [`Mtbdd] backend — every function here raises
+    [Invalid_argument] on any other kind, since no boolean engine can
+    express them.  Weights are non-negative and saturate at
+    {!wvalue_cap}. *)
+
+val wvalue_cap : int
+
+val wterminal : t -> int -> node
+(** The constant diagram with the given weight everywhere. *)
+
+val wadd : t -> node -> node -> node
+val wmin : t -> node -> node -> node
+val wmax : t -> node -> node -> node
+
+val wmul : t -> node -> node -> node
+(** Pointwise product — also the weight-preserving intersection with a
+    0/1 mask. *)
+
+val wscale : t -> node -> int -> node
+(** Multiply every weight by a constant. *)
+
+val wsum_exist : t -> node -> int list -> node
+(** Quantify levels away summing weights per projected assignment — the
+    counting projection (levels absent from a sub-diagram double it,
+    like satcount). *)
+
+val wthreshold : t -> node -> int -> node
+(** Clamp to the 0/1 embedding: weights [>= k] become 1, others 0. *)
+
+val iter_weighted :
+  t -> node -> levels:int array -> (bool array -> int -> unit) -> unit
+(** {!iter_assignments} with each assignment's weight. *)

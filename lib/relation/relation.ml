@@ -681,3 +681,113 @@ let pp ppf r =
   List.iter print_row rows
 
 let to_string r = Format.asprintf "%a" pp r
+
+(* -- weighted relations (mtbdd backend) ---------------------------------- *)
+
+(* Per-tuple integer weights, carried as MTBDD terminal values.  Every
+   function below needs the terminal-valued engine; on the boolean
+   backends there is nowhere to keep a weight, so they are type errors
+   rather than silently-lossy approximations. *)
+
+let require_mtbdd name u =
+  let k = Universe.backend_kind u in
+  if k <> `Mtbdd then
+    type_error "%s: requires an mtbdd universe (this one is %s)" name
+      (B.kind_name k)
+
+let of_weighted_tuples u sch wtuples =
+  require_mtbdd "Relation.of_weighted_tuples" u;
+  Universe.checkpoint u;
+  let b = Universe.backend u in
+  let rt =
+    (* accumulate with addition so duplicate tuples sum their weights *)
+    List.fold_left
+      (fun acc (objs, w) ->
+        if w < 0 then
+          type_error "of_weighted_tuples: negative weight %d" w;
+        B.wadd b acc (B.wscale b (tuple_root u sch objs) w))
+      (B.zero b) wtuples
+  in
+  make u sch rt
+
+let iter_weighted_tuples r k =
+  require_mtbdd "Relation.iter_weighted_tuples" r.u;
+  let b = backend r in
+  let m = Universe.manager r.u in
+  let levels = Schema.levels r.sch in
+  let entries = Array.of_list (Schema.entries r.sch) in
+  let tuple = Array.make (Array.length entries) 0 in
+  B.iter_weighted b (root r) ~levels (fun values w ->
+      Array.iteri
+        (fun i (e : Schema.entry) ->
+          tuple.(i) <- Fdd.decode m (Physdom.block e.phys) ~levels values)
+        entries;
+      k tuple w)
+
+let weight_of_tuples r =
+  let acc = ref [] in
+  iter_weighted_tuples r (fun t w -> acc := (Array.to_list t, w) :: !acc);
+  List.sort compare !acc
+
+let fold_weighted r ~init ~f =
+  let acc = ref init in
+  iter_weighted_tuples r (fun t w -> acc := f !acc (Array.to_list t) w);
+  !acc
+
+(* Read the value of a constant (terminal) diagram: enumerate over no
+   levels — the callback fires once with the terminal's weight, or not
+   at all for the zero terminal. *)
+let constant_weight b n =
+  let w = ref 0 in
+  B.iter_weighted b n ~levels:[||] (fun _ v -> w := v);
+  !w
+
+let total_weight r =
+  require_mtbdd "Relation.total_weight" r.u;
+  let b = backend r in
+  constant_weight b
+    (B.wsum_exist b (root r) (Array.to_list (Schema.levels r.sch)))
+
+let weight_of r objs =
+  require_mtbdd "Relation.weight_of" r.u;
+  let b = backend r in
+  let masked = B.wmul b (root r) (tuple_root r.u r.sch objs) in
+  constant_weight b
+    (B.wsum_exist b masked (Array.to_list (Schema.levels r.sch)))
+
+let project_sum ?(label = "") r attrs =
+  require_mtbdd "Relation.project_sum" r.u;
+  List.iter
+    (fun a ->
+      if not (Schema.mem r.sch a) then
+        type_error "project_sum: attribute %s not in schema %s"
+          (Attribute.name a) (Schema.to_string r.sch))
+    attrs;
+  Universe.checkpoint r.u;
+  profiled r.u ~op:"project_sum" ~label ~operands:[ r ] (fun () ->
+      let b = backend r in
+      let removed, kept =
+        List.partition
+          (fun (e : Schema.entry) ->
+            List.exists (Attribute.equal e.attr) attrs)
+          (Schema.entries r.sch)
+      in
+      let levels =
+        List.concat_map
+          (fun (e : Schema.entry) -> Array.to_list (Physdom.levels e.phys))
+          removed
+      in
+      make r.u (Schema.make kept) (B.wsum_exist b (root r) levels))
+
+let scale ?(label = "") r k =
+  require_mtbdd "Relation.scale" r.u;
+  if k < 0 then type_error "scale: negative factor %d" k;
+  Universe.checkpoint r.u;
+  profiled r.u ~op:"scale" ~label ~operands:[ r ] (fun () ->
+      make r.u r.sch (B.wscale (backend r) (root r) k))
+
+let threshold ?(label = "") r k =
+  require_mtbdd "Relation.threshold" r.u;
+  Universe.checkpoint r.u;
+  profiled r.u ~op:"threshold" ~label ~operands:[ r ] (fun () ->
+      make r.u r.sch (B.wthreshold (backend r) (root r) k))

@@ -136,6 +136,49 @@ val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string
 
+(** {2 Weighted relations (mtbdd backend)}
+
+    Per-tuple non-negative integer weights, carried as MTBDD terminal
+    values.  A weighted relation is an ordinary {!t} whose universe runs
+    the [`Mtbdd] backend: the boolean operations above act on it with
+    0/1-embedding semantics ({!inter} preserves weights, {!union} takes
+    the pointwise max, {!size}/{!tuples} see the support), while the
+    functions here read and transform the weights themselves.  All of
+    them raise {!Type_error} on a boolean-backend universe.  Weights
+    saturate at [Backend.wvalue_cap]. *)
+
+val of_weighted_tuples : Universe.t -> Schema.t -> (int list * int) list -> t
+(** Build a weighted relation from (tuple, weight) pairs.  Duplicate
+    tuples sum their weights; weight 0 is the same as absence.
+    [Type_error] on a negative weight. *)
+
+val weight_of_tuples : t -> (int list * int) list
+(** All support tuples with their weights, sorted. *)
+
+val iter_weighted_tuples : t -> (int array -> int -> unit) -> unit
+(** Objects in schema order plus the tuple's weight; the array is
+    reused between calls. *)
+
+val fold_weighted : t -> init:'a -> f:('a -> int list -> int -> 'a) -> 'a
+
+val weight_of : t -> int list -> int
+(** Weight of one tuple (0 if absent). *)
+
+val total_weight : t -> int
+(** Sum of all tuple weights. *)
+
+val project_sum : ?label:string -> t -> Attribute.t list -> t
+(** Like {!project_away}, but summing weights instead of erasing them:
+    each surviving tuple's weight is the sum over the projected-away
+    attributes — the counting projection. *)
+
+val scale : ?label:string -> t -> int -> t
+(** Multiply every weight by a constant factor. *)
+
+val threshold : ?label:string -> t -> int -> t
+(** Keep tuples of weight [>= k], with weight 1 — the abstraction back
+    to a boolean relation (within the mtbdd universe). *)
+
 (** {2 Memory management (§4.2)} *)
 
 val dup : t -> t

@@ -16,6 +16,10 @@ type bdd_delta = {
   spilled_bytes : int;
   pq_peak_bytes : int;
   io_millis : float;
+  mt_cache_hits : int;
+  mt_cache_misses : int;
+  mt_per_tag : tag_delta list;
+  mt_terminals : int;
 }
 
 type op_event = {
@@ -111,6 +115,8 @@ type bdd_snapshot = {
   snap_spilled_bytes : int;
   snap_pq_peak_bytes : int;
   snap_io_millis : float;
+  snap_mt_stats : Jedd_mtbdd.Mtbdd.cache_stat list;
+  snap_mt_terminals : int;
 }
 
 let bdd_snapshot u =
@@ -123,6 +129,12 @@ let bdd_snapshot u =
         Jedd_extmem.Store.spilled_bytes st,
         Jedd_extmem.Store.pq_peak_bytes st,
         Jedd_extmem.Store.io_millis st )
+  in
+  let mt_stats, mt_terminals =
+    match Backend.mt_store u.backend with
+    | None -> ([], 0)
+    | Some st ->
+      (Jedd_mtbdd.Mtbdd.cache_stats st, Jedd_mtbdd.Mtbdd.distinct_terminals st)
   in
   {
     snap_stats = Jedd_bdd.Manager.cache_stats m;
@@ -137,6 +149,8 @@ let bdd_snapshot u =
     snap_spilled_bytes = spilled_bytes;
     snap_pq_peak_bytes = pq_peak;
     snap_io_millis = io_millis;
+    snap_mt_stats = mt_stats;
+    snap_mt_terminals = mt_terminals;
   }
 
 let bdd_delta_since u before =
@@ -154,6 +168,20 @@ let bdd_delta_since u before =
       (fun acc (b : Jedd_bdd.Manager.cache_stat)
            (a : Jedd_bdd.Manager.cache_stat) -> acc + f a - f b)
       0 before.snap_stats after.snap_stats
+  in
+  let mt_per_tag =
+    List.map2
+      (fun (b : Jedd_mtbdd.Mtbdd.cache_stat)
+           (a : Jedd_mtbdd.Mtbdd.cache_stat) ->
+        { tag = a.name; hits = a.hits - b.hits; misses = a.misses - b.misses })
+      before.snap_mt_stats after.snap_mt_stats
+    |> List.filter (fun d -> d.hits <> 0 || d.misses <> 0)
+  in
+  let mt_sum f =
+    List.fold_left2
+      (fun acc (b : Jedd_mtbdd.Mtbdd.cache_stat)
+           (a : Jedd_mtbdd.Mtbdd.cache_stat) -> acc + f a - f b)
+      0 before.snap_mt_stats after.snap_mt_stats
   in
   {
     cache_hits = sum (fun (s : Jedd_bdd.Manager.cache_stat) -> s.hits);
@@ -173,6 +201,12 @@ let bdd_delta_since u before =
     spilled_bytes = after.snap_spilled_bytes - before.snap_spilled_bytes;
     pq_peak_bytes = after.snap_pq_peak_bytes;
     io_millis = after.snap_io_millis -. before.snap_io_millis;
+    mt_cache_hits = mt_sum (fun (s : Jedd_mtbdd.Mtbdd.cache_stat) -> s.hits);
+    mt_cache_misses =
+      mt_sum (fun (s : Jedd_mtbdd.Mtbdd.cache_stat) -> s.misses);
+    mt_per_tag;
+    (* a gauge, not a counter: the current number of distinct weights *)
+    mt_terminals = after.snap_mt_terminals;
   }
 
 let set_profile_level u level = u.level <- level
@@ -208,6 +242,8 @@ let enable_parallel ?(jobs = Jedd_bdd.Par.default_jobs ()) u =
     invalid_arg "Universe.enable_parallel: extmem backend is single-domain"
   | `Hybrid ->
     invalid_arg "Universe.enable_parallel: hybrid backend is single-domain"
+  | `Mtbdd ->
+    invalid_arg "Universe.enable_parallel: mtbdd backend is single-domain"
   | `Incore -> ());
   if Backend.pool u.backend <> None then
     invalid_arg "Universe.enable_parallel: already enabled";

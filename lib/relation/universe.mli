@@ -40,6 +40,14 @@ type bdd_delta = {
       (** high-water mark of in-memory priority-queue bytes so far
           (a watermark, not a per-operation difference) *)
   io_millis : float;  (** wall milliseconds inside spill-file I/O *)
+  mt_cache_hits : int;
+      (** terminal-valued apply-cache activity, on the mtbdd backend *)
+  mt_cache_misses : int;
+  mt_per_tag : tag_delta list;
+      (** per-kernel mtbdd cache activity (mt-apply-add, mt-exist-sum, ...) *)
+  mt_terminals : int;
+      (** distinct terminal values live in the store after the operation
+          (a gauge, not a per-operation difference) *)
 }
 
 (** What an operation reports to the profiler hook. *)

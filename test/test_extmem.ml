@@ -223,9 +223,10 @@ let random_tuples rand ~size_a ~size_b =
     (Random.State.int rand 12)
     (fun _ -> [ Random.State.int rand size_a; Random.State.int rand size_b ])
 
-(* Run the same randomized relational program on the in-core and extmem
-   backends, comparing tuple sets and sizes after every operation. *)
-let relational_storm ~rounds ~seed () =
+(* Run the same randomized relational program on the in-core backend and
+   one other backend ([`Extmem] by default, [`Mtbdd] for the projected
+   differential), comparing tuple sets and sizes after every operation. *)
+let relational_storm ?(other = `Extmem) ~rounds ~seed () =
   let rand = Random.State.make [| seed |] in
   let dom_a = Dom.declare ~name:"DA" ~size:8 () in
   let dom_b = Dom.declare ~name:"DB" ~size:5 () in
@@ -234,7 +235,7 @@ let relational_storm ~rounds ~seed () =
   let b = Attr.declare ~name:"b" ~domain:dom_a in
   let c = Attr.declare ~name:"c" ~domain:dom_b in
   let si = side ~dom_a ~dom_b ~a ~b ~c `Incore in
-  let se = side ~dom_a ~dom_b ~a ~b ~c `Extmem in
+  let se = side ~dom_a ~dom_b ~a ~b ~c other in
   let fresh_x tuples = (R.of_tuples si.u si.xsch tuples, R.of_tuples se.u se.xsch tuples) in
   let fresh_y tuples = (R.of_tuples si.u si.ysch tuples, R.of_tuples se.u se.ysch tuples) in
   let xs = ref [ fresh_x (random_tuples rand ~size_a:8 ~size_b:8) ] in
@@ -302,6 +303,13 @@ let test_relational_storm () =
   let _ = relational_storm ~rounds:150 ~seed:7 () in
   ()
 
+let test_relational_storm_mtbdd () =
+  (* same storm, third backend: the terminal-valued engine's boolean
+     projection must track the in-core tuple sets operation for
+     operation *)
+  let _ = relational_storm ~other:`Mtbdd ~rounds:150 ~seed:7 () in
+  ()
+
 let test_relational_storm_spilling () =
   (* Tiny budgets force the extmem side of the same storm through the
      spill machinery; the profiler must surface the traffic. *)
@@ -348,7 +356,13 @@ let test_suite_differential () =
   (* the extmem run also proves the pipeline fits a tight in-core node
      budget: the manager only hosts variables and finite-domain blocks *)
   let re = Suite.run_all ~backend:`Extmem ~node_limit:4096 p in
-  let check name f = Alcotest.(check (list (list int))) name (f ri) (f re) in
+  (* third column of the matrix: the mtbdd backend, whose 0/1-weighted
+     results project to the same tuple sets *)
+  let rm = Suite.run_all ~backend:`Mtbdd p in
+  let check name f =
+    Alcotest.(check (list (list int))) name (f ri) (f re);
+    Alcotest.(check (list (list int))) (name ^ " (mtbdd)") (f ri) (f rm)
+  in
   check "subtypes" (fun r -> r.Suite.subtypes);
   check "pt" (fun r -> r.Suite.pt);
   check "resolved" (fun r -> r.Suite.resolved);
@@ -405,6 +419,8 @@ let suite =
     Alcotest.test_case "store cleanup" `Quick test_store_cleanup;
     Alcotest.test_case "cross-backend relational storm" `Quick
       test_relational_storm;
+    Alcotest.test_case "cross-backend relational storm (mtbdd)" `Quick
+      test_relational_storm_mtbdd;
     Alcotest.test_case "cross-backend storm (spilling) + profiler" `Quick
       test_relational_storm_spilling;
     Alcotest.test_case "full pipeline differential" `Quick

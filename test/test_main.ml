@@ -4,6 +4,7 @@ let () =
       ("sat", Test_sat.suite);
       ("relation", Test_relation.suite); ("jedd", Test_jedd.suite); ("analyses", Test_analyses.suite); ("zdd", Test_zdd.suite); ("tools", Test_tools.suite); ("ir", Test_ir.suite);
       ("reorder", Test_reorder.suite); ("extmem", Test_extmem.suite);
+      ("mtbdd", Test_mtbdd.suite);
       ("lint", Test_lint.suite); ("cost", Test_cost.suite);
       ("store", Test_store.suite);
       ("server", Test_server.suite); ("json-fuzz", Test_json_fuzz.suite);
